@@ -1,0 +1,176 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see lib/harness/experiments.mli) and runs Bechamel
+   wall-clock microbenchmarks of the core operations.
+
+   Usage:
+     main.exe              run every experiment, then the microbenches
+     main.exe fig1 table2  run selected experiments (ids from --list)
+     main.exe micro        run only the microbenches
+     main.exe --list       list experiment ids *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks: one Test.make per table/figure family, measuring
+   the operation that dominates that experiment. *)
+
+let barrier_vm () =
+  let vm = Lp_runtime.Vm.create ~heap_bytes:1_000_000 () in
+  let statics = Lp_runtime.Vm.statics vm ~class_name:"Micro" ~n_fields:2 in
+  let obj = Lp_runtime.Vm.alloc vm ~class_name:"Micro$Node" ~n_fields:2 () in
+  Lp_runtime.Mutator.write_obj vm statics 0 obj;
+  let tgt = Lp_runtime.Vm.alloc vm ~class_name:"Micro$Node" ~n_fields:2 () in
+  Lp_runtime.Mutator.write_obj vm obj 0 tgt;
+  (vm, obj)
+
+let test_barrier_fast =
+  let vm, obj = barrier_vm () in
+  Test.make ~name:"fig6/read-barrier-fast-path"
+    (Staged.stage (fun () -> ignore (Lp_runtime.Mutator.read vm obj 0)))
+
+let test_barrier_cold =
+  let vm, obj = barrier_vm () in
+  Test.make ~name:"fig6/read-barrier-cold-path"
+    (Staged.stage (fun () ->
+         (* re-arm the untouched bit so every read takes the cold path *)
+         obj.Lp_heap.Heap_obj.fields.(0) <-
+           Lp_heap.Word.set_untouched obj.Lp_heap.Heap_obj.fields.(0);
+         ignore (Lp_runtime.Mutator.read vm obj 0)))
+
+let test_alloc =
+  let vm = Lp_runtime.Vm.create ~heap_bytes:(512 * 1024 * 1024) () in
+  Test.make ~name:"table1/allocation"
+    (Staged.stage (fun () ->
+         ignore
+           (Lp_runtime.Vm.alloc vm ~class_name:"Micro$Alloc" ~scalar_bytes:32
+              ~n_fields:2 ())))
+
+let test_full_gc =
+  let vm = Lp_runtime.Vm.create ~heap_bytes:4_000_000 () in
+  let statics = Lp_runtime.Vm.statics vm ~class_name:"GcMicro" ~n_fields:1 in
+  (* a 2000-object list to trace *)
+  for _i = 1 to 2000 do
+    Lp_runtime.Vm.with_frame vm ~n_slots:1 (fun frame ->
+        let node =
+          Lp_runtime.Vm.alloc vm ~class_name:"GcMicro$Node" ~scalar_bytes:16
+            ~n_fields:2 ()
+        in
+        Lp_heap.Roots.set_slot frame 0 node.Lp_heap.Heap_obj.id;
+        (match Lp_runtime.Mutator.read vm statics 0 with
+        | Some head -> Lp_runtime.Mutator.write_obj vm node 0 head
+        | None -> ());
+        Lp_runtime.Mutator.write_obj vm statics 0 node)
+  done;
+  Test.make ~name:"fig7/full-heap-collection-2k-objects"
+    (Staged.stage (fun () -> Lp_runtime.Vm.run_gc vm))
+
+let test_edge_table =
+  let table = Lp_core.Edge_table.create () in
+  let i = ref 0 in
+  Test.make ~name:"table2/edge-table-record-stale-use"
+    (Staged.stage (fun () ->
+         incr i;
+         Lp_core.Edge_table.record_stale_use table ~src:(!i mod 97)
+           ~tgt:(!i mod 89) ~stale:3))
+
+let test_selection_scan =
+  let table = Lp_core.Edge_table.create () in
+  for i = 0 to 499 do
+    Lp_core.Edge_table.add_bytes table ~src:(i mod 53) ~tgt:(i mod 47) (i * 8)
+  done;
+  Test.make ~name:"table2/edge-table-selection-scan"
+    (Staged.stage (fun () -> ignore (Lp_core.Edge_table.select_max_bytes table)))
+
+let test_compile =
+  let methd =
+    match
+      Lp_jit.Method_gen.generate
+        (Lp_jit.Method_gen.profile ~benchmark:"micro" ~n_methods:1 ~seed:7 ())
+    with
+    | [ m ] -> m
+    | [] | _ :: _ -> assert false
+  in
+  Test.make ~name:"sec5/compile-method-with-barriers"
+    (Staged.stage (fun () -> ignore (Lp_jit.Compiler.compile ~barriers:true methd)))
+
+let test_paper_example =
+  Test.make ~name:"fig345/worked-example-end-to-end"
+    (Staged.stage (fun () -> ignore (Lp_harness.Paper_example.run ())))
+
+let microbenches =
+  Test.make_grouped ~name:"leakpruning"
+    [
+      test_barrier_fast;
+      test_barrier_cold;
+      test_alloc;
+      test_full_gc;
+      test_edge_table;
+      test_selection_scan;
+      test_compile;
+      test_paper_example;
+    ]
+
+let run_microbenches () =
+  Lp_harness.Render.header "Microbenchmarks"
+    "Bechamel wall-clock cost of core operations";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances microbenches in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Printf.sprintf "%.1f" est
+        | Some _ | None -> "n/a"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  Lp_harness.Render.table
+    ~columns:[ "operation"; "ns/run" ]
+    ~rows:(List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments = Lp_harness.Experiments.all @ Lp_harness.Ablations.all
+
+let list_experiments () =
+  List.iter (fun (id, title, _) -> Printf.printf "%-13s %s\n" id title) experiments;
+  Printf.printf "%-13s %s\n" "micro" "Bechamel microbenchmarks"
+
+let run_experiment id =
+  match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+  | Some (_, _, run) -> run ()
+  | None ->
+    if id = "micro" then run_microbenches ()
+    else begin
+      Printf.eprintf "unknown experiment %S; try --list\n" id;
+      exit 1
+    end
+
+let () =
+  (* --csv DIR anywhere on the command line also writes the key tables
+     and series as CSV files into DIR *)
+  let args =
+    let rec strip = function
+      | "--csv" :: dir :: rest ->
+        Lp_harness.Csv_export.set_directory (Some dir);
+        strip rest
+      | arg :: rest -> arg :: strip rest
+      | [] -> []
+    in
+    strip (List.tl (Array.to_list Sys.argv))
+  in
+  match args with
+  | [] ->
+    List.iter (fun (_, _, run) -> run ()) experiments;
+    run_microbenches ()
+  | [ "--list" ] -> list_experiments ()
+  | ids -> List.iter run_experiment ids

@@ -1,0 +1,190 @@
+(* leakpruner: run any bundled workload under any leak-pruning
+   configuration and report what happened.
+
+     leakpruner list
+     leakpruner run ListLeak --policy default --cap 5000 --trace
+     leakpruner run EclipseDiff --policy most-stale --heap 800000
+     leakpruner experiment table1 *)
+
+open Cmdliner
+
+let workloads =
+  Lp_workloads.
+    [
+      Eclipse_diff.workload;
+      Eclipse_diff.fixed;
+      List_leak.workload;
+      Swap_leak.workload;
+      Eclipse_cp.workload;
+      Mysql_leak.workload;
+      Spec_jbb.workload;
+      Jbb_mod.workload;
+      Mckoi.workload;
+      Dual_leak.workload;
+      Delaunay.workload;
+    ]
+  @ List.map Lp_workloads.Dacapo.workload_of_spec Lp_workloads.Dacapo.suite
+
+let find_workload name =
+  List.find_opt (fun w -> w.Lp_workloads.Workload.name = name) workloads
+
+let list_cmd =
+  let doc = "List the bundled workloads (the paper's ten leaks and the non-leaking suite)." in
+  let run () =
+    List.iter
+      (fun w ->
+        Printf.printf "%-18s %-14s heap %8dB  %s\n" w.Lp_workloads.Workload.name
+          (Format.asprintf "%a" Lp_workloads.Workload.pp_category
+             w.Lp_workloads.Workload.category)
+          w.Lp_workloads.Workload.default_heap_bytes
+          w.Lp_workloads.Workload.description)
+      workloads
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let policy_conv =
+  let parse s =
+    match Lp_core.Policy.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S (default, most-stale, indiv-refs, none)" s))
+  in
+  Arg.conv (parse, Lp_core.Policy.pp)
+
+let run_cmd =
+  let doc = "Run a workload under a leak-pruning configuration." in
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let policy_arg =
+    Arg.(value & opt policy_conv Lp_core.Policy.Default
+         & info [ "policy"; "p" ] ~docv:"POLICY" ~doc:"Prediction policy: default, most-stale, indiv-refs, or none (Base).")
+  in
+  let heap_arg =
+    Arg.(value & opt (some int) None
+         & info [ "heap" ] ~docv:"BYTES" ~doc:"Heap size in simulated bytes (default: the workload's, about twice its non-leaking live size).")
+  in
+  let cap_arg =
+    Arg.(value & opt int 50_000
+         & info [ "cap" ] ~docv:"N" ~doc:"Iteration cap standing in for the paper's 24-hour limit.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print state transitions and prune reports as they happen.")
+  in
+  let exhaustion_arg =
+    Arg.(value & flag
+         & info [ "prune-at-exhaustion" ]
+             ~doc:"Use the paper's option (1): wait until the heap is 100% full before the first prune (Figure 11). Default is option (2), pruning right after a SELECT collection.")
+  in
+  let run name policy heap cap trace exhaustion =
+    match find_workload name with
+    | None ->
+      Printf.eprintf "unknown workload %S; see `leakpruner list`\n" name;
+      exit 1
+    | Some w ->
+      let report = if trace then Some (fun m -> Printf.printf "[vm] %s\n%!" m) else None in
+      let config =
+        Lp_core.Config.make ~policy
+          ~prune_trigger:
+            (if exhaustion then Lp_core.Config.On_exhaustion
+             else Lp_core.Config.On_select_gc)
+          ?report ()
+      in
+      let r = Lp_harness.Driver.run ~config ?heap_bytes:heap ~max_iterations:cap w in
+      Printf.printf "workload:     %s\n" r.Lp_harness.Driver.workload;
+      Printf.printf "policy:       %s\n" (Lp_core.Policy.to_string policy);
+      Printf.printf "heap:         %d bytes\n" r.Lp_harness.Driver.heap_bytes;
+      Printf.printf "iterations:   %d\n" r.Lp_harness.Driver.iterations;
+      Printf.printf "outcome:      %s\n"
+        (Lp_harness.Driver.outcome_to_string r.Lp_harness.Driver.outcome);
+      Printf.printf "collections:  %d\n" r.Lp_harness.Driver.gc_count;
+      Printf.printf "cycles:       %d (%d in the collector)\n"
+        r.Lp_harness.Driver.total_cycles r.Lp_harness.Driver.gc_cycles;
+      Printf.printf "poisoned:     %d references\n" r.Lp_harness.Driver.references_poisoned;
+      Printf.printf "edge types:   %d in the table\n" r.Lp_harness.Driver.edge_table_entries;
+      if r.Lp_harness.Driver.pruned_edge_types <> [] then begin
+        Printf.printf "pruned reference types:\n";
+        List.iter
+          (fun (s, t) -> Printf.printf "  %s -> %s\n" s t)
+          r.Lp_harness.Driver.pruned_edge_types
+      end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ workload_arg $ policy_arg $ heap_arg $ cap_arg $ trace_arg
+          $ exhaustion_arg)
+
+let interp_cmd =
+  let doc = "Assemble and interpret a bytecode file on the simulated VM (with leak pruning)." in
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.bca") in
+  let main_arg =
+    Arg.(value & opt string "main" & info [ "main" ] ~docv:"NAME" ~doc:"Method to run repeatedly.")
+  in
+  let statics_arg =
+    Arg.(value & opt (list string) [ "root" ]
+         & info [ "statics" ] ~docv:"NAMES" ~doc:"Comma-separated global reference variables.")
+  in
+  let heap_arg =
+    Arg.(value & opt int 100_000 & info [ "heap" ] ~docv:"BYTES" ~doc:"Heap size.")
+  in
+  let times_arg =
+    Arg.(value & opt int 1_000 & info [ "times" ] ~docv:"N" ~doc:"How many times to invoke the method; its return value, when a reference, is stored into the first static between calls.")
+  in
+  let run file main statics heap times =
+    let methods = Lp_interp.Assembler.parse_file file in
+    let config =
+      Lp_core.Config.make ~policy:Lp_core.Policy.Default
+        ~report:(fun m -> Printf.printf "[vm] %s
+%!" m)
+        ()
+    in
+    let vm = Lp_runtime.Vm.create ~config ~heap_bytes:heap () in
+    let env = Lp_interp.Interp.create_env vm ~statics_fields:statics () in
+    List.iter (Lp_interp.Interp.declare_method env) methods;
+    Printf.printf "loaded %d method(s) from %s
+" (List.length methods) file;
+    let invocations = ref 0 in
+    (try
+       for _i = 1 to times do
+         let result = Lp_interp.Interp.run env ~name:main ~args:[] in
+         (match (result, statics) with
+         | Lp_interp.Interp.Ref _, first :: _ ->
+           Lp_interp.Interp.set_static env first result
+         | _ -> ());
+         incr invocations
+       done
+     with
+    | Lp_core.Errors.Out_of_memory _ ->
+      Printf.printf "OutOfMemoryError after %d invocations
+" !invocations
+    | Lp_core.Errors.Internal_error _ ->
+      Printf.printf "InternalError (pruned access) after %d invocations
+" !invocations
+    | Lp_interp.Interp.Interp_error msg ->
+      Printf.printf "bytecode error after %d invocations: %s
+" !invocations msg);
+    Printf.printf "%d invocation(s), %d collection(s), %d bytes reachable
+"
+      !invocations (Lp_runtime.Vm.gc_count vm) (Lp_runtime.Vm.live_bytes vm)
+  in
+  Cmd.v (Cmd.info "interp" ~doc)
+    Term.(const run $ file_arg $ main_arg $ statics_arg $ heap_arg $ times_arg)
+
+let experiment_cmd =
+  let doc = "Regenerate one of the paper's tables or figures (see bench/main.exe --list)." in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let experiments = Lp_harness.Experiments.all @ Lp_harness.Ablations.all in
+  let run id =
+    match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+    | Some (_, _, f) -> f ()
+    | None ->
+      Printf.eprintf "unknown experiment %S; ids:\n" id;
+      List.iter
+        (fun (eid, title, _) -> Printf.eprintf "  %-12s %s\n" eid title)
+        experiments;
+      exit 1
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id_arg)
+
+let () =
+  let doc = "Leak pruning (Bond & McKinley, ASPLOS 2009) on a simulated managed runtime" in
+  let info = Cmd.info "leakpruner" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; interp_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/bytecode_leak.ml: Bytecode Compiler Format Interp Lp_core Lp_heap Lp_interp Lp_jit Lp_runtime Printf

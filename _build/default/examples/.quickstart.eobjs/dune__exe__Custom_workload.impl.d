@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Heap_obj List Lp_core Lp_harness Lp_heap Lp_runtime Lp_workloads Mutator Printf Roots String Vm

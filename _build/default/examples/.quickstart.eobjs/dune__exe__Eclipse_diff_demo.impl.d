@@ -1,0 +1,1 @@
+examples/eclipse_diff_demo.ml: Eclipse_diff List Lp_core Lp_heap Lp_runtime Lp_workloads Printf Workload

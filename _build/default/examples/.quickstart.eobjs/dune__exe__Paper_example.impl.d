@@ -1,0 +1,1 @@
+examples/paper_example.ml: Lp_harness

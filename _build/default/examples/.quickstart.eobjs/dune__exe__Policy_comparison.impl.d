@@ -1,0 +1,1 @@
+examples/policy_comparison.ml: Array List Lp_core Lp_harness Lp_workloads Printf String Sys

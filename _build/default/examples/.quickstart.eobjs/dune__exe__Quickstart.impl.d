@@ -1,0 +1,1 @@
+examples/quickstart.ml: Heap_obj Lp_core Lp_heap Lp_runtime Mutator Printf Roots Vm

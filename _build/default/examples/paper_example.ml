@@ -1,0 +1,16 @@
+(* The worked example of the paper's Figures 3-5, step by step.
+
+   Run with:  dune exec examples/paper_example.exe *)
+
+let () =
+  print_endline "Figures 3-5 of the paper, reproduced on the simulated heap:";
+  print_endline "";
+  print_endline "  roots -> a1 -> b1..b4 -> c1..c4 -> d1..d8, and e1 -> c4";
+  print_endline "  stale counters: c1=3, c2=1, c3=3, c4=2; maxstaleuse(E->C)=2";
+  print_endline "";
+  ignore (Lp_harness.Paper_example.run ~verbose:true ());
+  print_endline "";
+  print_endline
+    "b2->c2 was not a candidate (c2's counter below 2); e1->c4 was not a\n\
+     candidate (E->C's maxstaleuse of 2 demands staleness of at least 4);\n\
+     c4's subtree survived because e1 still reaches it in use."

@@ -1,0 +1,36 @@
+(* Compare the prediction policies of paper Section 6.1 on one leak.
+
+   Run with:  dune exec examples/policy_comparison.exe [leak-name] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ListLeak" in
+  let workloads =
+    [
+      Lp_workloads.Eclipse_diff.workload;
+      Lp_workloads.List_leak.workload;
+      Lp_workloads.Swap_leak.workload;
+      Lp_workloads.Dual_leak.workload;
+      Lp_workloads.Mysql_leak.workload;
+    ]
+  in
+  let w =
+    match
+      List.find_opt (fun w -> w.Lp_workloads.Workload.name = name) workloads
+    with
+    | Some w -> w
+    | None ->
+      Printf.eprintf "unknown leak %S; try: %s\n" name
+        (String.concat ", "
+           (List.map (fun w -> w.Lp_workloads.Workload.name) workloads));
+      exit 1
+  in
+  Printf.printf "%s under each prediction policy (cap 20000):\n\n" name;
+  List.iter
+    (fun policy ->
+      let r = Lp_harness.Driver.run ~policy ~max_iterations:20_000 w in
+      Printf.printf "  %-11s %6d iterations  %-26s %d reference types pruned\n%!"
+        (Lp_core.Policy.to_string policy)
+        r.Lp_harness.Driver.iterations
+        (Lp_harness.Driver.outcome_to_string r.Lp_harness.Driver.outcome)
+        (List.length r.Lp_harness.Driver.pruned_edge_types))
+    Lp_core.Policy.all

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Class_registry Collector Config Edge_table Errors Gc_stats Heap_obj List Lp_heap Policy Printf Selection State_kind State_machine Store

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Class_registry Config Edge_table Gc_stats Heap_obj Lp_heap Roots State_kind Store

@@ -1,0 +1,1 @@
+lib/core/edge_table.mli: Lp_heap

@@ -1,0 +1,1 @@
+lib/core/selection.ml: Collector Config Edge_table Header Heap_obj Lp_heap Store

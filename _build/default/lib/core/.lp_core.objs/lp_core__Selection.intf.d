@@ -1,0 +1,1 @@
+lib/core/selection.mli: Config Edge_table Lp_heap

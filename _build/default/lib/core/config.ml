@@ -1,0 +1,67 @@
+type prune_trigger = On_select_gc | On_exhaustion
+
+type t = {
+  policy : Policy.t;
+  observe_threshold : float;
+  nearly_full_threshold : float;
+  prune_trigger : prune_trigger;
+  min_candidate_stale : int;
+  stale_slack : int;
+  max_unproductive_cycles : int;
+  finalizers_after_prune : bool;
+  report : (string -> unit) option;
+  force_state : State_kind.t option;
+  maxstaleuse_decay_period : int option;
+}
+
+let default =
+  {
+    policy = Policy.Default;
+    observe_threshold = 0.5;
+    nearly_full_threshold = 0.9;
+    prune_trigger = On_select_gc;
+    min_candidate_stale = 2;
+    stale_slack = 2;
+    max_unproductive_cycles = 8;
+    finalizers_after_prune = true;
+    report = None;
+    force_state = None;
+    maxstaleuse_decay_period = None;
+  }
+
+let make ?(policy = default.policy) ?(observe_threshold = default.observe_threshold)
+    ?(nearly_full_threshold = default.nearly_full_threshold)
+    ?(prune_trigger = default.prune_trigger)
+    ?(min_candidate_stale = default.min_candidate_stale)
+    ?(stale_slack = default.stale_slack)
+    ?(max_unproductive_cycles = default.max_unproductive_cycles)
+    ?(finalizers_after_prune = default.finalizers_after_prune) ?report
+    ?force_state ?maxstaleuse_decay_period () =
+  {
+    policy;
+    observe_threshold;
+    nearly_full_threshold;
+    prune_trigger;
+    min_candidate_stale;
+    stale_slack;
+    max_unproductive_cycles;
+    finalizers_after_prune;
+    report;
+    force_state;
+    maxstaleuse_decay_period;
+  }
+
+let validate t =
+  if t.observe_threshold <= 0.0 || t.observe_threshold >= 1.0 then
+    Error "observe_threshold must be in (0, 1)"
+  else if t.nearly_full_threshold <= t.observe_threshold then
+    Error "nearly_full_threshold must exceed observe_threshold"
+  else if t.nearly_full_threshold > 1.0 then
+    Error "nearly_full_threshold must be at most 1"
+  else if t.min_candidate_stale < 1 then Error "min_candidate_stale must be >= 1"
+  else if t.stale_slack < 0 then Error "stale_slack must be >= 0"
+  else if t.max_unproductive_cycles < 1 then
+    Error "max_unproductive_cycles must be >= 1"
+  else if (match t.maxstaleuse_decay_period with Some p -> p < 1 | None -> false)
+  then Error "maxstaleuse_decay_period must be >= 1"
+  else Ok t

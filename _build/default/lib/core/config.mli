@@ -1,0 +1,61 @@
+(** Leak pruning configuration (paper Sections 3.1, 6.3).
+
+    The defaults are the paper's: observe when reachable memory exceeds
+    50% of the heap, select when it exceeds 90% ("nearly full"), and prune
+    on the collection after a SELECT-state collection (the paper's option
+    (2)). Setting [prune_trigger] to [On_exhaustion] reproduces option (1)
+    and Figure 11: pruning waits until the heap is still 100% full after a
+    collection and the VM is about to throw an out-of-memory error. *)
+
+type prune_trigger = On_select_gc | On_exhaustion
+
+type t = {
+  policy : Policy.t;
+  observe_threshold : float;  (** default 0.5 *)
+  nearly_full_threshold : float;  (** default 0.9 *)
+  prune_trigger : prune_trigger;  (** default [On_select_gc] *)
+  min_candidate_stale : int;
+      (** minimum target staleness for a candidate reference; default 2 *)
+  stale_slack : int;
+      (** prune only targets at least this much staler than the edge's
+          [maxstaleuse]; default 2 ("we conservatively use two greater,
+          instead of one, since the stale counters only approximate the
+          logarithm of staleness") *)
+  max_unproductive_cycles : int;
+      (** consecutive select/prune cycles that free no memory before the
+          deferred out-of-memory error is finally thrown; default 8 *)
+  finalizers_after_prune : bool;
+      (** keep running finalizers once pruning starts (the paper's
+          implementation choice); [false] gives the "strict" variant *)
+  report : (string -> unit) option;
+      (** optional sink for the out-of-memory warning and the pruned
+          data-structure reports of Section 3.2 *)
+  force_state : State_kind.t option;
+      (** pin the state machine (used by the Figure 7 overhead
+          experiments: force OBSERVE or SELECT continuously) *)
+  maxstaleuse_decay_period : int option;
+      (** halve every edge type's [maxstaleuse] every this many
+          full-heap collections — the paper's proposed future-work
+          policy for phased behaviour (JbbMod); default [None] (the
+          paper's implementation) *)
+}
+
+val default : t
+
+val make :
+  ?policy:Policy.t ->
+  ?observe_threshold:float ->
+  ?nearly_full_threshold:float ->
+  ?prune_trigger:prune_trigger ->
+  ?min_candidate_stale:int ->
+  ?stale_slack:int ->
+  ?max_unproductive_cycles:int ->
+  ?finalizers_after_prune:bool ->
+  ?report:(string -> unit) ->
+  ?force_state:State_kind.t ->
+  ?maxstaleuse_decay_period:int ->
+  unit ->
+  t
+
+val validate : t -> (t, string) result
+(** Checks threshold ordering and ranges. *)

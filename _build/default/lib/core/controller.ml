@@ -1,0 +1,246 @@
+open Lp_heap
+
+type t = {
+  config : Config.t;
+  registry : Class_registry.t;
+  table : Edge_table.t;
+  machine : State_machine.t;
+  mutable selected : (Class_registry.id * Class_registry.id) option;
+  mutable last_selection : (Class_registry.id * Class_registry.id * int) option;
+  mutable selected_level : int option;  (* Most-stale policy *)
+  mutable averted : exn option;
+  mutable pruned_types : (Class_registry.id * Class_registry.id) list;  (* reverse order *)
+  mutable unproductive_cycles : int;
+  mutable gc_count : int;
+}
+
+let create config registry =
+  match Config.validate config with
+  | Error msg -> invalid_arg ("Controller.create: " ^ msg)
+  | Ok config ->
+    {
+      config;
+      registry;
+      table = Edge_table.create ();
+      machine = State_machine.create config;
+      selected = None;
+      last_selection = None;
+      selected_level = None;
+      averted = None;
+      pruned_types = [];
+      unproductive_cycles = 0;
+      gc_count = 0;
+    }
+
+let config t = t.config
+
+let state t = State_machine.state t.machine
+
+let edge_table t = t.table
+
+let gc_count t = t.gc_count
+
+let averted_error t = t.averted
+
+let tracking t = State_kind.tracking (state t)
+
+let selected_edge t = t.selected
+
+let last_selection t = t.last_selection
+
+let pruned_edge_types t = List.rev t.pruned_types
+
+let state_transitions t = State_machine.transitions t.machine
+
+let report t msg = match t.config.Config.report with None -> () | Some f -> f msg
+
+let edge_name t (src, tgt) =
+  Printf.sprintf "%s -> %s"
+    (Class_registry.name t.registry src)
+    (Class_registry.name t.registry tgt)
+
+(* Records the out-of-memory error the program would have seen, the first
+   time pruning engages (Section 2: "leak pruning records and defers the
+   error"). *)
+let record_averted t store =
+  if t.averted = None then begin
+    t.averted <-
+      Some
+        (Errors.out_of_memory ~gc_count:t.gc_count
+           ~used_bytes:(Store.used_bytes store)
+           ~limit_bytes:(Store.limit_bytes store));
+    report t "leak pruning: out-of-memory averted; pruning engaged"
+  end
+
+let on_stale_use t ~src ~tgt =
+  if tracking t then begin
+    let stale = Heap_obj.stale tgt in
+    if stale >= 2 then
+      Edge_table.record_stale_use t.table ~src:src.Heap_obj.class_id
+        ~tgt:tgt.Heap_obj.class_id ~stale
+  end
+
+let poisoned_access_error t ~src ~tgt_class =
+  let cause =
+    match t.averted with
+    | Some e -> e
+    | None ->
+      (* Accessing a poisoned reference implies pruning happened, which
+         records the averted error first; this branch guards reports on
+         hand-built heaps. *)
+      Errors.out_of_memory ~gc_count:t.gc_count ~used_bytes:0 ~limit_bytes:0
+  in
+  Errors.internal_error ~cause
+    ~src_class:(Class_registry.name t.registry src.Heap_obj.class_id)
+    ~tgt_class
+
+(* One full-heap collection. The phases composed here are the paper's
+   Sections 4.2-4.3; which filter runs depends on the state machine and the
+   prediction policy. *)
+let collect ?on_finalize t store roots ~stats =
+  t.gc_count <- t.gc_count + 1;
+  stats.Gc_stats.collections <- stats.Gc_stats.collections + 1;
+  let st = state t in
+  let track = State_kind.tracking st in
+  (* Staleness increments piggyback on tracing (the mark configs below
+     carry the collection number), so only live objects pay for them. *)
+  let tick = if track then Some t.gc_count else None in
+  (match t.config.Config.maxstaleuse_decay_period with
+  | Some period when track && t.gc_count mod period = 0 ->
+    Edge_table.decay_max_stale_use t.table
+  | Some _ | None -> ());
+  let poisoned_before = stats.Gc_stats.references_poisoned in
+  (match (st, t.config.Config.policy) with
+  | State_kind.Inactive, _ | _, Policy.None_ ->
+    ignore (Collector.mark store roots ~stats ~config:Collector.base_config)
+  | State_kind.Observe, _ ->
+    ignore
+      (Collector.mark store roots ~stats
+         ~config:
+           { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = None })
+  | State_kind.Select, Policy.Default ->
+    let filter = Selection.select_filter_default t.config t.table in
+    let deferred =
+      Collector.mark store roots ~stats
+        ~config:
+          { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = Some filter }
+    in
+    List.iter
+      (fun (edge : Collector.edge) ->
+        let bytes =
+          Collector.stale_closure store ~stats ~set_untouched_bits:true
+            ~stale_tick_gc:tick edge
+        in
+        if bytes > 0 then
+          Edge_table.add_bytes t.table
+            ~src:edge.Collector.src.Heap_obj.class_id
+            ~tgt:edge.Collector.tgt.Heap_obj.class_id bytes)
+      deferred;
+    stats.Gc_stats.selection_scans <- stats.Gc_stats.selection_scans + 1;
+    (match Edge_table.select_max_bytes t.table with
+    | Some (src, tgt, bytes) ->
+      t.selected <- Some (src, tgt);
+      t.last_selection <- Some (src, tgt, bytes)
+    | None -> t.selected <- None);
+    Edge_table.reset_bytes t.table
+  | State_kind.Select, Policy.Individual_refs ->
+    let filter = Selection.select_filter_individual t.config t.table in
+    ignore
+      (Collector.mark store roots ~stats
+         ~config:
+           { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = Some filter });
+    stats.Gc_stats.selection_scans <- stats.Gc_stats.selection_scans + 1;
+    (match Edge_table.select_max_bytes t.table with
+    | Some (src, tgt, bytes) ->
+      t.selected <- Some (src, tgt);
+      t.last_selection <- Some (src, tgt, bytes)
+    | None -> t.selected <- None);
+    Edge_table.reset_bytes t.table
+  | State_kind.Select, Policy.Most_stale ->
+    ignore
+      (Collector.mark store roots ~stats
+         ~config:
+           { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = None });
+    stats.Gc_stats.selection_scans <- stats.Gc_stats.selection_scans + 1;
+    let level = Selection.max_live_staleness store ~marked_only:true in
+    t.selected_level <- (if level >= 2 then Some level else None)
+  | State_kind.Prune, (Policy.Default | Policy.Individual_refs) ->
+    record_averted t store;
+    let filter =
+      match t.selected with
+      | Some selected ->
+        Some (Selection.prune_filter_edge_type t.config t.table ~selected)
+      | None -> None
+    in
+    ignore
+      (Collector.mark store roots ~stats
+         ~config:{ Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = filter });
+    State_machine.note_prune_performed t.machine;
+    (match (t.selected, stats.Gc_stats.references_poisoned - poisoned_before) with
+    | Some selected, n when n > 0 ->
+      if not (List.mem selected t.pruned_types) then
+        t.pruned_types <- selected :: t.pruned_types;
+      report t
+        (Printf.sprintf "leak pruning: pruned %d reference(s) of type %s" n
+           (edge_name t selected))
+    | Some _, _ | None, _ -> ());
+    t.selected <- None
+  | State_kind.Prune, Policy.Most_stale ->
+    record_averted t store;
+    let filter =
+      match t.selected_level with
+      | Some level -> Some (Selection.prune_filter_most_stale ~level)
+      | None -> None
+    in
+    ignore
+      (Collector.mark store roots ~stats
+         ~config:{ Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = filter });
+    State_machine.note_prune_performed t.machine;
+    t.selected_level <- None);
+  let run_finalizers =
+    t.config.Config.finalizers_after_prune || not (State_machine.has_pruned t.machine)
+  in
+  (match on_finalize with
+  | Some f when run_finalizers ->
+    Collector.resurrect_finalizables store ~stats ~on_finalize:f
+  | Some _ | None -> ());
+  let freed_before = stats.Gc_stats.bytes_reclaimed in
+  Collector.sweep store ~stats;
+  let freed = stats.Gc_stats.bytes_reclaimed - freed_before in
+  (* A prune that neither poisons nor frees is unproductive; enough of
+     those in a row and the deferred error is finally thrown. *)
+  (match st with
+  | State_kind.Prune ->
+    if stats.Gc_stats.references_poisoned - poisoned_before = 0 && freed = 0 then
+      t.unproductive_cycles <- t.unproductive_cycles + 1
+    else t.unproductive_cycles <- 0
+  | State_kind.Inactive | State_kind.Observe | State_kind.Select -> ());
+  let occupancy =
+    float_of_int (Store.live_bytes store) /. float_of_int (Store.limit_bytes store)
+  in
+  State_machine.after_gc t.machine ~occupancy
+
+let on_allocation_failure t store ~requested =
+  let oom () =
+    Errors.out_of_memory ~gc_count:t.gc_count
+      ~used_bytes:(Store.used_bytes store)
+      ~limit_bytes:(Store.limit_bytes store)
+  in
+  ignore requested;
+  match t.config.Config.policy with
+  | Policy.None_ -> `Out_of_memory (oom ())
+  | Policy.Default | Policy.Most_stale | Policy.Individual_refs ->
+    if t.unproductive_cycles >= t.config.Config.max_unproductive_cycles then
+      `Out_of_memory (oom ())
+    else begin
+      match state t with
+      | State_kind.Inactive | State_kind.Observe ->
+        (* The post-collection transition did not reach SELECT, so the heap
+           is not even nearly full: the request simply does not fit. *)
+        `Out_of_memory (oom ())
+      | State_kind.Select ->
+        report t "leak pruning: allocation failed in SELECT; arming prune";
+        State_machine.note_exhaustion t.machine;
+        `Retry
+      | State_kind.Prune -> `Retry
+    end

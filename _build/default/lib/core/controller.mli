@@ -1,0 +1,81 @@
+(** The leak pruning controller: one instance per VM.
+
+    The controller owns the state machine, the edge table and the
+    selection result, and composes the collector phases into the four
+    kinds of full-heap collection:
+
+    - INACTIVE (or pruning disabled): a plain tracing collection;
+    - OBSERVE: stale counters ticked and untouched bits set;
+    - SELECT: the two-phase in-use/stale closure (Section 4.2) followed by
+      edge-type selection — or, per policy, the Most-stale level scan or
+      the Individual-references attribution;
+    - PRUNE: the in-use closure with poisoning of the selection
+      (Section 4.3).
+
+    It also implements the allocation-failure protocol of Section 2:
+    deciding whether a failed allocation should retry after another
+    (possibly pruning) collection or finally throw, and recording the
+    averted out-of-memory error that poisoned-access internal errors
+    carry as their cause. *)
+
+open Lp_heap
+
+type t
+
+val create : Config.t -> Class_registry.t -> t
+(** @raise Invalid_argument when the configuration fails
+    {!Config.validate}. *)
+
+val config : t -> Config.t
+
+val state : t -> State_kind.t
+
+val edge_table : t -> Edge_table.t
+
+val gc_count : t -> int
+
+val averted_error : t -> exn option
+(** The deferred out-of-memory error, once pruning has engaged. *)
+
+val collect :
+  ?on_finalize:(Heap_obj.t -> unit) -> t -> Store.t -> Roots.t -> stats:Gc_stats.t -> unit
+(** Performs one full-heap collection in the current state's mode, then
+    applies the Figure 2 state transition. [on_finalize] is invoked for
+    each newly unreachable finalizable object (which is kept alive for
+    this collection, Java-style); finalizers stop running after the first
+    prune when the strict [finalizers_after_prune = false] option is
+    set. *)
+
+val on_allocation_failure :
+  t -> Store.t -> requested:int -> [ `Retry | `Out_of_memory of exn ]
+(** Called by the VM when an allocation still fails after a collection.
+    [`Retry] means another collection (advancing through SELECT/PRUNE)
+    may free memory; [`Out_of_memory] carries the error to throw. *)
+
+val on_stale_use : t -> src:Heap_obj.t -> tgt:Heap_obj.t -> unit
+(** Read-barrier cold-path bookkeeping (Section 4.1): when tracking is
+    active and the target was stale (counter >= 2) at the moment of use,
+    raise the edge type's [maxstaleuse]. The caller passes the target's
+    staleness {e before} clearing it. *)
+
+val tracking : t -> bool
+(** Whether staleness tracking (and hence barrier bookkeeping) is
+    active, i.e. the state is past INACTIVE. *)
+
+val poisoned_access_error : t -> src:Heap_obj.t -> tgt_class:string -> exn
+(** The [Internal_error] to throw for a program access to a poisoned
+    reference, with the averted out-of-memory error as cause. *)
+
+val selected_edge : t -> (Class_registry.id * Class_registry.id) option
+(** The edge type the next PRUNE collection will poison, if any. *)
+
+val last_selection : t -> (Class_registry.id * Class_registry.id * int) option
+(** The most recent SELECT decision with the winning [bytesused] value
+    (Figure 5's 120 bytes for B->C); survives the PRUNE collection for
+    reporting. *)
+
+val pruned_edge_types : t -> (Class_registry.id * Class_registry.id) list
+(** Distinct edge types pruned so far, in first-pruned order (the
+    "over 100 different reference types" measurements of Section 6). *)
+
+val state_transitions : t -> (int * State_kind.t) list

@@ -1,0 +1,97 @@
+exception Table_full
+
+let slots = 16384
+
+let words_per_slot = 4
+
+let size_bytes = slots * words_per_slot * 4
+
+(* Four parallel arrays, one per slot word. [src_classes.(i) = -1] marks an
+   empty slot. *)
+type t = {
+  src_classes : int array;
+  tgt_classes : int array;
+  max_stale_uses : int array;
+  bytes_useds : int array;
+  mutable entries : int;
+}
+
+let create () =
+  {
+    src_classes = Array.make slots (-1);
+    tgt_classes = Array.make slots (-1);
+    max_stale_uses = Array.make slots 0;
+    bytes_useds = Array.make slots 0;
+    entries = 0;
+  }
+
+let hash ~src ~tgt =
+  (* Fibonacci-style integer mixing; must be deterministic across runs. *)
+  let h = (src * 0x9E3779B1) lxor (tgt * 0x85EBCA77) in
+  (h land max_int) mod slots
+
+(* Linear probing. Returns the slot holding (src, tgt), or the first empty
+   slot on the probe path, or raises Table_full. *)
+let probe t ~src ~tgt =
+  let start = hash ~src ~tgt in
+  let rec loop i steps =
+    if steps = slots then raise Table_full
+    else if t.src_classes.(i) = -1 then `Empty i
+    else if t.src_classes.(i) = src && t.tgt_classes.(i) = tgt then `Found i
+    else loop ((i + 1) mod slots) (steps + 1)
+  in
+  loop start 0
+
+let find_or_add t ~src ~tgt =
+  match probe t ~src ~tgt with
+  | `Found i -> i
+  | `Empty i ->
+    t.src_classes.(i) <- src;
+    t.tgt_classes.(i) <- tgt;
+    t.max_stale_uses.(i) <- 0;
+    t.bytes_useds.(i) <- 0;
+    t.entries <- t.entries + 1;
+    i
+
+let record_stale_use t ~src ~tgt ~stale =
+  let i = find_or_add t ~src ~tgt in
+  if stale > t.max_stale_uses.(i) then t.max_stale_uses.(i) <- stale
+
+let max_stale_use t ~src ~tgt =
+  match probe t ~src ~tgt with `Found i -> t.max_stale_uses.(i) | `Empty _ -> 0
+
+let add_bytes t ~src ~tgt n =
+  let i = find_or_add t ~src ~tgt in
+  t.bytes_useds.(i) <- t.bytes_useds.(i) + n
+
+let bytes_used t ~src ~tgt =
+  match probe t ~src ~tgt with `Found i -> t.bytes_useds.(i) | `Empty _ -> 0
+
+let select_max_bytes t =
+  let best = ref None in
+  for i = 0 to slots - 1 do
+    if t.src_classes.(i) >= 0 && t.bytes_useds.(i) > 0 then
+      match !best with
+      | Some (_, _, bytes) when bytes >= t.bytes_useds.(i) -> ()
+      | Some _ | None ->
+        best := Some (t.src_classes.(i), t.tgt_classes.(i), t.bytes_useds.(i))
+  done;
+  !best
+
+let reset_bytes t = Array.fill t.bytes_useds 0 slots 0
+
+let decay_max_stale_use t =
+  for i = 0 to slots - 1 do
+    if t.src_classes.(i) >= 0 then t.max_stale_uses.(i) <- t.max_stale_uses.(i) / 2
+  done
+
+let entry_count t = t.entries
+
+let iter t f =
+  for i = 0 to slots - 1 do
+    if t.src_classes.(i) >= 0 then
+      f ~src:t.src_classes.(i) ~tgt:t.tgt_classes.(i)
+        ~max_stale_use:t.max_stale_uses.(i) ~bytes_used:t.bytes_useds.(i)
+  done
+
+let load_factor t = float_of_int t.entries /. float_of_int slots

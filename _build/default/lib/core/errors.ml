@@ -1,0 +1,27 @@
+exception Out_of_memory of {
+  gc_count : int;
+  used_bytes : int;
+  limit_bytes : int;
+}
+
+exception Internal_error of {
+  cause : exn;
+  src_class : string;
+  tgt_class : string;
+}
+
+let out_of_memory ~gc_count ~used_bytes ~limit_bytes =
+  Out_of_memory { gc_count; used_bytes; limit_bytes }
+
+let internal_error ~cause ~src_class ~tgt_class =
+  Internal_error { cause; src_class; tgt_class }
+
+let rec pp_exn ppf = function
+  | Out_of_memory { gc_count; used_bytes; limit_bytes } ->
+    Format.fprintf ppf "OutOfMemoryError (after %d collections, %d/%d bytes)"
+      gc_count used_bytes limit_bytes
+  | Internal_error { cause; src_class; tgt_class } ->
+    Format.fprintf ppf
+      "InternalError: access to pruned reference %s -> %s@ caused by: %a"
+      src_class tgt_class pp_exn cause
+  | e -> Format.pp_print_string ppf (Printexc.to_string e)

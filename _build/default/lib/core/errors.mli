@@ -1,0 +1,29 @@
+(** The error protocol of paper Section 2.
+
+    When the VM exhausts memory with leak pruning enabled, the
+    out-of-memory error is recorded and deferred rather than thrown. If
+    the program later reads a pruned (poisoned) reference, the VM throws
+    an internal error whose [cause] is the original deferred
+    out-of-memory error — mirroring Java's [InternalError] /
+    [getCause()] protocol, which the JVM specification permits
+    asynchronously at any program point. *)
+
+exception Out_of_memory of {
+  gc_count : int;  (** full-heap collections performed so far *)
+  used_bytes : int;
+  limit_bytes : int;
+}
+
+exception Internal_error of {
+  cause : exn;  (** the averted [Out_of_memory] *)
+  src_class : string;
+  tgt_class : string;  (** classes of the pruned reference accessed *)
+}
+
+val out_of_memory : gc_count:int -> used_bytes:int -> limit_bytes:int -> exn
+
+val internal_error : cause:exn -> src_class:string -> tgt_class:string -> exn
+
+val pp_exn : Format.formatter -> exn -> unit
+(** Human-readable rendering of the two errors above (and a fallback for
+    any other exception). *)

@@ -1,0 +1,18 @@
+type t = Default | Most_stale | Individual_refs | None_
+
+let to_string = function
+  | Default -> "default"
+  | Most_stale -> "most-stale"
+  | Individual_refs -> "indiv-refs"
+  | None_ -> "none"
+
+let of_string = function
+  | "default" -> Some Default
+  | "most-stale" -> Some Most_stale
+  | "indiv-refs" -> Some Individual_refs
+  | "none" -> Some None_
+  | _ -> None
+
+let all = [ Default; Most_stale; Individual_refs; None_ ]
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,29 @@
+(** Prediction policies (paper Section 6.1).
+
+    The SELECT/PRUNE machinery is parameterized by the algorithm that
+    predicts which references are dead:
+
+    - [Default] — the paper's contribution: type-based candidate edges,
+      stale transitive closure over data structures, prune the edge type
+      owning the most bytes.
+    - [Most_stale] — the predictor of the disk-offloading systems
+      (LeakSurvivor, Panacea, Melt): find the highest staleness level of
+      any object and prune every reference to objects at that level,
+      ignoring types and data structures.
+    - [Individual_refs] — the default algorithm with the candidate queue
+      and stale closure elided: each qualifying stale reference is
+      attributed only its direct target's bytes, so selection sees
+      individual references rather than data structures.
+    - [None_] — pruning disabled; the VM throws the out-of-memory error
+      (the paper's "Base"). *)
+
+type t = Default | Most_stale | Individual_refs | None_
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Accepts ["default"], ["most-stale"], ["indiv-refs"], ["none"]. *)
+
+val all : t list
+
+val pp : Format.formatter -> t -> unit

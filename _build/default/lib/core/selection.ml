@@ -1,0 +1,56 @@
+open Lp_heap
+
+(* References out of statics containers model root references (Jikes RVM
+   scans statics as part of the JTOC); roots can never be pruned. *)
+let src_is_root (edge : Collector.edge) =
+  Header.statics_container edge.Collector.src.Heap_obj.header
+
+let stale_qualifies (config : Config.t) table (edge : Collector.edge) =
+  let stale = Heap_obj.stale edge.Collector.tgt in
+  (not (src_is_root edge))
+  && stale >= config.Config.min_candidate_stale
+  && stale
+     >= Edge_table.max_stale_use table
+          ~src:edge.Collector.src.Heap_obj.class_id
+          ~tgt:edge.Collector.tgt.Heap_obj.class_id
+        + config.Config.stale_slack
+
+let select_filter_default config table edge =
+  if stale_qualifies config table edge then Collector.Defer else Collector.Trace
+
+let select_filter_individual config table edge =
+  if stale_qualifies config table edge then
+    Edge_table.add_bytes table
+      ~src:edge.Collector.src.Heap_obj.class_id
+      ~tgt:edge.Collector.tgt.Heap_obj.class_id
+      edge.Collector.tgt.Heap_obj.size_bytes;
+  Collector.Trace
+
+let prune_filter_edge_type config table ~selected (edge : Collector.edge) =
+  let src_class, tgt_class = selected in
+  if
+    edge.Collector.src.Heap_obj.class_id = src_class
+    && edge.Collector.tgt.Heap_obj.class_id = tgt_class
+    && stale_qualifies config table edge
+  then Collector.Poison
+  else Collector.Trace
+
+let prune_filter_most_stale ~level (edge : Collector.edge) =
+  if (not (src_is_root edge)) && Heap_obj.stale edge.Collector.tgt >= level then
+    Collector.Poison
+  else Collector.Trace
+
+let max_live_staleness store ~marked_only =
+  let best = ref 0 in
+  Store.iter_live store (fun obj ->
+      (* Statics containers model root storage (immortal in Jikes RVM);
+         their counters never clear because no heap reference targets
+         them, so they must not drive the Most-stale level. *)
+      if
+        (not (Header.statics_container obj.Heap_obj.header))
+        && ((not marked_only) || Header.marked obj.Heap_obj.header)
+      then begin
+        let s = Heap_obj.stale obj in
+        if s > !best then best := s
+      end);
+  !best

@@ -1,0 +1,39 @@
+(** Candidate criteria and edge filters for the SELECT and PRUNE states
+    (paper Sections 4.2 and 4.3), for all three prediction policies. *)
+
+val stale_qualifies : Config.t -> Edge_table.t -> Lp_heap.Collector.edge -> bool
+(** The paper's candidate test: the target's stale counter is at least
+    [min_candidate_stale] (2) {e and} at least [stale_slack] (2) greater
+    than the edge type's [maxstaleuse]. *)
+
+val select_filter_default :
+  Config.t -> Edge_table.t -> Lp_heap.Collector.edge -> Lp_heap.Collector.edge_action
+(** Defers qualifying references to the candidate queue. *)
+
+val select_filter_individual :
+  Config.t ->
+  Edge_table.t ->
+  Lp_heap.Collector.edge ->
+  Lp_heap.Collector.edge_action
+(** The Individual-references variant: never defers; attributes each
+    qualifying reference its direct target's bytes as a side effect and
+    traces it normally. *)
+
+val prune_filter_edge_type :
+  Config.t ->
+  Edge_table.t ->
+  selected:Lp_heap.Class_registry.id * Lp_heap.Class_registry.id ->
+  Lp_heap.Collector.edge ->
+  Lp_heap.Collector.edge_action
+(** Poisons references of the selected edge type whose targets still
+    qualify; used by both Default and Individual-references pruning. *)
+
+val prune_filter_most_stale :
+  level:int -> Lp_heap.Collector.edge -> Lp_heap.Collector.edge_action
+(** The Most-stale variant (LeakSurvivor/Melt predictor): poisons every
+    reference whose target's staleness is at least [level], ignoring edge
+    types and data structures. *)
+
+val max_live_staleness : Lp_heap.Store.t -> marked_only:bool -> int
+(** Highest stale-counter value over live (optionally: marked) objects;
+    the Most-stale variant's selection. *)

@@ -1,0 +1,18 @@
+type t = Inactive | Observe | Select | Prune
+
+let to_string = function
+  | Inactive -> "INACTIVE"
+  | Observe -> "OBSERVE"
+  | Select -> "SELECT"
+  | Prune -> "PRUNE"
+
+let of_string = function
+  | "INACTIVE" | "inactive" -> Some Inactive
+  | "OBSERVE" | "observe" -> Some Observe
+  | "SELECT" | "select" -> Some Select
+  | "PRUNE" | "prune" -> Some Prune
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let tracking = function Inactive -> false | Observe | Select | Prune -> true

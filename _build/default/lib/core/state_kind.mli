@@ -1,0 +1,13 @@
+(** The four states of the leak pruning state diagram (paper Figure 2). *)
+
+type t = Inactive | Observe | Select | Prune
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val tracking : t -> bool
+(** Whether staleness tracking is active: true for every state except
+    [Inactive]. *)

@@ -1,0 +1,78 @@
+type t = {
+  config : Config.t;
+  mutable state : State_kind.t;
+  mutable pruned_once : bool;
+  mutable exhaustion_noted : bool;
+  mutable gc_seen : int;
+  mutable history : (int * State_kind.t) list;  (* reverse chronological *)
+}
+
+let create (config : Config.t) =
+  let state =
+    match config.Config.force_state with
+    | Some s -> s
+    | None ->
+      (match config.Config.policy with
+      | Policy.None_ -> State_kind.Inactive
+      | Policy.Default | Policy.Most_stale | Policy.Individual_refs ->
+        State_kind.Inactive)
+  in
+  {
+    config;
+    state;
+    pruned_once = false;
+    exhaustion_noted = false;
+    gc_seen = 0;
+    history = [ (0, state) ];
+  }
+
+let state t = t.state
+
+let has_pruned t = t.pruned_once
+
+let note_prune_performed t = t.pruned_once <- true
+
+let goto t s =
+  if s <> t.state then begin
+    t.state <- s;
+    t.history <- (t.gc_seen, s) :: t.history
+  end
+
+(* Under option (1) the Select -> Prune move happens the moment the VM is
+   about to throw an out-of-memory error, so the very next collection
+   prunes. *)
+let note_exhaustion t =
+  t.exhaustion_noted <- true;
+  match t.config.Config.force_state with
+  | Some _ -> ()
+  | None ->
+    if
+      t.state = State_kind.Select
+      && t.config.Config.prune_trigger = Config.On_exhaustion
+    then goto t State_kind.Prune
+
+let after_gc t ~occupancy =
+  t.gc_seen <- t.gc_seen + 1;
+  match (t.config.Config.force_state, t.config.Config.policy) with
+  | Some _, _ -> ()
+  | None, Policy.None_ -> ()
+  | None, (Policy.Default | Policy.Most_stale | Policy.Individual_refs) ->
+    let nearly_full = occupancy > t.config.Config.nearly_full_threshold in
+    (match t.state with
+    | State_kind.Inactive ->
+      if nearly_full then goto t State_kind.Select
+      else if occupancy > t.config.Config.observe_threshold then
+        goto t State_kind.Observe
+    | State_kind.Observe -> if nearly_full then goto t State_kind.Select
+    | State_kind.Select ->
+      let advance =
+        match t.config.Config.prune_trigger with
+        | Config.On_select_gc -> true
+        | Config.On_exhaustion -> t.pruned_once || t.exhaustion_noted
+      in
+      t.exhaustion_noted <- false;
+      if advance then goto t State_kind.Prune
+    | State_kind.Prune ->
+      if nearly_full then goto t State_kind.Select else goto t State_kind.Observe)
+
+let transitions t = List.rev t.history

@@ -1,0 +1,44 @@
+(** The leak pruning state machine (paper Figure 2, Section 3.1).
+
+    State changes happen at the end of every full-heap collection, driven
+    by how full the heap is:
+
+    - [Inactive] until reachable memory exceeds the [observe_threshold]
+      share of the heap; once left, [Inactive] is never re-entered ("it
+      permanently considers the application to be in an unexpected
+      state").
+    - [Observe] tracks staleness and the edge table; moves to [Select]
+      when occupancy exceeds [nearly_full_threshold].
+    - A collection in [Select] chooses what to prune. With trigger
+      [On_select_gc] (the paper's default, option 2) the machine then
+      advances to [Prune]; with [On_exhaustion] (option 1) it waits for
+      {!note_exhaustion} — the VM about to throw an out-of-memory error —
+      except that once pruning has happened at least once it always
+      advances directly.
+    - After a [Prune] collection: back to [Observe] if the heap is no
+      longer nearly full, otherwise to [Select] to pick more references.
+
+    A forced state (Figure 7's overhead experiments) never transitions. *)
+
+type t
+
+val create : Config.t -> t
+
+val state : t -> State_kind.t
+
+val has_pruned : t -> bool
+
+val note_prune_performed : t -> unit
+
+val note_exhaustion : t -> unit
+(** Called when allocation still fails after a collection; under
+    [On_exhaustion] this is what arms the transition to [Prune]. *)
+
+val after_gc : t -> occupancy:float -> unit
+(** Apply the Figure 2 transition for a collection that ended with the
+    given heap occupancy (reachable bytes / heap limit). *)
+
+val transitions : t -> (int * State_kind.t) list
+(** History of state changes as [(collection_number, new_state)] pairs in
+    chronological order, for reports; collection numbers count calls to
+    {!after_gc}. *)

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Driver Eclipse_diff Jbb_mod List List_leak Lp_core Lp_runtime Lp_workloads Mysql_leak Option Printf Render Workload

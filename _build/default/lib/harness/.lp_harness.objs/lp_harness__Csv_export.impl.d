@@ -1,0 +1,1 @@
+lib/harness/csv_export.ml: Filename Fun List Printf String Sys

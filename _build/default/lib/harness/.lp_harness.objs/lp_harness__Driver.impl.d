@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Array List Lp_core Lp_heap Lp_runtime Lp_workloads

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Lp_core Lp_runtime Lp_workloads

@@ -1,0 +1,1 @@
+lib/harness/paper_example.ml: Array Class_registry Gc_stats Hashtbl Heap_obj List Lp_core Lp_heap Lp_runtime Mutator Printf Roots Store String Vm

@@ -1,0 +1,249 @@
+open Lp_workloads
+
+let cap = 8_000
+
+let describe (r : Driver.result) =
+  Printf.sprintf "%d (%s)" r.Driver.iterations
+    (Driver.outcome_to_string r.Driver.outcome)
+
+let observe_threshold () =
+  Render.header "Ablation" "OBSERVE threshold sensitivity (Section 3.1)";
+  Render.note
+    "Paper: 'leak pruning is not very sensitive to the exact value of \
+     this threshold'. EclipseDiff iterations across thresholds:";
+  let rows =
+    List.map
+      (fun threshold ->
+        let config =
+          Lp_core.Config.make ~policy:Lp_core.Policy.Default
+            ~observe_threshold:threshold ()
+        in
+        let r = Driver.run ~config ~max_iterations:cap Eclipse_diff.workload in
+        [ Printf.sprintf "%.2f" threshold; describe r ])
+      [ 0.2; 0.35; 0.5; 0.65; 0.8 ]
+  in
+  Render.table ~columns:[ "observe threshold"; "EclipseDiff iterations" ] ~rows
+
+let stale_slack () =
+  Render.header "Ablation" "Candidate staleness slack (Section 4.2)";
+  Render.note
+    "Paper: 'we conservatively use two greater, instead of one, since \
+     the stale counters only approximate the logarithm of staleness'. A \
+     slack of 1 prunes sooner but mispredicts live-but-stale data more \
+     often; 3 is safer but reclaims later.";
+  let run slack w =
+    let config = Lp_core.Config.make ~policy:Lp_core.Policy.Default ~stale_slack:slack () in
+    describe (Driver.run ~config ~max_iterations:cap w)
+  in
+  Render.table
+    ~columns:[ "leak"; "slack 1"; "slack 2 (paper)"; "slack 3" ]
+    ~rows:
+      (List.map
+         (fun w -> [ w.Workload.name; run 1 w; run 2 w; run 3 w ])
+         [ Eclipse_diff.workload; List_leak.workload; Mysql_leak.workload ])
+
+let heap_sensitivity () =
+  Render.header "Ablation" "Heap-size sensitivity (Section 6)";
+  Render.note
+    "Paper: 'leak pruning's effectiveness is generally not sensitive to \
+     maximum heap size, except that it sometimes fails to identify and \
+     prune the right references in tight heaps'. Survival factor \
+     (pruned iterations / base iterations) across heap sizes:";
+  let live_size = Eclipse_diff.workload.Workload.default_heap_bytes / 2 in
+  let rows =
+    List.map
+      (fun multiplier ->
+        let heap_bytes = int_of_float (multiplier *. float_of_int live_size) in
+        let base =
+          Driver.run ~policy:Lp_core.Policy.None_ ~heap_bytes ~max_iterations:cap
+            Eclipse_diff.workload
+        in
+        let lp =
+          Driver.run ~policy:Lp_core.Policy.Default ~heap_bytes ~max_iterations:cap
+            Eclipse_diff.workload
+        in
+        [
+          Printf.sprintf "%.1fx" multiplier;
+          string_of_int base.Driver.iterations;
+          describe lp;
+          Render.factor (Driver.survival_factor ~base lp);
+        ])
+      [ 1.5; 2.0; 3.0; 4.0 ]
+  in
+  Render.table ~columns:[ "heap"; "base"; "leak pruning"; "factor" ] ~rows
+
+let maxstaleuse_decay () =
+  Render.header "Ablation" "maxstaleuse decay (Section 6, future work)";
+  Render.note
+    "The paper diagnoses JbbMod: an early phase taught Object[] -> Order \
+     a high maxstaleuse that protects the stale orders forever, and \
+     proposes 'periodically decaying each reference type's maxstaleuse \
+     value to account for possible phased behavior'. With decay, the \
+     protection fades between the rare maintenance walks — pruning gets \
+     more aggressive, at the cost of mispredicting phase-reused data.";
+  let run ?period w =
+    let config =
+      Lp_core.Config.make ~policy:Lp_core.Policy.Default
+        ?maxstaleuse_decay_period:period ()
+    in
+    describe (Driver.run ~config ~max_iterations:cap w)
+  in
+  Render.table
+    ~columns:[ "leak"; "no decay (paper)"; "decay every 64 GCs"; "decay every 16 GCs" ]
+    ~rows:
+      (List.map
+         (fun w -> [ w.Workload.name; run w; run ~period:64 w; run ~period:16 w ])
+         [ Jbb_mod.workload; Eclipse_diff.workload ])
+
+let combined_disk () =
+  Render.header "Ablation" "Combined pruning + disk offloading (Section 6)";
+  Render.note
+    "Paper: 'leak pruning and disk-based approaches are complementary, \
+     and a combined approach could get the benefits of both'. Disk \
+     limited to 4x the heap.";
+  let disk_of w =
+    Lp_runtime.Diskswap.default_config
+      ~disk_limit_bytes:(4 * w.Workload.default_heap_bytes)
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let prune_only =
+          Driver.run ~policy:Lp_core.Policy.Default ~max_iterations:cap w
+        in
+        let disk_only =
+          Driver.run
+            ~config:
+              (Lp_core.Config.make ~policy:Lp_core.Policy.Default
+                 ~force_state:Lp_core.State_kind.Observe ())
+            ~disk:(disk_of w) ~max_iterations:cap w
+        in
+        let both =
+          Driver.run ~policy:Lp_core.Policy.Default ~disk:(disk_of w)
+            ~max_iterations:cap w
+        in
+        [ w.Workload.name; describe prune_only; describe disk_only; describe both ])
+      [ Jbb_mod.workload; List_leak.workload ]
+  in
+  Render.table ~columns:[ "leak"; "pruning only"; "disk only"; "combined" ] ~rows
+
+let generational () =
+  Render.header "Ablation" "Generational substrate (paper Section 5)";
+  Render.note
+    "The paper's substrate is MMTk's generational mark-sweep; leak \
+     pruning works only in full-heap collections. A nursery absorbs the \
+     allocation churn, so full-heap collections get much rarer and GC \
+     work drops dramatically -- but so do leak pruning's observation \
+     windows: with few full-heap collections before exhaustion, the \
+     edge table may not learn the maxstaleuse protection for live-but- \
+     rarely-used structures, and a misprediction can end the run. A \
+     deployment on a generational collector would want occasional \
+     scheduled full-heap collections once OBSERVE engages.";
+  let run nursery w =
+    let config = Lp_core.Config.make ~policy:Lp_core.Policy.Default () in
+    let heap = w.Workload.default_heap_bytes in
+    let vm =
+      Lp_runtime.Vm.create ~config
+        ?nursery_bytes:(Option.map (fun f -> heap * f / 100) nursery)
+        ~heap_bytes:heap ()
+    in
+    let iterate = w.Workload.prepare vm in
+    let iters = ref 0 in
+    let outcome = ref "reached cap" in
+    (try
+       while !iters < 1_200 do
+         iterate ();
+         incr iters
+       done
+     with
+    | Lp_core.Errors.Out_of_memory _ -> outcome := "out of memory"
+    | Lp_core.Errors.Internal_error _ -> outcome := "pruned access");
+    [
+      (match nursery with None -> "none" | Some f -> Printf.sprintf "%d%% of heap" f);
+      string_of_int !iters;
+      !outcome;
+      string_of_int (Lp_runtime.Vm.gc_count vm);
+      string_of_int (Lp_runtime.Vm.minor_gc_count vm);
+      string_of_int (Lp_runtime.Vm.gc_cycles vm);
+      string_of_int
+        (List.length
+           (Lp_core.Controller.pruned_edge_types (Lp_runtime.Vm.controller vm)));
+    ]
+  in
+  let w = Eclipse_diff.workload in
+  Render.table
+    ~columns:
+      [ "nursery"; "iterations"; "outcome"; "full GCs"; "minor GCs"; "GC cycles"; "pruned types" ]
+    ~rows:[ run None w; run (Some 10) w; run (Some 25) w ]
+
+let cyclic_allocation () =
+  Render.header "Ablation" "Cyclic memory allocation vs leak pruning (Section 7)";
+  Render.note
+    "Cyclic allocation bounds each site to m live objects by reusing the \
+     oldest in place; if the program uses more than m, it is silently \
+     corrupted. Leak pruning bounds memory too, but intercepts every \
+     access to reclaimed data. The program below keeps a window of the \
+     last [window] sessions live; with m below the window, cyclic \
+     allocation recycles live sessions (counted), while leak pruning \
+     never reclaims them (it prunes only the dead tail).";
+  let window = 24 in
+  (* the program: a session ring of [window] live entries plus an
+     unbounded dead log hanging off each retired session *)
+  let run_cyclic m =
+    let vm =
+      Lp_runtime.Vm.create
+        ~config:(Lp_core.Config.make ~policy:Lp_core.Policy.None_ ())
+        ~heap_bytes:100_000 ()
+    in
+    let statics = Lp_runtime.Vm.statics vm ~class_name:"CyclicDemo" ~n_fields:window in
+    let site =
+      Lp_runtime.Cyclic_alloc.site vm ~class_name:"Session" ~m ~n_fields:1
+        ~scalar_bytes:48
+    in
+    for i = 0 to 400 do
+      let session = Lp_runtime.Cyclic_alloc.alloc site in
+      Lp_runtime.Mutator.write_obj vm statics (i mod window) session
+    done;
+    ( Lp_runtime.Cyclic_alloc.recycled site,
+      Lp_runtime.Cyclic_alloc.recycled_while_reachable site )
+  in
+  let rows =
+    List.map
+      (fun m ->
+        let recycled, corrupted = run_cyclic m in
+        [
+          Printf.sprintf "cyclic, m = %d" m;
+          string_of_int recycled;
+          string_of_int corrupted;
+          (if corrupted > 0 then "SILENT CORRUPTION" else "safe (m >= live window)");
+        ])
+      [ 8; 16; 32 ]
+  in
+  let pruning_row =
+    (* same shape under leak pruning: sessions in the window stay live
+       and untouched sessions' logs get pruned with interception *)
+    let r =
+      Driver.run ~policy:Lp_core.Policy.Default ~max_iterations:cap
+        List_leak.workload
+    in
+    [
+      "leak pruning";
+      string_of_int r.Driver.references_poisoned;
+      "0";
+      "semantics preserved (poisoned accesses intercepted)";
+    ]
+  in
+  Render.table
+    ~columns:[ "approach"; "objects reclaimed/recycled"; "live recycles"; "verdict" ]
+    ~rows:(rows @ [ pruning_row ])
+
+let all =
+  [
+    ("abl-observe", "Ablation: OBSERVE threshold", observe_threshold);
+    ("abl-slack", "Ablation: staleness slack", stale_slack);
+    ("abl-heap", "Ablation: heap-size sensitivity", heap_sensitivity);
+    ("abl-decay", "Ablation: maxstaleuse decay", maxstaleuse_decay);
+    ("abl-combined", "Ablation: pruning + disk", combined_disk);
+    ("abl-gen", "Ablation: generational substrate", generational);
+    ("abl-cyclic", "Ablation: cyclic allocation comparator", cyclic_allocation);
+  ]

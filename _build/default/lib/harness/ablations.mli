@@ -1,0 +1,40 @@
+(** Ablations of leak pruning's design choices, and the paper's proposed
+    extensions.
+
+    These go beyond the paper's measured results, probing the knobs its
+    text discusses: the OBSERVE threshold ("leak pruning is not very
+    sensitive to the exact value", Section 3.1), the conservative
+    staleness slack ("we conservatively use two greater, instead of
+    one", Section 4.2), heap-size sensitivity ("generally not sensitive
+    to maximum heap size", Section 6), the future-work [maxstaleuse]
+    decay for phased behaviour (Section 6, JbbMod), and the combined
+    pruning + disk-offloading approach ("a combined approach could get
+    the benefits of both", Section 6). *)
+
+val observe_threshold : unit -> unit
+(** EclipseDiff survival across OBSERVE thresholds 0.2-0.8. *)
+
+val stale_slack : unit -> unit
+(** Candidate slack 1 / 2 (paper) / 3 on EclipseDiff and ListLeak:
+    lower slack prunes earlier but risks live data. *)
+
+val heap_sensitivity : unit -> unit
+(** EclipseDiff survival factor across heap sizes 1.5-4x the
+    non-leaking live size. *)
+
+val maxstaleuse_decay : unit -> unit
+(** JbbMod with and without periodic [maxstaleuse] decay. *)
+
+val combined_disk : unit -> unit
+(** JbbMod and ListLeak under pruning alone, disk alone, and both. *)
+
+val generational : unit -> unit
+(** EclipseDiff on the generational substrate: nursery sizes vs
+    full/minor collection counts, with pruning behaviour preserved. *)
+
+val cyclic_allocation : unit -> unit
+(** The Section 7 comparator: cyclic allocation silently recycles live
+    objects when a site exceeds its bound m; leak pruning never returns
+    a wrong value. *)
+
+val all : (string * string * (unit -> unit)) list

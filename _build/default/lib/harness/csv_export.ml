@@ -1,0 +1,45 @@
+let directory : string option ref = ref None
+
+let set_directory d =
+  (match d with
+  | Some dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  | None -> ());
+  directory := d
+
+let enabled () = !directory <> None
+
+let escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    name
+
+let write ~experiment ~name lines =
+  match !directory with
+  | None -> ()
+  | Some dir ->
+    let path =
+      Filename.concat dir (sanitize experiment ^ "_" ^ sanitize name ^ ".csv")
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> List.iter (fun line -> output_string oc (line ^ "\n")) lines)
+
+let table ~experiment ~name ~columns ~rows =
+  if enabled () then
+    write ~experiment ~name
+      (String.concat "," (List.map escape columns)
+      :: List.map (fun row -> String.concat "," (List.map escape row)) rows)
+
+let series ~experiment ~name points =
+  if enabled () then
+    write ~experiment ~name
+      ("x,y" :: List.map (fun (x, y) -> Printf.sprintf "%d,%d" x y) points)

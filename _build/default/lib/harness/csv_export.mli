@@ -1,0 +1,18 @@
+(** CSV export of experiment data, for external plotting.
+
+    When enabled (see {!set_directory}), each experiment additionally
+    writes its tables and series as CSV files named
+    [<directory>/<experiment>_<name>.csv]. Disabled by default so
+    `bench/main.exe` stays side-effect-free. *)
+
+val set_directory : string option -> unit
+(** [Some dir] enables export into [dir] (created if missing); [None]
+    disables it. *)
+
+val enabled : unit -> bool
+
+val table : experiment:string -> name:string -> columns:string list -> rows:string list list -> unit
+(** Writes a table; no-op when disabled. *)
+
+val series : experiment:string -> name:string -> (int * int) list -> unit
+(** Writes an (x, y) series with an [x,y] header; no-op when disabled. *)

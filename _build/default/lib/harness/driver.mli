@@ -1,0 +1,51 @@
+(** Experiment driver: runs one workload under one configuration and
+    records everything the paper's tables and figures report. *)
+
+type outcome =
+  | Reached_cap  (** still running at the iteration cap ("24 hours") *)
+  | Completed  (** a fixed-iteration program finished *)
+  | Out_of_memory of exn
+  | Pruned_access of exn  (** used a reclaimed instance: InternalError *)
+  | Out_of_disk of exn  (** disk baseline exhausted its disk *)
+
+type result = {
+  workload : string;
+  policy : Lp_core.Policy.t;
+  heap_bytes : int;
+  iterations : int;  (** iterations completed before the outcome *)
+  outcome : outcome;
+  total_cycles : int;
+  gc_cycles : int;
+  gc_count : int;
+  pruned_edge_types : (string * string) list;
+  edge_table_entries : int;
+  references_poisoned : int;
+  bytes_reclaimed : int;
+  reachable_series : (int * int) list;
+      (** (iteration, reachable bytes) at the end of each full-heap
+          collection — the data of Figures 1 and 9 *)
+  iteration_cycles : int array;
+      (** simulated cycles consumed by each iteration — the data of
+          Figures 8, 10 and 11; empty unless requested *)
+}
+
+val outcome_to_string : outcome -> string
+
+val run :
+  ?policy:Lp_core.Policy.t ->
+  ?config:Lp_core.Config.t ->
+  ?heap_bytes:int ->
+  ?max_iterations:int ->
+  ?charge_barriers:bool ->
+  ?cost:Lp_runtime.Cost.t ->
+  ?disk:Lp_runtime.Diskswap.config ->
+  ?record_iteration_cycles:bool ->
+  Lp_workloads.Workload.t ->
+  result
+(** Defaults: the workload's default heap (≈2× non-leaking live size),
+    the paper-default pruning configuration with the given [policy]
+    (default [Default]), a cap of 50,000 iterations, barrier cycles
+    charged. An explicit [config] overrides [policy]. *)
+
+val survival_factor : base:result -> result -> float
+(** Iterations relative to the Base run — Table 1's "runs NX longer". *)

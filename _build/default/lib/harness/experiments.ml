@@ -1,0 +1,536 @@
+open Lp_workloads
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+    exp (List.fold_left (fun acc x -> acc +. log (max 1e-9 x)) 0.0 xs
+         /. float_of_int (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+
+let fig1 () =
+  Render.header "Figure 1" "Reachable heap memory for the EclipseDiff leak";
+  Render.note
+    "Paper: the leak grows without bound and dies; the fixed version is \
+     flat; leak pruning saw-tooths under the limit and keeps running.";
+  let cap = 2_000 in
+  let leak = Driver.run ~policy:Lp_core.Policy.None_ ~max_iterations:cap Eclipse_diff.workload in
+  let fixed = Driver.run ~policy:Lp_core.Policy.None_ ~max_iterations:cap Eclipse_diff.fixed in
+  let pruned = Driver.run ~policy:Lp_core.Policy.Default ~max_iterations:cap Eclipse_diff.workload in
+  let describe name (r : Driver.result) =
+    Printf.printf "%-22s %6d iterations, %s\n" name r.Driver.iterations
+      (Driver.outcome_to_string r.Driver.outcome)
+  in
+  describe "leak (Base)" leak;
+  describe "manually fixed leak" fixed;
+  describe "with leak pruning" pruned;
+  let show name (r : Driver.result) =
+    Printf.printf "\n%s: reachable KB after each full-heap collection\n" name;
+    Render.ascii_plot
+      (List.map (fun (i, b) -> (i, b / 1024))
+         (Render.downsample_linear ~every:10 r.Driver.reachable_series))
+  in
+  show "leak (Base)" leak;
+  show "manually fixed leak" fixed;
+  show "with leak pruning" pruned;
+  Csv_export.series ~experiment:"fig1" ~name:"leak" leak.Driver.reachable_series;
+  Csv_export.series ~experiment:"fig1" ~name:"fixed" fixed.Driver.reachable_series;
+  Csv_export.series ~experiment:"fig1" ~name:"pruned" pruned.Driver.reachable_series
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 (state diagram trace)                                      *)
+
+let fig2_states () =
+  Render.header "Figure 2" "Leak pruning state transitions (trace)";
+  Render.note
+    "The state diagram itself is the mechanism; this trace shows an \
+     EclipseDiff run moving INACTIVE -> OBSERVE -> SELECT -> PRUNE and \
+     cycling between SELECT/PRUNE/OBSERVE under pressure.";
+  let config = Lp_core.Config.make ~policy:Lp_core.Policy.Default () in
+  let vm = Lp_runtime.Vm.create ~config ~heap_bytes:Eclipse_diff.workload.Workload.default_heap_bytes () in
+  let iterate = Eclipse_diff.workload.Workload.prepare vm in
+  (try
+     for _i = 1 to 400 do
+       iterate ()
+     done
+   with Lp_core.Errors.Out_of_memory _ | Lp_core.Errors.Internal_error _ -> ());
+  let transitions =
+    Lp_core.Controller.state_transitions (Lp_runtime.Vm.controller vm)
+  in
+  Render.table
+    ~columns:[ "collection#"; "new state" ]
+    ~rows:
+      (List.filteri
+         (fun i _ -> i < 12)
+         (List.map
+            (fun (gc, st) ->
+              [ string_of_int gc; Lp_core.State_kind.to_string st ])
+            transitions))
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3-5                                                         *)
+
+let figs3_4_5 () =
+  Render.header "Figures 3-5" "Worked selection and pruning example";
+  Render.note
+    "Paper: candidates b1->c1, b3->c3, b4->c4; B->C selected with \
+     bytesused 120; pruning reclaims exactly those 120 bytes; c4's \
+     subtree survives via e1; a later read of a pruned reference throws \
+     InternalError.";
+  ignore (Paper_example.run ~verbose:true ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+
+let fig6_iterations = 300
+
+let fig6 () =
+  Render.header "Figure 6" "Run-time overhead of leak pruning (read barriers)";
+  Render.note
+    "Paper: forced-SELECT leak pruning adds 5% on Pentium 4 and 3% on \
+     Core 2, virtually all of it read-barrier cost. Overheads below are \
+     simulated-cycle ratios under the two cost flavours.";
+  let overhead cost (spec : Dacapo.spec) =
+    let w = Dacapo.workload_of_spec spec in
+    let base =
+      Driver.run ~policy:Lp_core.Policy.None_ ~charge_barriers:false ~cost
+        ~max_iterations:fig6_iterations w
+    in
+    let select_config =
+      Lp_core.Config.make ~policy:Lp_core.Policy.Default
+        ~force_state:Lp_core.State_kind.Select ()
+    in
+    let lp =
+      Driver.run ~config:select_config ~charge_barriers:true ~cost
+        ~max_iterations:fig6_iterations w
+    in
+    float_of_int lp.Driver.total_cycles /. float_of_int base.Driver.total_cycles
+    -. 1.0
+  in
+  let rows, p4s, c2s =
+    List.fold_left
+      (fun (rows, p4s, c2s) spec ->
+        let p4 = overhead Lp_runtime.Cost.pentium4 spec in
+        let c2 = overhead Lp_runtime.Cost.core2 spec in
+        ( [ spec.Dacapo.name; Render.percent p4; Render.percent c2 ] :: rows,
+          (1. +. p4) :: p4s,
+          (1. +. c2) :: c2s ))
+      ([], [], []) Dacapo.suite
+  in
+  let rows =
+    List.rev
+      ([ "geomean";
+         Render.percent (geomean p4s -. 1.);
+         Render.percent (geomean c2s -. 1.);
+       ]
+      :: rows)
+  in
+  Render.table ~columns:[ "benchmark"; "Pentium 4"; "Core 2" ] ~rows;
+  Csv_export.table ~experiment:"fig6" ~name:"overheads"
+    ~columns:[ "benchmark"; "pentium4"; "core2" ] ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                            *)
+
+let fig7_multipliers = [ 1.5; 2.0; 2.5; 3.0; 3.5; 4.0; 4.5; 5.0 ]
+
+let fig7_iterations = 200
+
+let fig7 () =
+  Render.header "Figure 7" "Normalized GC time across heap sizes";
+  Render.note
+    "Paper: Observe adds up to 5% to collection time and Select up to 9% \
+     more (14% total), shrinking as the heap grows.";
+  let bench_specs =
+    (* a representative slice keeps the sweep quick *)
+    List.filteri (fun i _ -> i mod 2 = 0) Dacapo.suite
+  in
+  let gc_time config_of spec multiplier =
+    let w = Dacapo.workload_of_spec spec in
+    let heap_bytes =
+      int_of_float (multiplier *. float_of_int (Dacapo.min_heap_bytes spec))
+    in
+    let r =
+      Driver.run ~config:(config_of ()) ~heap_bytes
+        ~max_iterations:fig7_iterations w
+    in
+    max 1 r.Driver.gc_cycles
+  in
+  let base_config () = Lp_core.Config.make ~policy:Lp_core.Policy.None_ () in
+  let observe_config () =
+    Lp_core.Config.make ~policy:Lp_core.Policy.Default
+      ~force_state:Lp_core.State_kind.Observe ()
+  in
+  let select_config () =
+    Lp_core.Config.make ~policy:Lp_core.Policy.Default
+      ~force_state:Lp_core.State_kind.Select ()
+  in
+  let rows =
+    List.map
+      (fun m ->
+        let bases =
+          List.map (fun spec -> (spec, gc_time base_config spec m)) bench_specs
+        in
+        let ratios config_of =
+          geomean
+            (List.map
+               (fun (spec, base) ->
+                 float_of_int (gc_time config_of spec m) /. float_of_int base)
+               bases)
+        in
+        [
+          Printf.sprintf "%.1f" m;
+          "1.000";
+          Printf.sprintf "%.3f" (ratios observe_config);
+          Printf.sprintf "%.3f" (ratios select_config);
+        ])
+      fig7_multipliers
+  in
+  Render.table ~columns:[ "heap multiplier"; "Base"; "Observe"; "Select" ] ~rows;
+  Csv_export.table ~experiment:"fig7" ~name:"gc_time"
+    ~columns:[ "multiplier"; "base"; "observe"; "select" ] ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Per-iteration time figures (8, 10, 11)                              *)
+
+let time_series (r : Driver.result) =
+  Array.to_list (Array.mapi (fun i c -> (i + 1, c)) r.Driver.iteration_cycles)
+
+let fig8 () =
+  Render.header "Figure 8" "Time per iteration for EclipseDiff (log x)";
+  Render.note
+    "Paper: leak pruning occasionally doubles an iteration (prune \
+     collections) but long-term throughput is constant; Base's \
+     iterations blow up as it nears exhaustion, then it dies.";
+  let base =
+    Driver.run ~policy:Lp_core.Policy.None_ ~record_iteration_cycles:true
+      ~max_iterations:20_000 Eclipse_diff.workload
+  in
+  let lp =
+    Driver.run ~policy:Lp_core.Policy.Default ~record_iteration_cycles:true
+      ~max_iterations:20_000 Eclipse_diff.workload
+  in
+  Printf.printf "Base: %d iterations (%s); leak pruning: %d (%s)\n"
+    base.Driver.iterations (Driver.outcome_to_string base.Driver.outcome)
+    lp.Driver.iterations (Driver.outcome_to_string lp.Driver.outcome);
+  print_endline "\nBase, cycles per iteration:";
+  Render.ascii_plot ~log_x:true (Render.downsample_log (time_series base));
+  print_endline "\nLeak pruning, cycles per iteration:";
+  Render.ascii_plot ~log_x:true (Render.downsample_log (time_series lp))
+
+let fig9 () =
+  Render.header "Figure 9" "Reachable memory for EclipseCP (log x)";
+  Render.note
+    "Paper: Base dies after 11 iterations; leak pruning reclaims the \
+     undo/document strings and runs ~81x longer while steady-state \
+     reachable memory creeps slowly upward.";
+  let base =
+    Driver.run ~policy:Lp_core.Policy.None_ ~max_iterations:20_000
+      Eclipse_cp.workload
+  in
+  let lp =
+    Driver.run ~policy:Lp_core.Policy.Default ~max_iterations:20_000
+      Eclipse_cp.workload
+  in
+  Printf.printf "Base: %d iterations (%s); leak pruning: %d (%s)\n"
+    base.Driver.iterations (Driver.outcome_to_string base.Driver.outcome)
+    lp.Driver.iterations (Driver.outcome_to_string lp.Driver.outcome);
+  print_endline "\nBase, reachable KB after each collection:";
+  Render.ascii_plot ~log_x:true
+    (List.map (fun (i, b) -> (max 1 i, b / 1024)) base.Driver.reachable_series);
+  print_endline "\nLeak pruning, reachable KB after each collection:";
+  Render.ascii_plot ~log_x:true
+    (List.map (fun (i, b) -> (max 1 i, b / 1024))
+       (Render.downsample_log lp.Driver.reachable_series))
+
+let fig10 () =
+  Render.header "Figure 10" "Time per iteration for EclipseCP (log x)";
+  Render.note
+    "Paper: with leak pruning, iteration times stay near Base's early \
+     times, with spikes at prune collections, until termination.";
+  let lp =
+    Driver.run ~policy:Lp_core.Policy.Default ~record_iteration_cycles:true
+      ~max_iterations:20_000 Eclipse_cp.workload
+  in
+  let base =
+    Driver.run ~policy:Lp_core.Policy.None_ ~record_iteration_cycles:true
+      ~max_iterations:20_000 Eclipse_cp.workload
+  in
+  Printf.printf "Base: %d iterations; leak pruning: %d iterations\n"
+    base.Driver.iterations lp.Driver.iterations;
+  print_endline "\nLeak pruning, cycles per iteration (log x):";
+  Render.ascii_plot ~log_x:true (Render.downsample_log (time_series lp))
+
+let fig11 () =
+  Render.header "Figure 11"
+    "EclipseDiff throughput with the 100%-full prune trigger";
+  Render.note
+    "Paper: waiting for true exhaustion (option 1) makes the first \\
+     pruning episode's spike ~2.5x taller than under the default 90% \\
+     trigger (option 2), because the VM grinds through back-to-back \\
+     collections before pruning can commence; later prunings happen at \\
+     90% either way.";
+  let run trigger =
+    let config =
+      Lp_core.Config.make ~policy:Lp_core.Policy.Default ~prune_trigger:trigger ()
+    in
+    Driver.run ~config ~record_iteration_cycles:true ~max_iterations:600
+      Eclipse_diff.workload
+  in
+  let exhaustion = run Lp_core.Config.On_exhaustion in
+  let default = run Lp_core.Config.On_select_gc in
+  Printf.printf "option (1), prune at 100%% full: %d iterations (%s)\n"
+    exhaustion.Driver.iterations
+    (Driver.outcome_to_string exhaustion.Driver.outcome);
+  Render.ascii_plot (Render.downsample_linear ~every:2 (time_series exhaustion));
+  (* The first pruning episode lives in the first half of both runs; the
+     100%-full trigger's grinding makes its spike much taller. *)
+  let first_episode_spike (r : Driver.result) =
+    let cycles = r.Driver.iteration_cycles in
+    let spike = ref 1 in
+    Array.iteri
+      (fun i c -> if i < Array.length cycles / 2 then spike := max !spike c)
+      cycles;
+    !spike
+  in
+  Printf.printf
+    "first-episode spike, 100%%-trigger vs 90%%-trigger = %.1fx (paper: ~2.5x)\n"
+    (float_of_int (first_episode_spike exhaustion)
+    /. float_of_int (first_episode_spike default))
+
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let ten_leaks =
+  [
+    Eclipse_diff.workload;
+    List_leak.workload;
+    Swap_leak.workload;
+    Eclipse_cp.workload;
+    Mysql_leak.workload;
+    Spec_jbb.workload;
+    Jbb_mod.workload;
+    Mckoi.workload;
+    Dual_leak.workload;
+    Delaunay.workload;
+  ]
+
+let paper_effect = function
+  | "EclipseDiff" -> "Runs >200X longer"
+  | "ListLeak" -> "Runs indefinitely"
+  | "SwapLeak" -> "Runs indefinitely"
+  | "EclipseCP" -> "Runs 81X longer"
+  | "MySQL" -> "Runs 35X longer"
+  | "SPECjbb2000" -> "Runs 4.7X longer"
+  | "JbbMod" -> "Runs 21X longer"
+  | "Mckoi" -> "Runs 1.6X longer"
+  | "DualLeak" -> "No help"
+  | "Delaunay" -> "No help"
+  | _ -> "?"
+
+let table1_cap = 40_000
+
+let table1 () =
+  Render.header "Table 1" "Ten leaks and leak pruning's effect on them";
+  let rows =
+    List.map
+      (fun w ->
+        let base =
+          Driver.run ~policy:Lp_core.Policy.None_ ~max_iterations:table1_cap w
+        in
+        let lp =
+          Driver.run ~policy:Lp_core.Policy.Default ~max_iterations:table1_cap w
+        in
+        let factor = Driver.survival_factor ~base lp in
+        let measured =
+          match lp.Driver.outcome with
+          | Driver.Reached_cap -> "runs indefinitely (cap)"
+          | Driver.Completed -> "completed"
+          | Driver.Out_of_memory _ | Driver.Pruned_access _ | Driver.Out_of_disk _
+            ->
+            Render.factor factor ^ " longer"
+        in
+        [
+          w.Workload.name;
+          paper_effect w.Workload.name;
+          measured;
+          string_of_int base.Driver.iterations;
+          string_of_int lp.Driver.iterations;
+          Driver.outcome_to_string lp.Driver.outcome;
+          Workload.category_reason w.Workload.category;
+        ])
+      ten_leaks
+  in
+  Render.table
+    ~columns:
+      [ "leak"; "paper effect"; "measured"; "base iters"; "LP iters"; "LP end"; "reason" ]
+    ~rows;
+  Csv_export.table ~experiment:"table1" ~name:"leaks"
+    ~columns:
+      [ "leak"; "paper_effect"; "measured"; "base_iters"; "lp_iters"; "lp_end"; "reason" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+
+let table2_leaks =
+  (* Delaunay is excluded, as in the paper's Table 2 *)
+  [
+    Eclipse_diff.workload;
+    List_leak.workload;
+    Swap_leak.workload;
+    Eclipse_cp.workload;
+    Mysql_leak.workload;
+    Spec_jbb.workload;
+    Jbb_mod.workload;
+    Mckoi.workload;
+    Dual_leak.workload;
+  ]
+
+let table2_cap = 40_000
+
+let table2 () =
+  Render.header "Table 2" "Iterations under the prediction policies";
+  Render.note
+    "Paper: Most-stale is the LeakSurvivor/Melt predictor; \
+     Individual-refs elides the stale closure. Default matches or beats \
+     both on every leak. Last column: distinct edge types in the edge \
+     table at the end of the Default run.";
+  let rows =
+    List.map
+      (fun w ->
+        let run policy =
+          Driver.run ~policy ~max_iterations:table2_cap w
+        in
+        let base = run Lp_core.Policy.None_ in
+        let most_stale = run Lp_core.Policy.Most_stale in
+        let indiv = run Lp_core.Policy.Individual_refs in
+        let default = run Lp_core.Policy.Default in
+        [
+          w.Workload.name;
+          string_of_int base.Driver.iterations;
+          string_of_int most_stale.Driver.iterations;
+          string_of_int indiv.Driver.iterations;
+          string_of_int default.Driver.iterations;
+          string_of_int default.Driver.edge_table_entries;
+        ])
+      table2_leaks
+  in
+  Render.table
+    ~columns:[ "leak"; "Base"; "Most stale"; "Indiv refs"; "Default"; "edge types" ]
+    ~rows;
+  Csv_export.table ~experiment:"table2" ~name:"policies"
+    ~columns:[ "leak"; "base"; "most_stale"; "indiv_refs"; "default"; "edge_types" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Section 5: compilation overhead                                     *)
+
+let sec5_compile () =
+  Render.header "Section 5" "Compilation overhead of read-barrier insertion";
+  Render.note
+    "Paper: +17% compile time on average (34% max, raytrace); +10% code \
+     size (15% max, javac).";
+  let results = List.map Lp_jit.Compiler.compile_suite Lp_jit.Method_gen.paper_suite in
+  let rows =
+    List.map
+      (fun (r : Lp_jit.Compiler.suite_result) ->
+        [
+          r.Lp_jit.Compiler.benchmark;
+          Render.percent r.Lp_jit.Compiler.compile_time_overhead;
+          Render.percent r.Lp_jit.Compiler.code_size_overhead;
+        ])
+      results
+  in
+  let mean f = geomean (List.map (fun r -> 1. +. f r) results) -. 1. in
+  Render.table
+    ~columns:[ "benchmark"; "compile time"; "code size" ]
+    ~rows:
+      (rows
+      @ [
+          [
+            "geomean";
+            Render.percent (mean (fun r -> r.Lp_jit.Compiler.compile_time_overhead));
+            Render.percent (mean (fun r -> r.Lp_jit.Compiler.code_size_overhead));
+          ];
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.2: space overhead                                         *)
+
+let sec62_space () =
+  Render.header "Section 6.2" "Edge table space overhead";
+  Printf.printf
+    "fixed table: %d slots x 4 words x 4 bytes = %d bytes (paper: 256K)\n"
+    Lp_core.Edge_table.slots Lp_core.Edge_table.size_bytes;
+  Render.note "Edge types used per leak, measured at the end of the run:";
+  let rows =
+    List.map
+      (fun w ->
+        let r = Driver.run ~policy:Lp_core.Policy.Default ~max_iterations:table2_cap w in
+        [ w.Workload.name; string_of_int r.Driver.edge_table_entries ])
+      table2_leaks
+  in
+  Render.table ~columns:[ "leak"; "edge types" ] ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Section 6: disk-offloading comparison                               *)
+
+let sec6_disk () =
+  Render.header "Section 6" "Leak pruning vs disk offloading (Melt/LS style)";
+  Render.note
+    "Paper: Melt and LeakSurvivor tolerate JbbMod until they exhaust the \
+     disk; leak pruning runs it 21x in bounded memory. Disk approaches \
+     eventually crash; pruning needs no disk at all.";
+  let disk_of w =
+    Lp_runtime.Diskswap.default_config
+      ~disk_limit_bytes:(4 * w.Workload.default_heap_bytes)
+  in
+  (* The disk baseline needs staleness tracking but must never prune:
+     force the OBSERVE state, as Melt tracks staleness all along. *)
+  let disk_config =
+    Lp_core.Config.make ~policy:Lp_core.Policy.Default
+      ~force_state:Lp_core.State_kind.Observe ()
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let base = Driver.run ~policy:Lp_core.Policy.None_ ~max_iterations:table2_cap w in
+        let lp = Driver.run ~policy:Lp_core.Policy.Default ~max_iterations:table2_cap w in
+        let disk =
+          Driver.run ~config:disk_config ~disk:(disk_of w)
+            ~max_iterations:table2_cap w
+        in
+        [
+          w.Workload.name;
+          string_of_int base.Driver.iterations;
+          Printf.sprintf "%d (%s)" lp.Driver.iterations
+            (Driver.outcome_to_string lp.Driver.outcome);
+          Printf.sprintf "%d (%s)" disk.Driver.iterations
+            (Driver.outcome_to_string disk.Driver.outcome);
+        ])
+      [ Jbb_mod.workload; List_leak.workload ]
+  in
+  Render.table
+    ~columns:[ "leak"; "Base"; "leak pruning (no disk)"; "disk offload (4x disk)" ]
+    ~rows
+
+let all =
+  [
+    ("fig1", "Figure 1: EclipseDiff reachable memory", fig1);
+    ("fig2", "Figure 2: state transitions", fig2_states);
+    ("fig345", "Figures 3-5: worked example", figs3_4_5);
+    ("fig6", "Figure 6: run-time overhead", fig6);
+    ("fig7", "Figure 7: GC time across heap sizes", fig7);
+    ("table1", "Table 1: ten leaks", table1);
+    ("fig8", "Figure 8: EclipseDiff time/iteration", fig8);
+    ("fig9", "Figure 9: EclipseCP reachable memory", fig9);
+    ("fig10", "Figure 10: EclipseCP time/iteration", fig10);
+    ("table2", "Table 2: prediction policies", table2);
+    ("fig11", "Figure 11: 100%-full threshold", fig11);
+    ("sec5", "Section 5: compilation overhead", sec5_compile);
+    ("sec62", "Section 6.2: edge-table space", sec62_space);
+    ("sec6disk", "Section 6: disk-offload comparison", sec6_disk);
+  ]

@@ -1,0 +1,61 @@
+(** One function per table and figure of the paper's evaluation.
+
+    Each experiment prints the paper's expected result alongside the
+    measured one; EXPERIMENTS.md records the comparison. The functions
+    are deterministic: identical output on every run. *)
+
+val fig1 : unit -> unit
+(** Reachable memory over EclipseDiff iterations: leak, manually fixed
+    leak, and leak with pruning. *)
+
+val fig2_states : unit -> unit
+(** Not a measured figure — prints the state-machine transition trace
+    of an EclipseDiff run against the Figure 2 diagram. *)
+
+val figs3_4_5 : unit -> unit
+(** The worked selection/pruning example (delegates to
+    {!Paper_example}). *)
+
+val fig6 : unit -> unit
+(** Run-time overhead of leak pruning per benchmark, Pentium 4 and
+    Core 2 cost flavours (paper: 5% and 3% geomeans). *)
+
+val fig7 : unit -> unit
+(** Normalized collection time vs heap-size multiplier for Base,
+    forced-OBSERVE and forced-SELECT (paper: up to 5% and 14%). *)
+
+val fig8 : unit -> unit
+(** EclipseDiff time per iteration, Base vs leak pruning (log x). *)
+
+val fig9 : unit -> unit
+(** EclipseCP reachable memory, Base vs leak pruning (log x). *)
+
+val fig10 : unit -> unit
+(** EclipseCP time per iteration, Base vs leak pruning (log x). *)
+
+val fig11 : unit -> unit
+(** EclipseDiff throughput with the 100%-full prune trigger: the first
+    spike towers over later ones (paper: about 2.5x). *)
+
+val table1 : unit -> unit
+(** The ten leaks and leak pruning's effect on each. *)
+
+val table2 : unit -> unit
+(** Iterations under Base / Most-stale / Individual-refs / Default,
+    plus edge-table entry counts. *)
+
+val sec5_compile : unit -> unit
+(** Compilation overhead of barrier insertion (paper: +17% compile
+    time, +10% code size on average; maxima 34% and 15%). *)
+
+val sec62_space : unit -> unit
+(** Edge-table space overhead: 16K slots x 4 words = 256KB, plus
+    entries used per leak. *)
+
+val sec6_disk : unit -> unit
+(** Leak pruning vs the disk-offloading baseline on JbbMod and
+    ListLeak: disk systems outlast pruning on JbbMod but die when the
+    disk fills; pruning is bounded-memory. *)
+
+val all : (string * string * (unit -> unit)) list
+(** [(id, title, run)] for every experiment, in paper order. *)

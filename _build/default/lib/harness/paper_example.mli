@@ -1,0 +1,30 @@
+(** The worked example of paper Figures 3-5.
+
+    Builds the 17-object heap exactly as drawn — roots reach [a1] and
+    [e1]; instances [b1..b4] of class B, [c1..c4] of class C,
+    [d1..d8] of class D; each object 20 bytes — sets the stale counters
+    of Figure 5 and the edge table's [maxstaleuse E->C = 2], and runs a
+    SELECT-state collection followed by a PRUNE-state collection.
+
+    The paper's expected outcome, which {!run} reproduces and the test
+    suite asserts:
+    - candidates are [b1->c1], [b3->c3] and [b4->c4] (marked "sel");
+      [b2->c2] is skipped because [c2]'s counter is below 2, and
+      [e1->c4] because its counter would need to be at least 4;
+    - [bytesused(B->C)] is 120 (c1+d1+d2 and c3+d5+d6; c4's subtree is
+      in-use via [e1]), so B->C is selected;
+    - pruning poisons the three references and reclaims c1, d1, d2,
+      c3, d5, d6 — exactly 120 bytes — while c4, d7, d8 survive via
+      [e1], and a subsequent program read of [b1.f] throws the
+      internal error. *)
+
+type outcome = {
+  candidate_count : int;
+  selected : (string * string) option;
+  bytes_used_b_c : int;
+  reclaimed_bytes : int;
+  survivors : string list;  (** object names still live after pruning *)
+  poisoned_access_raises : bool;
+}
+
+val run : ?verbose:bool -> unit -> outcome

@@ -1,0 +1,1 @@
+lib/heap/class_registry.ml: Array Format Hashtbl

@@ -1,0 +1,1 @@
+lib/heap/collector.ml: Array Gc_stats Header Heap_obj List Roots Stale_counter Store Word Work_queue

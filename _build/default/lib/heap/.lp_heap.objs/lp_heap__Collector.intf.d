@@ -1,0 +1,1 @@
+lib/heap/collector.mli: Gc_stats Heap_obj Roots Store

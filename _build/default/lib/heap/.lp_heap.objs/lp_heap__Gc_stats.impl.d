@@ -1,0 +1,1 @@
+lib/heap/gc_stats.ml: Format

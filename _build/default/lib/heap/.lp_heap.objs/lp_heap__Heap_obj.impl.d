@@ -1,0 +1,1 @@
+lib/heap/heap_obj.ml: Class_registry Format Header Word

@@ -1,0 +1,1 @@
+lib/heap/heap_obj.mli: Class_registry Format Header Word

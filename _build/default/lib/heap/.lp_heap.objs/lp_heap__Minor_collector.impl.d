@@ -1,0 +1,1 @@
+lib/heap/minor_collector.ml: Array Header Heap_obj List Remset Roots Store Word Work_queue

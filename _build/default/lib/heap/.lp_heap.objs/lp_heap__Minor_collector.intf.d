@@ -1,0 +1,1 @@
+lib/heap/minor_collector.mli: Remset Roots Store

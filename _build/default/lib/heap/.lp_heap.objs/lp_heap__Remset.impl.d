@@ -1,0 +1,1 @@
+lib/heap/remset.ml: Hashtbl

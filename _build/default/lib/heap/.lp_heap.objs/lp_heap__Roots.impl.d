@@ -1,0 +1,1 @@
+lib/heap/roots.ml: Array List

@@ -1,0 +1,1 @@
+lib/heap/stale_counter.ml: Gc_stats Header Heap_obj Store

@@ -1,0 +1,1 @@
+lib/heap/stale_counter.mli: Gc_stats Heap_obj Store

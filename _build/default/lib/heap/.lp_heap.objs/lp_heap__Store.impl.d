@@ -1,0 +1,1 @@
+lib/heap/store.ml: Array Header Heap_obj Queue Word

@@ -1,0 +1,1 @@
+lib/heap/store.mli: Class_registry Heap_obj

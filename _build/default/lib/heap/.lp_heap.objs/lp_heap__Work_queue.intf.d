@@ -1,0 +1,1 @@
+lib/heap/work_queue.mli:

@@ -1,0 +1,196 @@
+type edge = { src : Heap_obj.t; field : int; tgt : Heap_obj.t }
+
+type edge_action = Trace | Defer | Poison
+
+type mark_config = {
+  set_untouched_bits : bool;
+  stale_tick_gc : int option;
+  edge_filter : (edge -> edge_action) option;
+}
+
+let base_config =
+  { set_untouched_bits = false; stale_tick_gc = None; edge_filter = None }
+
+let tick stats gc obj =
+  match gc with
+  | None -> ()
+  | Some gc_number ->
+    stats.Gc_stats.stale_tick_scans <- stats.Gc_stats.stale_tick_scans + 1;
+    if Stale_counter.tick_object ~gc_number obj then
+      stats.Gc_stats.stale_ticks <- stats.Gc_stats.stale_ticks + 1
+
+let mark_object stats ?(stale_tick_gc = None) (obj : Heap_obj.t) =
+  obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
+  stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
+  tick stats stale_tick_gc obj
+
+(* Scans the fields of [obj], maintaining untouched bits, applying the edge
+   filter, and pushing newly marked targets. Deferred edges are appended to
+   [deferred] (in reverse discovery order; [mark] reverses at the end). *)
+let scan_object store stats ~config queue deferred (obj : Heap_obj.t) =
+  let fields = obj.Heap_obj.fields in
+  for i = 0 to Array.length fields - 1 do
+    let w = fields.(i) in
+    if not (Word.is_null w) then begin
+      stats.Gc_stats.fields_scanned <- stats.Gc_stats.fields_scanned + 1;
+      if not (Word.poisoned w) then begin
+        let w =
+          if config.set_untouched_bits && not (Word.untouched w) then begin
+            let w' = Word.set_untouched w in
+            fields.(i) <- w';
+            stats.Gc_stats.untouched_bits_set <-
+              stats.Gc_stats.untouched_bits_set + 1;
+            w'
+          end
+          else w
+        in
+        let tgt = Store.get store (Word.target w) in
+        let action =
+          match config.edge_filter with
+          | None -> Trace
+          | Some filter -> filter { src = obj; field = i; tgt }
+        in
+        match action with
+        | Trace ->
+          if not (Header.marked tgt.Heap_obj.header) then begin
+            mark_object stats ~stale_tick_gc:config.stale_tick_gc tgt;
+            Work_queue.push queue tgt.Heap_obj.id
+          end
+        | Defer ->
+          stats.Gc_stats.candidates_enqueued <-
+            stats.Gc_stats.candidates_enqueued + 1;
+          deferred := { src = obj; field = i; tgt } :: !deferred
+        | Poison ->
+          fields.(i) <- Word.poison w;
+          stats.Gc_stats.references_poisoned <-
+            stats.Gc_stats.references_poisoned + 1
+      end
+    end
+  done
+
+let drain store stats ~config queue deferred =
+  let rec loop () =
+    match Work_queue.pop queue with
+    | None -> ()
+    | Some id ->
+      scan_object store stats ~config queue deferred (Store.get store id);
+      loop ()
+  in
+  loop ()
+
+let mark store roots ~stats ~config =
+  let queue = Work_queue.create () in
+  let deferred = ref [] in
+  Roots.iter roots (fun id ->
+      let obj = Store.get store id in
+      if not (Header.marked obj.Heap_obj.header) then begin
+        mark_object stats ~stale_tick_gc:config.stale_tick_gc obj;
+        Work_queue.push queue obj.Heap_obj.id
+      end);
+  drain store stats ~config queue deferred;
+  List.rev !deferred
+
+(* The stale closure traces everything (no filter), but additionally sets
+   the stale-mark diagnostic bit and counts claimed bytes. *)
+let stale_closure store ~stats ~set_untouched_bits ~stale_tick_gc (e : edge) =
+  let tgt = e.tgt in
+  if Header.marked tgt.Heap_obj.header then 0
+  else begin
+    let config = { set_untouched_bits; stale_tick_gc; edge_filter = None } in
+    let queue = Work_queue.create () in
+    let bytes = ref 0 in
+    let claim (obj : Heap_obj.t) =
+      obj.Heap_obj.header <-
+        Header.set_stale_marked (Header.set_marked obj.Heap_obj.header);
+      stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
+      tick stats config.stale_tick_gc obj;
+      stats.Gc_stats.stale_closure_objects <-
+        stats.Gc_stats.stale_closure_objects + 1;
+      bytes := !bytes + obj.Heap_obj.size_bytes;
+      Work_queue.push queue obj.Heap_obj.id
+    in
+    claim tgt;
+    let rec loop () =
+      match Work_queue.pop queue with
+      | None -> ()
+      | Some id ->
+        let obj = Store.get store id in
+        let fields = obj.Heap_obj.fields in
+        for i = 0 to Array.length fields - 1 do
+          let w = fields.(i) in
+          if not (Word.is_null w) then begin
+            stats.Gc_stats.fields_scanned <- stats.Gc_stats.fields_scanned + 1;
+            if not (Word.poisoned w) then begin
+              if config.set_untouched_bits && not (Word.untouched w) then begin
+                fields.(i) <- Word.set_untouched w;
+                stats.Gc_stats.untouched_bits_set <-
+                  stats.Gc_stats.untouched_bits_set + 1
+              end;
+              let child = Store.get store (Word.target fields.(i)) in
+              if not (Header.marked child.Heap_obj.header) then claim child
+            end
+          end
+        done;
+        loop ()
+    in
+    loop ();
+    !bytes
+  end
+
+let resurrect_finalizables store ~stats ~on_finalize =
+  (* Collect first: marking referents while iterating would otherwise make
+     the visit order matter. *)
+  let pending = ref [] in
+  Store.iter_live store (fun obj ->
+      let h = obj.Heap_obj.header in
+      if
+        (not (Header.marked h))
+        && Header.finalizable h
+        && not (Header.finalizer_enqueued h)
+      then pending := obj :: !pending);
+  let queue = Work_queue.create () in
+  let mark_live (obj : Heap_obj.t) =
+    if not (Header.marked obj.Heap_obj.header) then begin
+      obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
+      stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
+      Work_queue.push queue obj.Heap_obj.id
+    end
+  in
+  let finalize (obj : Heap_obj.t) =
+    obj.Heap_obj.header <- Header.set_finalizer_enqueued obj.Heap_obj.header;
+    stats.Gc_stats.finalizers_enqueued <- stats.Gc_stats.finalizers_enqueued + 1;
+    mark_live obj;
+    on_finalize obj
+  in
+  List.iter finalize (List.rev !pending);
+  let rec loop () =
+    match Work_queue.pop queue with
+    | None -> ()
+    | Some id ->
+      let obj = Store.get store id in
+      Array.iter
+        (fun w ->
+          if (not (Word.is_null w)) && not (Word.poisoned w) then
+            mark_live (Store.get store (Word.target w)))
+        obj.Heap_obj.fields;
+      loop ()
+  in
+  loop ()
+
+let sweep store ~stats =
+  let dead = ref [] in
+  let live_bytes = ref 0 in
+  Store.iter_live store (fun obj ->
+      if Header.marked obj.Heap_obj.header then begin
+        obj.Heap_obj.header <- Header.clear_gc_bits obj.Heap_obj.header;
+        live_bytes := !live_bytes + obj.Heap_obj.size_bytes
+      end
+      else dead := obj :: !dead);
+  List.iter
+    (fun (obj : Heap_obj.t) ->
+      stats.Gc_stats.objects_swept <- stats.Gc_stats.objects_swept + 1;
+      stats.Gc_stats.bytes_reclaimed <-
+        stats.Gc_stats.bytes_reclaimed + obj.Heap_obj.size_bytes;
+      Store.free store obj)
+    !dead;
+  Store.set_live_bytes store !live_bytes

@@ -1,0 +1,74 @@
+(** Stop-the-world tracing collector primitives.
+
+    The paper piggybacks leak pruning on MMTk's parallel mark-sweep
+    collector by splitting the usual transitive closure into an {e in-use}
+    closure and a {e stale} closure (Section 4.2). This module provides
+    the phases; the [Lp_core] library composes them per collection mode:
+
+    - base/observe collection: [mark] with no filter, then
+      [resurrect_finalizables], then [sweep];
+    - SELECT collection: [mark] with a filter deferring candidate
+      references, then [stale_closure] per candidate, then finalizers and
+      sweep;
+    - PRUNE collection: [mark] with a filter poisoning selected
+      references, then finalizers and sweep.
+
+    The closures are iterative over an explicit {!Work_queue}, mirroring
+    the shared-pool structure of the paper's parallel collector while
+    remaining deterministic. *)
+
+type edge = { src : Heap_obj.t; field : int; tgt : Heap_obj.t }
+(** A heap reference under examination: [src.fields.(field)] refers to
+    [tgt]. *)
+
+type edge_action =
+  | Trace  (** follow the reference normally *)
+  | Defer  (** add to the candidate queue; do not trace now (SELECT) *)
+  | Poison  (** invalidate the reference and do not trace it (PRUNE) *)
+
+type mark_config = {
+  set_untouched_bits : bool;
+      (** set bit 0 of every scanned object-to-object reference so the
+          read barrier can detect first use after this collection; enabled
+          from the OBSERVE state onwards *)
+  stale_tick_gc : int option;
+      (** when [Some gc_number], apply the Section 4.1 staleness
+          increment to each object as it is marked — ticking piggybacks
+          on tracing, as in the paper, so only live objects pay for it *)
+  edge_filter : (edge -> edge_action) option;
+      (** [None] traces everything (base collection) *)
+}
+
+val base_config : mark_config
+(** No untouched bits, no filter. *)
+
+val mark :
+  Store.t -> Roots.t -> stats:Gc_stats.t -> config:mark_config -> edge list
+(** Runs the in-use transitive closure from the roots. Marks every object
+    reached through [Trace] edges, applies [Poison] in place, and returns
+    the [Defer]red edges in discovery order (the candidate queue).
+    Poisoned references found in the heap are never traced. *)
+
+val stale_closure :
+  Store.t ->
+  stats:Gc_stats.t ->
+  set_untouched_bits:bool ->
+  stale_tick_gc:int option ->
+  edge ->
+  int
+(** [stale_closure store ~stats ~set_untouched_bits e] marks live
+    everything reachable from candidate [e] that no earlier closure
+    claimed, and returns the number of bytes claimed — the size of the
+    stale data structure rooted at [e.tgt]. Objects claimed here carry the
+    stale-mark diagnostic bit. *)
+
+val resurrect_finalizables :
+  Store.t -> stats:Gc_stats.t -> on_finalize:(Heap_obj.t -> unit) -> unit
+(** Finds unreachable objects whose finalizer has not run, invokes
+    [on_finalize], marks them and their referents live for this collection
+    (the finalizer may access them), and records that the finalizer ran so
+    the object is ordinarily reclaimed by the next collection. *)
+
+val sweep : Store.t -> stats:Gc_stats.t -> unit
+(** Frees every unmarked object, clears the GC bits of survivors, and
+    records the surviving bytes in the store as its new live size. *)

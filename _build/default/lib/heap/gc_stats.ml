@@ -1,0 +1,73 @@
+type t = {
+  mutable collections : int;
+  mutable objects_marked : int;
+  mutable fields_scanned : int;
+  mutable untouched_bits_set : int;
+  mutable stale_ticks : int;
+  mutable stale_tick_scans : int;
+  mutable candidates_enqueued : int;
+  mutable stale_closure_objects : int;
+  mutable references_poisoned : int;
+  mutable selection_scans : int;
+  mutable objects_swept : int;
+  mutable bytes_reclaimed : int;
+  mutable finalizers_enqueued : int;
+}
+
+let create () =
+  {
+    collections = 0;
+    objects_marked = 0;
+    fields_scanned = 0;
+    untouched_bits_set = 0;
+    stale_ticks = 0;
+    stale_tick_scans = 0;
+    candidates_enqueued = 0;
+    stale_closure_objects = 0;
+    references_poisoned = 0;
+    selection_scans = 0;
+    objects_swept = 0;
+    bytes_reclaimed = 0;
+    finalizers_enqueued = 0;
+  }
+
+let copy t =
+  {
+    collections = t.collections;
+    objects_marked = t.objects_marked;
+    fields_scanned = t.fields_scanned;
+    untouched_bits_set = t.untouched_bits_set;
+    stale_ticks = t.stale_ticks;
+    stale_tick_scans = t.stale_tick_scans;
+    candidates_enqueued = t.candidates_enqueued;
+    stale_closure_objects = t.stale_closure_objects;
+    references_poisoned = t.references_poisoned;
+    selection_scans = t.selection_scans;
+    objects_swept = t.objects_swept;
+    bytes_reclaimed = t.bytes_reclaimed;
+    finalizers_enqueued = t.finalizers_enqueued;
+  }
+
+let reset t =
+  t.collections <- 0;
+  t.objects_marked <- 0;
+  t.fields_scanned <- 0;
+  t.untouched_bits_set <- 0;
+  t.stale_ticks <- 0;
+  t.stale_tick_scans <- 0;
+  t.candidates_enqueued <- 0;
+  t.stale_closure_objects <- 0;
+  t.references_poisoned <- 0;
+  t.selection_scans <- 0;
+  t.objects_swept <- 0;
+  t.bytes_reclaimed <- 0;
+  t.finalizers_enqueued <- 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>collections: %d@ marked: %d@ fields scanned: %d@ stale ticks: %d@ \
+     candidates: %d@ stale-closure objects: %d@ poisoned: %d@ swept: %d@ \
+     bytes reclaimed: %d@ finalizers enqueued: %d@]"
+    t.collections t.objects_marked t.fields_scanned t.stale_ticks
+    t.candidates_enqueued t.stale_closure_objects t.references_poisoned
+    t.objects_swept t.bytes_reclaimed t.finalizers_enqueued

@@ -1,0 +1,31 @@
+(** Collector work counters.
+
+    The runtime's deterministic cost model charges cycles in proportion to
+    these counters, so every unit of collector work the paper's overhead
+    figures depend on (tracing, scanning, stale-counter maintenance, the
+    stale closure of the SELECT state, sweeping) is accounted
+    individually. *)
+
+type t = {
+  mutable collections : int;  (** full-heap collections completed *)
+  mutable objects_marked : int;  (** objects reached by the in-use closure *)
+  mutable fields_scanned : int;  (** reference slots examined *)
+  mutable untouched_bits_set : int;  (** low bits set on scanned references *)
+  mutable stale_ticks : int;  (** stale-counter increments performed *)
+  mutable stale_tick_scans : int;  (** objects examined for an increment *)
+  mutable candidates_enqueued : int;  (** references deferred to the candidate queue *)
+  mutable stale_closure_objects : int;  (** objects claimed by the stale closure *)
+  mutable references_poisoned : int;
+  mutable selection_scans : int;  (** edge-table / staleness-level selection passes *)
+  mutable objects_swept : int;  (** dead objects reclaimed *)
+  mutable bytes_reclaimed : int;
+  mutable finalizers_enqueued : int;
+}
+
+val create : unit -> t
+
+val copy : t -> t
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

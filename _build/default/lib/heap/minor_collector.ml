@@ -1,0 +1,74 @@
+type result = {
+  promoted_objects : int;
+  promoted_bytes : int;
+  freed_objects : int;
+  freed_bytes : int;
+  slots_scanned : int;
+}
+
+(* Marks (with the ordinary mark bit, cleared before returning) every
+   nursery object reachable from roots and remembered slots, scanning
+   only nursery objects' fields plus the remembered mature slots. *)
+let collect store roots ~remset =
+  let queue = Work_queue.create () in
+  let slots_scanned = ref 0 in
+  let consider id =
+    if not (Store.mem store id) then ()
+    else
+      let obj = Store.get store id in
+      if
+        Header.in_nursery obj.Heap_obj.header
+        && not (Header.marked obj.Heap_obj.header)
+      then begin
+        obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
+        Work_queue.push queue obj.Heap_obj.id
+      end
+  in
+  Roots.iter roots consider;
+  Remset.iter remset (fun ~src_id ~field ->
+      incr slots_scanned;
+      match Store.get_opt store src_id with
+      | None -> ()  (* the source died in an earlier full collection *)
+      | Some src ->
+        let w = src.Heap_obj.fields.(field) in
+        if (not (Word.is_null w)) && not (Word.poisoned w) then
+          consider (Word.target w));
+  let rec drain () =
+    match Work_queue.pop queue with
+    | None -> ()
+    | Some id ->
+      let obj = Store.get store id in
+      Array.iter
+        (fun w ->
+          incr slots_scanned;
+          if (not (Word.is_null w)) && not (Word.poisoned w) then
+            consider (Word.target w))
+        obj.Heap_obj.fields;
+      drain ()
+  in
+  drain ();
+  (* Sweep the nursery: promote survivors, free the rest. *)
+  let dead = ref [] in
+  let promoted_objects = ref 0 and promoted_bytes = ref 0 in
+  Store.iter_live store (fun obj ->
+      if Header.in_nursery obj.Heap_obj.header then
+        if Header.marked obj.Heap_obj.header then begin
+          obj.Heap_obj.header <- Header.clear_gc_bits obj.Heap_obj.header;
+          Store.promote store obj;
+          incr promoted_objects;
+          promoted_bytes := !promoted_bytes + obj.Heap_obj.size_bytes
+        end
+        else dead := obj :: !dead);
+  let freed_objects = List.length !dead in
+  let freed_bytes =
+    List.fold_left (fun acc (o : Heap_obj.t) -> acc + o.Heap_obj.size_bytes) 0 !dead
+  in
+  List.iter (Store.free store) !dead;
+  Remset.clear remset;
+  {
+    promoted_objects = !promoted_objects;
+    promoted_bytes = !promoted_bytes;
+    freed_objects;
+    freed_bytes;
+    slots_scanned = !slots_scanned;
+  }

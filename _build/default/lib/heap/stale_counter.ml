@@ -1,0 +1,16 @@
+let should_increment ~gc_number ~current =
+  current < Header.max_stale && gc_number mod (1 lsl current) = 0
+
+let tick_object ~gc_number obj =
+  let current = Heap_obj.stale obj in
+  if should_increment ~gc_number ~current then begin
+    Heap_obj.set_stale obj (current + 1);
+    true
+  end
+  else false
+
+let tick_all store ~gc_number ~stats =
+  Store.iter_live store (fun obj ->
+      stats.Gc_stats.stale_tick_scans <- stats.Gc_stats.stale_tick_scans + 1;
+      if tick_object ~gc_number obj then
+        stats.Gc_stats.stale_ticks <- stats.Gc_stats.stale_ticks + 1)

@@ -1,0 +1,100 @@
+(** The object store: allocation, byte accounting and object lookup.
+
+    The store models a bounded heap. [used_bytes] is the sum of live bytes
+    retained by the last collection plus all bytes allocated since; a
+    collection is due when an allocation would push [used_bytes] past the
+    limit, matching the paper's description: "the next collection occurs
+    after the sum of this reachable memory plus new allocation exceeds the
+    available heap memory".
+
+    Identifiers of reclaimed objects are recycled (as addresses are in a
+    real heap). Dereferencing an identifier that is not currently live
+    raises {!Dangling_reference}; with a correct leak-pruning
+    implementation this can only indicate a bug in the collector itself,
+    because every program access to pruned memory is intercepted by the
+    poison check first. *)
+
+type t
+
+exception Heap_full of { requested : int; used : int; limit : int }
+(** Raised by {!alloc} when the allocation does not fit. The VM layer
+    turns this into a collection and, ultimately, into the out-of-memory
+    protocol of paper Section 2. *)
+
+exception Dangling_reference of int
+
+val create : limit_bytes:int -> t
+
+val limit_bytes : t -> int
+val set_limit_bytes : t -> int -> unit
+
+val used_bytes : t -> int
+(** Live bytes at the last sweep plus bytes allocated since. *)
+
+val live_bytes : t -> int
+(** Bytes retained by the most recent sweep (0 before the first one). *)
+
+val set_live_bytes : t -> int -> unit
+(** Recorded by the collector at the end of each sweep. *)
+
+val object_count : t -> int
+
+val would_overflow : t -> int -> bool
+(** [would_overflow t n] is true when allocating [n] more bytes would
+    exceed the limit, after crediting bytes currently swapped out to
+    disk (see {!set_swapped_out_bytes}). *)
+
+val swapped_out_bytes : t -> int
+(** Bytes belonging to live objects that a disk-offloading baseline
+    (Melt/LeakSurvivor-style) currently holds on disk; they do not count
+    against the heap limit. Always 0 unless a disk baseline is active. *)
+
+val set_swapped_out_bytes : t -> int -> unit
+
+val alloc :
+  t ->
+  class_id:Class_registry.id ->
+  n_fields:int ->
+  scalar_bytes:int ->
+  finalizable:bool ->
+  Heap_obj.t
+(** Allocates a fresh mature object with null fields and a zero stale
+    counter.
+    @raise Heap_full when the object does not fit in the remaining
+    headroom. *)
+
+val alloc_generation :
+  t ->
+  nursery:bool ->
+  class_id:Class_registry.id ->
+  n_fields:int ->
+  scalar_bytes:int ->
+  finalizable:bool ->
+  Heap_obj.t
+(** Like {!alloc}, choosing the generation. *)
+
+val nursery_bytes : t -> int
+(** Bytes currently occupied by nursery objects. *)
+
+val promote : t -> Heap_obj.t -> unit
+(** Moves a nursery object to the mature generation (clears the nursery
+    bit and the nursery byte accounting; the object keeps its identity,
+    as in a non-moving generational collector). *)
+
+val get : t -> int -> Heap_obj.t
+(** Dereference an object identifier.
+    @raise Dangling_reference if no live object has this identifier. *)
+
+val get_opt : t -> int -> Heap_obj.t option
+
+val mem : t -> int -> bool
+
+val free : t -> Heap_obj.t -> unit
+(** Reclaims the object; used by the collector's sweep. Freed bytes are
+    subtracted from [used_bytes]. *)
+
+val iter_live : t -> (Heap_obj.t -> unit) -> unit
+(** Iterates over every live object in allocation-slot order. *)
+
+val total_allocated_bytes : t -> int
+(** Cumulative bytes ever allocated; monotone, for statistics. *)

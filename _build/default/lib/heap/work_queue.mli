@@ -1,0 +1,23 @@
+(** Collector work queue.
+
+    MMTk's parallel collectors draw work from a shared pool of local
+    queues; our deterministic collector mirrors that structure with a
+    single growable queue of object identifiers. Keeping the closure
+    iterative (rather than recursive) also means arbitrarily deep data
+    structures — exactly what leaking programs build — cannot overflow the
+    OCaml stack. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> int -> unit
+
+val pop : t -> int option
+(** LIFO discipline: depth-first traversal, like a marking stack. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+
+val clear : t -> unit

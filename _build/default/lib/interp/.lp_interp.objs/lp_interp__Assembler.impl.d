@@ -1,0 +1,1 @@
+lib/interp/assembler.ml: Array Buffer Bytecode Fun Hashtbl List Lp_jit Printf String

@@ -1,0 +1,1 @@
+lib/interp/assembler.mli: Lp_jit

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Class_registry Hashtbl Heap_obj Layout List Lp_heap Lp_jit Lp_runtime Mutator Printf Roots Vm

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Layout Lp_jit Lp_runtime

@@ -1,0 +1,171 @@
+open Lp_jit
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* Instructions before label resolution: branches name their target. *)
+type raw =
+  | Instr of Bytecode.instr
+  | Branch of (int -> Bytecode.instr) * string  (* constructor, label name *)
+
+let parse_int lineno s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail lineno "expected an integer, got %S" s
+
+let parse_instr lineno toks =
+  match toks with
+  | [ "const"; n ] -> Instr (Bytecode.Const (parse_int lineno n))
+  | [ "load"; n ] -> Instr (Bytecode.Load_local (parse_int lineno n))
+  | [ "store"; n ] -> Instr (Bytecode.Store_local (parse_int lineno n))
+  | [ "getfield"; f ] -> Instr (Bytecode.Get_field f)
+  | [ "putfield"; f ] -> Instr (Bytecode.Put_field f)
+  | [ "getstatic"; f ] -> Instr (Bytecode.Get_static f)
+  | [ "aaload" ] -> Instr Bytecode.Array_load
+  | [ "aastore" ] -> Instr Bytecode.Array_store
+  | [ "add" ] -> Instr Bytecode.Add
+  | [ "sub" ] -> Instr Bytecode.Sub
+  | [ "mul" ] -> Instr Bytecode.Mul
+  | [ "cmp" ] -> Instr Bytecode.Compare
+  | [ "goto"; label ] -> Branch ((fun t -> Bytecode.Jump t), label)
+  | [ "ifeq"; label ] -> Branch ((fun t -> Bytecode.Jump_if_zero t), label)
+  | [ "invoke"; spec ] -> (
+    match String.split_on_char '/' spec with
+    | [ name; n ] -> Instr (Bytecode.Call (name, parse_int lineno n))
+    | _ -> fail lineno "invoke expects name/arity, got %S" spec)
+  | [ "new"; c ] -> Instr (Bytecode.New_object c)
+  | [ "ret" ] -> Instr Bytecode.Return
+  | tok :: _ -> fail lineno "unknown instruction %S" tok
+  | [] -> assert false
+
+type block = {
+  name : string;
+  n_locals : int;
+  mutable raws : (int * raw) list;  (* reverse order, with line numbers *)
+  labels : (string, int) Hashtbl.t;  (* label -> instruction index *)
+}
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let methods = ref [] in
+  let current : block option ref = ref None in
+  let finish lineno =
+    match !current with
+    | None -> fail lineno ".end without .method"
+    | Some block ->
+      let raws = List.rev block.raws in
+      let code =
+        List.map
+          (fun (l, raw) ->
+            match raw with
+            | Instr i -> i
+            | Branch (mk, label) -> (
+              match Hashtbl.find_opt block.labels label with
+              | Some target -> mk target
+              | None -> fail l "undefined label %S" label))
+          raws
+      in
+      methods :=
+        {
+          Bytecode.name = block.name;
+          n_locals = block.n_locals;
+          code = Array.of_list code;
+        }
+        :: !methods;
+      current := None
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim (strip_comment line) in
+      if line <> "" then
+        match (tokens line, !current) with
+        | ".method" :: rest, None -> (
+          match rest with
+          | [ name; locals ]
+            when String.length locals > 7 && String.sub locals 0 7 = "locals=" ->
+            let n =
+              parse_int lineno (String.sub locals 7 (String.length locals - 7))
+            in
+            current := Some { name; n_locals = n; raws = []; labels = Hashtbl.create 8 }
+          | [ name ] ->
+            current := Some { name; n_locals = 8; raws = []; labels = Hashtbl.create 8 }
+          | _ -> fail lineno ".method expects a name and optional locals=N")
+        | ".method" :: _, Some _ -> fail lineno "nested .method (missing .end?)"
+        | [ ".end" ], _ -> finish lineno
+        | toks, Some block ->
+          let first = List.hd toks in
+          if String.length first > 1 && first.[String.length first - 1] = ':' then begin
+            let label = String.sub first 0 (String.length first - 1) in
+            if Hashtbl.mem block.labels label then
+              fail lineno "duplicate label %S" label;
+            Hashtbl.replace block.labels label (List.length block.raws);
+            match List.tl toks with
+            | [] -> ()
+            | rest -> block.raws <- (lineno, parse_instr lineno rest) :: block.raws
+          end
+          else block.raws <- (lineno, parse_instr lineno toks) :: block.raws
+        | _, None -> fail lineno "instruction outside .method block")
+    lines;
+  (match !current with
+  | Some block -> fail (List.length lines) "unterminated .method %S" block.name
+  | None -> ());
+  List.rev !methods
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let print (m : Bytecode.methd) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf ".method %s locals=%d\n" m.Bytecode.name m.Bytecode.n_locals);
+  let targets = Hashtbl.create 8 in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Bytecode.Jump t | Bytecode.Jump_if_zero t -> Hashtbl.replace targets t ()
+      | _ -> ())
+    m.Bytecode.code;
+  let label t = Printf.sprintf "L%d" t in
+  Array.iteri
+    (fun i instr ->
+      if Hashtbl.mem targets i then Buffer.add_string buf (label i ^ ":\n");
+      let text =
+        match instr with
+        | Bytecode.Const n -> Printf.sprintf "const %d" n
+        | Bytecode.Load_local n -> Printf.sprintf "load %d" n
+        | Bytecode.Store_local n -> Printf.sprintf "store %d" n
+        | Bytecode.Get_field f -> "getfield " ^ f
+        | Bytecode.Put_field f -> "putfield " ^ f
+        | Bytecode.Get_static f -> "getstatic " ^ f
+        | Bytecode.Array_load -> "aaload"
+        | Bytecode.Array_store -> "aastore"
+        | Bytecode.Add -> "add"
+        | Bytecode.Sub -> "sub"
+        | Bytecode.Mul -> "mul"
+        | Bytecode.Compare -> "cmp"
+        | Bytecode.Jump t -> "goto " ^ label t
+        | Bytecode.Jump_if_zero t -> "ifeq " ^ label t
+        | Bytecode.Call (name, n) -> Printf.sprintf "invoke %s/%d" name n
+        | Bytecode.New_object c -> "new " ^ c
+        | Bytecode.Return -> "ret"
+      in
+      Buffer.add_string buf ("  " ^ text ^ "\n"))
+    m.Bytecode.code;
+  (* a branch may target the instruction just past the end *)
+  if Hashtbl.mem targets (Array.length m.Bytecode.code) then
+    Buffer.add_string buf (label (Array.length m.Bytecode.code) ^ ":\n");
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf

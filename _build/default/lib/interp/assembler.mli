@@ -1,0 +1,46 @@
+(** A textual assembly format for {!Lp_jit.Bytecode}.
+
+    One method per [.method] block; one instruction per line; [;]
+    comments; branch targets are [label:] lines resolved at assembly
+    time (the binary format uses absolute instruction indices, as
+    {!Lp_jit.Lowering} expects).
+
+    {v
+    .method push locals=1
+      new Entry
+      store 0
+      load 0
+      getstatic Sessions.head
+      putfield next
+      load 0
+      ret
+    .end
+
+    .method count_down locals=1    ; arg in local 0
+    top:
+      load 0
+      ifeq done
+      load 0
+      const 1
+      sub
+      store 0
+      goto top
+    done:
+      const 0
+      ret
+    .end
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Lp_jit.Bytecode.methd list
+(** Assembles every [.method] block in the source text.
+    @raise Parse_error with a 1-based line number on malformed input. *)
+
+val parse_file : string -> Lp_jit.Bytecode.methd list
+(** @raise Sys_error when the file cannot be read. *)
+
+val print : Lp_jit.Bytecode.methd -> string
+(** Disassembles back to the textual format ([parse (print m)] yields a
+    method with the same instructions; synthetic labels are generated
+    for branch targets). *)

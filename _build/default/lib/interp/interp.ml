@@ -1,0 +1,236 @@
+open Lp_heap
+open Lp_runtime
+
+type value = Null | Int of int | Ref of int
+
+exception Interp_error of string
+
+let err fmt = Printf.ksprintf (fun msg -> raise (Interp_error msg)) fmt
+
+type env = {
+  vm : Vm.t;
+  layouts : Layout.registry;
+  methods : (string, Lp_jit.Bytecode.methd) Hashtbl.t;
+  statics_obj : Heap_obj.t;
+  static_index : (string, int) Hashtbl.t;
+}
+
+let create_env vm ?(layouts = Layout.default_classes) ~statics_fields () =
+  let registry = Layout.create_registry () in
+  List.iter (Layout.declare registry) layouts;
+  let statics_obj =
+    Vm.statics vm ~class_name:"Interp" ~n_fields:(List.length statics_fields)
+  in
+  let static_index = Hashtbl.create 8 in
+  List.iteri (fun i name -> Hashtbl.replace static_index name i) statics_fields;
+  { vm; layouts = registry; methods = Hashtbl.create 16; statics_obj; static_index }
+
+let vm env = env.vm
+
+let declare_method env (m : Lp_jit.Bytecode.methd) =
+  Hashtbl.replace env.methods m.Lp_jit.Bytecode.name m
+
+let set_static env name v =
+  match Hashtbl.find_opt env.static_index name with
+  | None -> err "unknown static %s" name
+  | Some i -> (
+    match v with
+    | Null -> Mutator.clear env.vm env.statics_obj i
+    | Ref id -> Mutator.write_obj env.vm env.statics_obj i (Vm.deref env.vm id)
+    | Int _ -> err "static %s holds references, not integers" name)
+
+let get_static env name =
+  match Hashtbl.find_opt env.static_index name with
+  | None -> Null
+  | Some i -> (
+    match Mutator.read env.vm env.statics_obj i with
+    | Some obj -> Ref obj.Heap_obj.id
+    | None -> Null)
+
+let intrinsic name a b =
+  match name with
+  | "hash" -> Some ((a * 0x9E3779B1) lxor b)
+  | "compare" -> Some (compare a b)
+  | "process" -> Some (a + (b * 31))
+  | "update" -> Some (a lxor (b + 0x5bd1e995))
+  | _ -> None
+
+let max_call_depth = 64
+
+(* Locals and operand-stack references are mirrored into a VM frame so
+   the collector treats them as roots; integers need no rooting. *)
+let rec exec env depth (m : Lp_jit.Bytecode.methd) args =
+  if depth > max_call_depth then err "call depth exceeded in %s" m.Lp_jit.Bytecode.name;
+  let n_locals = m.Lp_jit.Bytecode.n_locals in
+  let max_stack = 64 in
+  Vm.with_frame env.vm ~n_slots:(n_locals + max_stack) (fun frame ->
+      let locals = Array.make n_locals (Int 0) in
+      List.iteri
+        (fun i v ->
+          if i < n_locals then begin
+            locals.(i) <- v;
+            match v with Ref id -> Roots.set_slot frame i id | Int _ | Null -> ()
+          end)
+        args;
+      let stack = Array.make max_stack Null in
+      let sp = ref 0 in
+      let push v =
+        if !sp >= max_stack then err "operand stack overflow in %s" m.Lp_jit.Bytecode.name;
+        stack.(!sp) <- v;
+        (match v with
+        | Ref id -> Roots.set_slot frame (n_locals + !sp) id
+        | Int _ | Null -> ());
+        incr sp
+      in
+      let pop () =
+        if !sp = 0 then err "operand stack underflow in %s" m.Lp_jit.Bytecode.name;
+        decr sp;
+        let v = stack.(!sp) in
+        Roots.clear_slot frame (n_locals + !sp);
+        v
+      in
+      let pop_int () =
+        match pop () with
+        | Int n -> n
+        | Null | Ref _ -> err "expected an integer in %s" m.Lp_jit.Bytecode.name
+      in
+      let pop_obj () =
+        match pop () with
+        | Ref id -> Vm.deref env.vm id
+        | Null -> err "null dereference in %s" m.Lp_jit.Bytecode.name
+        | Int _ -> err "expected a reference in %s" m.Lp_jit.Bytecode.name
+      in
+      let class_name (obj : Heap_obj.t) =
+        Class_registry.name (Vm.registry env.vm) obj.Heap_obj.class_id
+      in
+      let value_of_read = function Some (o : Heap_obj.t) -> Ref o.Heap_obj.id | None -> Null in
+      let code = m.Lp_jit.Bytecode.code in
+      let result = ref Null in
+      let pc = ref 0 in
+      let running = ref true in
+      while !running && !pc < Array.length code do
+        Vm.work env.vm 1;
+        let next = !pc + 1 in
+        (match code.(!pc) with
+        | Lp_jit.Bytecode.Const n ->
+          push (Int n);
+          pc := next
+        | Lp_jit.Bytecode.Load_local i ->
+          if i >= n_locals then err "local %d out of range" i;
+          push locals.(i);
+          pc := next
+        | Lp_jit.Bytecode.Store_local i ->
+          if i >= n_locals then err "local %d out of range" i;
+          let v = pop () in
+          locals.(i) <- v;
+          (match v with
+          | Ref id -> Roots.set_slot frame i id
+          | Int _ | Null -> Roots.clear_slot frame i);
+          pc := next
+        | Lp_jit.Bytecode.Get_field f ->
+          let obj = pop_obj () in
+          let idx =
+            try Layout.field_index env.layouts ~class_name:(class_name obj) ~field:f
+            with Not_found -> err "class %s has no field %s" (class_name obj) f
+          in
+          push (value_of_read (Mutator.read env.vm obj idx));
+          pc := next
+        | Lp_jit.Bytecode.Put_field f ->
+          let v = pop () in
+          let obj = pop_obj () in
+          let idx =
+            try Layout.field_index env.layouts ~class_name:(class_name obj) ~field:f
+            with Not_found -> err "class %s has no field %s" (class_name obj) f
+          in
+          (match v with
+          | Null -> Mutator.clear env.vm obj idx
+          | Ref id -> Mutator.write_obj env.vm obj idx (Vm.deref env.vm id)
+          | Int _ -> err "field %s holds references, not integers" f);
+          pc := next
+        | Lp_jit.Bytecode.Get_static name ->
+          push (get_static env name);
+          pc := next
+        | Lp_jit.Bytecode.Array_load ->
+          let index = pop_int () in
+          let arr = pop_obj () in
+          if index < 0 || index >= Array.length arr.Heap_obj.fields then
+            err "array index %d out of bounds" index;
+          push (value_of_read (Mutator.read env.vm arr index));
+          pc := next
+        | Lp_jit.Bytecode.Array_store ->
+          let v = pop () in
+          let index = pop_int () in
+          let arr = pop_obj () in
+          if index < 0 || index >= Array.length arr.Heap_obj.fields then
+            err "array index %d out of bounds" index;
+          (match v with
+          | Null -> Mutator.clear env.vm arr index
+          | Ref id -> Mutator.write_obj env.vm arr index (Vm.deref env.vm id)
+          | Int _ -> err "reference arrays hold references");
+          pc := next
+        | Lp_jit.Bytecode.Add ->
+          let b = pop_int () and a = pop_int () in
+          push (Int (a + b));
+          pc := next
+        | Lp_jit.Bytecode.Sub ->
+          let b = pop_int () and a = pop_int () in
+          push (Int (a - b));
+          pc := next
+        | Lp_jit.Bytecode.Mul ->
+          let b = pop_int () and a = pop_int () in
+          push (Int (a * b));
+          pc := next
+        | Lp_jit.Bytecode.Compare ->
+          let b = pop () and a = pop () in
+          let c =
+            match (a, b) with
+            | Int x, Int y -> compare x y
+            | Ref x, Ref y -> compare x y
+            | Null, Null -> 0
+            | Null, _ -> -1
+            | _, Null -> 1
+            | Int _, Ref _ | Ref _, Int _ -> err "comparing integer with reference"
+          in
+          push (Int c);
+          pc := next
+        | Lp_jit.Bytecode.Jump target -> pc := target
+        | Lp_jit.Bytecode.Jump_if_zero target ->
+          let c =
+            match pop () with Int n -> n = 0 | Null -> true | Ref _ -> false
+          in
+          pc := if c then target else next
+        | Lp_jit.Bytecode.Call (name, n_args) ->
+          let rec take n acc = if n = 0 then acc else take (n - 1) (pop () :: acc) in
+          let call_args = take n_args [] in
+          (match Hashtbl.find_opt env.methods name with
+          | Some callee -> push (exec env (depth + 1) callee call_args)
+          | None -> (
+            match call_args with
+            | [ Int a; Int b ] -> (
+              match intrinsic name a b with
+              | Some r -> push (Int r)
+              | None -> err "unknown method %s" name)
+            | _ -> err "unknown method %s" name));
+          pc := next
+        | Lp_jit.Bytecode.New_object c ->
+          (match Layout.find env.layouts c with
+          | None -> err "unknown class %s" c
+          | Some layout ->
+            let obj =
+              Vm.alloc env.vm ~class_name:c
+                ~scalar_bytes:layout.Layout.scalar_bytes
+                ~n_fields:(Array.length layout.Layout.fields)
+                ()
+            in
+            push (Ref obj.Heap_obj.id));
+          pc := next
+        | Lp_jit.Bytecode.Return ->
+          result := (if !sp > 0 then pop () else Null);
+          running := false)
+      done;
+      !result)
+
+let run env ~name ~args =
+  match Hashtbl.find_opt env.methods name with
+  | Some m -> exec env 0 m args
+  | None -> err "unknown method %s" name

@@ -1,0 +1,53 @@
+(** A bytecode interpreter over the simulated VM.
+
+    Executes {!Lp_jit.Bytecode} methods against an {!Lp_runtime.Vm}:
+    [Get_field]/[Get_static]/[Array_load] go through the read barrier
+    (so poisoned references raise the paper's [InternalError] out of
+    bytecode programs too), [New_object] allocates on the simulated
+    heap, and locals live in a VM stack frame so the collector sees
+    them as roots. This closes the loop between the compiler substrate
+    of Section 5 and the runtime: programs written in the instruction
+    set whose barrier-insertion costs Section 5 measures actually run,
+    leak, and get pruned on the simulated heap. (The {!Lp_jit.Method_gen}
+    bodies are untyped compilation fodder and are not meant to
+    execute.) *)
+
+type value = Null | Int of int | Ref of int  (** object identifier *)
+
+exception Interp_error of string
+(** Type confusion, unknown field/class/method, stack underflow —
+    program bugs, not VM errors. *)
+
+type env
+
+val create_env :
+  Lp_runtime.Vm.t -> ?layouts:Layout.t list -> statics_fields:string list -> unit -> env
+(** An execution environment over the given VM. [statics_fields] names
+    the global reference variables ([Get_static "Cache.root"] resolves
+    against them; unknown statics read as [Null]). [layouts] defaults to
+    {!Layout.default_classes}. *)
+
+val vm : env -> Lp_runtime.Vm.t
+
+val declare_method : env -> Lp_jit.Bytecode.methd -> unit
+(** Makes the method callable by name ([Call]). Re-declaring a name
+    replaces it. *)
+
+val set_static : env -> string -> value -> unit
+
+val get_static : env -> string -> value
+(** Reads through the barrier, like [Get_static] does. *)
+
+val run : env -> name:string -> args:value list -> value
+(** Executes a declared method: arguments become locals 0..n-1, the
+    remaining locals start as [Int 0]; returns the top of the operand
+    stack at [Return] ([Null] if empty). Each instruction charges one
+    work cycle beyond the memory operations' own costs.
+
+    Intrinsics (always available): ["hash"], ["compare"], ["process"],
+    ["update"] — integer functions matching {!Lp_jit.Method_gen}'s
+    callees.
+
+    @raise Interp_error on program errors.
+    @raise Lp_core.Errors.Out_of_memory and
+    [Lp_core.Errors.Internal_error] exactly as direct VM programs do. *)

@@ -1,0 +1,39 @@
+type t = {
+  class_name : string;
+  fields : string array;
+  scalar_bytes : int;
+}
+
+type registry = (string, t) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 32
+
+let declare registry layout =
+  match Hashtbl.find_opt registry layout.class_name with
+  | Some existing when existing <> layout ->
+    invalid_arg
+      (Printf.sprintf "Layout.declare: %s already declared with a different shape"
+         layout.class_name)
+  | Some _ -> ()
+  | None -> Hashtbl.replace registry layout.class_name layout
+
+let find registry name = Hashtbl.find_opt registry name
+
+let field_index registry ~class_name ~field =
+  match Hashtbl.find_opt registry class_name with
+  | None -> raise Not_found
+  | Some layout ->
+    let rec look i =
+      if i >= Array.length layout.fields then raise Not_found
+      else if layout.fields.(i) = field then i
+      else look (i + 1)
+    in
+    look 0
+
+let default_classes =
+  [
+    { class_name = "Node"; fields = [| "next"; "value"; "data" |]; scalar_bytes = 16 };
+    { class_name = "Entry"; fields = [| "next"; "entry" |]; scalar_bytes = 24 };
+    { class_name = "Buffer"; fields = [| "data" |]; scalar_bytes = 256 };
+    { class_name = "Event"; fields = [| "left"; "right"; "head" |]; scalar_bytes = 32 };
+  ]

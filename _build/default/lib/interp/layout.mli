@@ -1,0 +1,30 @@
+(** Class layouts for bytecode execution.
+
+    The heap substrate identifies fields by index; bytecode identifies
+    them by name ([Get_field "next"]). A layout declares a class's named
+    reference fields and scalar payload, and the registry resolves
+    (class, field-name) pairs to indices at execution time — the
+    interpreter's stand-in for resolved field offsets. *)
+
+type t = {
+  class_name : string;
+  fields : string array;  (** named reference fields, in index order *)
+  scalar_bytes : int;
+}
+
+type registry
+
+val create_registry : unit -> registry
+
+val declare : registry -> t -> unit
+(** @raise Invalid_argument when the class is already declared with a
+    different shape. *)
+
+val find : registry -> string -> t option
+
+val field_index : registry -> class_name:string -> field:string -> int
+(** @raise Not_found when the class or field is unknown. *)
+
+val default_classes : t list
+(** Layouts for the classes {!Lp_jit.Method_gen} emits ([Node], [Entry],
+    [Buffer], [Event]), so generated methods run unmodified. *)

@@ -1,0 +1,1 @@
+lib/jit/barrier_insertion.ml: Ir

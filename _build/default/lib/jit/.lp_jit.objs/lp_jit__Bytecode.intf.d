@@ -1,0 +1,1 @@
+lib/jit/bytecode.mli: Format

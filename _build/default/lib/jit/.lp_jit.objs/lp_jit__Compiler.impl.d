@@ -1,0 +1,1 @@
+lib/jit/compiler.ml: Barrier_insertion Bytecode Ir List Lowering Method_gen Passes

@@ -1,0 +1,1 @@
+lib/jit/compiler.mli: Bytecode Method_gen

@@ -1,0 +1,1 @@
+lib/jit/ir.ml: Format List String

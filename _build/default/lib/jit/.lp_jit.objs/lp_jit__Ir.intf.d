@@ -1,0 +1,1 @@
+lib/jit/ir.mli: Format

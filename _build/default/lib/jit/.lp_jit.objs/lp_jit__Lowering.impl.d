@@ -1,0 +1,1 @@
+lib/jit/lowering.ml: Array Bytecode Hashtbl Ir List

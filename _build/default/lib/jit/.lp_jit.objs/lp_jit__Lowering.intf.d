@@ -1,0 +1,1 @@
+lib/jit/lowering.mli: Bytecode Ir

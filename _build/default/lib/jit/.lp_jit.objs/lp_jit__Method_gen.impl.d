@@ -1,0 +1,1 @@
+lib/jit/method_gen.ml: Array Bytecode Int64 List Printf

@@ -1,0 +1,1 @@
+lib/jit/method_gen.mli: Bytecode

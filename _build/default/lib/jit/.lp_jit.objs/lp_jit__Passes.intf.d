@@ -1,0 +1,1 @@
+lib/jit/passes.mli: Ir

@@ -1,0 +1,80 @@
+type result = {
+  methd : string;
+  ir_after_lowering : int;
+  barriers_inserted : int;
+  ir_final : int;
+  pass_visits : int;
+  code_bytes : int;
+}
+
+let compile ?(barriers = false) (m : Bytecode.methd) =
+  let ir, n_regs = Lowering.lower m in
+  let ir_after_lowering = List.length ir in
+  let ir, barriers_inserted =
+    if barriers then Barrier_insertion.insert ir else (ir, 0)
+  in
+  ignore n_regs;
+  let optimized, pass_visits =
+    Passes.run_pipeline ~n_locals:m.Bytecode.n_locals ir
+  in
+  (* Emission: instruction bytes, a fixed prologue/epilogue, and a GC
+     (stack-)map per safepoint. The barrier cold-path call is a leaf stub
+     and needs no map. *)
+  let prologue_bytes = 48 in
+  let map_bytes_per_safepoint = 8 in
+  let safepoints =
+    List.fold_left
+      (fun acc i ->
+        match i with
+        | Ir.Icall _ | Ir.Inew _ -> acc + 1
+        | Ir.Iconst _ | Ir.Imove _ | Ir.Ibin _ | Ir.Iload_ref _
+        | Ir.Istore_ref _ | Ir.Iload_static _ | Ir.Iarray_load _
+        | Ir.Iarray_store _ | Ir.Ibarrier_test _ | Ir.Ibarrier_call _
+        | Ir.Ijump _ | Ir.Ijump_if_zero _ | Ir.Ilabel _ | Ir.Iret ->
+          acc)
+      0 optimized
+  in
+  let code_bytes =
+    prologue_bytes
+    + (map_bytes_per_safepoint * safepoints)
+    + List.fold_left (fun acc i -> acc + Ir.code_bytes i) 0 optimized
+  in
+  {
+    methd = m.Bytecode.name;
+    ir_after_lowering;
+    barriers_inserted;
+    ir_final = List.length optimized;
+    pass_visits;
+    code_bytes;
+  }
+
+type suite_result = {
+  benchmark : string;
+  base_visits : int;
+  barrier_visits : int;
+  base_bytes : int;
+  barrier_bytes : int;
+  compile_time_overhead : float;
+  code_size_overhead : float;
+}
+
+let compile_suite profile =
+  let methods = Method_gen.generate profile in
+  let total f results = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let base = List.map (compile ~barriers:false) methods in
+  let with_barriers = List.map (compile ~barriers:true) methods in
+  let base_visits = total (fun r -> r.pass_visits) base in
+  let barrier_visits = total (fun r -> r.pass_visits) with_barriers in
+  let base_bytes = total (fun r -> r.code_bytes) base in
+  let barrier_bytes = total (fun r -> r.code_bytes) with_barriers in
+  {
+    benchmark = profile.Method_gen.benchmark;
+    base_visits;
+    barrier_visits;
+    base_bytes;
+    barrier_bytes;
+    compile_time_overhead =
+      (float_of_int barrier_visits /. float_of_int base_visits) -. 1.0;
+    code_size_overhead =
+      (float_of_int barrier_bytes /. float_of_int base_bytes) -. 1.0;
+  }

@@ -1,0 +1,106 @@
+type reg = int
+
+type binop = Add | Sub | Mul | Compare
+
+type instr =
+  | Iconst of reg * int
+  | Imove of reg * reg
+  | Ibin of binop * reg * reg * reg
+  | Iload_ref of reg * reg * string
+  | Istore_ref of reg * string * reg
+  | Iload_static of reg * string
+  | Iarray_load of reg * reg * reg
+  | Iarray_store of reg * reg * reg
+  | Ibarrier_test of reg
+  | Ibarrier_call of reg
+  | Ijump of int
+  | Ijump_if_zero of reg * int
+  | Ilabel of int
+  | Icall of reg * string * reg list
+  | Inew of reg * string
+  | Iret
+
+let is_barrier_target = function
+  | Iload_ref _ | Iload_static _ | Iarray_load _ -> true
+  | Iconst _ | Imove _ | Ibin _ | Istore_ref _ | Iarray_store _
+  | Ibarrier_test _ | Ibarrier_call _ | Ijump _ | Ijump_if_zero _ | Ilabel _
+  | Icall _ | Inew _ | Iret ->
+    false
+
+let defines = function
+  | Iconst (d, _)
+  | Imove (d, _)
+  | Ibin (_, d, _, _)
+  | Iload_ref (d, _, _)
+  | Iload_static (d, _)
+  | Iarray_load (d, _, _)
+  | Icall (d, _, _)
+  | Inew (d, _) ->
+    Some d
+  | Istore_ref _ | Iarray_store _ | Ibarrier_test _ | Ibarrier_call _ | Ijump _
+  | Ijump_if_zero _ | Ilabel _ | Iret ->
+    None
+
+let uses = function
+  | Iconst _ | Ijump _ | Ilabel _ | Iload_static _ | Inew _ | Iret -> []
+  | Imove (_, s) -> [ s ]
+  | Ibin (_, _, a, b) -> [ a; b ]
+  | Iload_ref (_, s, _) -> [ s ]
+  | Istore_ref (o, _, v) -> [ o; v ]
+  | Iarray_load (_, a, i) -> [ a; i ]
+  | Iarray_store (a, i, v) -> [ a; i; v ]
+  | Ibarrier_test r | Ibarrier_call r -> [ r ]
+  | Ijump_if_zero (r, _) -> [ r ]
+  | Icall (_, _, args) -> args
+
+let has_side_effect = function
+  | Istore_ref _ | Iarray_store _ | Ibarrier_test _ | Ibarrier_call _ | Ijump _
+  | Ijump_if_zero _ | Ilabel _ | Icall _ | Inew _ | Iret ->
+    true
+  | Iconst _ | Imove _ | Ibin _ | Iload_ref _ | Iload_static _ | Iarray_load _
+    ->
+    false
+
+let code_bytes = function
+  | Iconst _ -> 5
+  | Imove _ -> 2
+  | Ibin _ -> 3
+  | Iload_ref _ -> 4
+  | Istore_ref _ -> 4
+  | Iload_static _ -> 6
+  | Iarray_load _ -> 4
+  | Iarray_store _ -> 4
+  | Ibarrier_test _ -> 2  (* test reg, imm8 + short jcc *)
+  | Ibarrier_call _ -> 4  (* guarded near call to the shared cold-path stub *)
+  | Ijump _ -> 5
+  | Ijump_if_zero _ -> 6
+  | Ilabel _ -> 0
+  | Icall (_, _, args) -> 5 + (2 * List.length args)
+  | Inew _ -> 10
+  | Iret -> 1
+
+let pp_binop ppf = function
+  | Add -> Format.pp_print_string ppf "add"
+  | Sub -> Format.pp_print_string ppf "sub"
+  | Mul -> Format.pp_print_string ppf "mul"
+  | Compare -> Format.pp_print_string ppf "cmp"
+
+let pp ppf = function
+  | Iconst (d, n) -> Format.fprintf ppf "r%d := %d" d n
+  | Imove (d, s) -> Format.fprintf ppf "r%d := r%d" d s
+  | Ibin (op, d, a, b) -> Format.fprintf ppf "r%d := r%d %a r%d" d a pp_binop op b
+  | Iload_ref (d, s, f) -> Format.fprintf ppf "r%d := r%d.%s" d s f
+  | Istore_ref (o, f, v) -> Format.fprintf ppf "r%d.%s := r%d" o f v
+  | Iload_static (d, f) -> Format.fprintf ppf "r%d := static %s" d f
+  | Iarray_load (d, a, i) -> Format.fprintf ppf "r%d := r%d[r%d]" d a i
+  | Iarray_store (a, i, v) -> Format.fprintf ppf "r%d[r%d] := r%d" a i v
+  | Ibarrier_test r -> Format.fprintf ppf "barrier-test r%d" r
+  | Ibarrier_call r -> Format.fprintf ppf "barrier-call r%d" r
+  | Ijump l -> Format.fprintf ppf "goto L%d" l
+  | Ijump_if_zero (r, l) -> Format.fprintf ppf "ifeq r%d L%d" r l
+  | Ilabel l -> Format.fprintf ppf "L%d:" l
+  | Icall (d, m, args) ->
+    Format.fprintf ppf "r%d := call %s(%s)" d m
+      (String.concat ", " (List.map (fun r -> "r" ^ string_of_int r) args))
+  | Inew (d, c) -> Format.fprintf ppf "r%d := new %s" d c
+  | Iret -> Format.pp_print_string ppf "ret"

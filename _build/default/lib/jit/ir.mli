@@ -1,0 +1,44 @@
+(** The compiler's register-transfer intermediate representation.
+
+    Bytecode is lowered to three-address code over virtual registers;
+    optimization passes and barrier insertion rewrite lists of these
+    instructions; emission assigns each a machine-code byte cost. *)
+
+type reg = int
+
+type binop = Add | Sub | Mul | Compare
+
+type instr =
+  | Iconst of reg * int
+  | Imove of reg * reg
+  | Ibin of binop * reg * reg * reg  (** dst, lhs, rhs *)
+  | Iload_ref of reg * reg * string  (** dst <- src.field; barrier target *)
+  | Istore_ref of reg * string * reg  (** obj.field <- value *)
+  | Iload_static of reg * string  (** barrier target *)
+  | Iarray_load of reg * reg * reg  (** dst <- array[index]; barrier target *)
+  | Iarray_store of reg * reg * reg
+  | Ibarrier_test of reg  (** inline low-bit conditional test on a loaded reference *)
+  | Ibarrier_call of reg  (** guarded call to the out-of-line cold path *)
+  | Ijump of int
+  | Ijump_if_zero of reg * int
+  | Ilabel of int
+  | Icall of reg * string * reg list
+  | Inew of reg * string
+  | Iret
+
+val is_barrier_target : instr -> bool
+(** The reference loads that barrier insertion instruments. *)
+
+val defines : instr -> reg option
+(** The register written, if any. *)
+
+val uses : instr -> reg list
+
+val has_side_effect : instr -> bool
+(** Instructions DCE must never remove. *)
+
+val code_bytes : instr -> int
+(** Emitted machine-code size of the instruction, in bytes (an x86-ish
+    static cost table). *)
+
+val pp : Format.formatter -> instr -> unit

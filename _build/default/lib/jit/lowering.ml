@@ -1,0 +1,122 @@
+exception Unbalanced_stack of string
+
+(* Branch targets become IR labels named by bytecode index. *)
+let jump_targets (m : Bytecode.methd) =
+  let targets = Hashtbl.create 16 in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Bytecode.Jump l | Bytecode.Jump_if_zero l -> Hashtbl.replace targets l ()
+      | Bytecode.Const _ | Bytecode.Load_local _ | Bytecode.Store_local _
+      | Bytecode.Get_field _ | Bytecode.Put_field _ | Bytecode.Get_static _
+      | Bytecode.Array_load | Bytecode.Array_store | Bytecode.Add | Bytecode.Sub
+      | Bytecode.Mul | Bytecode.Compare | Bytecode.Call _
+      | Bytecode.New_object _ | Bytecode.Return ->
+        ())
+    m.Bytecode.code;
+  targets
+
+let lower (m : Bytecode.methd) =
+  let targets = jump_targets m in
+  let next_reg = ref m.Bytecode.n_locals in
+  (* locals occupy registers [0, n_locals) *)
+  let fresh () =
+    let r = !next_reg in
+    incr next_reg;
+    r
+  in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let stack = ref [] in
+  let push r = stack := r :: !stack in
+  let pop () =
+    match !stack with
+    | r :: rest ->
+      stack := rest;
+      r
+    | [] -> raise (Unbalanced_stack m.Bytecode.name)
+  in
+  let require_empty_stack () =
+    if !stack <> [] then raise (Unbalanced_stack m.Bytecode.name)
+  in
+  Array.iteri
+    (fun pc instr ->
+      if Hashtbl.mem targets pc then begin
+        require_empty_stack ();
+        emit (Ir.Ilabel pc)
+      end;
+      match instr with
+      | Bytecode.Const n ->
+        let r = fresh () in
+        emit (Ir.Iconst (r, n));
+        push r
+      | Bytecode.Load_local i ->
+        let r = fresh () in
+        emit (Ir.Imove (r, i));
+        push r
+      | Bytecode.Store_local i ->
+        let v = pop () in
+        emit (Ir.Imove (i, v))
+      | Bytecode.Get_field f ->
+        let o = pop () in
+        let r = fresh () in
+        emit (Ir.Iload_ref (r, o, f));
+        push r
+      | Bytecode.Put_field f ->
+        let v = pop () in
+        let o = pop () in
+        emit (Ir.Istore_ref (o, f, v))
+      | Bytecode.Get_static f ->
+        let r = fresh () in
+        emit (Ir.Iload_static (r, f));
+        push r
+      | Bytecode.Array_load ->
+        let i = pop () in
+        let a = pop () in
+        let r = fresh () in
+        emit (Ir.Iarray_load (r, a, i));
+        push r
+      | Bytecode.Array_store ->
+        let v = pop () in
+        let i = pop () in
+        let a = pop () in
+        emit (Ir.Iarray_store (a, i, v))
+      | Bytecode.Add | Bytecode.Sub | Bytecode.Mul | Bytecode.Compare ->
+        let b = pop () in
+        let a = pop () in
+        let r = fresh () in
+        let op =
+          match instr with
+          | Bytecode.Add -> Ir.Add
+          | Bytecode.Sub -> Ir.Sub
+          | Bytecode.Mul -> Ir.Mul
+          | Bytecode.Compare -> Ir.Compare
+          | Bytecode.Const _ | Bytecode.Load_local _ | Bytecode.Store_local _
+          | Bytecode.Get_field _ | Bytecode.Put_field _ | Bytecode.Get_static _
+          | Bytecode.Array_load | Bytecode.Array_store | Bytecode.Jump _
+          | Bytecode.Jump_if_zero _ | Bytecode.Call _ | Bytecode.New_object _
+          | Bytecode.Return ->
+            assert false
+        in
+        emit (Ir.Ibin (op, r, a, b));
+        push r
+      | Bytecode.Jump l ->
+        require_empty_stack ();
+        emit (Ir.Ijump l)
+      | Bytecode.Jump_if_zero l ->
+        let c = pop () in
+        require_empty_stack ();
+        emit (Ir.Ijump_if_zero (c, l))
+      | Bytecode.Call (name, n_args) ->
+        let rec take n acc = if n = 0 then acc else take (n - 1) (pop () :: acc) in
+        let args = take n_args [] in
+        let r = fresh () in
+        emit (Ir.Icall (r, name, args));
+        push r
+      | Bytecode.New_object c ->
+        let r = fresh () in
+        emit (Ir.Inew (r, c));
+        push r
+      | Bytecode.Return -> emit Ir.Iret)
+    m.Bytecode.code;
+  (List.rev !out, !next_reg)

@@ -1,0 +1,15 @@
+(** Lowering from stack {!Bytecode} to register-transfer {!Ir}.
+
+    Uses abstract interpretation of the operand stack: each push
+    allocates a fresh virtual register, so the output is close to SSA in
+    straight-line regions, which is what makes the downstream passes
+    effective. Branch targets must be reached with an empty operand
+    stack (our bytecode generator guarantees this; real Java requires
+    stack-map agreement at joins, which this restriction models). *)
+
+exception Unbalanced_stack of string
+
+val lower : Bytecode.methd -> Ir.instr list * int
+(** [lower m] is the IR and the number of virtual registers used.
+    @raise Unbalanced_stack when the operand stack discipline is
+    violated. *)

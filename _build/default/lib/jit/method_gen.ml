@@ -1,0 +1,204 @@
+type profile = {
+  benchmark : string;
+  n_methods : int;
+  avg_statements : int;
+  ref_load_weight : int;
+  arith_weight : int;
+  call_weight : int;
+  alloc_weight : int;
+  branch_weight : int;
+  seed : int;
+}
+
+let profile ~benchmark ?(n_methods = 40) ?(avg_statements = 30)
+    ?(ref_load_weight = 2) ?(arith_weight = 12) ?(call_weight = 2)
+    ?(alloc_weight = 1) ?(branch_weight = 2) ?(seed = 42) () =
+  {
+    benchmark;
+    n_methods;
+    avg_statements;
+    ref_load_weight;
+    arith_weight;
+    call_weight;
+    alloc_weight;
+    branch_weight;
+    seed;
+  }
+
+(* xorshift64*; deterministic across platforms, no [Random] state. *)
+module Rng = struct
+  type t = { mutable s : int64 }
+
+  let create seed = { s = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) }
+
+  let next t =
+    let open Int64 in
+    let x = t.s in
+    let x = logxor x (shift_left x 13) in
+    let x = logxor x (shift_right_logical x 7) in
+    let x = logxor x (shift_left x 17) in
+    t.s <- x;
+    to_int (logand x 0x3FFFFFFFFFFFFFFFL)
+
+  let below t n = if n <= 0 then 0 else next t mod n
+end
+
+type stmt = Plain of Bytecode.instr list | If of stmt list
+
+let field_names = [| "next"; "value"; "data"; "left"; "right"; "head"; "entry" |]
+let static_names = [| "Cache.root"; "Pool.head"; "Config.instance" |]
+let callee_names = [| "hash"; "compare"; "process"; "update" |]
+let class_names = [| "Node"; "Entry"; "Buffer"; "Event" |]
+
+let gen_statements profile rng n_locals depth n =
+  let local () = Rng.below rng n_locals in
+  let pick arr = arr.(Rng.below rng (Array.length arr)) in
+  let weights =
+    [
+      (profile.arith_weight, `Arith);
+      (profile.ref_load_weight, `Get_field);
+      (max 1 (profile.ref_load_weight / 2), `Get_static);
+      (max 1 (profile.ref_load_weight / 2), `Array_load);
+      (max 1 (profile.ref_load_weight / 3), `Put_field);
+      (profile.call_weight, `Call);
+      (profile.alloc_weight, `New);
+      (2, `Const);
+      ((if depth < 2 then profile.branch_weight else 0), `If);
+    ]
+  in
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weights in
+  let choose () =
+    let r = Rng.below rng total in
+    let rec pick_kind acc = function
+      | [] -> `Const
+      | (w, k) :: rest -> if r < acc + w then k else pick_kind (acc + w) rest
+    in
+    pick_kind 0 weights
+  in
+  let rec gen depth n =
+    if n = 0 then []
+    else
+      let stmt =
+        match choose () with
+        | `Arith ->
+          let op =
+            match Rng.below rng 3 with
+            | 0 -> Bytecode.Add
+            | 1 -> Bytecode.Sub
+            | _ -> Bytecode.Mul
+          in
+          Plain
+            [
+              Bytecode.Load_local (local ());
+              Bytecode.Load_local (local ());
+              op;
+              Bytecode.Store_local (local ());
+            ]
+        | `Get_field ->
+          Plain
+            [
+              Bytecode.Load_local (local ());
+              Bytecode.Get_field (pick field_names);
+              Bytecode.Store_local (local ());
+            ]
+        | `Get_static ->
+          Plain
+            [ Bytecode.Get_static (pick static_names); Bytecode.Store_local (local ()) ]
+        | `Array_load ->
+          Plain
+            [
+              Bytecode.Load_local (local ());
+              Bytecode.Load_local (local ());
+              Bytecode.Array_load;
+              Bytecode.Store_local (local ());
+            ]
+        | `Put_field ->
+          Plain
+            [
+              Bytecode.Load_local (local ());
+              Bytecode.Load_local (local ());
+              Bytecode.Put_field (pick field_names);
+            ]
+        | `Call ->
+          Plain
+            [
+              Bytecode.Load_local (local ());
+              Bytecode.Load_local (local ());
+              Bytecode.Call (pick callee_names, 2);
+              Bytecode.Store_local (local ());
+            ]
+        | `New ->
+          Plain
+            [ Bytecode.New_object (pick class_names); Bytecode.Store_local (local ()) ]
+        | `Const ->
+          Plain [ Bytecode.Const (Rng.below rng 1000); Bytecode.Store_local (local ()) ]
+        | `If ->
+          let body_len = 1 + Rng.below rng 4 in
+          If (gen (depth + 1) body_len)
+      in
+      stmt :: gen depth (n - 1)
+  in
+  gen depth n
+
+(* Flattening assigns bytecode indices; an [If] lowers to a conditional
+   jump over its body, so the operand stack is empty at every target. *)
+let flatten rng n_locals stmts =
+  let buf = ref [] in
+  let len = ref 0 in
+  let emit i =
+    buf := i :: !buf;
+    incr len
+  in
+  let rec stmt_length = function
+    | Plain instrs -> List.length instrs
+    | If body -> 2 + List.fold_left (fun acc s -> acc + stmt_length s) 0 body
+  in
+  let rec emit_stmt = function
+    | Plain instrs -> List.iter emit instrs
+    | If body ->
+      let body_len = List.fold_left (fun acc s -> acc + stmt_length s) 0 body in
+      emit (Bytecode.Load_local (Rng.below rng n_locals));
+      emit (Bytecode.Jump_if_zero (!len + 1 + body_len));
+      List.iter emit_stmt body
+  in
+  List.iter emit_stmt stmts;
+  emit Bytecode.Return;
+  Array.of_list (List.rev !buf)
+
+let generate profile =
+  let rng = Rng.create profile.seed in
+  List.init profile.n_methods (fun i ->
+      let n_locals = 4 + Rng.below rng 8 in
+      let n_statements =
+        max 3 (profile.avg_statements / 2 + Rng.below rng profile.avg_statements)
+      in
+      let stmts = gen_statements profile rng n_locals 0 n_statements in
+      {
+        Bytecode.name = Printf.sprintf "%s.m%03d" profile.benchmark i;
+        n_locals;
+        code = flatten rng n_locals stmts;
+      })
+
+let paper_suite =
+  [
+    profile ~benchmark:"antlr" ~ref_load_weight:1 ~avg_statements:26 ~seed:101 ();
+    profile ~benchmark:"bloat" ~ref_load_weight:2 ~avg_statements:30 ~seed:102 ();
+    profile ~benchmark:"chart" ~ref_load_weight:1 ~avg_statements:34 ~seed:103 ();
+    profile ~benchmark:"eclipse" ~ref_load_weight:2 ~avg_statements:40 ~seed:104 ();
+    profile ~benchmark:"fop" ~ref_load_weight:1 ~avg_statements:28 ~seed:105 ();
+    profile ~benchmark:"hsqldb" ~ref_load_weight:2 ~avg_statements:30 ~seed:106 ();
+    profile ~benchmark:"jython" ~ref_load_weight:3 ~avg_statements:32 ~seed:107 ();
+    profile ~benchmark:"luindex" ~ref_load_weight:1 ~avg_statements:24 ~seed:108 ();
+    profile ~benchmark:"lusearch" ~ref_load_weight:2 ~avg_statements:24 ~seed:109 ();
+    profile ~benchmark:"pmd" ~ref_load_weight:2 ~avg_statements:30 ~seed:110 ();
+    profile ~benchmark:"xalan" ~ref_load_weight:2 ~avg_statements:32 ~seed:111 ();
+    profile ~benchmark:"pseudojbb" ~ref_load_weight:1 ~avg_statements:30 ~seed:112 ();
+    profile ~benchmark:"compress" ~ref_load_weight:1 ~arith_weight:14 ~seed:113 ();
+    profile ~benchmark:"db" ~ref_load_weight:2 ~avg_statements:22 ~seed:114 ();
+    profile ~benchmark:"jack" ~ref_load_weight:1 ~avg_statements:26 ~seed:115 ();
+    profile ~benchmark:"javac" ~ref_load_weight:3 ~avg_statements:44 ~seed:116 ();
+    profile ~benchmark:"jess" ~ref_load_weight:1 ~avg_statements:24 ~seed:117 ();
+    profile ~benchmark:"mpegaudio" ~ref_load_weight:1 ~arith_weight:16 ~seed:118 ();
+    profile ~benchmark:"mtrt" ~ref_load_weight:3 ~arith_weight:8 ~seed:119 ();
+    profile ~benchmark:"raytrace" ~ref_load_weight:4 ~arith_weight:7 ~seed:120 ();
+  ]

@@ -1,0 +1,42 @@
+(** Deterministic synthetic method-body generator.
+
+    Section 5 measures compilation overhead over the DaCapo and
+    SPECjvm98 benchmarks; each benchmark contributes methods with a
+    characteristic mix of reference loads, arithmetic, branches, calls
+    and allocations. A {!profile} captures that mix; generation is
+    seeded and fully deterministic. All emitted bytecode keeps the
+    operand stack empty at branch targets, as {!Lowering} requires. *)
+
+type profile = {
+  benchmark : string;
+  n_methods : int;
+  avg_statements : int;  (** statements per method body *)
+  ref_load_weight : int;  (** relative frequency of getfield/getstatic/aaload *)
+  arith_weight : int;
+  call_weight : int;
+  alloc_weight : int;
+  branch_weight : int;
+  seed : int;
+}
+
+val profile :
+  benchmark:string ->
+  ?n_methods:int ->
+  ?avg_statements:int ->
+  ?ref_load_weight:int ->
+  ?arith_weight:int ->
+  ?call_weight:int ->
+  ?alloc_weight:int ->
+  ?branch_weight:int ->
+  ?seed:int ->
+  unit ->
+  profile
+
+val generate : profile -> Bytecode.methd list
+
+val paper_suite : profile list
+(** One profile per benchmark of Figure 6 (DaCapo + pseudojbb +
+    SPECjvm98), with reference-load densities varied the way the paper's
+    compilation overheads vary — raytrace the most load-heavy (its
+    compile-time overhead was the 34% maximum), javac the most
+    code-size-sensitive. *)

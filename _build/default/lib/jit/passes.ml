@@ -1,0 +1,215 @@
+type result = { instrs : Ir.instr list; visits : int }
+
+let is_region_boundary = function
+  | Ir.Ilabel _ | Ir.Ijump _ | Ir.Ijump_if_zero _ | Ir.Icall _ | Ir.Iret -> true
+  | Ir.Iconst _ | Ir.Imove _ | Ir.Ibin _ | Ir.Iload_ref _ | Ir.Istore_ref _
+  | Ir.Iload_static _ | Ir.Iarray_load _ | Ir.Iarray_store _
+  | Ir.Ibarrier_test _ | Ir.Ibarrier_call _ | Ir.Inew _ ->
+    false
+
+let constant_folding instrs =
+  let consts : (Ir.reg, int) Hashtbl.t = Hashtbl.create 32 in
+  let visits = ref 0 in
+  let fold instr =
+    incr visits;
+    if is_region_boundary instr then Hashtbl.reset consts;
+    (* A redefinition invalidates any constant previously known there. *)
+    (match Ir.defines instr with
+    | Some d -> Hashtbl.remove consts d
+    | None -> ());
+    match instr with
+    | Ir.Iconst (d, n) ->
+      Hashtbl.replace consts d n;
+      instr
+    | Ir.Ibin (op, d, a, b) ->
+      (match (Hashtbl.find_opt consts a, Hashtbl.find_opt consts b) with
+      | Some va, Some vb ->
+        let v =
+          match op with
+          | Ir.Add -> va + vb
+          | Ir.Sub -> va - vb
+          | Ir.Mul -> va * vb
+          | Ir.Compare -> compare va vb
+        in
+        Hashtbl.replace consts d v;
+        Ir.Iconst (d, v)
+      | Some _, None | None, Some _ | None, None -> instr)
+    | Ir.Imove _ | Ir.Iload_ref _ | Ir.Istore_ref _ | Ir.Iload_static _
+    | Ir.Iarray_load _ | Ir.Iarray_store _ | Ir.Ibarrier_test _
+    | Ir.Ibarrier_call _ | Ir.Ijump _ | Ir.Ijump_if_zero _ | Ir.Ilabel _
+    | Ir.Icall _ | Ir.Inew _ | Ir.Iret ->
+      instr
+  in
+  let instrs = List.map fold instrs in
+  { instrs; visits = !visits }
+
+let substitute_uses instr subst =
+  let s r = match Hashtbl.find_opt subst r with Some r' -> r' | None -> r in
+  match instr with
+  | Ir.Imove (d, a) -> Ir.Imove (d, s a)
+  | Ir.Ibin (op, d, a, b) -> Ir.Ibin (op, d, s a, s b)
+  | Ir.Iload_ref (d, o, f) -> Ir.Iload_ref (d, s o, f)
+  | Ir.Istore_ref (o, f, v) -> Ir.Istore_ref (s o, f, s v)
+  | Ir.Iarray_load (d, a, i) -> Ir.Iarray_load (d, s a, s i)
+  | Ir.Iarray_store (a, i, v) -> Ir.Iarray_store (s a, s i, s v)
+  | Ir.Ibarrier_test r -> Ir.Ibarrier_test (s r)
+  | Ir.Ibarrier_call r -> Ir.Ibarrier_call (s r)
+  | Ir.Ijump_if_zero (r, l) -> Ir.Ijump_if_zero (s r, l)
+  | Ir.Icall (d, m, args) -> Ir.Icall (d, m, List.map s args)
+  | Ir.Iconst _ | Ir.Iload_static _ | Ir.Ijump _ | Ir.Ilabel _ | Ir.Inew _
+  | Ir.Iret ->
+    instr
+
+let copy_propagation instrs =
+  let subst : (Ir.reg, Ir.reg) Hashtbl.t = Hashtbl.create 32 in
+  let visits = ref 0 in
+  let prop instr =
+    incr visits;
+    if is_region_boundary instr then Hashtbl.reset subst;
+    let instr = substitute_uses instr subst in
+    (match Ir.defines instr with
+    | Some d ->
+      Hashtbl.remove subst d;
+      (* invalidate copies *reading* the overwritten register *)
+      let stale =
+        Hashtbl.fold (fun k v acc -> if v = d then k :: acc else acc) subst []
+      in
+      List.iter (Hashtbl.remove subst) stale
+    | None -> ());
+    (match instr with
+    | Ir.Imove (d, srcr) when d <> srcr -> Hashtbl.replace subst d srcr
+    | Ir.Imove _ | Ir.Iconst _ | Ir.Ibin _ | Ir.Iload_ref _ | Ir.Istore_ref _
+    | Ir.Iload_static _ | Ir.Iarray_load _ | Ir.Iarray_store _
+    | Ir.Ibarrier_test _ | Ir.Ibarrier_call _ | Ir.Ijump _ | Ir.Ijump_if_zero _
+    | Ir.Ilabel _ | Ir.Icall _ | Ir.Inew _ | Ir.Iret ->
+      ());
+    instr
+  in
+  let instrs = List.map prop instrs in
+  { instrs; visits = !visits }
+
+let common_subexpression instrs =
+  let table : (Ir.binop * Ir.reg * Ir.reg, Ir.reg) Hashtbl.t = Hashtbl.create 32 in
+  let visits = ref 0 in
+  let cse instr =
+    incr visits;
+    if is_region_boundary instr then Hashtbl.reset table;
+    (match Ir.defines instr with
+    | Some d ->
+      let stale =
+        Hashtbl.fold
+          (fun (op, a, b) v acc ->
+            if a = d || b = d || v = d then (op, a, b) :: acc else acc)
+          table []
+      in
+      List.iter (Hashtbl.remove table) stale
+    | None -> ());
+    match instr with
+    | Ir.Ibin (op, d, a, b) ->
+      (match Hashtbl.find_opt table (op, a, b) with
+      | Some prev -> Ir.Imove (d, prev)
+      | None ->
+        Hashtbl.replace table (op, a, b) d;
+        instr)
+    | Ir.Iconst _ | Ir.Imove _ | Ir.Iload_ref _ | Ir.Istore_ref _
+    | Ir.Iload_static _ | Ir.Iarray_load _ | Ir.Iarray_store _
+    | Ir.Ibarrier_test _ | Ir.Ibarrier_call _ | Ir.Ijump _ | Ir.Ijump_if_zero _
+    | Ir.Ilabel _ | Ir.Icall _ | Ir.Inew _ | Ir.Iret ->
+      instr
+  in
+  let instrs = List.map cse instrs in
+  { instrs; visits = !visits }
+
+let dead_code_elimination ~n_locals instrs =
+  (* Registers below [n_locals] hold locals; a store to a local may be
+     observed by a later region, so locals are always live. Temporaries
+     are live only if a later instruction uses them. *)
+  let live : (Ir.reg, unit) Hashtbl.t = Hashtbl.create 64 in
+  let visits = ref 0 in
+  let keep =
+    List.rev_map
+      (fun instr ->
+        incr visits;
+        let needed =
+          Ir.has_side_effect instr
+          ||
+          match Ir.defines instr with
+          | Some d -> d < n_locals || Hashtbl.mem live d
+          | None -> true
+        in
+        if needed then begin
+          (match Ir.defines instr with Some d -> Hashtbl.remove live d | None -> ());
+          List.iter (fun r -> Hashtbl.replace live r ()) (Ir.uses instr);
+          Some instr
+        end
+        else None)
+      (List.rev instrs)
+  in
+  { instrs = List.filter_map Fun.id keep; visits = !visits }
+
+let peephole instrs =
+  let visits = ref 0 in
+  let rec go = function
+    | [] -> []
+    | Ir.Imove (d, s) :: rest when d = s ->
+      incr visits;
+      go rest
+    | Ir.Ijump l :: (Ir.Ilabel l' :: _ as rest) when l = l' ->
+      incr visits;
+      go rest
+    | instr :: rest ->
+      incr visits;
+      instr :: go rest
+  in
+  { instrs = go instrs; visits = !visits }
+
+let linear_scan_cost instrs =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let last_use = Hashtbl.create 64 in
+  Array.iteri
+    (fun i instr ->
+      List.iter (fun r -> Hashtbl.replace last_use r i) (Ir.uses instr))
+    arr;
+  let ends_at = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun r i ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt ends_at i) in
+      Hashtbl.replace ends_at i (r :: prev))
+    last_use;
+  let active = ref 0 in
+  let visits = ref 0 in
+  for i = 0 to n - 1 do
+    (match Ir.defines arr.(i) with Some _ -> incr active | None -> ());
+    visits := !visits + 1 + !active;
+    match Hashtbl.find_opt ends_at i with
+    | Some ended -> active := max 0 (!active - List.length ended)
+    | None -> ()
+  done;
+  !visits
+
+let run_pipeline ?(rounds = 3) ~n_locals instrs =
+  let total = ref 0 in
+  let step pass instrs =
+    let r = pass instrs in
+    total := !total + r.visits;
+    r.instrs
+  in
+  let round instrs =
+    instrs
+    |> step constant_folding
+    |> step copy_propagation
+    |> step common_subexpression
+    |> step (dead_code_elimination ~n_locals)
+    |> step peephole
+  in
+  let rec loop n instrs = if n = 0 then instrs else loop (n - 1) (round instrs) in
+  let final = loop rounds instrs in
+  total := !total + linear_scan_cost final;
+  (* Post-optimization expansion and emission sweeps (BURS-style lowering,
+     encoding) walk the surviving instructions several times. Barriers
+     always survive (they have side effects) while ordinary code partly
+     folds away, so their share of this late work exceeds their share of
+     the initial IR. *)
+  total := !total + (4 * List.length final);
+  (final, !total)

@@ -1,0 +1,1 @@
+lib/runtime/cyclic_alloc.ml: Array Class_registry Collector Gc_stats Header Heap_obj Lp_heap Mutator Printf Store Vm Word

@@ -1,0 +1,1 @@
+lib/runtime/cyclic_alloc.mli: Lp_heap Vm

@@ -1,0 +1,1 @@
+lib/runtime/diagnostics.ml: Array Buffer Class_registry Hashtbl Header Heap_obj List Lp_core Lp_heap Printf Store Vm Word

@@ -1,0 +1,1 @@
+lib/runtime/diagnostics.mli: Vm

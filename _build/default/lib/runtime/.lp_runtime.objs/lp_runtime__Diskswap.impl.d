@@ -1,0 +1,1 @@
+lib/runtime/diskswap.ml: Hashtbl Header Heap_obj List Lp_heap Store

@@ -1,0 +1,1 @@
+lib/runtime/diskswap.mli: Lp_heap

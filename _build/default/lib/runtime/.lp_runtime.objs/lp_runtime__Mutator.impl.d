@@ -1,0 +1,1 @@
+lib/runtime/mutator.ml: Array Class_registry Cost Diskswap Heap_obj Lp_core Lp_heap Store Vm Word

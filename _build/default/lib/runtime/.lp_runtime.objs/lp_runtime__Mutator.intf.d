@@ -1,0 +1,1 @@
+lib/runtime/mutator.mli: Heap_obj Lp_heap Vm Word

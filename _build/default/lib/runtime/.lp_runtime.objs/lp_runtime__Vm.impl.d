@@ -1,0 +1,1 @@
+lib/runtime/vm.ml: Array Class_registry Cost Diskswap Fun Gc_stats Hashtbl Header Heap_obj List Lp_core Lp_heap Minor_collector Option Printf Remset Roots Store

@@ -1,0 +1,1 @@
+lib/runtime/vm.mli: Class_registry Cost Diskswap Gc_stats Heap_obj Lp_core Lp_heap Roots Store

@@ -1,0 +1,66 @@
+type t = {
+  alloc : int;
+  alloc_per_word : int;
+  read_ref : int;
+  write_ref : int;
+  barrier_fast : int;
+  barrier_cold : int;
+  barrier_poison_check : int;
+  gc_mark_object : int;
+  gc_scan_field : int;
+  gc_untouched_bit : int;
+  gc_stale_tick_scan : int;
+  gc_candidate : int;
+  gc_stale_closure_object : int;
+  gc_selection_scan : int;
+  gc_sweep_object : int;
+  gc_root : int;
+  disk_swap_out : int;
+  disk_swap_in : int;
+  write_barrier : int;
+  gc_minor_slot : int;
+  gc_minor_promote : int;
+  gc_minor_sweep : int;
+}
+
+let core2 =
+  {
+    alloc = 24;
+    alloc_per_word = 1;
+    read_ref = 3;
+    write_ref = 4;
+    barrier_fast = 1;
+    barrier_cold = 12;
+    barrier_poison_check = 2;
+    gc_mark_object = 14;
+    gc_scan_field = 4;
+    gc_untouched_bit = 0;
+    gc_stale_tick_scan = 1;
+    gc_candidate = 4;
+    gc_stale_closure_object = 6;
+    gc_selection_scan = 2048;
+    gc_sweep_object = 4;
+    gc_root = 2;
+    disk_swap_out = 4000;
+    disk_swap_in = 12000;
+    write_barrier = 1;
+    gc_minor_slot = 2;
+    gc_minor_promote = 4;
+    gc_minor_sweep = 2;
+  }
+
+let pentium4 = { core2 with barrier_fast = 2; barrier_cold = 18; read_ref = 3 }
+
+let default = core2
+
+let gc_cost t ~(before : Lp_heap.Gc_stats.t) ~(after : Lp_heap.Gc_stats.t) =
+  let d get = get after - get before in
+  let open Lp_heap.Gc_stats in
+  (d (fun s -> s.objects_marked) * t.gc_mark_object)
+  + (d (fun s -> s.fields_scanned) * t.gc_scan_field)
+  + (d (fun s -> s.untouched_bits_set) * t.gc_untouched_bit)
+  + (d (fun s -> s.stale_tick_scans) * t.gc_stale_tick_scan)
+  + (d (fun s -> s.candidates_enqueued) * t.gc_candidate)
+  + (d (fun s -> s.stale_closure_objects) * t.gc_stale_closure_object)
+  + (d (fun s -> s.objects_swept) * t.gc_sweep_object)
+  + (d (fun s -> s.selection_scans) * t.gc_selection_scan)

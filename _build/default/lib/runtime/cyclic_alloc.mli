@@ -1,0 +1,40 @@
+(** Cyclic memory allocation — the Section 7 comparator that does NOT
+    preserve semantics.
+
+    "Cyclic memory allocation seeks to bound memory usage by controlling
+    the number of live objects produced by an allocation site to m ...
+    Cyclic memory allocation may change program semantics since the
+    program is silently corrupted if it uses more than m objects."
+    (Nguyen & Rinard; paper Section 7.)
+
+    Each allocation site owns a ring of [m] objects. While the ring is
+    filling, allocation is ordinary; once full, the site {e reuses} the
+    oldest object in place — clearing its fields and payload — and hands
+    it back as "new". If the program still held a reference to that
+    object, it now silently observes recycled contents: no error, no
+    poison, just wrong values. Contrast with leak pruning, which bounds
+    memory while intercepting every access to reclaimed data.
+
+    The [recycled_while_reachable] counter makes the silent corruption
+    observable to experiments: it counts reuses of objects that were
+    still reachable from the roots at recycle time (found with a trial
+    mark), i.e. exactly the events that may change program semantics. *)
+
+type site
+
+val site :
+  Vm.t -> class_name:string -> m:int -> n_fields:int -> scalar_bytes:int -> site
+(** Declares an allocation site producing objects of one shape, bounded
+    to [m] live instances. *)
+
+val alloc : site -> Lp_heap.Heap_obj.t
+(** Allocate from the site: fresh while the ring is below [m], recycled
+    (fields cleared in place) afterwards. Recycled objects keep their
+    identity — exactly why reuse is visible to stale references. *)
+
+val recycled : site -> int
+(** Total in-place reuses so far. *)
+
+val recycled_while_reachable : site -> int
+(** Reuses that recycled an object still reachable from the roots — the
+    potential semantic corruptions. *)

@@ -1,0 +1,181 @@
+open Lp_heap
+
+type class_stat = {
+  class_name : string;
+  objects : int;
+  bytes : int;
+  max_stale : int;
+  min_stale : int;
+}
+
+let class_histogram vm =
+  let acc : (int, class_stat ref) Hashtbl.t = Hashtbl.create 64 in
+  let registry = Vm.registry vm in
+  Store.iter_live (Vm.store vm) (fun obj ->
+      let cls = obj.Heap_obj.class_id in
+      let stale = Heap_obj.stale obj in
+      match Hashtbl.find_opt acc cls with
+      | Some stat ->
+        stat :=
+          {
+            !stat with
+            objects = !stat.objects + 1;
+            bytes = !stat.bytes + obj.Heap_obj.size_bytes;
+            max_stale = max !stat.max_stale stale;
+            min_stale = min !stat.min_stale stale;
+          }
+      | None ->
+        Hashtbl.add acc cls
+          (ref
+             {
+               class_name = Class_registry.name registry cls;
+               objects = 1;
+               bytes = obj.Heap_obj.size_bytes;
+               max_stale = stale;
+               min_stale = stale;
+             }));
+  Hashtbl.fold (fun _ stat l -> !stat :: l) acc []
+  |> List.sort (fun a b -> compare b.bytes a.bytes)
+
+let staleness_histogram vm =
+  let hist = Array.make (Header.max_stale + 1) 0 in
+  Store.iter_live (Vm.store vm) (fun obj ->
+      let k = Heap_obj.stale obj in
+      hist.(k) <- hist.(k) + 1);
+  hist
+
+let stale_bytes vm =
+  let bytes = ref 0 in
+  Store.iter_live (Vm.store vm) (fun obj ->
+      if Heap_obj.stale obj >= 2 then bytes := !bytes + obj.Heap_obj.size_bytes);
+  !bytes
+
+let top_edges vm ~n =
+  let registry = Vm.registry vm in
+  let table = Lp_core.Controller.edge_table (Vm.controller vm) in
+  let entries = ref [] in
+  Lp_core.Edge_table.iter table (fun ~src ~tgt ~max_stale_use ~bytes_used ->
+      entries :=
+        ( Class_registry.name registry src,
+          Class_registry.name registry tgt,
+          max_stale_use,
+          bytes_used )
+        :: !entries);
+  let sorted =
+    List.sort (fun (_, _, a, _) (_, _, b, _) -> compare b a) !entries
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let pruned_report vm =
+  let registry = Vm.registry vm in
+  List.map
+    (fun (src, tgt) ->
+      Printf.sprintf "%s -> %s"
+        (Class_registry.name registry src)
+        (Class_registry.name registry tgt))
+    (Lp_core.Controller.pruned_edge_types (Vm.controller vm))
+
+let summary vm =
+  let buf = Buffer.create 1024 in
+  let controller = Vm.controller vm in
+  Buffer.add_string buf
+    (Printf.sprintf "heap: %d / %d bytes reachable (%.0f%%), state %s, %d collections\n"
+       (Vm.live_bytes vm) (Vm.heap_limit vm)
+       (100.
+       *. float_of_int (Vm.live_bytes vm)
+       /. float_of_int (Vm.heap_limit vm))
+       (Lp_core.State_kind.to_string (Lp_core.Controller.state controller))
+       (Vm.gc_count vm));
+  let hist = staleness_histogram vm in
+  Buffer.add_string buf "staleness histogram (objects per counter value 0..7):\n  ";
+  Array.iter (fun n -> Buffer.add_string buf (Printf.sprintf "%d " n)) hist;
+  Buffer.add_string buf
+    (Printf.sprintf "\nstale (>=2) bytes: %d\n" (stale_bytes vm));
+  Buffer.add_string buf "largest classes by live footprint:\n";
+  List.iteri
+    (fun i stat ->
+      if i < 8 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-40s %6d objects %9d bytes (stale %d..%d)\n"
+             stat.class_name stat.objects stat.bytes stat.min_stale stat.max_stale))
+    (class_histogram vm);
+  (match top_edges vm ~n:5 with
+  | [] -> ()
+  | edges ->
+    Buffer.add_string buf "most protected reference types (maxstaleuse):\n";
+    List.iter
+      (fun (src, tgt, msu, _) ->
+        Buffer.add_string buf (Printf.sprintf "  %s -> %s (maxstaleuse %d)\n" src tgt msu))
+      edges);
+  (match pruned_report vm with
+  | [] -> ()
+  | pruned ->
+    Buffer.add_string buf "pruned reference types so far:\n";
+    List.iter (fun l -> Buffer.add_string buf ("  " ^ l ^ "\n")) pruned);
+  Buffer.contents buf
+
+let to_dot ?(max_objects = 400) vm =
+  let store = Vm.store vm in
+  let registry = Vm.registry vm in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph heap {\n  rankdir=LR;\n  node [fontsize=9];\n";
+  let count = ref 0 in
+  Store.iter_live store (fun obj ->
+      if !count < max_objects then begin
+        incr count;
+        let stale = Heap_obj.stale obj in
+        let shade = 0xF0 - (stale * 0x18) in
+        let shape =
+          if Lp_heap.Header.statics_container obj.Heap_obj.header then "box"
+          else "ellipse"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  n%d [label=\"%s\\nid=%d stale=%d\", shape=%s, style=filled, \
+              fillcolor=\"#%02x%02x%02x\"];\n"
+             obj.Heap_obj.id
+             (Class_registry.name registry obj.Heap_obj.class_id)
+             obj.Heap_obj.id stale shape shade shade 0xF8);
+        Array.iteri
+          (fun i w ->
+            if not (Word.is_null w) then
+              if Word.poisoned w then
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "  n%d -> p%d_%d [color=red, style=dashed];\n  p%d_%d \
+                      [label=\"pruned #%d\", shape=plaintext, fontcolor=red];\n"
+                     obj.Heap_obj.id obj.Heap_obj.id i obj.Heap_obj.id i
+                     (Word.target w))
+              else if Store.mem store (Word.target w) then
+                Buffer.add_string buf
+                  (Printf.sprintf "  n%d -> n%d;\n" obj.Heap_obj.id (Word.target w)))
+          obj.Heap_obj.fields
+      end);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let heap_check vm =
+  let store = Vm.store vm in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let bytes = ref 0 in
+  Store.iter_live store (fun obj ->
+      bytes := !bytes + obj.Heap_obj.size_bytes;
+      if Header.marked obj.Heap_obj.header then
+        fail
+          (Printf.sprintf "object %d carries a mark bit outside a collection"
+             obj.Heap_obj.id);
+      Array.iteri
+        (fun i w ->
+          if (not (Word.is_null w)) && not (Word.poisoned w) then
+            if not (Store.mem store (Word.target w)) then
+              fail
+                (Printf.sprintf
+                   "object %d field %d references reclaimed object %d without poison"
+                   obj.Heap_obj.id i (Word.target w)))
+        obj.Heap_obj.fields);
+  if !bytes <> Store.used_bytes store then
+    fail
+      (Printf.sprintf "byte accounting: traversal found %d, store reports %d"
+         !bytes (Store.used_bytes store));
+  match !error with None -> Ok () | Some msg -> Error msg

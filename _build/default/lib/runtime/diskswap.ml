@@ -1,0 +1,78 @@
+open Lp_heap
+
+type config = {
+  disk_limit_bytes : int;
+  offload_stale_threshold : int;
+  offload_occupancy : float;
+}
+
+let default_config ~disk_limit_bytes =
+  { disk_limit_bytes; offload_stale_threshold = 2; offload_occupancy = 0.9 }
+
+type t = {
+  config : config;
+  resident : (int, int) Hashtbl.t;  (* object id -> size in bytes *)
+  mutable resident_total : int;
+  mutable swap_outs : int;
+  mutable swap_ins : int;
+}
+
+exception Out_of_disk of { resident_bytes : int; limit_bytes : int }
+
+let create config = { config; resident = Hashtbl.create 1024; resident_total = 0; swap_outs = 0; swap_ins = 0 }
+
+let resident_bytes t = t.resident_total
+
+let resident_count t = Hashtbl.length t.resident
+
+let is_resident t id = Hashtbl.mem t.resident id
+
+let total_swap_outs t = t.swap_outs
+
+let total_swap_ins t = t.swap_ins
+
+(* Objects reclaimed by the sweep release their disk space. Runs before
+   any allocation can recycle an identifier, so a live id here is still
+   the same object. *)
+let reconcile t store =
+  let dead = ref [] in
+  Hashtbl.iter (fun id size -> if not (Store.mem store id) then dead := (id, size) :: !dead) t.resident;
+  List.iter
+    (fun (id, size) ->
+      Hashtbl.remove t.resident id;
+      t.resident_total <- t.resident_total - size)
+    !dead
+
+let offload_one t (obj : Heap_obj.t) =
+  Hashtbl.replace t.resident obj.Heap_obj.id obj.Heap_obj.size_bytes;
+  t.resident_total <- t.resident_total + obj.Heap_obj.size_bytes;
+  t.swap_outs <- t.swap_outs + 1
+
+let after_gc t store =
+  reconcile t store;
+  let limit = Store.limit_bytes store in
+  let in_memory () = Store.live_bytes store - t.resident_total in
+  if float_of_int (in_memory ()) /. float_of_int limit > t.config.offload_occupancy
+  then
+    Store.iter_live store (fun obj ->
+        (* statics containers model immortal space: never offloaded *)
+        if
+          Heap_obj.stale obj >= t.config.offload_stale_threshold
+          && (not (Header.statics_container obj.Heap_obj.header))
+          && not (Hashtbl.mem t.resident obj.Heap_obj.id)
+        then offload_one t obj);
+  Store.set_swapped_out_bytes store t.resident_total;
+  if t.resident_total > t.config.disk_limit_bytes then
+    raise
+      (Out_of_disk
+         { resident_bytes = t.resident_total; limit_bytes = t.config.disk_limit_bytes })
+
+let retrieve t store (obj : Heap_obj.t) =
+  match Hashtbl.find_opt t.resident obj.Heap_obj.id with
+  | None -> false
+  | Some size ->
+    Hashtbl.remove t.resident obj.Heap_obj.id;
+    t.resident_total <- t.resident_total - size;
+    t.swap_ins <- t.swap_ins + 1;
+    Store.set_swapped_out_bytes store t.resident_total;
+    true

@@ -1,0 +1,55 @@
+(** Disk-offloading leak-tolerance baseline (Melt / LeakSurvivor style).
+
+    The prior systems the paper compares against (Section 7) tolerate
+    leaks by transferring highly stale objects to disk and retrieving
+    them if the program ever accesses them. Mispredictions are therefore
+    cheap (a disk fault) rather than fatal — but disk is finite, so "all
+    will eventually exhaust disk space and crash".
+
+    This module models that behaviour: after a collection that leaves the
+    heap nearly full, every live object whose stale counter has reached
+    the offload threshold is moved to a bounded simulated disk. Offloaded
+    bytes stop counting against the heap limit; a read-barrier access to
+    an offloaded object faults it back in (the VM charges the fault
+    cost). When resident disk bytes exceed the disk limit the run dies
+    with {!Out_of_disk}.
+
+    Used by the Section 6 comparison on JbbMod (Melt and LeakSurvivor
+    tolerate it until the disk fills; leak pruning is bounded-memory) and
+    to ground Table 2's "Most stale" column, which is these systems'
+    prediction algorithm. *)
+
+type config = {
+  disk_limit_bytes : int;
+  offload_stale_threshold : int;  (** default 2: "highly stale" *)
+  offload_occupancy : float;  (** offload when live/limit exceeds this; default 0.9 *)
+}
+
+val default_config : disk_limit_bytes:int -> config
+
+type t
+
+exception Out_of_disk of { resident_bytes : int; limit_bytes : int }
+
+val create : config -> t
+
+val resident_bytes : t -> int
+
+val resident_count : t -> int
+
+val is_resident : t -> int -> bool
+(** Whether the object with this identifier currently lives on disk. *)
+
+val total_swap_outs : t -> int
+
+val total_swap_ins : t -> int
+
+val after_gc : t -> Lp_heap.Store.t -> unit
+(** Post-sweep hook: reconciles entries for objects that died, then
+    offloads stale objects if the heap is still too full, updating the
+    store's swapped-out credit.
+    @raise Out_of_disk when the disk limit is exceeded. *)
+
+val retrieve : t -> Lp_heap.Store.t -> Lp_heap.Heap_obj.t -> bool
+(** Faults an object back in on program access. Returns whether a disk
+    fault actually happened (for cost accounting). *)

@@ -1,0 +1,81 @@
+open Lp_heap
+
+let charge_barrier vm n = if Vm.charge_barriers vm then Vm.charge vm n
+
+let read vm (src : Heap_obj.t) i =
+  Vm.assert_live vm src;
+  let cost = Vm.cost vm in
+  Vm.charge vm cost.Cost.read_ref;
+  charge_barrier vm cost.Cost.barrier_fast;
+  let w = src.Heap_obj.fields.(i) in
+  if Word.is_null w then None
+  else if Word.poisoned w then begin
+    charge_barrier vm (cost.Cost.barrier_cold + cost.Cost.barrier_poison_check);
+    let tgt_class =
+      match Store.get_opt (Vm.store vm) (Word.target w) with
+      | Some obj -> Class_registry.name (Vm.registry vm) obj.Heap_obj.class_id
+      | None -> "<reclaimed>"
+    in
+    raise (Lp_core.Controller.poisoned_access_error (Vm.controller vm) ~src ~tgt_class)
+  end
+  else begin
+    let tgt = Store.get (Vm.store vm) (Word.target w) in
+    if Word.untouched w then begin
+      (* Out-of-line cold path: first use of this reference since the last
+         collection scanned it. *)
+      charge_barrier vm cost.Cost.barrier_cold;
+      src.Heap_obj.fields.(i) <- Word.clear_untouched w;
+      Lp_core.Controller.on_stale_use (Vm.controller vm) ~src ~tgt;
+      Heap_obj.set_stale tgt 0
+    end;
+    (match Vm.disk vm with
+    | Some d ->
+      if Diskswap.retrieve d (Vm.store vm) tgt then
+        Vm.charge vm cost.Cost.disk_swap_in
+    | None -> ());
+    Some tgt
+  end
+
+let read_exn vm src i =
+  match read vm src i with
+  | Some obj -> obj
+  | None -> invalid_arg "Mutator.read_exn: null reference"
+
+let write vm (src : Heap_obj.t) i tgt =
+  Vm.assert_live vm src;
+  let cost = Vm.cost vm in
+  Vm.charge vm cost.Cost.write_ref;
+  match tgt with
+  | None -> src.Heap_obj.fields.(i) <- Word.null
+  | Some (obj : Heap_obj.t) ->
+    Vm.assert_live vm obj;
+    Vm.remember_write vm ~src ~field:i ~tgt:obj;
+    src.Heap_obj.fields.(i) <- Word.of_id obj.Heap_obj.id
+
+let write_obj vm src i obj = write vm src i (Some obj)
+
+let clear vm src i = write vm src i None
+
+let arraycopy vm ~src ~src_pos ~dst ~dst_pos ~len =
+  Vm.assert_live vm src;
+  Vm.assert_live vm dst;
+  let cost = Vm.cost vm in
+  Vm.charge vm (len * (cost.Cost.read_ref + cost.Cost.write_ref));
+  Array.blit src.Heap_obj.fields src_pos dst.Heap_obj.fields dst_pos len;
+  if Vm.generational vm then
+    (* the intrinsic still honours the generational write barrier *)
+    for i = dst_pos to dst_pos + len - 1 do
+      let w = dst.Heap_obj.fields.(i) in
+      if (not (Word.is_null w)) && not (Word.poisoned w) then
+        match Store.get_opt (Vm.store vm) (Word.target w) with
+        | Some tgt -> Vm.remember_write vm ~src:dst ~field:i ~tgt
+        | None -> ()
+    done
+
+let field_is_poisoned vm (src : Heap_obj.t) i =
+  Vm.assert_live vm src;
+  Word.poisoned src.Heap_obj.fields.(i)
+
+let field_word vm (src : Heap_obj.t) i =
+  Vm.assert_live vm src;
+  src.Heap_obj.fields.(i)

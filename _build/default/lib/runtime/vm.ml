@@ -1,0 +1,255 @@
+open Lp_heap
+
+type gc_record = {
+  gc_number : int;
+  live_bytes_after : int;
+  state : Lp_core.State_kind.t;
+}
+
+type t = {
+  registry : Class_registry.t;
+  store : Store.t;
+  roots : Roots.t;
+  stats : Gc_stats.t;
+  controller : Lp_core.Controller.t;
+  cost : Cost.t;
+  charge_barriers : bool;
+  disk : Diskswap.t option;
+  finalizers : (int, Heap_obj.t -> unit) Hashtbl.t;
+  statics_objects : (string, Heap_obj.t) Hashtbl.t;
+  main_thread : Roots.thread;
+  nursery_limit : int option;
+  remset : Remset.t;
+  mutable minor_collections : int;
+  mutable cycles : int;
+  mutable gc_cycles : int;
+  mutable gc_listener : (gc_record -> unit) option;
+  mutable gc_history : gc_record list;  (* reverse order *)
+}
+
+let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
+    ?(charge_barriers = true) ?disk ?nursery_bytes ~heap_bytes () =
+  (match nursery_bytes with
+  | Some n when n <= 0 || n >= heap_bytes ->
+    invalid_arg "Vm.create: nursery_bytes must be in (0, heap_bytes)"
+  | Some _ | None -> ());
+  let registry = Class_registry.create () in
+  let roots = Roots.create () in
+  {
+    registry;
+    store = Store.create ~limit_bytes:heap_bytes;
+    roots;
+    stats = Gc_stats.create ();
+    controller = Lp_core.Controller.create config registry;
+    cost;
+    charge_barriers;
+    disk = Option.map Diskswap.create disk;
+    finalizers = Hashtbl.create 64;
+    statics_objects = Hashtbl.create 16;
+    main_thread = Roots.spawn_thread roots;
+    nursery_limit = nursery_bytes;
+    remset = Remset.create ();
+    minor_collections = 0;
+    cycles = 0;
+    gc_cycles = 0;
+    gc_listener = None;
+    gc_history = [];
+  }
+
+let store t = t.store
+let roots t = t.roots
+let registry t = t.registry
+let stats t = t.stats
+let controller t = t.controller
+let cost t = t.cost
+let disk t = t.disk
+let charge_barriers t = t.charge_barriers
+
+let register_class t name = Class_registry.register t.registry name
+
+let main_thread t = t.main_thread
+
+let spawn_thread t = Roots.spawn_thread t.roots
+
+let kill_thread t thread = Roots.kill_thread t.roots thread
+
+let deref t id = Store.get t.store id
+
+let charge t n = t.cycles <- t.cycles + n
+
+let work t n =
+  if n < 0 then invalid_arg "Vm.work";
+  charge t n
+
+let cycles t = t.cycles
+
+let gc_cycles t = t.gc_cycles
+
+let gc_count t = t.stats.Gc_stats.collections
+
+let minor_gc_count t = t.minor_collections
+
+let generational t = t.nursery_limit <> None
+
+let remember_write t ~src ~field ~tgt =
+  if
+    t.nursery_limit <> None
+    && (not (Header.in_nursery src.Heap_obj.header))
+    && Header.in_nursery tgt.Heap_obj.header
+  then begin
+    charge t t.cost.Cost.write_barrier;
+    Remset.add t.remset ~src_id:src.Heap_obj.id ~field
+  end
+
+let run_minor_gc t =
+  t.minor_collections <- t.minor_collections + 1;
+  let r = Minor_collector.collect t.store t.roots ~remset:t.remset in
+  let minor_cost =
+    (r.Minor_collector.slots_scanned * t.cost.Cost.gc_minor_slot)
+    + (r.Minor_collector.promoted_objects * t.cost.Cost.gc_minor_promote)
+    + (r.Minor_collector.freed_objects * t.cost.Cost.gc_minor_sweep)
+  in
+  t.cycles <- t.cycles + minor_cost;
+  t.gc_cycles <- t.gc_cycles + minor_cost
+
+let set_gc_listener t listener = t.gc_listener <- listener
+
+let gc_history t = List.rev t.gc_history
+
+let live_bytes t =
+  Store.live_bytes t.store
+  - (match t.disk with Some d -> Diskswap.resident_bytes d | None -> 0)
+
+let used_bytes t = Store.used_bytes t.store
+
+let heap_limit t = Store.limit_bytes t.store
+
+let assert_live t (obj : Heap_obj.t) =
+  match Store.get_opt t.store obj.Heap_obj.id with
+  | Some live when live == obj -> ()
+  | Some _ | None -> raise (Store.Dangling_reference obj.Heap_obj.id)
+
+let run_finalizer t (obj : Heap_obj.t) =
+  match Hashtbl.find_opt t.finalizers obj.Heap_obj.id with
+  | Some f ->
+    Hashtbl.remove t.finalizers obj.Heap_obj.id;
+    f obj
+  | None -> ()
+
+let run_gc t =
+  let before = Gc_stats.copy t.stats in
+  Lp_core.Controller.collect ~on_finalize:(run_finalizer t) t.controller t.store
+    t.roots ~stats:t.stats;
+  if t.nursery_limit <> None then begin
+    (* a full-heap collection empties the nursery: every survivor is
+       mature afterwards *)
+    Store.iter_live t.store (Store.promote t.store);
+    Remset.clear t.remset
+  end;
+  (match t.disk with Some d -> Diskswap.after_gc d t.store | None -> ());
+  let gc_cost =
+    Cost.gc_cost t.cost ~before ~after:t.stats
+    + (Roots.root_count t.roots * t.cost.Cost.gc_root)
+  in
+  t.cycles <- t.cycles + gc_cost;
+  t.gc_cycles <- t.gc_cycles + gc_cost;
+  let record =
+    {
+      gc_number = t.stats.Gc_stats.collections;
+      live_bytes_after = live_bytes t;
+      state = Lp_core.Controller.state t.controller;
+    }
+  in
+  t.gc_history <- record :: t.gc_history;
+  match t.gc_listener with Some f -> f record | None -> ()
+
+(* The allocation slow path: collect, then keep advancing through the
+   controller's SELECT/PRUNE protocol while it reports progress is
+   possible. Under the disk baseline the post-collection offload is the
+   only recourse, so a second failure is fatal. [attempts] bounds the
+   retries for one allocation: if the collector cannot free the request
+   within that many collections the VM has ground to a halt and the
+   out-of-memory error is thrown (a forced state, for example, can never
+   prune). *)
+let max_slow_path_attempts = 24
+
+let rec alloc_slow_path t size attempts =
+  run_gc t;
+  if Store.would_overflow t.store size then begin
+    let config = Lp_core.Controller.config t.controller in
+    let pruning_active =
+      config.Lp_core.Config.policy <> Lp_core.Policy.None_
+      && config.Lp_core.Config.force_state = None
+    in
+    match t.disk with
+    | Some _ when not pruning_active ->
+      (* Disk-only baseline: the post-collection offload is the only
+         recourse. A couple of retry collections let staleness reach the
+         offload threshold (counters only move at collections); after
+         that, a failure is fatal. *)
+      if attempts < 4 then alloc_slow_path t size (attempts + 1)
+      else
+        raise
+          (Lp_core.Errors.out_of_memory
+             ~gc_count:t.stats.Gc_stats.collections
+             ~used_bytes:(Store.used_bytes t.store)
+             ~limit_bytes:(Store.limit_bytes t.store))
+    | Some _ | None ->
+      if attempts >= max_slow_path_attempts then
+        raise
+          (Lp_core.Errors.out_of_memory
+             ~gc_count:t.stats.Gc_stats.collections
+             ~used_bytes:(Store.used_bytes t.store)
+             ~limit_bytes:(Store.limit_bytes t.store))
+      else begin
+        match
+          Lp_core.Controller.on_allocation_failure t.controller t.store
+            ~requested:size
+        with
+        | `Retry -> alloc_slow_path t size (attempts + 1)
+        | `Out_of_memory e -> raise e
+      end
+  end
+
+let alloc_class t ~class_id ?(scalar_bytes = 0) ?finalizer ~n_fields () =
+  let size = Heap_obj.size_of ~n_fields ~scalar_bytes in
+  charge t (t.cost.Cost.alloc + (t.cost.Cost.alloc_per_word * (size / Heap_obj.word_size)));
+  (match t.nursery_limit with
+  | Some limit when Store.nursery_bytes t.store + size > limit -> run_minor_gc t
+  | Some _ | None -> ());
+  if Store.would_overflow t.store size then alloc_slow_path t size 0;
+  let obj =
+    Store.alloc_generation t.store ~nursery:(t.nursery_limit <> None) ~class_id
+      ~n_fields ~scalar_bytes
+      ~finalizable:(finalizer <> None)
+  in
+  (match finalizer with
+  | Some f -> Hashtbl.replace t.finalizers obj.Heap_obj.id f
+  | None -> ());
+  obj
+
+let alloc t ~class_name ?scalar_bytes ?finalizer ~n_fields () =
+  let class_id = register_class t class_name in
+  alloc_class t ~class_id ?scalar_bytes ?finalizer ~n_fields ()
+
+let statics t ~class_name ~n_fields =
+  match Hashtbl.find_opt t.statics_objects class_name with
+  | Some obj ->
+    if Array.length obj.Heap_obj.fields <> n_fields then
+      invalid_arg
+        (Printf.sprintf "Vm.statics: %s registered with %d fields, requested %d"
+           class_name
+           (Array.length obj.Heap_obj.fields)
+           n_fields);
+    obj
+  | None ->
+    let obj = alloc t ~class_name:(class_name ^ "$Statics") ~n_fields () in
+    obj.Heap_obj.header <- Header.set_statics_container obj.Heap_obj.header;
+    Roots.add_static_root t.roots obj.Heap_obj.id;
+    Hashtbl.replace t.statics_objects class_name obj;
+    obj
+
+let with_frame t ?thread ~n_slots f =
+  let thread = match thread with Some th -> th | None -> t.main_thread in
+  let frame = Roots.push_frame thread ~n_slots in
+  Fun.protect ~finally:(fun () -> Roots.pop_frame thread) (fun () -> f frame)

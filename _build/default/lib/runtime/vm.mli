@@ -1,0 +1,160 @@
+(** The simulated virtual machine.
+
+    A VM assembles the substrate (object store, roots, collector) with
+    the leak pruning controller and the cost model, and exposes the
+    program-facing services: class registration, statics, threads and
+    frames, allocation with the collection/out-of-memory protocol of
+    paper Section 2, and cycle accounting. Reference {e reads} go through
+    {!Mutator}, which implements the read barrier.
+
+    Programs (workloads) must follow heap discipline: any object held
+    across a potential collection point (any allocation) must be
+    reachable from a root — a static field, an object field, or a frame
+    slot obtained from {!with_frame}. The VM detects violations: touching
+    a reclaimed object raises {!Lp_heap.Store.Dangling_reference}. *)
+
+open Lp_heap
+
+type t
+
+type gc_record = {
+  gc_number : int;
+  live_bytes_after : int;
+  state : Lp_core.State_kind.t;  (** state in which the collection ran *)
+}
+
+val create :
+  ?config:Lp_core.Config.t ->
+  ?cost:Cost.t ->
+  ?charge_barriers:bool ->
+  ?disk:Diskswap.config ->
+  ?nursery_bytes:int ->
+  heap_bytes:int ->
+  unit ->
+  t
+(** [charge_barriers] controls only the {e cycle cost} of read barriers,
+    never their semantics (the paper's "unmodified Jikes RVM" baseline
+    compiles no barriers; we model that as charging nothing for them).
+    [nursery_bytes] enables generational mode, as in the paper's MMTk
+    substrate: allocation goes to a logical nursery of that size, cheap
+    minor collections promote survivors, and only full-heap collections
+    drive leak pruning. Defaults: paper-default pruning config, default
+    costs, barriers charged, no disk baseline, non-generational. *)
+
+(** {1 Components} *)
+
+val store : t -> Store.t
+val roots : t -> Roots.t
+val registry : t -> Class_registry.t
+val stats : t -> Gc_stats.t
+val controller : t -> Lp_core.Controller.t
+val cost : t -> Cost.t
+val disk : t -> Diskswap.t option
+val charge_barriers : t -> bool
+
+(** {1 Classes and statics} *)
+
+val register_class : t -> string -> Class_registry.id
+
+val statics : t -> class_name:string -> n_fields:int -> Heap_obj.t
+(** The per-class statics object (class ["<name>$Statics"]), allocated
+    and registered as a permanent root on first request. Subsequent
+    requests return the same object; [n_fields] must then match. *)
+
+(** {1 Threads and frames} *)
+
+val main_thread : t -> Roots.thread
+
+val spawn_thread : t -> Roots.thread
+
+val kill_thread : t -> Roots.thread -> unit
+
+val with_frame : t -> ?thread:Roots.thread -> n_slots:int -> (Roots.frame -> 'a) -> 'a
+(** Pushes a frame (on the main thread by default), runs the function,
+    and pops the frame even on exceptions. *)
+
+val deref : t -> int -> Heap_obj.t
+(** Resolve a frame-slot object identifier. Local-variable access is not
+    a heap reference load, so no barrier runs and no staleness clears. *)
+
+(** {1 Allocation} *)
+
+val alloc :
+  t ->
+  class_name:string ->
+  ?scalar_bytes:int ->
+  ?finalizer:(Heap_obj.t -> unit) ->
+  n_fields:int ->
+  unit ->
+  Heap_obj.t
+(** Allocates an object, running collections (and, when pruning is
+    enabled and engaged, SELECT/PRUNE collections) as needed.
+    @raise Lp_core.Errors.Out_of_memory when memory is exhausted and
+    cannot be reclaimed.
+    @raise Diskswap.Out_of_disk under the disk baseline when the disk
+    fills. *)
+
+val alloc_class :
+  t ->
+  class_id:Class_registry.id ->
+  ?scalar_bytes:int ->
+  ?finalizer:(Heap_obj.t -> unit) ->
+  n_fields:int ->
+  unit ->
+  Heap_obj.t
+(** Same, for a pre-registered class id (avoids the name lookup on hot
+    paths). *)
+
+(** {1 Collection} *)
+
+val run_gc : t -> unit
+(** Forces a full-heap collection now (used by tests and experiments;
+    programs normally collect only on allocation pressure). *)
+
+val gc_count : t -> int
+(** Full-heap collections (the ones leak pruning works in). *)
+
+val minor_gc_count : t -> int
+(** Minor (nursery) collections; 0 unless generational mode is on. *)
+
+val generational : t -> bool
+
+val remember_write : t -> src:Heap_obj.t -> field:int -> tgt:Heap_obj.t -> unit
+(** Generational write barrier: records a mature-to-nursery reference
+    slot in the remembered set (no-op otherwise). Called by {!Mutator}. *)
+
+val set_gc_listener : t -> (gc_record -> unit) option -> unit
+(** Invoked after every collection; used by the harness to record the
+    reachable-memory series of Figures 1 and 9. *)
+
+val gc_history : t -> gc_record list
+(** All collections so far, oldest first. *)
+
+(** {1 Time} *)
+
+val cycles : t -> int
+(** Total simulated cycles: mutator work plus collector work. *)
+
+val gc_cycles : t -> int
+(** Collector share of {!cycles}. *)
+
+val work : t -> int -> unit
+(** Charge non-reference computation (the workload's "real work"). *)
+
+val charge : t -> int -> unit
+(** Charge arbitrary mutator cycles (used by {!Mutator}). *)
+
+(** {1 Introspection} *)
+
+val live_bytes : t -> int
+(** Reachable bytes retained by the last collection (on-disk bytes under
+    the disk baseline are excluded). *)
+
+val used_bytes : t -> int
+
+val heap_limit : t -> int
+
+val assert_live : t -> Heap_obj.t -> unit
+(** @raise Store.Dangling_reference when the object has been reclaimed
+    (a heap-discipline violation in the calling program, or a collector
+    bug). *)

@@ -1,0 +1,1 @@
+lib/workloads/dacapo.ml: Heap_obj Jheap List Lp_heap Lp_runtime Mutator Rand Roots Vm Workload

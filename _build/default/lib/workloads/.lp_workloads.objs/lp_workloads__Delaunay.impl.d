@@ -1,0 +1,1 @@
+lib/workloads/delaunay.ml: Heap_obj Jheap Lp_heap Lp_runtime Mutator Rand Roots Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/delaunay.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/eclipse_cp.ml: Heap_obj Jheap Lp_heap Lp_runtime Mutator Printf Roots Vm Workload

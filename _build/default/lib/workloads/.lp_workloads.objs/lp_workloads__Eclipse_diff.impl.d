@@ -1,0 +1,1 @@
+lib/workloads/eclipse_diff.ml: Heap_obj Jheap Lp_heap Lp_runtime Mutator Roots Vm Workload

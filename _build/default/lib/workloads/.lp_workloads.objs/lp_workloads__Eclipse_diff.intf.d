@@ -1,0 +1,1 @@
+lib/workloads/eclipse_diff.mli: Workload

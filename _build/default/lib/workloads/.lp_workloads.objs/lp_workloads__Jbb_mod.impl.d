@@ -1,0 +1,1 @@
+lib/workloads/jbb_mod.ml: Heap_obj Jheap Lp_heap Lp_runtime Mutator Roots Vm Workload

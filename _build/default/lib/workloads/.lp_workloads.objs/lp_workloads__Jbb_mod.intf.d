@@ -1,0 +1,1 @@
+lib/workloads/jbb_mod.mli: Workload

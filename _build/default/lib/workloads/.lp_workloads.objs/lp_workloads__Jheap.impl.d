@@ -1,0 +1,1 @@
+lib/workloads/jheap.ml: Hashtbl Heap_obj Lp_heap Lp_runtime Mutator Option Roots Vm

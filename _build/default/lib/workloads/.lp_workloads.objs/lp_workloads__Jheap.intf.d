@@ -1,0 +1,1 @@
+lib/workloads/jheap.mli: Heap_obj Lp_heap Lp_runtime Vm

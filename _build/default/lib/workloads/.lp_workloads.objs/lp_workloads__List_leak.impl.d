@@ -1,0 +1,1 @@
+lib/workloads/list_leak.ml: Heap_obj Jheap Lp_heap Lp_runtime Roots Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/list_leak.mli: Workload

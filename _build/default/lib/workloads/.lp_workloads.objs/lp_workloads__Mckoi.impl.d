@@ -1,0 +1,1 @@
+lib/workloads/mckoi.ml: Heap_obj List Lp_heap Lp_runtime Mutator Roots Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/mckoi.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/mysql_leak.mli: Workload

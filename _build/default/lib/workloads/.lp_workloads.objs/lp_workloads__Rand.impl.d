@@ -1,0 +1,1 @@
+lib/workloads/rand.ml: Int64

@@ -1,0 +1,1 @@
+lib/workloads/spec_jbb.ml: Heap_obj Jheap Lp_heap Lp_runtime Mutator Printf Roots Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/swap_leak.ml: Heap_obj Jheap Lp_heap Lp_runtime Mutator Roots Vm Workload

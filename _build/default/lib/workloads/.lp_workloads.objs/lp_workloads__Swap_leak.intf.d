@@ -1,0 +1,1 @@
+lib/workloads/swap_leak.mli: Workload

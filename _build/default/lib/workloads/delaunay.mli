@@ -1,0 +1,9 @@
+(** Delaunay — a short-running mesh refinement program.
+
+    Unlike the other leaks it does not use an unbounded amount of
+    memory; it simply keeps its mesh reachable longer than needed and
+    finishes. Leak pruning does not have time to observe it and prune
+    references, so it provides no help — and none is needed (Table 1:
+    "No help — Short-running"). *)
+
+val workload : Workload.t

@@ -1,0 +1,11 @@
+(** DualLeak — the 55-line IBM developerWorks microbenchmark.
+
+    Two leaks grow side by side, and the dominant one is {e live}: the
+    program traverses its whole list every iteration, reading every
+    element, so reachability and liveness agree and no
+    semantics-preserving approach can reclaim it (Table 1: "No help —
+    None reclaimed"). A small dead side-leak exists, but reclaiming it
+    barely moves the end date (Table 2: all policies within a few
+    iterations of Base). *)
+
+val workload : Workload.t

@@ -1,0 +1,16 @@
+(** EclipseCP — Eclipse bug #155889 (cut-save-paste-save leaks).
+
+    Repeatedly cutting ~3 MB of text, saving, pasting and saving leaks
+    large strings referenced by undo-manager commands and document
+    events. Leak pruning repeatedly reclaims the reference types
+    [DefaultUndoManager$TextCommand -> String] and
+    [DocumentEvent -> String]; steady-state reachable memory still
+    creeps upward (object caches whose entries are periodically used
+    earn high [maxstaleuse] and resist pruning), so space eventually
+    gets so tight that SELECT turns to other reference types — the paper
+    reclaims over 100 distinct types — until the program uses a
+    reclaimed instance and stops with the deferred error. The paper runs
+    11 iterations under Base and 971 (81×) with leak pruning
+    (Figures 9 and 10). *)
+
+val workload : Workload.t

@@ -1,0 +1,27 @@
+(** EclipseDiff — Eclipse bug #115789 (structural compare leaks).
+
+    Each structural diff creates an entry in the NavigationHistory
+    component pointing to a ResourceCompareInput; Eclipse traverses the
+    history and accesses the entries and inputs (they are live), but a
+    large dead subtree with the diff results is rooted at each input.
+    Leak pruning selects and prunes several edge types with source type
+    ResourceCompareInput, turning a fast-growing leak into a very
+    slow-growing one: the paper runs it >200× longer (55,780 iterations,
+    24 hours, Figures 1 and 8).
+
+    Model notes: each iteration also allocates short-lived scratch
+    objects (real diff computation garbage); these drive regular
+    collections well before exhaustion, giving the OBSERVE state time to
+    learn the [maxstaleuse] protection for the navigation list — the
+    dynamic the paper's 50%-threshold OBSERVE state exists to create.
+
+    [fixed] builds the manually patched version (the paper's dashed line
+    in Figure 1): the diff subtree reference is cleared when the entry
+    is appended, so reachable memory stays flat. *)
+
+val workload : Workload.t
+
+val fixed : Workload.t
+
+val subtree_bytes : int
+(** Approximate dead bytes per diff; used by tests. *)

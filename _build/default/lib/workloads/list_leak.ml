@@ -1,0 +1,32 @@
+open Lp_heap
+open Lp_runtime
+
+let nodes_per_iteration = 5
+let payload_bytes = 100
+
+let prepare vm =
+  let statics = Vm.statics vm ~class_name:"ListLeak" ~n_fields:1 in
+  fun () ->
+    for _i = 1 to nodes_per_iteration do
+      Vm.with_frame vm ~n_slots:1 (fun frame ->
+          let payload =
+            Vm.alloc vm ~class_name:"ListLeak$Payload" ~scalar_bytes:payload_bytes
+              ~n_fields:0 ()
+          in
+          Roots.set_slot frame 0 payload.Heap_obj.id;
+          ignore
+            (Jheap.List_field.push vm ~node_class:"ListLeak$Node" ~holder:statics
+               ~field:0
+               ~payload:(Some (Vm.deref vm (Roots.get_slot frame 0)))))
+    done;
+    Vm.work vm 400
+
+let workload =
+  {
+    Workload.name = "ListLeak";
+    description = "growing static list, elements never used again (9 LOC)";
+    category = Workload.All_dead;
+    default_heap_bytes = 100_000;
+    fixed_iterations = None;
+    prepare;
+  }

@@ -1,0 +1,9 @@
+(** ListLeak — the 9-line Sun Developer Network microbenchmark.
+
+    A static list grows forever; nothing ever reads the nodes again, so
+    every leaked byte is dead. Leak pruning repeatedly selects and
+    prunes the node-to-node reference type and runs the program
+    indefinitely (Table 1: "Runs indefinitely — All reclaimed";
+    Table 2: every policy except Base tolerates it). *)
+
+val workload : Workload.t

@@ -1,0 +1,10 @@
+(** Mckoi SQL Database — primarily a thread leak.
+
+    Each iteration leaks worker threads that never terminate. A thread's
+    stack is a root the collector cannot reclaim (the paper notes its
+    implementation cannot reclaim thread stacks), and each leaked thread
+    pins a live-ish connection; but the connections reference dead
+    buffers, which leak pruning reclaims, running the program 60% longer
+    (Table 1: "Runs 1.6X longer — Some reclaimed"). *)
+
+val workload : Workload.t

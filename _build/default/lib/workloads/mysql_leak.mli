@@ -1,0 +1,12 @@
+(** MySQL — a JDBC application leaking executed statements.
+
+    The JDBC library keeps already-executed SQL statements in a
+    collection unless the connection or statements are explicitly
+    closed. The statements live in a hash table that periodically grows
+    and rehashes its elements, touching every statement — so the table
+    and the statements themselves are live. But each statement
+    references a dead result/metadata structure with relatively many
+    bytes, so leak pruning selects several reference types with
+    statement sources and runs the program 35× longer (Table 1). *)
+
+val workload : Workload.t

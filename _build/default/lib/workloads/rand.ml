@@ -1,0 +1,14 @@
+type t = { mutable s : int64 }
+
+let create seed = { s = Int64.of_int (if seed = 0 then 0x2545F491 else seed) }
+
+let next t =
+  let open Int64 in
+  let x = t.s in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  t.s <- x;
+  to_int (logand x 0x3FFFFFFFFFFFFFFFL)
+
+let below t n = if n <= 0 then 0 else next t mod n

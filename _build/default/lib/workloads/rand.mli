@@ -1,0 +1,15 @@
+(** Deterministic pseudo-random numbers for workloads (xorshift64).
+
+    Workloads must be bit-for-bit reproducible across runs and
+    platforms, so they never use [Stdlib.Random]. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; the same seed always yields the same stream. *)
+
+val next : t -> int
+(** A non-negative pseudo-random integer. *)
+
+val below : t -> int -> int
+(** [below t n] is uniform-ish in [0, n); 0 when [n <= 0]. *)

@@ -1,0 +1,13 @@
+(** SPECjbb2000 — the order-processing benchmark's known leak.
+
+    Run long without changing warehouses, SPECjbb2000 never removes some
+    orders from a district's order list, and transaction processing
+    walks the list, touching every order — so the dominant growth is
+    live and leak pruning cannot tolerate the leak indefinitely. It
+    still reclaims some memory: each order drags a dead receipt/history
+    tail, and dozens of tiny class-library structures (character sets
+    and the like) are never used — the paper prunes 82 distinct edge
+    types, sometimes netting fewer than 100 bytes, and runs 4.7× longer
+    before the program finally accesses a pruned reference (Table 1). *)
+
+val workload : Workload.t

@@ -1,0 +1,53 @@
+open Lp_heap
+open Lp_runtime
+
+let sessions_per_iteration = 4
+let buffer_bytes = 120
+let churn_bytes = 800  (* short-lived garbage; drives pre-exhaustion GCs *)
+
+(* statics: field 0 = front chain, field 1 = back chain. Sessions are
+   prepended to the front chain and never read again; each iteration the
+   two chains swap static fields. Both heads are used every iteration
+   (the swap reads them), but everything behind the heads is dead, so
+   leak pruning reclaims the Session -> Session chains indefinitely. *)
+let prepare vm =
+  let statics = Vm.statics vm ~class_name:"SwapLeak" ~n_fields:2 in
+  fun () ->
+    ignore
+      (Vm.alloc vm ~class_name:"SwapLeak$Scratch" ~scalar_bytes:churn_bytes
+         ~n_fields:0 ());
+    for _i = 1 to sessions_per_iteration do
+      Vm.with_frame vm ~n_slots:1 (fun frame ->
+          let buffer =
+            Vm.alloc vm ~class_name:"SwapLeak$Buffer" ~scalar_bytes:buffer_bytes
+              ~n_fields:0 ()
+          in
+          Roots.set_slot frame 0 buffer.Heap_obj.id;
+          ignore
+            (Jheap.List_field.push vm ~node_class:"SwapLeak$Session" ~holder:statics
+               ~field:0
+               ~payload:(Some (Vm.deref vm (Roots.get_slot frame 0)))))
+    done;
+    (* Swap the chains between the two static fields. *)
+    (match (Mutator.read vm statics 0, Mutator.read vm statics 1) with
+    | Some a, Some b ->
+      Mutator.write_obj vm statics 0 b;
+      Mutator.write_obj vm statics 1 a
+    | Some a, None ->
+      Mutator.clear vm statics 0;
+      Mutator.write_obj vm statics 1 a
+    | None, Some b ->
+      Mutator.write_obj vm statics 0 b;
+      Mutator.clear vm statics 1
+    | None, None -> ());
+    Vm.work vm 300
+
+let workload =
+  {
+    Workload.name = "SwapLeak";
+    description = "swapped session chains accumulating dead sessions (33 LOC)";
+    category = Workload.All_dead;
+    default_heap_bytes = 100_000;
+    fixed_iterations = None;
+    prepare;
+  }

@@ -1,0 +1,10 @@
+(** SwapLeak — the 33-line Sun Developer Network microbenchmark.
+
+    Two collections are swapped back and forth between two static
+    fields while one of them accumulates session objects that are never
+    used again. The swap keeps both collection heads fresh (they are
+    read every iteration), but the session chains behind them are
+    entirely dead. Leak pruning reclaims them and runs the program
+    indefinitely (Table 1). *)
+
+val workload : Workload.t

@@ -1,0 +1,36 @@
+open Lp_runtime
+
+type category =
+  | All_dead
+  | Mostly_dead
+  | Some_dead
+  | Live_growth
+  | Thread_leak
+  | Short_running
+
+type t = {
+  name : string;
+  description : string;
+  category : category;
+  default_heap_bytes : int;
+  fixed_iterations : int option;
+  prepare : Vm.t -> (unit -> unit);
+}
+
+let pp_category ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | All_dead -> "all-dead"
+    | Mostly_dead -> "mostly-dead"
+    | Some_dead -> "some-dead"
+    | Live_growth -> "live-growth"
+    | Thread_leak -> "thread-leak"
+    | Short_running -> "short-running")
+
+let category_reason = function
+  | All_dead -> "All reclaimed"
+  | Mostly_dead -> "Most reclaimed"
+  | Some_dead -> "Some reclaimed"
+  | Live_growth -> "None reclaimed (live growth)"
+  | Thread_leak -> "Stacks pinned; referents reclaimed"
+  | Short_running -> "Short-running"

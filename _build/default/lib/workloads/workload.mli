@@ -1,0 +1,36 @@
+(** The common shape of all benchmark programs.
+
+    A workload prepares its long-lived structure in a fresh VM and
+    returns an iteration function; one call performs one "iteration" in
+    the paper's sense — a fixed amount of program work (one structural
+    diff, one cut-save-paste-save, 1000 SQL statements, ...). The
+    harness drives iterations until an error or a cap and records
+    reachable memory and per-iteration time. *)
+
+open Lp_runtime
+
+type category =
+  | All_dead  (** leaked memory is entirely dead: pruning can run it indefinitely *)
+  | Mostly_dead  (** most leaked bytes are dead; pruning extends the run a lot *)
+  | Some_dead  (** some dead bytes among live growth; modest extension *)
+  | Live_growth  (** the growth is live: no semantics-preserving approach helps *)
+  | Thread_leak  (** leaked threads pin their stacks; only referents prunable *)
+  | Short_running  (** finishes (or fails) before pruning can observe *)
+
+type t = {
+  name : string;
+  description : string;
+  category : category;
+  default_heap_bytes : int;
+      (** ≈ 2× the non-leaking live size, the paper's experimental setup *)
+  fixed_iterations : int option;
+      (** [Some n] for programs that complete after [n] iterations
+          (Delaunay); [None] for servers that run until failure or cap *)
+  prepare : Vm.t -> (unit -> unit);
+      (** builds the long-lived structure, returns the iteration body *)
+}
+
+val pp_category : Format.formatter -> category -> unit
+
+val category_reason : category -> string
+(** Table 1's "Reason" phrasing for the category. *)

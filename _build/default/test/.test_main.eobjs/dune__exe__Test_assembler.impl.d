@@ -1,0 +1,1 @@
+test/test_assembler.ml: Alcotest Assembler Bytecode Interp List Lp_interp Lp_jit Lp_runtime Method_gen QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_collector.ml: Alcotest Array Collector Gc_stats Header Heap_obj List Lp_heap QCheck QCheck_alcotest Roots Store Word

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Array Class_registry Gc_stats Heap_obj List Lp_core Lp_heap Roots Store String Word

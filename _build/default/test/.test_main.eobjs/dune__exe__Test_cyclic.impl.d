@@ -1,0 +1,1 @@
+test/test_cyclic.ml: Alcotest Cyclic_alloc Heap_obj List Lp_heap Lp_runtime Mutator Vm

@@ -1,0 +1,1 @@
+test/test_diagnostics.ml: Alcotest Array Diagnostics Heap_obj List Lp_heap Lp_runtime Mutator Roots String Vm Word

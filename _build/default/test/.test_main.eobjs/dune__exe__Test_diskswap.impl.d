@@ -1,0 +1,1 @@
+test/test_diskswap.ml: Alcotest Diskswap Gc_stats Heap_obj Lp_core Lp_heap Lp_runtime Mutator Option Roots Store Vm

@@ -1,0 +1,1 @@
+test/test_edge_table.ml: Alcotest Edge_table Hashtbl List Lp_core Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_generational.ml: Alcotest Diagnostics Gc_stats Header Heap_obj Lp_core Lp_heap Lp_runtime Mutator Roots Store Vm

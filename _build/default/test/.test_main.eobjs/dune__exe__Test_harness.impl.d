@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Filename List Lp_core Lp_harness Lp_workloads Sys

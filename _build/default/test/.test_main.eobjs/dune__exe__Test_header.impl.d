@@ -1,0 +1,1 @@
+test/test_header.ml: Alcotest Header Lp_heap QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Bytecode Interp Lp_core Lp_heap Lp_interp Lp_jit Lp_runtime

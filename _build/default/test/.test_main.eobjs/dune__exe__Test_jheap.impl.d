@@ -1,0 +1,1 @@
+test/test_jheap.ml: Alcotest Array Class_registry Heap_obj Jheap List Lp_heap Lp_runtime Lp_workloads Printf Roots Store Vm Word

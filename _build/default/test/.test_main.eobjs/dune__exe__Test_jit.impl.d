@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Barrier_insertion Bytecode Compiler Ir List Lowering Lp_jit Method_gen Passes QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_roots.ml: Alcotest List Lp_heap Roots

@@ -1,0 +1,1 @@
+test/test_selection.ml: Alcotest Collector Config Edge_table Header Heap_obj Lp_core Lp_heap Selection Store

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Array Class_registry Heap_obj List Lp_core Lp_heap Lp_runtime Mutator Printf QCheck QCheck_alcotest Vm

@@ -1,0 +1,1 @@
+test/test_stale_counter.ml: Alcotest Gc_stats Header Lp_heap Printf QCheck QCheck_alcotest Stale_counter Store

@@ -1,0 +1,1 @@
+test/test_state_machine.ml: Alcotest Config List Lp_core Policy QCheck QCheck_alcotest State_kind State_machine

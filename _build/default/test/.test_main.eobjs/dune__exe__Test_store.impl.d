@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Heap_obj List Lp_heap QCheck QCheck_alcotest Store

@@ -1,0 +1,1 @@
+test/test_vm_mutator.ml: Alcotest Array Class_registry Header Heap_obj Lp_core Lp_heap Lp_runtime Mutator Option Roots Store Vm Word

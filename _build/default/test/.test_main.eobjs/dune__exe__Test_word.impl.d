@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Lp_heap QCheck QCheck_alcotest

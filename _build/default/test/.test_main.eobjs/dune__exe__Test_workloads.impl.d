@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dacapo Delaunay Dual_leak Eclipse_cp Eclipse_diff Jbb_mod List List_leak Lp_core Lp_harness Lp_workloads Mckoi Mysql_leak Spec_jbb Swap_leak Workload

@@ -1,0 +1,107 @@
+(* The bytecode assembler/disassembler. *)
+
+open Lp_jit
+open Lp_interp
+
+let source =
+  {|
+; a method with a loop and a call
+.method count locals=2
+top:
+  load 0
+  ifeq done
+  load 0
+  const 1
+  sub
+  store 0
+  load 1
+  const 1
+  add
+  store 1
+  goto top
+done:
+  load 1
+  ret
+.end
+
+.method push locals=1
+  new Entry
+  store 0
+  load 0
+  getstatic Sessions.head
+  putfield next
+  load 0
+  ret
+.end
+|}
+
+let test_parse_two_methods () =
+  let methods = Assembler.parse source in
+  Alcotest.(check int) "two methods" 2 (List.length methods);
+  let count = List.hd methods in
+  Alcotest.(check string) "name" "count" count.Bytecode.name;
+  Alcotest.(check int) "locals" 2 count.Bytecode.n_locals
+
+let test_assembled_method_runs () =
+  let methods = Assembler.parse source in
+  let vm = Lp_runtime.Vm.create ~heap_bytes:50_000 () in
+  let env = Interp.create_env vm ~statics_fields:[ "Sessions.head" ] () in
+  List.iter (Interp.declare_method env) methods;
+  (match Interp.run env ~name:"count" ~args:[ Interp.Int 7; Interp.Int 0 ] with
+  | Interp.Int 7 -> ()
+  | _ -> Alcotest.fail "count 7 should return 7");
+  let node = Interp.run env ~name:"push" ~args:[] in
+  match node with
+  | Interp.Ref _ -> ()
+  | _ -> Alcotest.fail "push should return the new Entry"
+
+let test_errors_carry_line_numbers () =
+  (match Assembler.parse ".method m locals=1\n  bogus 3\n.end" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Assembler.Parse_error { line; _ } ->
+    Alcotest.(check int) "line" 2 line);
+  (match Assembler.parse ".method m locals=1\n  goto nowhere\n.end" with
+  | _ -> Alcotest.fail "expected undefined label"
+  | exception Assembler.Parse_error { line; _ } ->
+    Alcotest.(check int) "label error line" 2 line);
+  match Assembler.parse ".method m locals=1\n  ret" with
+  | _ -> Alcotest.fail "expected unterminated method"
+  | exception Assembler.Parse_error _ -> ()
+
+let test_print_parse_roundtrip () =
+  let methods = Assembler.parse source in
+  List.iter
+    (fun (m : Bytecode.methd) ->
+      match Assembler.parse (Assembler.print m) with
+      | [ m' ] ->
+        Alcotest.(check bool)
+          (m.Bytecode.name ^ " roundtrips")
+          true
+          (m.Bytecode.code = m'.Bytecode.code
+          && m.Bytecode.n_locals = m'.Bytecode.n_locals)
+      | _ -> Alcotest.fail "expected one method back")
+    methods
+
+let prop_generated_methods_roundtrip =
+  QCheck.Test.make ~name:"assembler: generated methods roundtrip" ~count:50
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let methods =
+        Method_gen.generate (Method_gen.profile ~benchmark:"asm" ~n_methods:2 ~seed ())
+      in
+      List.for_all
+        (fun (m : Bytecode.methd) ->
+          match Assembler.parse (Assembler.print m) with
+          | [ m' ] -> m'.Bytecode.code = m.Bytecode.code
+          | _ -> false)
+        methods)
+
+let suite =
+  ( "assembler",
+    [
+      Alcotest.test_case "parse" `Quick test_parse_two_methods;
+      Alcotest.test_case "assembled method runs" `Quick test_assembled_method_runs;
+      Alcotest.test_case "errors carry line numbers" `Quick test_errors_carry_line_numbers;
+      Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+      QCheck_alcotest.to_alcotest prop_generated_methods_roundtrip;
+    ] )

@@ -1,0 +1,104 @@
+(* Heap diagnostics and the consistency checker. *)
+
+open Lp_heap
+open Lp_runtime
+
+let vm_with_leak () =
+  let vm = Vm.create ~heap_bytes:100_000 () in
+  let statics = Vm.statics vm ~class_name:"D" ~n_fields:1 in
+  for _i = 1 to 20 do
+    Vm.with_frame vm ~n_slots:1 (fun frame ->
+        let node = Vm.alloc vm ~class_name:"D$Node" ~scalar_bytes:40 ~n_fields:1 () in
+        Roots.set_slot frame 0 node.Heap_obj.id;
+        (match Mutator.read vm statics 0 with
+        | Some head -> Mutator.write_obj vm node 0 head
+        | None -> ());
+        Mutator.write_obj vm statics 0 node)
+  done;
+  vm
+
+let test_class_histogram () =
+  let vm = vm_with_leak () in
+  let hist = Diagnostics.class_histogram vm in
+  let nodes = List.find (fun s -> s.Diagnostics.class_name = "D$Node") hist in
+  Alcotest.(check int) "node count" 20 nodes.Diagnostics.objects;
+  Alcotest.(check int) "node bytes" (20 * (8 + 4 + 40)) nodes.Diagnostics.bytes;
+  (* biggest first *)
+  (match hist with
+  | first :: _ ->
+    Alcotest.(check string) "sorted by footprint" "D$Node" first.Diagnostics.class_name
+  | [] -> Alcotest.fail "empty histogram")
+
+let test_staleness_histogram () =
+  let vm = vm_with_leak () in
+  let before = Diagnostics.staleness_histogram vm in
+  Alcotest.(check int) "everything fresh initially"
+    (Array.fold_left ( + ) 0 before)
+    before.(0);
+  (* age the heap: staleness tracking starts once occupancy crosses the
+     OBSERVE threshold, so pin a filler past 50% *)
+  let pin = Vm.statics vm ~class_name:"Pin" ~n_fields:1 in
+  Mutator.write_obj vm pin 0
+    (Vm.alloc vm ~class_name:"Big" ~scalar_bytes:60_000 ~n_fields:0 ());
+  Vm.run_gc vm;
+  Vm.run_gc vm;
+  Vm.run_gc vm;
+  Vm.run_gc vm;
+  let after = Diagnostics.staleness_histogram vm in
+  Alcotest.(check bool) "staleness appeared" true
+    (Array.fold_left ( + ) 0 (Array.sub after 2 6) > 0);
+  Alcotest.(check bool) "stale bytes positive" true (Diagnostics.stale_bytes vm > 0)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_summary_mentions_classes () =
+  let vm = vm_with_leak () in
+  let s = Diagnostics.summary vm in
+  Alcotest.(check bool) "mentions the leaking class" true (contains_sub s "D$Node")
+
+let test_to_dot () =
+  let vm = vm_with_leak () in
+  let dot = Diagnostics.to_dot vm in
+  Alcotest.(check bool) "digraph" true (contains_sub dot "digraph heap");
+  Alcotest.(check bool) "nodes labelled with class" true (contains_sub dot "D$Node");
+  Alcotest.(check bool) "edges drawn" true (contains_sub dot "->");
+  (* poison an edge and confirm it renders red *)
+  let statics = Vm.statics vm ~class_name:"D" ~n_fields:1 in
+  (match Mutator.read vm statics 0 with
+  | Some head ->
+    head.Heap_obj.fields.(0) <- Word.poison head.Heap_obj.fields.(0)
+  | None -> Alcotest.fail "expected a head node");
+  let dot = Diagnostics.to_dot vm in
+  Alcotest.(check bool) "poisoned edge rendered" true (contains_sub dot "color=red")
+
+let test_heap_check_ok () =
+  let vm = vm_with_leak () in
+  match Diagnostics.heap_check vm with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_heap_check_detects_corruption () =
+  let vm = Vm.create ~heap_bytes:10_000 () in
+  let a = Vm.alloc vm ~class_name:"A" ~n_fields:1 () in
+  let statics = Vm.statics vm ~class_name:"S" ~n_fields:1 in
+  Mutator.write_obj vm statics 0 a;
+  (* forge a dangling, unpoisoned reference *)
+  a.Heap_obj.fields.(0) <- Word.of_id 9_999;
+  match Diagnostics.heap_check vm with
+  | Ok () -> Alcotest.fail "corruption not detected"
+  | Error _ -> ()
+
+let suite =
+  ( "diagnostics",
+    [
+      Alcotest.test_case "class histogram" `Quick test_class_histogram;
+      Alcotest.test_case "staleness histogram" `Quick test_staleness_histogram;
+      Alcotest.test_case "summary" `Quick test_summary_mentions_classes;
+      Alcotest.test_case "dot export" `Quick test_to_dot;
+      Alcotest.test_case "heap check ok" `Quick test_heap_check_ok;
+      Alcotest.test_case "heap check detects corruption" `Quick
+        test_heap_check_detects_corruption;
+    ] )

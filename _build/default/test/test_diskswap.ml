@@ -1,0 +1,115 @@
+(* The Melt/LeakSurvivor-style disk-offloading baseline. *)
+
+open Lp_heap
+open Lp_runtime
+
+let make_vm ?(disk_limit = 10_000) ?(heap = 2_000) () =
+  Vm.create
+    ~config:
+      (Lp_core.Config.make ~policy:Lp_core.Policy.Default
+         ~force_state:Lp_core.State_kind.Observe ())
+    ~disk:(Diskswap.default_config ~disk_limit_bytes:disk_limit)
+    ~heap_bytes:heap ()
+
+let grow vm statics ~nodes =
+  for _i = 1 to nodes do
+    Vm.with_frame vm ~n_slots:1 (fun frame ->
+        let node = Vm.alloc vm ~class_name:"Node" ~scalar_bytes:40 ~n_fields:1 () in
+        Roots.set_slot frame 0 node.Heap_obj.id;
+        (match Mutator.read vm statics 0 with
+        | Some head -> Mutator.write_obj vm node 0 head
+        | None -> ());
+        Mutator.write_obj vm statics 0 node)
+  done
+
+(* Build a chain while collections age it (staleness only grows across
+   collections); growth eventually pushes occupancy past the offload
+   threshold and the post-collection hook moves the stale tail to
+   disk. *)
+let leak_until_offload vm statics =
+  for _round = 1 to 10 do
+    grow vm statics ~nodes:5;
+    Vm.run_gc vm
+  done
+
+let test_offload_extends_run () =
+  let vm = make_vm () in
+  let statics = Vm.statics vm ~class_name:"S" ~n_fields:2 in
+  leak_until_offload vm statics;
+  let d = Option.get (Vm.disk vm) in
+  Alcotest.(check bool) "offloaded something" true (Diskswap.resident_bytes d > 0);
+  Alcotest.(check bool) "heap used exceeds limit thanks to the disk credit" true
+    (Store.used_bytes (Vm.store vm) > Store.limit_bytes (Vm.store vm)
+    || Store.swapped_out_bytes (Vm.store vm) > 0)
+
+let test_retrieval_on_access () =
+  let vm = make_vm () in
+  let statics = Vm.statics vm ~class_name:"S" ~n_fields:2 in
+  leak_until_offload vm statics;
+  let d = Option.get (Vm.disk vm) in
+  let resident_before = Diskswap.resident_count d in
+  (* walk the chain: accesses fault offloaded nodes back in *)
+  let rec walk = function
+    | None -> ()
+    | Some node -> walk (Mutator.read vm node 0)
+  in
+  walk (Mutator.read vm statics 0);
+  Alcotest.(check bool) "retrievals happened" true (Diskswap.total_swap_ins d > 0);
+  Alcotest.(check bool) "fewer resident after walking" true
+    (Diskswap.resident_count d < resident_before)
+
+let test_out_of_disk () =
+  let vm = make_vm ~disk_limit:4_000 () in
+  let statics = Vm.statics vm ~class_name:"S" ~n_fields:2 in
+  match
+    for _i = 1 to 10_000 do
+      grow vm statics ~nodes:5;
+      (* periodic collections age the chain, as allocation churn does in
+         a real program *)
+      Vm.run_gc vm
+    done
+  with
+  | () -> Alcotest.fail "expected Out_of_disk"
+  | exception Diskswap.Out_of_disk { resident_bytes; limit_bytes } ->
+    Alcotest.(check bool) "resident exceeded limit" true (resident_bytes > limit_bytes)
+
+let test_dead_objects_release_disk () =
+  let vm = make_vm () in
+  let statics = Vm.statics vm ~class_name:"S" ~n_fields:2 in
+  leak_until_offload vm statics;
+  let d = Option.get (Vm.disk vm) in
+  let resident_before = Diskswap.resident_bytes d in
+  Alcotest.(check bool) "precondition" true (resident_before > 0);
+  (* drop the chain; offloaded objects die and must release disk space *)
+  Mutator.clear vm statics 0;
+  Mutator.clear vm statics 1;
+  Vm.run_gc vm;
+  Alcotest.(check int) "disk released" 0 (Diskswap.resident_bytes d)
+
+let test_combined_pruning_and_disk () =
+  (* with pruning enabled alongside the disk, an allocation failure
+     falls through to the SELECT/PRUNE protocol instead of giving up *)
+  let vm =
+    Vm.create
+      ~config:(Lp_core.Config.make ~policy:Lp_core.Policy.Default ())
+      ~disk:(Diskswap.default_config ~disk_limit_bytes:50_000)
+      ~heap_bytes:2_000 ()
+  in
+  let statics = Vm.statics vm ~class_name:"S" ~n_fields:2 in
+  (* the chain leaks; pruning should keep the program alive far beyond
+     the heap's capacity *)
+  for _i = 1 to 400 do
+    grow vm statics ~nodes:1
+  done;
+  Alcotest.(check bool) "survived 400 x 52B in a 2KB heap" true
+    ((Vm.stats vm).Gc_stats.references_poisoned > 0)
+
+let suite =
+  ( "diskswap",
+    [
+      Alcotest.test_case "offload extends run" `Quick test_offload_extends_run;
+      Alcotest.test_case "retrieval on access" `Quick test_retrieval_on_access;
+      Alcotest.test_case "out of disk" `Quick test_out_of_disk;
+      Alcotest.test_case "dead objects release disk" `Quick test_dead_objects_release_disk;
+      Alcotest.test_case "combined pruning + disk" `Quick test_combined_pruning_and_disk;
+    ] )

@@ -1,0 +1,135 @@
+(* The 16K-slot closed-hashing edge table, including a model-based
+   property against a reference Hashtbl implementation. *)
+
+open Lp_core
+
+let test_empty () =
+  let t = Edge_table.create () in
+  Alcotest.(check int) "no entries" 0 (Edge_table.entry_count t);
+  Alcotest.(check int) "maxstaleuse of absent edge" 0
+    (Edge_table.max_stale_use t ~src:1 ~tgt:2);
+  Alcotest.(check bool) "no selection" true (Edge_table.select_max_bytes t = None)
+
+let test_sizes () =
+  Alcotest.(check int) "16K slots" 16_384 Edge_table.slots;
+  Alcotest.(check int) "256KB" 262_144 Edge_table.size_bytes
+
+let test_record_stale_use_max () =
+  let t = Edge_table.create () in
+  Edge_table.record_stale_use t ~src:3 ~tgt:4 ~stale:2;
+  Edge_table.record_stale_use t ~src:3 ~tgt:4 ~stale:5;
+  Edge_table.record_stale_use t ~src:3 ~tgt:4 ~stale:3;
+  Alcotest.(check int) "all-time max" 5 (Edge_table.max_stale_use t ~src:3 ~tgt:4);
+  Alcotest.(check int) "one entry" 1 (Edge_table.entry_count t)
+
+let test_direction_matters () =
+  let t = Edge_table.create () in
+  Edge_table.record_stale_use t ~src:1 ~tgt:2 ~stale:4;
+  Alcotest.(check int) "reverse edge distinct" 0
+    (Edge_table.max_stale_use t ~src:2 ~tgt:1)
+
+let test_selection_and_reset () =
+  let t = Edge_table.create () in
+  Edge_table.add_bytes t ~src:1 ~tgt:2 100;
+  Edge_table.add_bytes t ~src:3 ~tgt:4 250;
+  Edge_table.add_bytes t ~src:1 ~tgt:2 120;
+  (match Edge_table.select_max_bytes t with
+  | Some (src, tgt, bytes) ->
+    Alcotest.(check (triple int int int)) "max selected" (3, 4, 250) (src, tgt, bytes)
+  | None -> Alcotest.fail "expected a selection");
+  Edge_table.reset_bytes t;
+  Alcotest.(check bool) "reset clears bytes" true (Edge_table.select_max_bytes t = None);
+  Alcotest.(check int) "entries never deleted" 2 (Edge_table.entry_count t)
+
+let test_decay () =
+  let t = Edge_table.create () in
+  Edge_table.record_stale_use t ~src:1 ~tgt:2 ~stale:5;
+  Edge_table.record_stale_use t ~src:3 ~tgt:4 ~stale:2;
+  Edge_table.decay_max_stale_use t;
+  Alcotest.(check int) "5 -> 2" 2 (Edge_table.max_stale_use t ~src:1 ~tgt:2);
+  Alcotest.(check int) "2 -> 1" 1 (Edge_table.max_stale_use t ~src:3 ~tgt:4);
+  Edge_table.decay_max_stale_use t;
+  Edge_table.decay_max_stale_use t;
+  Alcotest.(check int) "decays to zero" 0 (Edge_table.max_stale_use t ~src:1 ~tgt:2);
+  Alcotest.(check int) "entries survive decay" 2 (Edge_table.entry_count t)
+
+let test_table_full () =
+  let t = Edge_table.create () in
+  (try
+     for i = 0 to Edge_table.slots do
+       Edge_table.add_bytes t ~src:i ~tgt:i 1
+     done;
+     Alcotest.fail "expected Table_full"
+   with Edge_table.Table_full -> ());
+  Alcotest.(check int) "filled to capacity" Edge_table.slots (Edge_table.entry_count t)
+
+let prop_model_based =
+  (* Compare against a Hashtbl reference model under random operation
+     sequences. *)
+  let op_gen =
+    QCheck.Gen.(
+      let* src = int_range 0 30 in
+      let* tgt = int_range 0 30 in
+      let* kind = int_range 0 2 in
+      let* v = int_range 1 100 in
+      return (kind, src, tgt, v))
+  in
+  QCheck.Test.make ~name:"edge table: agrees with Hashtbl model" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 200) op_gen))
+    (fun ops ->
+      let t = Edge_table.create () in
+      let model : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+      let model_get k = Option.value ~default:(0, 0) (Hashtbl.find_opt model k) in
+      List.iter
+        (fun (kind, src, tgt, v) ->
+          let stale_v = 2 + (v mod 6) in
+          match kind with
+          | 0 ->
+            Edge_table.record_stale_use t ~src ~tgt ~stale:stale_v;
+            let m, b = model_get (src, tgt) in
+            Hashtbl.replace model (src, tgt) (max m stale_v, b)
+          | 1 ->
+            Edge_table.add_bytes t ~src ~tgt v;
+            let m, b = model_get (src, tgt) in
+            Hashtbl.replace model (src, tgt) (m, b + v)
+          | _ -> ())
+        ops;
+      Hashtbl.fold
+        (fun (src, tgt) (m, b) ok ->
+          ok
+          && Edge_table.max_stale_use t ~src ~tgt = m
+          && Edge_table.bytes_used t ~src ~tgt = b)
+        model true
+      && Edge_table.entry_count t = Hashtbl.length model)
+
+let prop_selection_is_max =
+  QCheck.Test.make ~name:"edge table: selection returns the maximum bytes"
+    ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 60) (triple (int_range 0 20) (int_range 0 20) (int_range 1 1000)))
+    (fun entries ->
+      let t = Edge_table.create () in
+      List.iter (fun (src, tgt, b) -> Edge_table.add_bytes t ~src ~tgt b) entries;
+      match Edge_table.select_max_bytes t with
+      | None -> entries = []
+      | Some (_, _, best) ->
+        let totals = Hashtbl.create 16 in
+        List.iter
+          (fun (src, tgt, b) ->
+            let cur = Option.value ~default:0 (Hashtbl.find_opt totals (src, tgt)) in
+            Hashtbl.replace totals (src, tgt) (cur + b))
+          entries;
+        Hashtbl.fold (fun _ v acc -> max v acc) totals 0 = best)
+
+let suite =
+  ( "edge_table",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "paper sizes" `Quick test_sizes;
+      Alcotest.test_case "maxstaleuse is all-time max" `Quick test_record_stale_use_max;
+      Alcotest.test_case "direction matters" `Quick test_direction_matters;
+      Alcotest.test_case "selection and reset" `Quick test_selection_and_reset;
+      Alcotest.test_case "decay" `Quick test_decay;
+      Alcotest.test_case "table full" `Slow test_table_full;
+      QCheck_alcotest.to_alcotest prop_model_based;
+      QCheck_alcotest.to_alcotest prop_selection_is_max;
+    ] )

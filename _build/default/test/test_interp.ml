@@ -1,0 +1,211 @@
+(* The bytecode interpreter over the simulated VM. *)
+
+open Lp_jit
+open Lp_interp
+
+let methd ?(n_locals = 4) name code =
+  { Bytecode.name; n_locals; code = Array.of_list code }
+
+let env ?(heap = 100_000) ?(statics = [ "root" ]) () =
+  let vm = Lp_runtime.Vm.create ~heap_bytes:heap () in
+  Interp.create_env vm ~statics_fields:statics ()
+
+let test_arithmetic () =
+  let e = env () in
+  Interp.declare_method e
+    (methd "sum"
+       [
+         Bytecode.Const 40;
+         Bytecode.Const 2;
+         Bytecode.Add;
+         Bytecode.Const 6;
+         Bytecode.Mul;
+         Bytecode.Return;
+       ]);
+  match Interp.run e ~name:"sum" ~args:[] with
+  | Interp.Int 252 -> ()
+  | v -> Alcotest.failf "unexpected %s" (match v with Interp.Int n -> string_of_int n | _ -> "?")
+
+let test_locals_and_args () =
+  let e = env () in
+  Interp.declare_method e
+    (methd "sub2"
+       [
+         Bytecode.Load_local 0;
+         Bytecode.Load_local 1;
+         Bytecode.Sub;
+         Bytecode.Store_local 2;
+         Bytecode.Load_local 2;
+         Bytecode.Return;
+       ]);
+  match Interp.run e ~name:"sub2" ~args:[ Interp.Int 10; Interp.Int 3 ] with
+  | Interp.Int 7 -> ()
+  | _ -> Alcotest.fail "expected 7"
+
+let test_branches_and_loop () =
+  (* count down local 0 to zero by repeated jumps *)
+  let e = env () in
+  Interp.declare_method e
+    (methd "loop"
+       [
+         (* 0 *) Bytecode.Load_local 0;
+         (* 1 *) Bytecode.Jump_if_zero 7;
+         (* 2 *) Bytecode.Load_local 0;
+         (* 3 *) Bytecode.Const 1;
+         (* 4 *) Bytecode.Sub;
+         (* 5 *) Bytecode.Store_local 0;
+         (* 6 *) Bytecode.Jump 0;
+         (* 7 *) Bytecode.Const 123;
+         (* 8 *) Bytecode.Return;
+       ]);
+  match Interp.run e ~name:"loop" ~args:[ Interp.Int 5 ] with
+  | Interp.Int 123 -> ()
+  | _ -> Alcotest.fail "expected 123"
+
+let test_objects_fields_and_statics () =
+  let e = env () in
+  (* node = new Node; node.next = static root; static root = node *)
+  Interp.declare_method e
+    (methd "push"
+       [
+         Bytecode.New_object "Node";
+         Bytecode.Store_local 0;
+         Bytecode.Load_local 0;
+         Bytecode.Get_static "root";
+         Bytecode.Put_field "next";
+         Bytecode.Load_local 0;
+         Bytecode.Store_local 1;
+         Bytecode.Load_local 1;
+         Bytecode.Return;
+       ]);
+  let first = Interp.run e ~name:"push" ~args:[] in
+  Interp.set_static e "root" first;
+  let second = Interp.run e ~name:"push" ~args:[] in
+  Interp.set_static e "root" second;
+  (* walk: root.next should be the first node *)
+  (match (first, Interp.get_static e "root") with
+  | Interp.Ref f, Interp.Ref r ->
+    let vm = Interp.vm e in
+    let root = Lp_runtime.Vm.deref vm r in
+    (match Lp_runtime.Mutator.read vm root 0 with
+    | Some obj -> Alcotest.(check int) "chain linked" f obj.Lp_heap.Heap_obj.id
+    | None -> Alcotest.fail "missing link")
+  | _ -> Alcotest.fail "expected references")
+
+let test_intrinsics () =
+  let e = env () in
+  Interp.declare_method e
+    (methd "c"
+       [
+         Bytecode.Const 9;
+         Bytecode.Const 4;
+         Bytecode.Call ("compare", 2);
+         Bytecode.Return;
+       ]);
+  match Interp.run e ~name:"c" ~args:[] with
+  | Interp.Int 1 -> ()
+  | _ -> Alcotest.fail "compare 9 4 = 1"
+
+let test_user_call () =
+  let e = env () in
+  Interp.declare_method e
+    (methd "double" [ Bytecode.Load_local 0; Bytecode.Load_local 0; Bytecode.Add; Bytecode.Return ]);
+  Interp.declare_method e
+    (methd "main"
+       [ Bytecode.Const 21; Bytecode.Const 0; Bytecode.Call ("double", 2); Bytecode.Return ]);
+  (* double takes 2 slots as locals; second arg unused *)
+  match Interp.run e ~name:"main" ~args:[] with
+  | Interp.Int 42 -> ()
+  | _ -> Alcotest.fail "expected 42"
+
+let test_type_errors () =
+  let e = env () in
+  Interp.declare_method e (methd "bad" [ Bytecode.Const 1; Bytecode.Get_field "next"; Bytecode.Return ]);
+  match Interp.run e ~name:"bad" ~args:[] with
+  | _ -> Alcotest.fail "expected Interp_error"
+  | exception Interp.Interp_error _ -> ()
+
+let test_locals_survive_collection () =
+  (* an object held only in an interpreter local must survive the
+     collections that mid-method allocation triggers *)
+  let e2 = env ~heap:4_000 () in
+  Interp.declare_method e2
+    (methd ~n_locals:1 "mk" [ Bytecode.New_object "Node"; Bytecode.Store_local 0;
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.New_object "Buffer";
+                              Bytecode.Load_local 0; Bytecode.Return ]);
+  (* 14 buffers x ~270B in a 4KB heap: collections certainly happen; the
+     Node in local 0 must survive *)
+  match Interp.run e2 ~name:"mk" ~args:[] with
+  | Interp.Ref id ->
+    Alcotest.(check bool) "node survived mid-method collections" true
+      (Lp_heap.Store.mem (Lp_runtime.Vm.store (Interp.vm e2)) id)
+  | Interp.Null | Interp.Int _ -> Alcotest.fail "expected the node back"
+
+let test_poisoned_access_from_bytecode () =
+  (* leak through bytecode until pruning engages, then read a pruned
+     reference from bytecode: the InternalError must surface *)
+  let e = env ~heap:6_000 () in
+  Interp.declare_method e
+    (methd ~n_locals:1 "leak"
+       [
+         Bytecode.New_object "Node";
+         Bytecode.Store_local 0;
+         Bytecode.Load_local 0;
+         Bytecode.Get_static "root";
+         Bytecode.Put_field "next";
+         Bytecode.Load_local 0;
+         Bytecode.Return;
+       ]);
+  Interp.declare_method e
+    (methd ~n_locals:1 "walk_all"
+       [
+         (* 0 *) Bytecode.Get_static "root";
+         (* 1 *) Bytecode.Store_local 0;
+         (* 2 *) Bytecode.Load_local 0;
+         (* 3 *) Bytecode.Jump_if_zero 8;
+         (* 4 *) Bytecode.Load_local 0;
+         (* 5 *) Bytecode.Get_field "next";
+         (* 6 *) Bytecode.Store_local 0;
+         (* 7 *) Bytecode.Jump 2;
+         (* 8 *) Bytecode.Const 1;
+         (* 9 *) Bytecode.Return;
+       ]);
+  (try
+     for _i = 1 to 2_000 do
+       let node = Interp.run e ~name:"leak" ~args:[] in
+       Interp.set_static e "root" node
+     done
+   with Lp_core.Errors.Out_of_memory _ -> ());
+  Alcotest.(check bool) "pruning engaged through bytecode allocation" true
+    ((Lp_runtime.Vm.stats (Interp.vm e)).Lp_heap.Gc_stats.references_poisoned > 0);
+  match Interp.run e ~name:"walk_all" ~args:[] with
+  | _ -> Alcotest.fail "expected InternalError from the pruned chain"
+  | exception Lp_core.Errors.Internal_error _ -> ()
+
+let suite =
+  ( "interp",
+    [
+      Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+      Alcotest.test_case "locals and args" `Quick test_locals_and_args;
+      Alcotest.test_case "branches and loop" `Quick test_branches_and_loop;
+      Alcotest.test_case "objects, fields, statics" `Quick test_objects_fields_and_statics;
+      Alcotest.test_case "intrinsics" `Quick test_intrinsics;
+      Alcotest.test_case "user calls" `Quick test_user_call;
+      Alcotest.test_case "type errors" `Quick test_type_errors;
+      Alcotest.test_case "locals survive collection" `Quick test_locals_survive_collection;
+      Alcotest.test_case "poisoned access from bytecode" `Quick
+        test_poisoned_access_from_bytecode;
+    ] )

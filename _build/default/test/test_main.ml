@@ -1,0 +1,30 @@
+(* Aggregates every suite; `dune runtest` runs them all.
+   ALCOTEST_QUICK_TESTS=1 skips the `Slow-marked full-workload cases. *)
+
+let () =
+  Alcotest.run "leakpruning"
+    [
+      Test_word.suite;
+      Test_header.suite;
+      Test_stale_counter.suite;
+      Test_store.suite;
+      Test_roots.suite;
+      Test_collector.suite;
+      Test_edge_table.suite;
+      Test_state_machine.suite;
+      Test_selection.suite;
+      Test_controller.suite;
+      Test_vm_mutator.suite;
+      Test_diskswap.suite;
+      Test_generational.suite;
+      Test_diagnostics.suite;
+      Test_cyclic.suite;
+      Test_harness.suite;
+      Test_jheap.suite;
+      Test_jit.suite;
+      Test_interp.suite;
+      Test_assembler.suite;
+      Test_semantics.suite;
+      Test_paper_example.suite;
+      Test_workloads.suite;
+    ]

@@ -1,0 +1,30 @@
+(* The Figures 3-5 worked example must reproduce exactly. *)
+
+let test_exact_outcome () =
+  let o = Lp_harness.Paper_example.run () in
+  Alcotest.(check int) "three candidates (b1->c1, b3->c3, b4->c4)" 3
+    o.Lp_harness.Paper_example.candidate_count;
+  (match o.Lp_harness.Paper_example.selected with
+  | Some (src, tgt) ->
+    Alcotest.(check (pair string string)) "B -> C selected" ("B", "C") (src, tgt)
+  | None -> Alcotest.fail "no selection");
+  Alcotest.(check int) "bytesused = 120" 120 o.Lp_harness.Paper_example.bytes_used_b_c;
+  Alcotest.(check int) "120 bytes reclaimed" 120
+    o.Lp_harness.Paper_example.reclaimed_bytes;
+  Alcotest.(check (list string)) "Figure 4 survivors"
+    [ "a1"; "b1"; "b2"; "b3"; "b4"; "c2"; "c4"; "d3"; "d4"; "d7"; "d8"; "e1" ]
+    o.Lp_harness.Paper_example.survivors;
+  Alcotest.(check bool) "poisoned access intercepted" true
+    o.Lp_harness.Paper_example.poisoned_access_raises
+
+let test_deterministic () =
+  let o1 = Lp_harness.Paper_example.run () in
+  let o2 = Lp_harness.Paper_example.run () in
+  Alcotest.(check bool) "identical outcomes" true (o1 = o2)
+
+let suite =
+  ( "paper_example",
+    [
+      Alcotest.test_case "Figures 3-5 outcome" `Quick test_exact_outcome;
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+    ] )

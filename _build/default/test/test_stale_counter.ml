@@ -1,0 +1,64 @@
+(* The logarithmic staleness rule of Section 4.1. *)
+
+open Lp_heap
+
+let test_counter_zero_always_ticks () =
+  for gc = 1 to 16 do
+    Alcotest.(check bool)
+      (Printf.sprintf "gc %d ticks counter 0" gc)
+      true
+      (Stale_counter.should_increment ~gc_number:gc ~current:0)
+  done
+
+let test_counter_one_ticks_on_even () =
+  Alcotest.(check bool) "gc 2" true (Stale_counter.should_increment ~gc_number:2 ~current:1);
+  Alcotest.(check bool) "gc 3" false (Stale_counter.should_increment ~gc_number:3 ~current:1);
+  Alcotest.(check bool) "gc 4" true (Stale_counter.should_increment ~gc_number:4 ~current:1)
+
+let test_saturation () =
+  Alcotest.(check bool) "counter 7 never ticks" false
+    (Stale_counter.should_increment ~gc_number:128 ~current:7)
+
+let test_logarithmic_growth () =
+  (* An object untouched from collection 1 has counter ~log2(collections):
+     after 2^k consecutive collections, counter is at least k and at most
+     k + 1. *)
+  let counter = ref 0 in
+  for gc = 1 to 64 do
+    if Stale_counter.should_increment ~gc_number:gc ~current:!counter then incr counter;
+    let lower = int_of_float (floor (log (float_of_int gc) /. log 2.)) in
+    if !counter < min 7 lower || !counter > lower + 1 then
+      Alcotest.failf "after %d collections counter is %d, expected ~log2" gc !counter
+  done
+
+let prop_divisibility =
+  QCheck.Test.make ~name:"staleness: increments iff 2^k divides gc number"
+    ~count:1000
+    QCheck.(pair (int_range 1 100_000) (int_range 0 7))
+    (fun (gc, k) ->
+      Stale_counter.should_increment ~gc_number:gc ~current:k
+      = (k < Header.max_stale && gc mod (1 lsl k) = 0))
+
+let test_tick_all_counts () =
+  let store = Store.create ~limit_bytes:10_000 in
+  for _i = 1 to 10 do
+    ignore (Store.alloc store ~class_id:0 ~n_fields:0 ~scalar_bytes:8 ~finalizable:false)
+  done;
+  let stats = Gc_stats.create () in
+  Stale_counter.tick_all store ~gc_number:1 ~stats;
+  Alcotest.(check int) "all ten scanned" 10 stats.Gc_stats.stale_tick_scans;
+  Alcotest.(check int) "all ten ticked (counter 0)" 10 stats.Gc_stats.stale_ticks;
+  Stale_counter.tick_all store ~gc_number:3 ~stats;
+  Alcotest.(check int) "no tick at odd collection for counter 1" 10
+    stats.Gc_stats.stale_ticks
+
+let suite =
+  ( "stale_counter",
+    [
+      Alcotest.test_case "counter 0 always ticks" `Quick test_counter_zero_always_ticks;
+      Alcotest.test_case "counter 1 even collections" `Quick test_counter_one_ticks_on_even;
+      Alcotest.test_case "saturation at 7" `Quick test_saturation;
+      Alcotest.test_case "logarithmic growth" `Quick test_logarithmic_growth;
+      Alcotest.test_case "tick_all counting" `Quick test_tick_all_counts;
+      QCheck_alcotest.to_alcotest prop_divisibility;
+    ] )
