@@ -168,6 +168,104 @@ let interp_cmd =
   Cmd.v (Cmd.info "interp" ~doc)
     Term.(const run $ file_arg $ main_arg $ statics_arg $ heap_arg $ times_arg)
 
+let chaos_cmd =
+  let doc =
+    "Chaos-test the runtime: seeded random workloads under fault injection, \
+     with a strict heap verification after every collection."
+  in
+  let seeds_arg =
+    Arg.(value & opt int 100
+         & info [ "seeds" ] ~docv:"N" ~doc:"How many seeds to sweep (1..N).")
+  in
+  let steps_arg =
+    Arg.(value & opt int 300
+         & info [ "steps" ] ~docv:"N" ~doc:"Workload steps per seed.")
+  in
+  let no_faults_arg =
+    Arg.(value & flag
+         & info [ "no-faults" ]
+             ~doc:"Run the workloads fault-free (pure invariant sweep).")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Run (and report in detail) this single seed instead of a sweep.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print failures and the summary.")
+  in
+  let print_report (r : Lp_harness.Chaos.report) =
+    Printf.printf "seed %4d: %-10s %4d steps, %3d collections, %2d faults fired, %d recovered%s\n"
+      r.Lp_harness.Chaos.seed
+      (match r.Lp_harness.Chaos.outcome with
+      | Lp_harness.Chaos.Survived -> "pass"
+      | Lp_harness.Chaos.Clean_stop _ -> "clean-stop"
+      | Lp_harness.Chaos.Violation _ -> "VIOLATION"
+      | Lp_harness.Chaos.Crash _ -> "CRASH")
+      r.Lp_harness.Chaos.steps_run r.Lp_harness.Chaos.gc_count
+      r.Lp_harness.Chaos.faults_fired r.Lp_harness.Chaos.recovered
+      (match r.Lp_harness.Chaos.outcome with
+      | Lp_harness.Chaos.Survived -> ""
+      | o -> "  (" ^ Lp_harness.Chaos.outcome_to_string o ^ ")")
+  in
+  let run seeds steps no_faults seed quiet =
+    if seeds < 0 || steps < 0 then begin
+      Printf.eprintf "leakpruner: chaos: --seeds and --steps must be non-negative\n";
+      exit 2
+    end;
+    let faults = not no_faults in
+    match seed with
+    | Some seed ->
+      let r = Lp_harness.Chaos.run_one ~faults ~steps ~seed () in
+      print_report r;
+      (match Lp_harness.Chaos.run_one ~faults ~steps ~seed () with
+      | r' when r' = r -> ()
+      | _ -> Printf.printf "WARNING: seed %d did not reproduce identically\n" seed);
+      if faults then
+        print_endline
+          (Lp_fault.Fault_plan.describe (Lp_fault.Fault_plan.random ~seed ()));
+      if Lp_harness.Chaos.failed r then begin
+        (match Lp_harness.Chaos.shrink ~faults ~steps ~seed () with
+        | Some n -> Printf.printf "minimal reproduction: %d step(s)\n" n
+        | None -> ());
+        exit 1
+      end
+    | None ->
+      let failures = ref 0 in
+      let reports =
+        Lp_harness.Chaos.run_seeds ~faults ~steps ~seeds
+          ~progress:(fun r ->
+            if Lp_harness.Chaos.failed r then incr failures;
+            if (not quiet) || Lp_harness.Chaos.failed r then print_report r)
+          ()
+      in
+      let count p = List.length (List.filter p reports) in
+      Printf.printf
+        "%d seed(s): %d passed, %d clean stops, %d failure(s)%s\n"
+        seeds
+        (count (fun r -> r.Lp_harness.Chaos.outcome = Lp_harness.Chaos.Survived))
+        (count (fun r ->
+             match r.Lp_harness.Chaos.outcome with
+             | Lp_harness.Chaos.Clean_stop _ -> true
+             | _ -> false))
+        !failures
+        (if no_faults then " (fault-free)" else "");
+      List.iter
+        (fun r ->
+          if Lp_harness.Chaos.failed r then
+            match
+              Lp_harness.Chaos.shrink ~faults ~steps ~seed:r.Lp_harness.Chaos.seed ()
+            with
+            | Some n ->
+              Printf.printf "seed %d minimal reproduction: %d step(s)\n"
+                r.Lp_harness.Chaos.seed n
+            | None -> ())
+        reports;
+      if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ seeds_arg $ steps_arg $ no_faults_arg $ seed_arg $ quiet_arg)
+
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures (see bench/main.exe --list)." in
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
@@ -187,4 +285,6 @@ let experiment_cmd =
 let () =
   let doc = "Leak pruning (Bond & McKinley, ASPLOS 2009) on a simulated managed runtime" in
   let info = Cmd.info "leakpruner" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; interp_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; interp_cmd; chaos_cmd; experiment_cmd ]))

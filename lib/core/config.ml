@@ -12,6 +12,9 @@ type t = {
   report : (string -> unit) option;
   force_state : State_kind.t option;
   maxstaleuse_decay_period : int option;
+  max_slow_path_attempts : int;
+  disk_baseline_retries : int;
+  disk_retry_attempts : int;
 }
 
 let default =
@@ -27,6 +30,9 @@ let default =
     report = None;
     force_state = None;
     maxstaleuse_decay_period = None;
+    max_slow_path_attempts = 24;
+    disk_baseline_retries = 4;
+    disk_retry_attempts = 2;
   }
 
 let make ?(policy = default.policy) ?(observe_threshold = default.observe_threshold)
@@ -36,7 +42,10 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     ?(stale_slack = default.stale_slack)
     ?(max_unproductive_cycles = default.max_unproductive_cycles)
     ?(finalizers_after_prune = default.finalizers_after_prune) ?report
-    ?force_state ?maxstaleuse_decay_period () =
+    ?force_state ?maxstaleuse_decay_period
+    ?(max_slow_path_attempts = default.max_slow_path_attempts)
+    ?(disk_baseline_retries = default.disk_baseline_retries)
+    ?(disk_retry_attempts = default.disk_retry_attempts) () =
   {
     policy;
     observe_threshold;
@@ -49,6 +58,9 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     report;
     force_state;
     maxstaleuse_decay_period;
+    max_slow_path_attempts;
+    disk_baseline_retries;
+    disk_retry_attempts;
   }
 
 let validate t =
@@ -64,4 +76,8 @@ let validate t =
     Error "max_unproductive_cycles must be >= 1"
   else if (match t.maxstaleuse_decay_period with Some p -> p < 1 | None -> false)
   then Error "maxstaleuse_decay_period must be >= 1"
+  else if t.max_slow_path_attempts < 1 then
+    Error "max_slow_path_attempts must be >= 1"
+  else if t.disk_baseline_retries < 0 then Error "disk_baseline_retries must be >= 0"
+  else if t.disk_retry_attempts < 0 then Error "disk_retry_attempts must be >= 0"
   else Ok t

@@ -38,6 +38,18 @@ type t = {
           full-heap collections — the paper's proposed future-work
           policy for phased behaviour (JbbMod); default [None] (the
           paper's implementation) *)
+  max_slow_path_attempts : int;
+      (** collections one allocation may trigger while advancing through
+          the SELECT/PRUNE protocol before the out-of-memory error is
+          thrown; default 24 *)
+  disk_baseline_retries : int;
+      (** retry collections the disk-only baseline gets after a failed
+          allocation, letting staleness reach the offload threshold
+          (counters only move at collections); default 4 *)
+  disk_retry_attempts : int;
+      (** degraded re-collections (offloading disabled) the VM attempts
+          when the disk-swap baseline reports [Out_of_disk] before the
+          structured [Errors.Disk_exhausted] is thrown; default 2 *)
 }
 
 val default : t
@@ -54,6 +66,9 @@ val make :
   ?report:(string -> unit) ->
   ?force_state:State_kind.t ->
   ?maxstaleuse_decay_period:int ->
+  ?max_slow_path_attempts:int ->
+  ?disk_baseline_retries:int ->
+  ?disk_retry_attempts:int ->
   unit ->
   t
 

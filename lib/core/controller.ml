@@ -222,11 +222,24 @@ let collect ?on_finalize t store roots ~stats =
 
 let on_allocation_failure t store ~requested =
   let oom () =
-    Errors.out_of_memory ~gc_count:t.gc_count
-      ~used_bytes:(Store.used_bytes store)
-      ~limit_bytes:(Store.limit_bytes store)
+    (* Once pruning has engaged, the error thrown is the recorded
+       deferred error (Section 2), so a later poisoned-access
+       InternalError and the final OutOfMemoryError share one cause. *)
+    match t.averted with
+    | Some e -> e
+    | None ->
+      Errors.out_of_memory ~gc_count:t.gc_count
+        ~used_bytes:(Store.used_bytes store)
+        ~limit_bytes:(Store.limit_bytes store)
   in
-  ignore requested;
+  if requested > Store.limit_bytes store then
+    (* No amount of pruning can make an object larger than the heap fit;
+       retrying would only burn collections. *)
+    `Out_of_memory
+      (Errors.out_of_memory ~gc_count:t.gc_count
+         ~used_bytes:(Store.used_bytes store)
+         ~limit_bytes:(Store.limit_bytes store))
+  else
   match t.config.Config.policy with
   | Policy.None_ -> `Out_of_memory (oom ())
   | Policy.Default | Policy.Most_stale | Policy.Individual_refs ->

@@ -50,7 +50,12 @@ val on_allocation_failure :
   t -> Store.t -> requested:int -> [ `Retry | `Out_of_memory of exn ]
 (** Called by the VM when an allocation still fails after a collection.
     [`Retry] means another collection (advancing through SELECT/PRUNE)
-    may free memory; [`Out_of_memory] carries the error to throw. *)
+    may free memory; [`Out_of_memory] carries the error to throw. A
+    [requested] size larger than the whole heap fast-fails — no amount
+    of pruning can satisfy it. Once pruning has engaged, the thrown
+    error is the recorded {!averted_error}, keeping the cause chain of
+    later poisoned-access internal errors consistent with the final
+    out-of-memory error. *)
 
 val on_stale_use : t -> src:Heap_obj.t -> tgt:Heap_obj.t -> unit
 (** Read-barrier cold-path bookkeeping (Section 4.1): when tracking is

@@ -10,11 +10,44 @@ exception Internal_error of {
   tgt_class : string;
 }
 
+exception Disk_exhausted of {
+  resident_bytes : int;
+  limit_bytes : int;
+  retries : int;
+  gc_count : int;
+}
+
+exception Heap_corruption of {
+  src_class : string;
+  field : int;
+  target : int;
+  gc_count : int;
+}
+
 let out_of_memory ~gc_count ~used_bytes ~limit_bytes =
   Out_of_memory { gc_count; used_bytes; limit_bytes }
 
 let internal_error ~cause ~src_class ~tgt_class =
   Internal_error { cause; src_class; tgt_class }
+
+let disk_exhausted ~resident_bytes ~limit_bytes ~retries ~gc_count =
+  Disk_exhausted { resident_bytes; limit_bytes; retries; gc_count }
+
+let heap_corruption ~src_class ~field ~target ~gc_count =
+  Heap_corruption { src_class; field; target; gc_count }
+
+let label = function
+  | Out_of_memory _ -> Some "OutOfMemoryError"
+  | Internal_error _ -> Some "InternalError"
+  | Disk_exhausted _ -> Some "DiskExhausted"
+  | Heap_corruption _ -> Some "HeapCorruption"
+  | _ -> None
+
+let is_structured e = label e <> None
+
+let is_recoverable = function
+  | Internal_error _ | Heap_corruption _ -> true
+  | Out_of_memory _ | Disk_exhausted _ | _ -> false
 
 let rec pp_exn ppf = function
   | Out_of_memory { gc_count; used_bytes; limit_bytes } ->
@@ -24,4 +57,14 @@ let rec pp_exn ppf = function
     Format.fprintf ppf
       "InternalError: access to pruned reference %s -> %s@ caused by: %a"
       src_class tgt_class pp_exn cause
+  | Disk_exhausted { resident_bytes; limit_bytes; retries; gc_count } ->
+    Format.fprintf ppf
+      "DiskExhausted (%d/%d bytes resident after %d degraded retries, %d \
+       collections)"
+      resident_bytes limit_bytes retries gc_count
+  | Heap_corruption { src_class; field; target; gc_count } ->
+    Format.fprintf ppf
+      "HeapCorruption: %s field %d held a dangling reference to #%d \
+       (quarantined; %d collections)"
+      src_class field target gc_count
   | e -> Format.pp_print_string ppf (Printexc.to_string e)

@@ -1,4 +1,5 @@
-(** The error protocol of paper Section 2.
+(** The error protocol of paper Section 2, extended into a full runtime
+    error taxonomy.
 
     When the VM exhausts memory with leak pruning enabled, the
     out-of-memory error is recorded and deferred rather than thrown. If
@@ -6,7 +7,18 @@
     an internal error whose [cause] is the original deferred
     out-of-memory error — mirroring Java's [InternalError] /
     [getCause()] protocol, which the JVM specification permits
-    asynchronously at any program point. *)
+    asynchronously at any program point.
+
+    Around that protocol the runtime defines two more structured errors:
+    {!Disk_exhausted}, raised by the disk-swap baseline once the VM's
+    bounded retry policy fails to bring residency back under the disk
+    limit, and {!Heap_corruption}, raised by the read barrier when it
+    meets a reference word that points at no live object (a corrupted
+    word); the barrier quarantines the word by poisoning it, so the heap
+    stays consistent and later accesses fall into the ordinary poisoned
+    path. Everything the runtime can throw at a program is one of these
+    four exceptions — anything else escaping the VM is a bug (the chaos
+    harness enforces exactly that). *)
 
 exception Out_of_memory of {
   gc_count : int;  (** full-heap collections performed so far *)
@@ -20,10 +32,45 @@ exception Internal_error of {
   tgt_class : string;  (** classes of the pruned reference accessed *)
 }
 
+exception Disk_exhausted of {
+  resident_bytes : int;  (** disk residency when the last retry failed *)
+  limit_bytes : int;  (** the configured disk limit *)
+  retries : int;  (** degraded re-collections attempted before giving up *)
+  gc_count : int;
+}
+
+exception Heap_corruption of {
+  src_class : string;  (** class of the object holding the corrupt word *)
+  field : int;
+  target : int;  (** the dangling identifier the word pointed at *)
+  gc_count : int;
+}
+
 val out_of_memory : gc_count:int -> used_bytes:int -> limit_bytes:int -> exn
 
 val internal_error : cause:exn -> src_class:string -> tgt_class:string -> exn
 
+val disk_exhausted :
+  resident_bytes:int -> limit_bytes:int -> retries:int -> gc_count:int -> exn
+
+val heap_corruption :
+  src_class:string -> field:int -> target:int -> gc_count:int -> exn
+
+val label : exn -> string option
+(** The taxonomy name of a structured runtime error
+    (["OutOfMemoryError"], ["InternalError"], ["DiskExhausted"],
+    ["HeapCorruption"]); [None] for any other exception. *)
+
+val is_structured : exn -> bool
+(** Whether the exception belongs to the runtime's error taxonomy. *)
+
+val is_recoverable : exn -> bool
+(** Whether a program that catches this error can meaningfully continue
+    running on the same VM. [Internal_error] (only the pruned structure
+    is lost) and [Heap_corruption] (the corrupt word is quarantined) are
+    recoverable; [Out_of_memory] and [Disk_exhausted] mean the resource
+    is gone. [false] for exceptions outside the taxonomy. *)
+
 val pp_exn : Format.formatter -> exn -> unit
-(** Human-readable rendering of the two errors above (and a fallback for
+(** Human-readable rendering of the errors above (and a fallback for
     any other exception). *)

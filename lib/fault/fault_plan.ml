@@ -1,0 +1,100 @@
+type site = Alloc | Disk | Step
+
+type fault = Refuse_alloc | Disk_failure | Corrupt_word | Kill_thread
+
+type event = { site : site; fault : fault; at : int; repeat : bool }
+
+type t = {
+  events : event list;
+  mutable alloc_visits : int;
+  mutable disk_visits : int;
+  mutable step_visits : int;
+  mutable fired_log : (site * int * fault) list;  (* reverse order *)
+}
+
+let make events =
+  List.iter
+    (fun e -> if e.at < 1 then invalid_arg "Fault_plan.make: at must be >= 1")
+    events;
+  {
+    events;
+    alloc_visits = 0;
+    disk_visits = 0;
+    step_visits = 0;
+    fired_log = [];
+  }
+
+let none = make []
+
+(* Faults only make sense at their natural site; [random] respects that
+   pairing so a generated plan is always applicable. *)
+let random ?(events = 4) ~seed () =
+  let rng = Random.State.make [| 0x5eed; seed |] in
+  let one () =
+    let at = 1 + Random.State.int rng 250 in
+    match Random.State.int rng 6 with
+    | 0 -> { site = Alloc; fault = Refuse_alloc; at; repeat = false }
+    | 1 -> { site = Alloc; fault = Refuse_alloc; at; repeat = true }
+    | 2 -> { site = Disk; fault = Disk_failure; at; repeat = false }
+    | 3 -> { site = Disk; fault = Disk_failure; at; repeat = Random.State.bool rng }
+    | 4 -> { site = Step; fault = Corrupt_word; at; repeat = false }
+    | _ -> { site = Step; fault = Kill_thread; at; repeat = false }
+  in
+  make (List.init events (fun _ -> one ()))
+
+let events t = t.events
+
+let visits t = function
+  | Alloc -> t.alloc_visits
+  | Disk -> t.disk_visits
+  | Step -> t.step_visits
+
+let check t site =
+  let n =
+    match site with
+    | Alloc ->
+      t.alloc_visits <- t.alloc_visits + 1;
+      t.alloc_visits
+    | Disk ->
+      t.disk_visits <- t.disk_visits + 1;
+      t.disk_visits
+    | Step ->
+      t.step_visits <- t.step_visits + 1;
+      t.step_visits
+  in
+  let due =
+    List.filter_map
+      (fun e ->
+        if e.site = site && (e.at = n || (e.repeat && n > e.at)) then Some e.fault
+        else None)
+      t.events
+  in
+  List.iter (fun f -> t.fired_log <- (site, n, f) :: t.fired_log) due;
+  due
+
+let fired t = List.rev t.fired_log
+
+let fired_count t = List.length t.fired_log
+
+let site_to_string = function
+  | Alloc -> "alloc"
+  | Disk -> "disk"
+  | Step -> "step"
+
+let fault_to_string = function
+  | Refuse_alloc -> "refuse-alloc"
+  | Disk_failure -> "disk-failure"
+  | Corrupt_word -> "corrupt-word"
+  | Kill_thread -> "kill-thread"
+
+let describe t =
+  match t.events with
+  | [] -> "no faults scheduled"
+  | events ->
+    String.concat "; "
+      (List.map
+         (fun e ->
+           Printf.sprintf "%s@%s#%d%s" (fault_to_string e.fault)
+             (site_to_string e.site) e.at
+             (if e.repeat then "+" else ""))
+         events)

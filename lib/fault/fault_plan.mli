@@ -1,0 +1,77 @@
+(** Deterministic, seeded fault injection.
+
+    A fault plan schedules faults at {e trigger points} (sites): the
+    plan owner calls {!check} every time execution passes a site, and
+    the plan answers with the faults due at that visit. Because a plan
+    is driven purely by visit counters — never by wall-clock time or
+    global randomness — a run that injects faults from a plan is exactly
+    reproducible from the seed that built the plan.
+
+    The VM threads plan checks through its slow paths: the store consults
+    the [Alloc] site on every allocation, the disk-swap baseline consults
+    the [Disk] site on every post-collection disk operation, and the
+    chaos harness consults the [Step] site once per workload step (where
+    it applies the mutator-level faults: word corruption and thread
+    death). *)
+
+type site =
+  | Alloc  (** every object allocation in the store *)
+  | Disk  (** every post-collection disk-swap operation *)
+  | Step  (** every chaos-harness workload step *)
+
+type fault =
+  | Refuse_alloc
+      (** the store refuses the allocation even though it would fit,
+          forcing the VM through its collection slow path *)
+  | Disk_failure
+      (** the disk-swap operation fails with [Out_of_disk]; scheduled
+          once it models a transient I/O failure, repeated it models a
+          dead disk *)
+  | Corrupt_word
+      (** a reference word in a live object is corrupted (poisoned,
+          retargeted, or left dangling) *)
+  | Kill_thread  (** a mutator thread dies mid-mutation, dropping its frames *)
+
+type event = {
+  site : site;
+  fault : fault;
+  at : int;  (** fire on the [at]-th visit to [site] (1-based) *)
+  repeat : bool;  (** keep firing on every visit from [at] on *)
+}
+
+type t
+
+val none : t
+(** The empty plan: no site ever faults. *)
+
+val make : event list -> t
+(** A plan from an explicit schedule.
+    @raise Invalid_argument if any event has [at < 1]. *)
+
+val random : ?events:int -> seed:int -> unit -> t
+(** A reproducible plan of [events] (default 4) faults drawn from a
+    generator seeded with [seed]. The same seed always yields the same
+    plan. *)
+
+val events : t -> event list
+
+val check : t -> site -> fault list
+(** Records one visit to [site] and returns the faults scheduled for
+    this visit (usually empty). Fired faults are appended to the
+    {!fired} log. *)
+
+val visits : t -> site -> int
+(** How many times [site] has been checked so far. *)
+
+val fired : t -> (site * int * fault) list
+(** Every fault fired so far as [(site, visit number, fault)], in firing
+    order. *)
+
+val fired_count : t -> int
+
+val site_to_string : site -> string
+
+val fault_to_string : fault -> string
+
+val describe : t -> string
+(** One line per scheduled event, for reports. *)

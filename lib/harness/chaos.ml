@@ -1,0 +1,245 @@
+open Lp_heap
+
+type outcome =
+  | Survived
+  | Clean_stop of { label : string; step : int }
+  | Violation of { detail : string; step : int }
+  | Crash of { detail : string; step : int }
+
+type report = {
+  seed : int;
+  steps_run : int;
+  gc_count : int;
+  faults_fired : int;
+  recovered : int;
+  outcome : outcome;
+}
+
+let failed r = match r.outcome with Violation _ | Crash _ -> true | _ -> false
+
+let outcome_to_string = function
+  | Survived -> "survived"
+  | Clean_stop { label; step } -> Printf.sprintf "clean stop: %s at step %d" label step
+  | Violation { detail; step } ->
+    Printf.sprintf "VIOLATION at step %d: %s" step detail
+  | Crash { detail; step } -> Printf.sprintf "CRASH at step %d: %s" step detail
+
+(* Workload object shapes: (class name, reference fields, scalar bytes). *)
+let classes =
+  [|
+    ("Chaos$Node", 2, 0);
+    ("Chaos$Pair", 3, 16);
+    ("Chaos$Table", 6, 32);
+    ("Chaos$Blob", 2, 96);
+  |]
+
+exception Check_failed of string
+
+let default_steps = 300
+
+let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
+  let rng = Random.State.make [| 0xC4A05; seed |] in
+  (* The VM shape is drawn from the seed too, so a seed sweep covers
+     small and large heaps, generational and whole-heap collection, and
+     the disk baseline. *)
+  let heap_bytes = 32_768 + (8 * Random.State.int rng 4096) in
+  let nursery_bytes =
+    if Random.State.bool rng then Some (heap_bytes / 4) else None
+  in
+  let disk =
+    if Random.State.int rng 3 = 0 then
+      Some (Lp_runtime.Diskswap.default_config ~disk_limit_bytes:heap_bytes)
+    else None
+  in
+  let plan = if faults then Some (Lp_fault.Fault_plan.random ~seed ()) else None in
+  let vm =
+    Lp_runtime.Vm.create ?disk ?nursery_bytes ?fault:plan ~heap_bytes ()
+  in
+  let store = Lp_runtime.Vm.store vm in
+  let gcs = ref 0 in
+  Lp_runtime.Vm.set_gc_listener vm
+    (Some
+       (fun _ ->
+         incr gcs;
+         match Lp_runtime.Diagnostics.heap_check ~strict:true vm with
+         | Ok () -> ()
+         | Error msg -> raise (Check_failed msg)));
+  let executed = ref 0 in
+  let recovered = ref 0 in
+  (* Everything from here on can hit an injected fault — even the
+     statics allocation during setup — so the whole body runs under the
+     structured-error net. *)
+  let body () =
+  let statics = Lp_runtime.Vm.statics vm ~class_name:"ChaosRoots" ~n_fields:16 in
+  (* Extra mutator threads; each owns a frame of slots that anchor part
+     of the object graph, so killing one releases its share. *)
+  let threads = ref [] in
+  let spawn_thread () =
+    if List.length !threads < 4 then begin
+      let th = Lp_runtime.Vm.spawn_thread vm in
+      let fr = Roots.push_frame th ~n_slots:8 in
+      threads := (th, fr) :: !threads
+    end
+  in
+  let kill_nth k =
+    let th, _ = List.nth !threads k in
+    Lp_runtime.Vm.kill_thread vm th;
+    threads := List.filteri (fun i _ -> i <> k) !threads
+  in
+  spawn_thread ();
+  spawn_thread ();
+  (* Uniform sampling over the live heap (allocation-slot order is
+     deterministic, so so is the sample). *)
+  let random_live () =
+    let n = ref 0 in
+    Store.iter_live store (fun _ -> incr n);
+    if !n = 0 then None
+    else begin
+      let k = Random.State.int rng !n in
+      let i = ref 0 and found = ref None in
+      Store.iter_live store (fun obj ->
+          if !i = k then found := Some obj;
+          incr i);
+      !found
+    end
+  in
+  let random_field (obj : Heap_obj.t) =
+    Random.State.int rng (Array.length obj.Heap_obj.fields)
+  in
+  let anchor obj =
+    if Random.State.bool rng || !threads = [] then
+      Lp_runtime.Mutator.write_obj vm statics (Random.State.int rng 16) obj
+    else begin
+      let _, fr = List.nth !threads (Random.State.int rng (List.length !threads)) in
+      Roots.set_slot fr (Random.State.int rng 8) obj.Heap_obj.id
+    end
+  in
+  let step_alloc () =
+    let name, n_fields, scalar_bytes =
+      classes.(Random.State.int rng (Array.length classes))
+    in
+    let obj =
+      Lp_runtime.Vm.alloc vm ~class_name:name ~scalar_bytes ~n_fields ()
+    in
+    anchor obj;
+    if Random.State.bool rng then
+      match random_live () with
+      | Some src when Array.length src.Heap_obj.fields > 0 ->
+        Lp_runtime.Mutator.write_obj vm src (random_field src) obj
+      | _ -> ()
+  in
+  let step_write () =
+    match random_live () with
+    | Some src when Array.length src.Heap_obj.fields > 0 ->
+      let i = random_field src in
+      if Random.State.int rng 4 = 0 then Lp_runtime.Mutator.clear vm src i
+      else begin
+        match random_live () with
+        | Some tgt -> Lp_runtime.Mutator.write_obj vm src i tgt
+        | None -> ()
+      end
+    | _ -> ()
+  in
+  let step_read () =
+    match random_live () with
+    | Some src when Array.length src.Heap_obj.fields > 0 ->
+      ignore (Lp_runtime.Mutator.read vm src (random_field src))
+    | _ -> ()
+  in
+  let step_thread () =
+    if !threads = [] || (List.length !threads < 4 && Random.State.bool rng) then
+      spawn_thread ()
+    else kill_nth (Random.State.int rng (List.length !threads))
+  in
+  (* The Step trigger point: mutator-level faults the store and disk
+     cannot inject themselves. *)
+  let apply_step_faults () =
+    match plan with
+    | None -> ()
+    | Some plan ->
+      List.iter
+        (fun f ->
+          match (f : Lp_fault.Fault_plan.fault) with
+          | Lp_fault.Fault_plan.Corrupt_word -> (
+            match random_live () with
+            | Some obj when Array.length obj.Heap_obj.fields > 0 ->
+              let field = random_field obj in
+              let mode =
+                match Random.State.int rng 3 with
+                | 0 -> `Poison
+                | 1 ->
+                  let frontier = max 2 (Store.next_fresh_id store) in
+                  `Retarget (1 + Random.State.int rng (frontier - 1))
+                | _ -> `Dangle
+              in
+              Lp_runtime.Vm.inject_word_corruption vm obj ~field mode
+            | _ -> ())
+          | Lp_fault.Fault_plan.Kill_thread ->
+            if !threads <> [] then
+              kill_nth (Random.State.int rng (List.length !threads))
+          | Lp_fault.Fault_plan.Refuse_alloc | Lp_fault.Fault_plan.Disk_failure
+            ->
+            (* owned by the store / disk trigger points *)
+            ())
+        (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Step)
+  in
+  for step = 1 to steps do
+    executed := step;
+    try
+      apply_step_faults ();
+      match Random.State.int rng 100 with
+      | n when n < 45 -> step_alloc ()
+      | n when n < 65 -> step_write ()
+      | n when n < 85 -> step_read ()
+      | n when n < 92 -> step_thread ()
+      | _ -> Lp_runtime.Vm.run_gc vm
+    with e when Lp_core.Errors.is_recoverable e ->
+      (* InternalError (pruned access) and HeapCorruption: the chaos
+         program catches and carries on, as a resilient server
+         would — only the damaged structure is lost. *)
+      incr recovered
+  done;
+  (* A last collection quarantines any injected word still dangling,
+     then its listener runs the strict verifier one final time. *)
+  Lp_runtime.Vm.run_gc vm;
+  Survived
+  in
+  let outcome =
+    try body () with
+    | Check_failed detail -> Violation { detail; step = !executed }
+    | e when Lp_core.Errors.is_structured e ->
+      (match Lp_core.Errors.label e with
+      | Some label -> Clean_stop { label; step = !executed }
+      | None -> Crash { detail = Printexc.to_string e; step = !executed })
+    | e -> Crash { detail = Printexc.to_string e; step = !executed }
+  in
+  {
+    seed;
+    steps_run = !executed;
+    gc_count = !gcs;
+    faults_fired =
+      (match plan with Some p -> Lp_fault.Fault_plan.fired_count p | None -> 0);
+    recovered = !recovered;
+    outcome;
+  }
+
+let shrink ?faults ?(steps = default_steps) ~seed () =
+  let failing m = failed (run_one ?faults ~steps:m ~seed ()) in
+  if not (failing steps) then None
+  else begin
+    (* smallest failing cap: failure at cap [m] means the first failing
+       step f <= m fails identically at every cap >= f, so [failing] is
+       monotone and bisection applies *)
+    let lo = ref 1 and hi = ref steps in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if failing mid then hi := mid else lo := mid + 1
+    done;
+    Some !hi
+  end
+
+let run_seeds ?faults ?steps ?progress ~seeds () =
+  List.init seeds (fun i ->
+      let r = run_one ?faults ?steps ~seed:(i + 1) () in
+      (match progress with Some f -> f r | None -> ());
+      r)

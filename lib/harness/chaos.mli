@@ -1,0 +1,68 @@
+(** Randomized chaos testing of the VM under fault injection.
+
+    A chaos run drives a seeded random workload — allocations that build
+    and overwrite a shared object graph, reference reads and writes
+    through the mutator barriers, forced collections, thread spawns and
+    deaths — against a VM that may carry a {!Lp_fault.Fault_plan}
+    injecting allocation refusals, disk failures, word corruption and
+    thread kills. After every full collection a strengthened heap
+    verifier ({!Diagnostics.heap_check} in strict mode) must pass.
+
+    The contract being tested is the robustness claim of the error
+    taxonomy ({!Lp_core.Errors}): no matter which faults fire, a run
+    either survives with a verified-consistent heap or stops with a
+    clean structured error — never an unhandled exception, never an
+    inconsistent heap. Each run is exactly reproducible from its seed:
+    both the workload and the fault plan are derived from it, and a run
+    capped at [m] steps executes precisely the first [m] steps of a
+    longer run, which is what lets {!shrink} bisect a failing seed down
+    to a minimal reproduction. *)
+
+type outcome =
+  | Survived
+      (** all steps ran; the final collection's strict heap check passed *)
+  | Clean_stop of { label : string; step : int }
+      (** a non-recoverable structured error ([OutOfMemoryError] or
+          [DiskExhausted]) ended the run at [step] — acceptable *)
+  | Violation of { detail : string; step : int }
+      (** the heap verifier failed — a runtime bug *)
+  | Crash of { detail : string; step : int }
+      (** an exception outside the error taxonomy escaped — a runtime bug *)
+
+type report = {
+  seed : int;
+  steps_run : int;  (** workload steps executed (= the cap when survived) *)
+  gc_count : int;  (** full collections, each followed by a strict verify *)
+  faults_fired : int;  (** fault-plan events that actually triggered *)
+  recovered : int;
+      (** recoverable structured errors ([InternalError],
+          [HeapCorruption]) caught mid-run, after which the run went on *)
+  outcome : outcome;
+}
+
+val failed : report -> bool
+(** [Violation] or [Crash] — the outcomes that indicate a bug. *)
+
+val outcome_to_string : outcome -> string
+
+val run_one : ?faults:bool -> ?steps:int -> seed:int -> unit -> report
+(** One deterministic chaos run. [faults] (default [true]) attaches the
+    fault plan [Lp_fault.Fault_plan.random ~seed]; [false] runs the same
+    workload fault-free. [steps] caps the workload (default 300). The
+    VM shape (heap size, generational mode, disk baseline) is itself
+    drawn from the seed, so a sweep covers all configurations. *)
+
+val shrink : ?faults:bool -> ?steps:int -> seed:int -> unit -> int option
+(** The smallest step cap at which [seed] still fails ([Violation] or
+    [Crash]); [None] if it does not fail at [steps]. Binary search is
+    sound because a capped run is a prefix of the full run, so failure
+    at cap [m] is monotone in [m]. *)
+
+val run_seeds :
+  ?faults:bool ->
+  ?steps:int ->
+  ?progress:(report -> unit) ->
+  seeds:int ->
+  unit ->
+  report list
+(** Runs seeds [1..seeds], invoking [progress] after each. *)

@@ -71,6 +71,7 @@ let run ?(policy = Lp_core.Policy.Default) ?config ?heap_bytes
    with
   | Lp_core.Errors.Out_of_memory _ as e -> outcome := Out_of_memory e
   | Lp_core.Errors.Internal_error _ as e -> outcome := Pruned_access e
+  | Lp_core.Errors.Disk_exhausted _ as e -> outcome := Out_of_disk e
   | Lp_runtime.Diskswap.Out_of_disk _ as e -> outcome := Out_of_disk e);
   let controller = Lp_runtime.Vm.controller vm in
   let registry = Lp_runtime.Vm.registry vm in

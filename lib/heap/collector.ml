@@ -24,6 +24,15 @@ let mark_object stats ?(stale_tick_gc = None) (obj : Heap_obj.t) =
   stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
   tick stats stale_tick_gc obj
 
+(* A non-poisoned reference word whose target is not live is corrupt
+   (fault injection, or a collector bug). Crashing inside a collection
+   would take the whole VM down, so the word is quarantined instead:
+   poisoned like a pruned reference, turning any later program access
+   into a structured error. *)
+let quarantine stats fields i =
+  fields.(i) <- Word.poison fields.(i);
+  stats.Gc_stats.words_quarantined <- stats.Gc_stats.words_quarantined + 1
+
 (* Scans the fields of [obj], maintaining untouched bits, applying the edge
    filter, and pushing newly marked targets. Deferred edges are appended to
    [deferred] (in reverse discovery order; [mark] reverses at the end). *)
@@ -44,26 +53,28 @@ let scan_object store stats ~config queue deferred (obj : Heap_obj.t) =
           end
           else w
         in
-        let tgt = Store.get store (Word.target w) in
-        let action =
-          match config.edge_filter with
-          | None -> Trace
-          | Some filter -> filter { src = obj; field = i; tgt }
-        in
-        match action with
-        | Trace ->
-          if not (Header.marked tgt.Heap_obj.header) then begin
-            mark_object stats ~stale_tick_gc:config.stale_tick_gc tgt;
-            Work_queue.push queue tgt.Heap_obj.id
-          end
-        | Defer ->
-          stats.Gc_stats.candidates_enqueued <-
-            stats.Gc_stats.candidates_enqueued + 1;
-          deferred := { src = obj; field = i; tgt } :: !deferred
-        | Poison ->
-          fields.(i) <- Word.poison w;
-          stats.Gc_stats.references_poisoned <-
-            stats.Gc_stats.references_poisoned + 1
+        match Store.get_opt store (Word.target w) with
+        | None -> quarantine stats fields i
+        | Some tgt -> (
+          let action =
+            match config.edge_filter with
+            | None -> Trace
+            | Some filter -> filter { src = obj; field = i; tgt }
+          in
+          match action with
+          | Trace ->
+            if not (Header.marked tgt.Heap_obj.header) then begin
+              mark_object stats ~stale_tick_gc:config.stale_tick_gc tgt;
+              Work_queue.push queue tgt.Heap_obj.id
+            end
+          | Defer ->
+            stats.Gc_stats.candidates_enqueued <-
+              stats.Gc_stats.candidates_enqueued + 1;
+            deferred := { src = obj; field = i; tgt } :: !deferred
+          | Poison ->
+            fields.(i) <- Word.poison w;
+            stats.Gc_stats.references_poisoned <-
+              stats.Gc_stats.references_poisoned + 1)
       end
     end
   done
@@ -126,8 +137,10 @@ let stale_closure store ~stats ~set_untouched_bits ~stale_tick_gc (e : edge) =
                 stats.Gc_stats.untouched_bits_set <-
                   stats.Gc_stats.untouched_bits_set + 1
               end;
-              let child = Store.get store (Word.target fields.(i)) in
-              if not (Header.marked child.Heap_obj.header) then claim child
+              match Store.get_opt store (Word.target fields.(i)) with
+              | None -> quarantine stats fields i
+              | Some child ->
+                if not (Header.marked child.Heap_obj.header) then claim child
             end
           end
         done;
@@ -168,11 +181,14 @@ let resurrect_finalizables store ~stats ~on_finalize =
     | None -> ()
     | Some id ->
       let obj = Store.get store id in
-      Array.iter
-        (fun w ->
-          if (not (Word.is_null w)) && not (Word.poisoned w) then
-            mark_live (Store.get store (Word.target w)))
-        obj.Heap_obj.fields;
+      let fields = obj.Heap_obj.fields in
+      for i = 0 to Array.length fields - 1 do
+        let w = fields.(i) in
+        if (not (Word.is_null w)) && not (Word.poisoned w) then
+          match Store.get_opt store (Word.target w) with
+          | None -> quarantine stats fields i
+          | Some tgt -> mark_live tgt
+      done;
       loop ()
   in
   loop ()

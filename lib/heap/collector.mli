@@ -47,7 +47,11 @@ val mark :
 (** Runs the in-use transitive closure from the roots. Marks every object
     reached through [Trace] edges, applies [Poison] in place, and returns
     the [Defer]red edges in discovery order (the candidate queue).
-    Poisoned references found in the heap are never traced. *)
+    Poisoned references found in the heap are never traced. A non-null,
+    non-poisoned word whose target is not live (a corrupt reference) is
+    {e quarantined} — poisoned in place and counted in
+    [Gc_stats.words_quarantined] — rather than crashing the collection;
+    the phases below apply the same rule. *)
 
 val stale_closure :
   Store.t ->

@@ -12,6 +12,7 @@ type t = {
   mutable objects_swept : int;
   mutable bytes_reclaimed : int;
   mutable finalizers_enqueued : int;
+  mutable words_quarantined : int;
 }
 
 let create () =
@@ -29,6 +30,7 @@ let create () =
     objects_swept = 0;
     bytes_reclaimed = 0;
     finalizers_enqueued = 0;
+    words_quarantined = 0;
   }
 
 let copy t =
@@ -46,6 +48,7 @@ let copy t =
     objects_swept = t.objects_swept;
     bytes_reclaimed = t.bytes_reclaimed;
     finalizers_enqueued = t.finalizers_enqueued;
+    words_quarantined = t.words_quarantined;
   }
 
 let reset t =
@@ -61,13 +64,14 @@ let reset t =
   t.selection_scans <- 0;
   t.objects_swept <- 0;
   t.bytes_reclaimed <- 0;
-  t.finalizers_enqueued <- 0
+  t.finalizers_enqueued <- 0;
+  t.words_quarantined <- 0
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>collections: %d@ marked: %d@ fields scanned: %d@ stale ticks: %d@ \
      candidates: %d@ stale-closure objects: %d@ poisoned: %d@ swept: %d@ \
-     bytes reclaimed: %d@ finalizers enqueued: %d@]"
+     bytes reclaimed: %d@ finalizers enqueued: %d@ words quarantined: %d@]"
     t.collections t.objects_marked t.fields_scanned t.stale_ticks
     t.candidates_enqueued t.stale_closure_objects t.references_poisoned
-    t.objects_swept t.bytes_reclaimed t.finalizers_enqueued
+    t.objects_swept t.bytes_reclaimed t.finalizers_enqueued t.words_quarantined

@@ -20,6 +20,9 @@ type t = {
   mutable objects_swept : int;  (** dead objects reclaimed *)
   mutable bytes_reclaimed : int;
   mutable finalizers_enqueued : int;
+  mutable words_quarantined : int;
+      (** dangling (corrupt) reference words the collector or the read
+          barrier poisoned instead of crashing on *)
 }
 
 val create : unit -> t

@@ -13,6 +13,7 @@ type t = {
   mutable total_allocated : int;
   mutable swapped_out : int;
   mutable nursery : int;
+  mutable alloc_fault : (unit -> bool) option;
 }
 
 let create ~limit_bytes =
@@ -28,7 +29,10 @@ let create ~limit_bytes =
     total_allocated = 0;
     swapped_out = 0;
     nursery = 0;
+    alloc_fault = None;
   }
+
+let set_alloc_fault t f = t.alloc_fault <- f
 
 let limit_bytes t = t.limit
 
@@ -70,6 +74,10 @@ let fresh_id t =
 
 let alloc_generation t ~nursery ~class_id ~n_fields ~scalar_bytes ~finalizable =
   let size = Heap_obj.size_of ~n_fields ~scalar_bytes in
+  (match t.alloc_fault with
+  | Some refuse when refuse () ->
+    raise (Heap_full { requested = size; used = t.used; limit = t.limit })
+  | Some _ | None -> ());
   if would_overflow t size then
     raise (Heap_full { requested = size; used = t.used; limit = t.limit });
   let id = fresh_id t in
@@ -121,6 +129,8 @@ let promote t (obj : Heap_obj.t) =
     obj.Heap_obj.header <- Header.clear_in_nursery obj.Heap_obj.header;
     t.nursery <- t.nursery - obj.Heap_obj.size_bytes
   end
+
+let next_fresh_id t = t.next_id
 
 let iter_live t f =
   for i = 0 to t.next_id - 2 do

@@ -61,7 +61,20 @@ val alloc :
 (** Allocates a fresh mature object with null fields and a zero stale
     counter.
     @raise Heap_full when the object does not fit in the remaining
-    headroom. *)
+    headroom, or when an installed allocation fault fires (see
+    {!set_alloc_fault}). *)
+
+val set_alloc_fault : t -> (unit -> bool) option -> unit
+(** Installs (or clears) a fault-injection hook consulted at the top of
+    every allocation; when it returns [true] the allocation is refused
+    with {!Heap_full} even if it would fit, forcing callers through
+    their allocation-failure path. Used by the chaos harness; [None] by
+    default. *)
+
+val next_fresh_id : t -> int
+(** The identifier the next never-before-used allocation would get
+    (recycled identifiers are handed out first). Fault injection uses it
+    to forge references that dangle deterministically. *)
 
 val alloc_generation :
   t ->

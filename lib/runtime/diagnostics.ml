@@ -154,11 +154,12 @@ let to_dot ?(max_objects = 400) vm =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let heap_check vm =
+let heap_check ?(strict = false) vm =
   let store = Vm.store vm in
   let error = ref None in
   let fail msg = if !error = None then error := Some msg in
   let bytes = ref 0 in
+  let poisoned_words = ref 0 in
   Store.iter_live store (fun obj ->
       bytes := !bytes + obj.Heap_obj.size_bytes;
       if Header.marked obj.Heap_obj.header then
@@ -167,8 +168,9 @@ let heap_check vm =
              obj.Heap_obj.id);
       Array.iteri
         (fun i w ->
-          if (not (Word.is_null w)) && not (Word.poisoned w) then
-            if not (Store.mem store (Word.target w)) then
+          if not (Word.is_null w) then
+            if Word.poisoned w then incr poisoned_words
+            else if not (Store.mem store (Word.target w)) then
               fail
                 (Printf.sprintf
                    "object %d field %d references reclaimed object %d without poison"
@@ -178,4 +180,74 @@ let heap_check vm =
     fail
       (Printf.sprintf "byte accounting: traversal found %d, store reports %d"
          !bytes (Store.used_bytes store));
+  (* Poison accounting: every poisoned word must be explained by pruning,
+     a quarantined corrupt word, or a deliberate injection. *)
+  let stats = Vm.stats vm in
+  let accounted =
+    stats.Gc_stats.references_poisoned
+    + stats.Gc_stats.words_quarantined
+    + Vm.corruptions_injected vm
+  in
+  if !poisoned_words > 0 && accounted = 0 then
+    fail
+      (Printf.sprintf
+         "%d poisoned words in the heap but no pruning, quarantine or injection \
+          ever recorded"
+         !poisoned_words);
+  if strict && !poisoned_words > accounted then
+    (* strict mode assumes no [Mutator.arraycopy] of poisoned words
+       (copies duplicate poison without a counter increment) *)
+    fail
+      (Printf.sprintf
+         "%d poisoned words exceed the %d accounted for (pruned %d + \
+          quarantined %d + injected %d)"
+         !poisoned_words accounted stats.Gc_stats.references_poisoned
+         stats.Gc_stats.words_quarantined
+         (Vm.corruptions_injected vm));
+  let controller = Vm.controller vm in
+  if
+    Lp_core.Controller.pruned_edge_types controller <> []
+    && stats.Gc_stats.references_poisoned = 0
+  then fail "pruned edge types recorded but no reference was ever poisoned";
+  if
+    stats.Gc_stats.references_poisoned > 0
+    && Lp_core.Controller.averted_error controller = None
+  then fail "references were poisoned but no averted error was recorded";
+  (* Disk residency: every disk-resident identifier must denote a live
+     object of the recorded size, and the totals must close. *)
+  (match Vm.disk vm with
+  | None -> ()
+  | Some d ->
+    let disk_total = ref 0 in
+    Diskswap.iter_resident d (fun ~id ~bytes ->
+        disk_total := !disk_total + bytes;
+        match Store.get_opt store id with
+        | None ->
+          fail (Printf.sprintf "disk-resident object %d is not live" id)
+        | Some obj ->
+          if obj.Heap_obj.size_bytes <> bytes then
+            fail
+              (Printf.sprintf
+                 "disk-resident object %d recorded as %d bytes but is %d" id
+                 bytes obj.Heap_obj.size_bytes));
+    if !disk_total <> Diskswap.resident_bytes d then
+      fail
+        (Printf.sprintf "disk accounting: entries sum to %d, disk reports %d"
+           !disk_total (Diskswap.resident_bytes d));
+    if Diskswap.resident_bytes d <> Store.swapped_out_bytes store then
+      fail
+        (Printf.sprintf
+           "disk reports %d resident bytes but the store credits %d"
+           (Diskswap.resident_bytes d)
+           (Store.swapped_out_bytes store)));
+  (* Remembered-set integrity: sources must be live with the recorded
+     field in bounds (full collections clear the set; minor collections
+     free only nursery objects, never a remset source, which is mature). *)
+  Remset.iter (Vm.remset vm) (fun ~src_id ~field ->
+      match Store.get_opt store src_id with
+      | None -> fail (Printf.sprintf "remset source %d is not live" src_id)
+      | Some obj ->
+        if field < 0 || field >= Array.length obj.Heap_obj.fields then
+          fail
+            (Printf.sprintf "remset entry %d.%d is out of bounds" src_id field));
   match !error with None -> Ok () | Some msg -> Error msg

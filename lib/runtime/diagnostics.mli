@@ -48,8 +48,17 @@ val to_dot : ?max_objects:int -> Vm.t -> string
     poisoned references drawn red and dashed to their last known
     target. Truncated at [max_objects] (default 400). *)
 
-val heap_check : Vm.t -> (unit, string) result
-(** Internal consistency check, for tests and debugging: every non-null,
-    non-poisoned reference in the live heap must point to a live object;
-    byte accounting must agree with a fresh traversal; no object may
-    carry leftover GC mark bits between collections. *)
+val heap_check : ?strict:bool -> Vm.t -> (unit, string) result
+(** Internal consistency check, for tests and the chaos harness: every
+    non-null, non-poisoned reference in the live heap must point to a
+    live object; byte accounting must agree with a fresh traversal; no
+    object may carry leftover GC mark bits between collections; any
+    poisoned word must be explained by pruning, quarantine or an
+    injected corruption; recorded pruned edge types imply poisoned
+    references, which imply a recorded averted error; every
+    disk-resident identifier must be live with matching size and closed
+    byte totals; every remembered-set source must be live with its field
+    in bounds. [strict] additionally requires the poisoned-word {e
+    count} not to exceed the sum of the recorded causes — valid only
+    when the program never {!Mutator.arraycopy}s poisoned words (copies
+    duplicate poison without a counter increment). Default [false]. *)

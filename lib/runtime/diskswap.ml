@@ -15,17 +15,30 @@ type t = {
   mutable resident_total : int;
   mutable swap_outs : int;
   mutable swap_ins : int;
+  mutable fault : (unit -> bool) option;
 }
 
 exception Out_of_disk of { resident_bytes : int; limit_bytes : int }
 
-let create config = { config; resident = Hashtbl.create 1024; resident_total = 0; swap_outs = 0; swap_ins = 0 }
+let create config =
+  {
+    config;
+    resident = Hashtbl.create 1024;
+    resident_total = 0;
+    swap_outs = 0;
+    swap_ins = 0;
+    fault = None;
+  }
+
+let set_fault_hook t f = t.fault <- f
 
 let resident_bytes t = t.resident_total
 
 let resident_count t = Hashtbl.length t.resident
 
 let is_resident t id = Hashtbl.mem t.resident id
+
+let iter_resident t f = Hashtbl.iter (fun id bytes -> f ~id ~bytes) t.resident
 
 let total_swap_outs t = t.swap_outs
 
@@ -48,11 +61,21 @@ let offload_one t (obj : Heap_obj.t) =
   t.resident_total <- t.resident_total + obj.Heap_obj.size_bytes;
   t.swap_outs <- t.swap_outs + 1
 
-let after_gc t store =
+let after_gc ?(allow_offload = true) t store =
+  (match t.fault with
+  | Some fails when fails () ->
+    (* injected disk failure: the post-collection disk operation dies
+       before any bookkeeping, as a real I/O error would *)
+    raise
+      (Out_of_disk
+         { resident_bytes = t.resident_total; limit_bytes = t.config.disk_limit_bytes })
+  | Some _ | None -> ());
   reconcile t store;
   let limit = Store.limit_bytes store in
   let in_memory () = Store.live_bytes store - t.resident_total in
-  if float_of_int (in_memory ()) /. float_of_int limit > t.config.offload_occupancy
+  if
+    allow_offload
+    && float_of_int (in_memory ()) /. float_of_int limit > t.config.offload_occupancy
   then
     Store.iter_live store (fun obj ->
         (* statics containers model immortal space: never offloaded *)

@@ -40,15 +40,28 @@ val resident_count : t -> int
 val is_resident : t -> int -> bool
 (** Whether the object with this identifier currently lives on disk. *)
 
+val iter_resident : t -> (id:int -> bytes:int -> unit) -> unit
+(** Iterates over every disk-resident entry (unspecified order); the
+    heap verifier uses this to cross-check residency against the store. *)
+
+val set_fault_hook : t -> (unit -> bool) option -> unit
+(** Installs (or clears) a fault-injection hook consulted at the start
+    of every {!after_gc}; when it returns [true] the operation fails
+    with {!Out_of_disk} as an injected (possibly transient) disk
+    failure. [None] by default. *)
+
 val total_swap_outs : t -> int
 
 val total_swap_ins : t -> int
 
-val after_gc : t -> Lp_heap.Store.t -> unit
+val after_gc : ?allow_offload:bool -> t -> Lp_heap.Store.t -> unit
 (** Post-sweep hook: reconciles entries for objects that died, then
     offloads stale objects if the heap is still too full, updating the
-    store's swapped-out credit.
-    @raise Out_of_disk when the disk limit is exceeded. *)
+    store's swapped-out credit. [allow_offload:false] runs the hook in
+    degraded mode — reconcile and re-check only, no new offloads — which
+    is how the VM retries after an [Out_of_disk].
+    @raise Out_of_disk when the disk limit is exceeded (or an injected
+    fault fires, see {!set_fault_hook}). *)
 
 val retrieve : t -> Lp_heap.Store.t -> Lp_heap.Heap_obj.t -> bool
 (** Faults an object back in on program access. Returns whether a disk

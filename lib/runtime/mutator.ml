@@ -19,7 +19,21 @@ let read vm (src : Heap_obj.t) i =
     raise (Lp_core.Controller.poisoned_access_error (Vm.controller vm) ~src ~tgt_class)
   end
   else begin
-    let tgt = Store.get (Vm.store vm) (Word.target w) in
+    let tgt =
+      match Store.get_opt (Vm.store vm) (Word.target w) with
+      | Some tgt -> tgt
+      | None ->
+        (* Corrupt (dangling) reference word: quarantine it — poison the
+           slot so later loads take the deterministic poisoned-access
+           path — and surface a structured error instead of crashing. *)
+        src.Heap_obj.fields.(i) <- Word.poison w;
+        let stats = Vm.stats vm in
+        stats.Gc_stats.words_quarantined <- stats.Gc_stats.words_quarantined + 1;
+        raise
+          (Lp_core.Errors.heap_corruption
+             ~src_class:(Class_registry.name (Vm.registry vm) src.Heap_obj.class_id)
+             ~field:i ~target:(Word.target w) ~gc_count:(Vm.gc_count vm))
+    in
     if Word.untouched w then begin
       (* Out-of-line cold path: first use of this reference since the last
          collection scanned it. *)

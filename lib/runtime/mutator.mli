@@ -21,6 +21,9 @@ val read : Vm.t -> Heap_obj.t -> int -> Heap_obj.t option
 (** [read vm src i] loads reference field [i] of [src] through the
     barrier. [None] for null.
     @raise Lp_core.Errors.Internal_error on a poisoned reference.
+    @raise Lp_core.Errors.Heap_corruption when the word dangles (its
+    target is not live) — the barrier quarantines the slot by poisoning
+    it, so subsequent loads take the deterministic poisoned path.
     @raise Store.Dangling_reference if [src] was reclaimed (heap
     discipline violation). *)
 

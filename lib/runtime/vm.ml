@@ -20,6 +20,8 @@ type t = {
   main_thread : Roots.thread;
   nursery_limit : int option;
   remset : Remset.t;
+  fault : Lp_fault.Fault_plan.t option;
+  mutable corruptions_injected : int;
   mutable minor_collections : int;
   mutable cycles : int;
   mutable gc_cycles : int;
@@ -28,27 +30,50 @@ type t = {
 }
 
 let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
-    ?(charge_barriers = true) ?disk ?nursery_bytes ~heap_bytes () =
+    ?(charge_barriers = true) ?disk ?nursery_bytes ?fault ~heap_bytes () =
   (match nursery_bytes with
   | Some n when n <= 0 || n >= heap_bytes ->
     invalid_arg "Vm.create: nursery_bytes must be in (0, heap_bytes)"
   | Some _ | None -> ());
   let registry = Class_registry.create () in
   let roots = Roots.create () in
+  let store = Store.create ~limit_bytes:heap_bytes in
+  let disk = Option.map Diskswap.create disk in
+  (* Thread the fault plan's trigger points through the layers that own
+     them: the store consults the Alloc site, the disk the Disk site.
+     (The Step site belongs to the chaos harness.) *)
+  (match fault with
+  | Some plan ->
+    Store.set_alloc_fault store
+      (Some
+         (fun () ->
+           List.mem Lp_fault.Fault_plan.Refuse_alloc
+             (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Alloc)));
+    Option.iter
+      (fun d ->
+        Diskswap.set_fault_hook d
+          (Some
+             (fun () ->
+               List.mem Lp_fault.Fault_plan.Disk_failure
+                 (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Disk))))
+      disk
+  | None -> ());
   {
     registry;
-    store = Store.create ~limit_bytes:heap_bytes;
+    store;
     roots;
     stats = Gc_stats.create ();
     controller = Lp_core.Controller.create config registry;
     cost;
     charge_barriers;
-    disk = Option.map Diskswap.create disk;
+    disk;
     finalizers = Hashtbl.create 64;
     statics_objects = Hashtbl.create 16;
     main_thread = Roots.spawn_thread roots;
     nursery_limit = nursery_bytes;
     remset = Remset.create ();
+    fault;
+    corruptions_injected = 0;
     minor_collections = 0;
     cycles = 0;
     gc_cycles = 0;
@@ -64,6 +89,9 @@ let controller t = t.controller
 let cost t = t.cost
 let disk t = t.disk
 let charge_barriers t = t.charge_barriers
+let remset t = t.remset
+let fault_plan t = t.fault
+let corruptions_injected t = t.corruptions_injected
 
 let register_class t name = Class_registry.register t.registry name
 
@@ -136,8 +164,7 @@ let run_finalizer t (obj : Heap_obj.t) =
     f obj
   | None -> ()
 
-let run_gc t =
-  let before = Gc_stats.copy t.stats in
+let collect_once t =
   Lp_core.Controller.collect ~on_finalize:(run_finalizer t) t.controller t.store
     t.roots ~stats:t.stats;
   if t.nursery_limit <> None then begin
@@ -145,8 +172,48 @@ let run_gc t =
        mature afterwards *)
     Store.iter_live t.store (Store.promote t.store);
     Remset.clear t.remset
-  end;
-  (match t.disk with Some d -> Diskswap.after_gc d t.store | None -> ());
+  end
+
+(* The out-of-memory error to throw now. Once pruning has engaged this
+   is the recorded deferred error (Section 2), so the thrown error and
+   the cause carried by poisoned-access internal errors are the same
+   exception. *)
+let oom_error t =
+  match Lp_core.Controller.averted_error t.controller with
+  | Some e -> e
+  | None ->
+    Lp_core.Errors.out_of_memory ~gc_count:t.stats.Gc_stats.collections
+      ~used_bytes:(Store.used_bytes t.store)
+      ~limit_bytes:(Store.limit_bytes t.store)
+
+(* The post-collection disk operation can fail — for real (residency
+   over the disk limit) or through an injected fault. Rather than
+   crashing the VM, degrade: re-collect (another collection lets pruning
+   advance and kills garbage whose disk space [reconcile] then releases)
+   and retry with offloading disabled, a bounded number of times. Only
+   when the bounded policy fails does the structured error surface. *)
+let run_disk_phase t d =
+  let retries =
+    (Lp_core.Controller.config t.controller).Lp_core.Config.disk_retry_attempts
+  in
+  let rec attempt n =
+    try Diskswap.after_gc ~allow_offload:(n = 0) d t.store
+    with Diskswap.Out_of_disk { resident_bytes; limit_bytes } ->
+      if n >= retries then
+        raise
+          (Lp_core.Errors.disk_exhausted ~resident_bytes ~limit_bytes ~retries:n
+             ~gc_count:t.stats.Gc_stats.collections)
+      else begin
+        collect_once t;
+        attempt (n + 1)
+      end
+  in
+  attempt 0
+
+let run_gc t =
+  let before = Gc_stats.copy t.stats in
+  collect_once t;
+  (match t.disk with Some d -> run_disk_phase t d | None -> ());
   let gc_cost =
     Cost.gc_cost t.cost ~before ~after:t.stats
     + (Roots.root_count t.roots * t.cost.Cost.gc_root)
@@ -166,13 +233,12 @@ let run_gc t =
 (* The allocation slow path: collect, then keep advancing through the
    controller's SELECT/PRUNE protocol while it reports progress is
    possible. Under the disk baseline the post-collection offload is the
-   only recourse, so a second failure is fatal. [attempts] bounds the
-   retries for one allocation: if the collector cannot free the request
-   within that many collections the VM has ground to a halt and the
-   out-of-memory error is thrown (a forced state, for example, can never
-   prune). *)
-let max_slow_path_attempts = 24
-
+   only recourse, so only [Config.disk_baseline_retries] retry
+   collections are granted. [attempts] bounds the retries for one
+   allocation: if the collector cannot free the request within
+   [Config.max_slow_path_attempts] collections the VM has ground to a
+   halt and the out-of-memory error is thrown (a forced state, for
+   example, can never prune). *)
 let rec alloc_slow_path t size attempts =
   run_gc t;
   if Store.would_overflow t.store size then begin
@@ -184,23 +250,15 @@ let rec alloc_slow_path t size attempts =
     match t.disk with
     | Some _ when not pruning_active ->
       (* Disk-only baseline: the post-collection offload is the only
-         recourse. A couple of retry collections let staleness reach the
+         recourse. The retry collections let staleness reach the
          offload threshold (counters only move at collections); after
          that, a failure is fatal. *)
-      if attempts < 4 then alloc_slow_path t size (attempts + 1)
-      else
-        raise
-          (Lp_core.Errors.out_of_memory
-             ~gc_count:t.stats.Gc_stats.collections
-             ~used_bytes:(Store.used_bytes t.store)
-             ~limit_bytes:(Store.limit_bytes t.store))
+      if attempts < config.Lp_core.Config.disk_baseline_retries then
+        alloc_slow_path t size (attempts + 1)
+      else raise (oom_error t)
     | Some _ | None ->
-      if attempts >= max_slow_path_attempts then
-        raise
-          (Lp_core.Errors.out_of_memory
-             ~gc_count:t.stats.Gc_stats.collections
-             ~used_bytes:(Store.used_bytes t.store)
-             ~limit_bytes:(Store.limit_bytes t.store))
+      if attempts >= config.Lp_core.Config.max_slow_path_attempts then
+        raise (oom_error t)
       else begin
         match
           Lp_core.Controller.on_allocation_failure t.controller t.store
@@ -217,12 +275,28 @@ let alloc_class t ~class_id ?(scalar_bytes = 0) ?finalizer ~n_fields () =
   (match t.nursery_limit with
   | Some limit when Store.nursery_bytes t.store + size > limit -> run_minor_gc t
   | Some _ | None -> ());
-  if Store.would_overflow t.store size then alloc_slow_path t size 0;
-  let obj =
-    Store.alloc_generation t.store ~nursery:(t.nursery_limit <> None) ~class_id
-      ~n_fields ~scalar_bytes
-      ~finalizable:(finalizer <> None)
+  (* The store can refuse even after the headroom check said yes (an
+     injected allocation fault); each refusal buys the slow path another
+     go, bounded like the slow path itself. *)
+  let max_refusals =
+    (Lp_core.Controller.config t.controller).Lp_core.Config.max_slow_path_attempts
   in
+  let rec obtain refusals =
+    if Store.would_overflow t.store size then alloc_slow_path t size 0;
+    match
+      Store.alloc_generation t.store ~nursery:(t.nursery_limit <> None) ~class_id
+        ~n_fields ~scalar_bytes
+        ~finalizable:(finalizer <> None)
+    with
+    | obj -> obj
+    | exception Store.Heap_full _ ->
+      if refusals >= max_refusals then raise (oom_error t)
+      else begin
+        run_gc t;
+        obtain (refusals + 1)
+      end
+  in
+  let obj = obtain 0 in
   (match finalizer with
   | Some f -> Hashtbl.replace t.finalizers obj.Heap_obj.id f
   | None -> ());
@@ -248,6 +322,26 @@ let statics t ~class_name ~n_fields =
     Roots.add_static_root t.roots obj.Heap_obj.id;
     Hashtbl.replace t.statics_objects class_name obj;
     obj
+
+(* Fault injection: deliberately damage one reference word of a live
+   object. The injection counter keeps the heap verifier's poison
+   accounting closed — every poisoned or dangling word in the heap must
+   be explained by pruning, quarantine, or an injection. *)
+let inject_word_corruption t (obj : Heap_obj.t) ~field mode =
+  let fields = obj.Heap_obj.fields in
+  if field < 0 || field >= Array.length fields then
+    invalid_arg "Vm.inject_word_corruption: field out of range";
+  t.corruptions_injected <- t.corruptions_injected + 1;
+  match mode with
+  | `Poison ->
+    let w = fields.(field) in
+    let w = if Word.is_null w then Word.of_id obj.Heap_obj.id else w in
+    fields.(field) <- Word.poison w
+  | `Retarget id -> fields.(field) <- Word.of_id id
+  | `Dangle ->
+    (* An identifier far past the allocation frontier: dead now, and it
+       stays dead until thousands of fresh allocations pass it. *)
+    fields.(field) <- Word.of_id (Store.next_fresh_id t.store + 4096)
 
 let with_frame t ?thread ~n_slots f =
   let thread = match thread with Some th -> th | None -> t.main_thread in

@@ -29,6 +29,7 @@ val create :
   ?charge_barriers:bool ->
   ?disk:Diskswap.config ->
   ?nursery_bytes:int ->
+  ?fault:Lp_fault.Fault_plan.t ->
   heap_bytes:int ->
   unit ->
   t
@@ -38,8 +39,13 @@ val create :
     [nursery_bytes] enables generational mode, as in the paper's MMTk
     substrate: allocation goes to a logical nursery of that size, cheap
     minor collections promote survivors, and only full-heap collections
-    drive leak pruning. Defaults: paper-default pruning config, default
-    costs, barriers charged, no disk baseline, non-generational. *)
+    drive leak pruning. [fault] threads a fault-injection plan through
+    the runtime: the store consults its [Alloc] site on every
+    allocation, the disk baseline its [Disk] site on every
+    post-collection disk operation (the [Step] site is driven by the
+    chaos harness). Defaults: paper-default pruning config, default
+    costs, barriers charged, no disk baseline, non-generational, no
+    faults. *)
 
 (** {1 Components} *)
 
@@ -51,6 +57,8 @@ val controller : t -> Lp_core.Controller.t
 val cost : t -> Cost.t
 val disk : t -> Diskswap.t option
 val charge_barriers : t -> bool
+val remset : t -> Remset.t
+val fault_plan : t -> Lp_fault.Fault_plan.t option
 
 (** {1 Classes and statics} *)
 
@@ -91,8 +99,9 @@ val alloc :
     enabled and engaged, SELECT/PRUNE collections) as needed.
     @raise Lp_core.Errors.Out_of_memory when memory is exhausted and
     cannot be reclaimed.
-    @raise Diskswap.Out_of_disk under the disk baseline when the disk
-    fills. *)
+    @raise Lp_core.Errors.Disk_exhausted under the disk baseline when
+    the disk fills and the bounded degradation retries (see {!run_gc})
+    cannot relieve it. *)
 
 val alloc_class :
   t ->
@@ -109,7 +118,12 @@ val alloc_class :
 
 val run_gc : t -> unit
 (** Forces a full-heap collection now (used by tests and experiments;
-    programs normally collect only on allocation pressure). *)
+    programs normally collect only on allocation pressure). Under the
+    disk baseline a failing post-collection disk operation is retried
+    with a bounded degradation policy — re-collect, then reconcile with
+    offloading disabled, [Config.disk_retry_attempts] times — before
+    {!Lp_core.Errors.Disk_exhausted} surfaces; the raw
+    {!Diskswap.Out_of_disk} never escapes the VM. *)
 
 val gc_count : t -> int
 (** Full-heap collections (the ones leak pruning works in). *)
@@ -158,3 +172,18 @@ val assert_live : t -> Heap_obj.t -> unit
 (** @raise Store.Dangling_reference when the object has been reclaimed
     (a heap-discipline violation in the calling program, or a collector
     bug). *)
+
+(** {1 Fault injection} *)
+
+val inject_word_corruption :
+  t -> Heap_obj.t -> field:int -> [ `Poison | `Retarget of int | `Dangle ] -> unit
+(** Deliberately damages one reference word of a live object (chaos
+    testing): [`Poison] sets the poison bit as if the reference had been
+    pruned, [`Retarget id] silently repoints it, [`Dangle] points it at
+    an identifier with no live object. The damage is recorded in
+    {!corruptions_injected} so the heap verifier can keep its poison
+    accounting closed. The runtime must survive all three: the collector
+    and the read barrier quarantine dangling words and raise only
+    structured errors. *)
+
+val corruptions_injected : t -> int

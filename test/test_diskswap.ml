@@ -69,9 +69,73 @@ let test_out_of_disk () =
       Vm.run_gc vm
     done
   with
+  | () -> Alcotest.fail "expected Disk_exhausted"
+  | exception
+      Lp_core.Errors.Disk_exhausted { resident_bytes; limit_bytes; retries; gc_count }
+    ->
+    (* the VM's bounded degradation policy ran out: the structured error
+       carries the configured limit, the residency that defeated the
+       last retry, and the retry budget it spent *)
+    Alcotest.(check int) "limit carried" 4_000 limit_bytes;
+    Alcotest.(check bool) "resident exceeded limit" true (resident_bytes > limit_bytes);
+    Alcotest.(check int) "retries equal the configured budget"
+      (Lp_core.Controller.config (Vm.controller vm)).Lp_core.Config.disk_retry_attempts
+      retries;
+    Alcotest.(check bool) "collection count recorded" true (gc_count > 0)
+
+(* Exercise the Diskswap layer directly, without the VM's retry policy
+   in between: build a full heap of stale objects by hand and let the
+   post-collection hook offload them past a tiny disk limit. *)
+let stale_full_store () =
+  let store = Store.create ~limit_bytes:2_000 in
+  let registry = Class_registry.create () in
+  let cls = Class_registry.register registry "Node" in
+  let objs = ref [] in
+  (try
+     while true do
+       let o =
+         Store.alloc store ~class_id:cls ~n_fields:1 ~scalar_bytes:100
+           ~finalizable:false
+       in
+       Heap_obj.set_stale o 3;
+       objs := o :: !objs
+     done
+   with Store.Heap_full _ -> ());
+  (* the occupancy test reads live bytes, which only a sweep records *)
+  Store.set_live_bytes store (Store.used_bytes store);
+  (store, !objs)
+
+let test_direct_out_of_disk_payload () =
+  let store, _ = stale_full_store () in
+  let d =
+    Diskswap.create
+      { Diskswap.disk_limit_bytes = 300; offload_stale_threshold = 2; offload_occupancy = 0.5 }
+  in
+  match Diskswap.after_gc d store with
   | () -> Alcotest.fail "expected Out_of_disk"
   | exception Diskswap.Out_of_disk { resident_bytes; limit_bytes } ->
-    Alcotest.(check bool) "resident exceeded limit" true (resident_bytes > limit_bytes)
+    Alcotest.(check int) "limit carried" 300 limit_bytes;
+    Alcotest.(check bool) "resident exceeds limit" true (resident_bytes > limit_bytes);
+    Alcotest.(check int) "payload matches the disk's accounting"
+      (Diskswap.resident_bytes d) resident_bytes
+
+let test_reconcile_releases_swept () =
+  let store, objs = stale_full_store () in
+  let d =
+    Diskswap.create
+      { Diskswap.disk_limit_bytes = 100_000; offload_stale_threshold = 2; offload_occupancy = 0.5 }
+  in
+  Diskswap.after_gc d store;
+  let before = Diskswap.resident_bytes d in
+  Alcotest.(check bool) "objects offloaded" true (before > 0);
+  (* a sweep reclaims half the objects; reconcile must release their disk *)
+  List.iteri (fun i o -> if i mod 2 = 0 then Store.free store o) objs;
+  Diskswap.after_gc ~allow_offload:false d store;
+  Alcotest.(check bool) "disk released for swept objects" true
+    (Diskswap.resident_bytes d < before);
+  Diskswap.iter_resident d (fun ~id ~bytes:_ ->
+      Alcotest.(check bool) "every remaining resident id is live" true
+        (Store.mem store id))
 
 let test_dead_objects_release_disk () =
   let vm = make_vm () in
@@ -110,6 +174,8 @@ let suite =
       Alcotest.test_case "offload extends run" `Quick test_offload_extends_run;
       Alcotest.test_case "retrieval on access" `Quick test_retrieval_on_access;
       Alcotest.test_case "out of disk" `Quick test_out_of_disk;
+      Alcotest.test_case "direct out-of-disk payload" `Quick test_direct_out_of_disk_payload;
+      Alcotest.test_case "reconcile releases swept objects" `Quick test_reconcile_releases_swept;
       Alcotest.test_case "dead objects release disk" `Quick test_dead_objects_release_disk;
       Alcotest.test_case "combined pruning + disk" `Quick test_combined_pruning_and_disk;
     ] )

@@ -1,0 +1,156 @@
+(* Fault-injection plans and the chaos harness. *)
+
+open Lp_fault
+open Lp_runtime
+
+let ev site fault at repeat = { Fault_plan.site; fault; at; repeat }
+
+let test_plan_determinism () =
+  let p1 = Fault_plan.random ~seed:42 () in
+  let p2 = Fault_plan.random ~seed:42 () in
+  Alcotest.(check bool) "same seed, same plan" true
+    (Fault_plan.events p1 = Fault_plan.events p2);
+  let distinct =
+    List.sort_uniq compare
+      (List.init 20 (fun s -> Fault_plan.events (Fault_plan.random ~seed:s ())))
+  in
+  Alcotest.(check bool) "different seeds give different plans" true
+    (List.length distinct > 1)
+
+let test_at_firing () =
+  let p = Fault_plan.make [ ev Fault_plan.Alloc Fault_plan.Refuse_alloc 3 false ] in
+  Alcotest.(check bool) "visit 1 clean" true
+    (Fault_plan.check p Fault_plan.Alloc = []);
+  Alcotest.(check bool) "visit 2 clean" true
+    (Fault_plan.check p Fault_plan.Alloc = []);
+  Alcotest.(check bool) "visit 3 fires" true
+    (Fault_plan.check p Fault_plan.Alloc = [ Fault_plan.Refuse_alloc ]);
+  Alcotest.(check bool) "visit 4 clean again (one-shot)" true
+    (Fault_plan.check p Fault_plan.Alloc = []);
+  Alcotest.(check int) "one fault fired" 1 (Fault_plan.fired_count p);
+  Alcotest.(check bool) "fired log records site, visit and fault" true
+    (Fault_plan.fired p = [ (Fault_plan.Alloc, 3, Fault_plan.Refuse_alloc) ])
+
+let test_repeat_firing () =
+  let p = Fault_plan.make [ ev Fault_plan.Disk Fault_plan.Disk_failure 2 true ] in
+  Alcotest.(check bool) "visit 1 clean" true
+    (Fault_plan.check p Fault_plan.Disk = []);
+  for _i = 2 to 5 do
+    Alcotest.(check bool) "fires on every visit from [at] on" true
+      (Fault_plan.check p Fault_plan.Disk = [ Fault_plan.Disk_failure ])
+  done;
+  (* sites count independently: the Alloc site is still on visit 1 *)
+  Alcotest.(check bool) "other sites unaffected" true
+    (Fault_plan.check p Fault_plan.Alloc = []);
+  Alcotest.(check int) "disk visits counted" 5 (Fault_plan.visits p Fault_plan.Disk)
+
+let test_invalid_event () =
+  Alcotest.check_raises "at must be >= 1"
+    (Invalid_argument "Fault_plan.make: at must be >= 1") (fun () ->
+      ignore (Fault_plan.make [ ev Fault_plan.Alloc Fault_plan.Refuse_alloc 0 false ]))
+
+let test_alloc_refusal_recovery () =
+  let plan = Fault_plan.make [ ev Fault_plan.Alloc Fault_plan.Refuse_alloc 1 false ] in
+  let vm = Vm.create ~fault:plan ~heap_bytes:10_000 () in
+  let obj = Vm.alloc vm ~class_name:"A" ~n_fields:1 () in
+  Alcotest.(check bool) "allocation survived the refusal" true
+    (obj.Lp_heap.Heap_obj.id > 0);
+  Alcotest.(check int) "the refusal fired" 1 (Fault_plan.fired_count plan);
+  Alcotest.(check bool) "a recovery collection ran" true (Vm.gc_count vm >= 1)
+
+let test_corruption_read_quarantine () =
+  let vm = Vm.create ~heap_bytes:10_000 () in
+  let statics = Vm.statics vm ~class_name:"S" ~n_fields:2 in
+  let obj = Vm.alloc vm ~class_name:"A" ~n_fields:2 () in
+  Mutator.write_obj vm statics 0 obj;
+  Vm.inject_word_corruption vm statics ~field:0 `Dangle;
+  (match Mutator.read vm statics 0 with
+  | _ -> Alcotest.fail "expected Heap_corruption"
+  | exception Lp_core.Errors.Heap_corruption { field; _ } ->
+    Alcotest.(check int) "corrupt field reported" 0 field);
+  Alcotest.(check bool) "slot quarantined (poisoned)" true
+    (Mutator.field_is_poisoned vm statics 0);
+  Alcotest.(check int) "quarantine counted" 1
+    (Vm.stats vm).Lp_heap.Gc_stats.words_quarantined;
+  (* the quarantined slot now takes the ordinary poisoned path *)
+  (match Mutator.read vm statics 0 with
+  | _ -> Alcotest.fail "expected Internal_error"
+  | exception Lp_core.Errors.Internal_error _ -> ());
+  Alcotest.(check (result unit string)) "heap verifies after quarantine" (Ok ())
+    (Diagnostics.heap_check ~strict:true vm)
+
+let test_corruption_gc_quarantine () =
+  let vm = Vm.create ~heap_bytes:10_000 () in
+  let statics = Vm.statics vm ~class_name:"S" ~n_fields:2 in
+  let obj = Vm.alloc vm ~class_name:"A" ~n_fields:2 () in
+  Mutator.write_obj vm statics 0 obj;
+  Vm.inject_word_corruption vm obj ~field:1 `Dangle;
+  (* never read: the next collection's scan must find and quarantine it *)
+  Vm.run_gc vm;
+  Alcotest.(check bool) "collector quarantined the dangle" true
+    (Mutator.field_is_poisoned vm obj 1);
+  Alcotest.(check bool) "quarantine counted" true
+    ((Vm.stats vm).Lp_heap.Gc_stats.words_quarantined >= 1);
+  Alcotest.(check (result unit string)) "heap verifies after collection" (Ok ())
+    (Diagnostics.heap_check ~strict:true vm)
+
+let test_heap_check_detects_unaccounted_poison () =
+  let vm = Vm.create ~heap_bytes:10_000 () in
+  let statics = Vm.statics vm ~class_name:"S" ~n_fields:2 in
+  let obj = Vm.alloc vm ~class_name:"A" ~n_fields:1 () in
+  Mutator.write_obj vm statics 0 obj;
+  (* poison behind the runtime's back: no prune, quarantine or injection
+     recorded, so the verifier must flag it *)
+  statics.Lp_heap.Heap_obj.fields.(0) <-
+    Lp_heap.Word.poison statics.Lp_heap.Heap_obj.fields.(0);
+  match Diagnostics.heap_check vm with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verifier missed an unaccounted poisoned word"
+
+let test_chaos_determinism () =
+  let r1 = Lp_harness.Chaos.run_one ~seed:11 () in
+  let r2 = Lp_harness.Chaos.run_one ~seed:11 () in
+  Alcotest.(check bool) "identical reports from the same seed" true (r1 = r2)
+
+let test_chaos_fault_free_sweep () =
+  List.iter
+    (fun (r : Lp_harness.Chaos.report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d survives fault-free" r.Lp_harness.Chaos.seed)
+        true
+        (r.Lp_harness.Chaos.outcome = Lp_harness.Chaos.Survived))
+    (Lp_harness.Chaos.run_seeds ~faults:false ~seeds:40 ())
+
+let test_chaos_faulted_sweep () =
+  List.iter
+    (fun (r : Lp_harness.Chaos.report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: %s" r.Lp_harness.Chaos.seed
+           (Lp_harness.Chaos.outcome_to_string r.Lp_harness.Chaos.outcome))
+        false
+        (Lp_harness.Chaos.failed r))
+    (Lp_harness.Chaos.run_seeds ~faults:true ~seeds:40 ())
+
+let test_shrink_passing_seed () =
+  Alcotest.(check bool) "nothing to shrink on a passing seed" true
+    (Lp_harness.Chaos.shrink ~seed:3 () = None)
+
+let suite =
+  ( "fault",
+    [
+      Alcotest.test_case "plan determinism" `Quick test_plan_determinism;
+      Alcotest.test_case "one-shot firing" `Quick test_at_firing;
+      Alcotest.test_case "repeat firing" `Quick test_repeat_firing;
+      Alcotest.test_case "invalid event rejected" `Quick test_invalid_event;
+      Alcotest.test_case "alloc refusal recovery" `Quick test_alloc_refusal_recovery;
+      Alcotest.test_case "corruption quarantined by read barrier" `Quick
+        test_corruption_read_quarantine;
+      Alcotest.test_case "corruption quarantined by collector" `Quick
+        test_corruption_gc_quarantine;
+      Alcotest.test_case "verifier flags unaccounted poison" `Quick
+        test_heap_check_detects_unaccounted_poison;
+      Alcotest.test_case "chaos determinism" `Quick test_chaos_determinism;
+      Alcotest.test_case "chaos fault-free sweep" `Quick test_chaos_fault_free_sweep;
+      Alcotest.test_case "chaos faulted sweep" `Quick test_chaos_faulted_sweep;
+      Alcotest.test_case "shrink on passing seed" `Quick test_shrink_passing_seed;
+    ] )

@@ -16,6 +16,8 @@ let () =
       Test_controller.suite;
       Test_vm_mutator.suite;
       Test_diskswap.suite;
+      Test_fault.suite;
+      Test_degradation.suite;
       Test_generational.suite;
       Test_diagnostics.suite;
       Test_cyclic.suite;
