@@ -195,7 +195,9 @@ let chaos_cmd =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print failures and the summary.")
   in
   let print_report (r : Lp_harness.Chaos.report) =
-    Printf.printf "seed %4d: %-10s %4d steps, %3d collections, %2d faults fired, %d recovered%s\n"
+    Printf.printf
+      "seed %4d: %-10s %4d steps, %3d collections, %2d faults fired, %d \
+       recovered, %d pruned, %d resurrected, %d safe%s\n"
       r.Lp_harness.Chaos.seed
       (match r.Lp_harness.Chaos.outcome with
       | Lp_harness.Chaos.Survived -> "pass"
@@ -204,6 +206,8 @@ let chaos_cmd =
       | Lp_harness.Chaos.Crash _ -> "CRASH")
       r.Lp_harness.Chaos.steps_run r.Lp_harness.Chaos.gc_count
       r.Lp_harness.Chaos.faults_fired r.Lp_harness.Chaos.recovered
+      r.Lp_harness.Chaos.poisoned r.Lp_harness.Chaos.resurrections
+      r.Lp_harness.Chaos.safe_entries
       (match r.Lp_harness.Chaos.outcome with
       | Lp_harness.Chaos.Survived -> ""
       | o -> "  (" ^ Lp_harness.Chaos.outcome_to_string o ^ ")")

@@ -15,6 +15,9 @@ type t = {
   max_slow_path_attempts : int;
   disk_baseline_retries : int;
   disk_retry_attempts : int;
+  safe_mode_threshold : int option;
+  safe_mode_collections : int;
+  resurrection_alloc_attempts : int;
 }
 
 let default =
@@ -33,6 +36,9 @@ let default =
     max_slow_path_attempts = 24;
     disk_baseline_retries = 4;
     disk_retry_attempts = 2;
+    safe_mode_threshold = Some 4;
+    safe_mode_collections = 8;
+    resurrection_alloc_attempts = 4;
   }
 
 let make ?(policy = default.policy) ?(observe_threshold = default.observe_threshold)
@@ -45,7 +51,10 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     ?force_state ?maxstaleuse_decay_period
     ?(max_slow_path_attempts = default.max_slow_path_attempts)
     ?(disk_baseline_retries = default.disk_baseline_retries)
-    ?(disk_retry_attempts = default.disk_retry_attempts) () =
+    ?(disk_retry_attempts = default.disk_retry_attempts)
+    ?(safe_mode_threshold = default.safe_mode_threshold)
+    ?(safe_mode_collections = default.safe_mode_collections)
+    ?(resurrection_alloc_attempts = default.resurrection_alloc_attempts) () =
   {
     policy;
     observe_threshold;
@@ -61,6 +70,9 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     max_slow_path_attempts;
     disk_baseline_retries;
     disk_retry_attempts;
+    safe_mode_threshold;
+    safe_mode_collections;
+    resurrection_alloc_attempts;
   }
 
 let validate t =
@@ -80,4 +92,10 @@ let validate t =
     Error "max_slow_path_attempts must be >= 1"
   else if t.disk_baseline_retries < 0 then Error "disk_baseline_retries must be >= 0"
   else if t.disk_retry_attempts < 0 then Error "disk_retry_attempts must be >= 0"
+  else if (match t.safe_mode_threshold with Some n -> n < 1 | None -> false)
+  then Error "safe_mode_threshold must be >= 1"
+  else if t.safe_mode_collections < 1 then
+    Error "safe_mode_collections must be >= 1"
+  else if t.resurrection_alloc_attempts < 0 then
+    Error "resurrection_alloc_attempts must be >= 0"
   else Ok t

@@ -50,6 +50,17 @@ type t = {
       (** degraded re-collections (offloading disabled) the VM attempts
           when the disk-swap baseline reports [Out_of_disk] before the
           structured [Errors.Disk_exhausted] is thrown; default 2 *)
+  safe_mode_threshold : int option;
+      (** resurrections (recovered mispredictions) within one prune
+          epoch that push the controller into the SAFE state, suspending
+          pruning; [None] disables safe mode; default [Some 4] *)
+  safe_mode_collections : int;
+      (** full-heap collections the controller stays in SAFE before
+          resuming the normal state machine; default 8 *)
+  resurrection_alloc_attempts : int;
+      (** collections the barrier-level resurrection path may trigger
+          while re-allocating a pruned object's replacement before the
+          recovery fails with [Reallocation_exhausted]; default 4 *)
 }
 
 val default : t
@@ -69,6 +80,9 @@ val make :
   ?max_slow_path_attempts:int ->
   ?disk_baseline_retries:int ->
   ?disk_retry_attempts:int ->
+  ?safe_mode_threshold:int option ->
+  ?safe_mode_collections:int ->
+  ?resurrection_alloc_attempts:int ->
   unit ->
   t
 

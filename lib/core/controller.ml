@@ -12,6 +12,8 @@ type t = {
   mutable pruned_types : (Class_registry.id * Class_registry.id) list;  (* reverse order *)
   mutable unproductive_cycles : int;
   mutable gc_count : int;
+  mutable mispredictions : int;  (* resurrected pruned accesses, all time *)
+  mutable epoch_mispredictions : int;  (* since the last PRUNE collection *)
 }
 
 let create config registry =
@@ -30,6 +32,8 @@ let create config registry =
       pruned_types = [];
       unproductive_cycles = 0;
       gc_count = 0;
+      mispredictions = 0;
+      epoch_mispredictions = 0;
     }
 
 let config t = t.config
@@ -51,6 +55,16 @@ let last_selection t = t.last_selection
 let pruned_edge_types t = List.rev t.pruned_types
 
 let state_transitions t = State_machine.transitions t.machine
+
+let in_safe_mode t = State_machine.in_safe_mode t.machine
+
+let safe_entries t = State_machine.safe_entries t.machine
+
+let safe_exits_forced t = State_machine.safe_exits_forced t.machine
+
+let mispredictions t = t.mispredictions
+
+let epoch_mispredictions t = t.epoch_mispredictions
 
 let report t msg = match t.config.Config.report with None -> () | Some f -> f msg
 
@@ -80,6 +94,28 @@ let on_stale_use t ~src ~tgt =
         ~tgt:tgt.Heap_obj.class_id ~stale
   end
 
+(* Misprediction feedback from the resurrection subsystem: a program
+   access to a pruned reference proves the selection was wrong. The edge
+   type is protected (its maxstaleuse raised past the qualifying bar, so
+   confidence in pruning it decays to nothing) and, past the configured
+   per-epoch threshold, the controller enters the SAFE moratorium. *)
+let note_misprediction t ~src_class ~tgt_class ~stale =
+  t.mispredictions <- t.mispredictions + 1;
+  t.epoch_mispredictions <- t.epoch_mispredictions + 1;
+  Edge_table.protect t.table ~src:src_class ~tgt:tgt_class
+    ~min_stale_use:(stale + t.config.Config.stale_slack);
+  match t.config.Config.safe_mode_threshold with
+  | Some threshold
+    when t.epoch_mispredictions >= threshold
+         && not (State_machine.in_safe_mode t.machine) ->
+    report t
+      (Printf.sprintf
+         "leak pruning: %d mispredictions this epoch; entering SAFE for %d \
+          collection(s)"
+         t.epoch_mispredictions t.config.Config.safe_mode_collections);
+    State_machine.enter_safe t.machine
+  | Some _ | None -> ()
+
 let poisoned_access_error t ~src ~tgt_class =
   let cause =
     match t.averted with
@@ -97,7 +133,7 @@ let poisoned_access_error t ~src ~tgt_class =
 (* One full-heap collection. The phases composed here are the paper's
    Sections 4.2-4.3; which filter runs depends on the state machine and the
    prediction policy. *)
-let collect ?on_finalize t store roots ~stats =
+let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
   t.gc_count <- t.gc_count + 1;
   stats.Gc_stats.collections <- stats.Gc_stats.collections + 1;
   let st = state t in
@@ -113,17 +149,27 @@ let collect ?on_finalize t store roots ~stats =
   (match (st, t.config.Config.policy) with
   | State_kind.Inactive, _ | _, Policy.None_ ->
     ignore (Collector.mark store roots ~stats ~config:Collector.base_config)
-  | State_kind.Observe, _ ->
+  | (State_kind.Observe | State_kind.Safe), _ ->
     ignore
       (Collector.mark store roots ~stats
          ~config:
-           { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = None })
+           {
+             Collector.set_untouched_bits = true;
+             stale_tick_gc = tick;
+             edge_filter = None;
+             on_poison = None;
+           })
   | State_kind.Select, Policy.Default ->
     let filter = Selection.select_filter_default t.config t.table in
     let deferred =
       Collector.mark store roots ~stats
         ~config:
-          { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = Some filter }
+          {
+            Collector.set_untouched_bits = true;
+            stale_tick_gc = tick;
+            edge_filter = Some filter;
+            on_poison = None;
+          }
     in
     List.iter
       (fun (edge : Collector.edge) ->
@@ -148,7 +194,12 @@ let collect ?on_finalize t store roots ~stats =
     ignore
       (Collector.mark store roots ~stats
          ~config:
-           { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = Some filter });
+           {
+             Collector.set_untouched_bits = true;
+             stale_tick_gc = tick;
+             edge_filter = Some filter;
+             on_poison = None;
+           });
     stats.Gc_stats.selection_scans <- stats.Gc_stats.selection_scans + 1;
     (match Edge_table.select_max_bytes t.table with
     | Some (src, tgt, bytes) ->
@@ -160,7 +211,12 @@ let collect ?on_finalize t store roots ~stats =
     ignore
       (Collector.mark store roots ~stats
          ~config:
-           { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = None });
+           {
+             Collector.set_untouched_bits = true;
+             stale_tick_gc = tick;
+             edge_filter = None;
+             on_poison = None;
+           });
     stats.Gc_stats.selection_scans <- stats.Gc_stats.selection_scans + 1;
     let level = Selection.max_live_staleness store ~marked_only:true in
     t.selected_level <- (if level >= 2 then Some level else None)
@@ -174,8 +230,10 @@ let collect ?on_finalize t store roots ~stats =
     in
     ignore
       (Collector.mark store roots ~stats
-         ~config:{ Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = filter });
+         ~config:
+           { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = filter; on_poison });
     State_machine.note_prune_performed t.machine;
+    t.epoch_mispredictions <- 0;
     (match (t.selected, stats.Gc_stats.references_poisoned - poisoned_before) with
     | Some selected, n when n > 0 ->
       if not (List.mem selected t.pruned_types) then
@@ -194,8 +252,10 @@ let collect ?on_finalize t store roots ~stats =
     in
     ignore
       (Collector.mark store roots ~stats
-         ~config:{ Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = filter });
+         ~config:
+           { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = filter; on_poison });
     State_machine.note_prune_performed t.machine;
+    t.epoch_mispredictions <- 0;
     t.selected_level <- None);
   let run_finalizers =
     t.config.Config.finalizers_after_prune || not (State_machine.has_pruned t.machine)
@@ -204,6 +264,10 @@ let collect ?on_finalize t store roots ~stats =
   | Some f when run_finalizers ->
     Collector.resurrect_finalizables store ~stats ~on_finalize:f
   | Some _ | None -> ());
+  (* Last chance to read doomed objects: everything unmarked is still
+     intact here, which is when swap images of pruned closures are
+     captured. *)
+  (match before_sweep with Some f -> f () | None -> ());
   let freed_before = stats.Gc_stats.bytes_reclaimed in
   Collector.sweep store ~stats;
   let freed = stats.Gc_stats.bytes_reclaimed - freed_before in
@@ -214,7 +278,9 @@ let collect ?on_finalize t store roots ~stats =
     if stats.Gc_stats.references_poisoned - poisoned_before = 0 && freed = 0 then
       t.unproductive_cycles <- t.unproductive_cycles + 1
     else t.unproductive_cycles <- 0
-  | State_kind.Inactive | State_kind.Observe | State_kind.Select -> ());
+  | State_kind.Inactive | State_kind.Observe | State_kind.Select
+  | State_kind.Safe ->
+    ());
   let occupancy =
     float_of_int (Store.live_bytes store) /. float_of_int (Store.limit_bytes store)
   in
@@ -253,6 +319,13 @@ let on_allocation_failure t store ~requested =
         `Out_of_memory (oom ())
       | State_kind.Select ->
         report t "leak pruning: allocation failed in SELECT; arming prune";
+        State_machine.note_exhaustion t.machine;
+        `Retry
+      | State_kind.Safe ->
+        (* Memory pressure overrides the moratorium: force the early
+           exit (counted in safe_exits_forced) and retry through
+           SELECT/PRUNE. *)
+        report t "leak pruning: allocation failed in SAFE; moratorium lifted";
         State_machine.note_exhaustion t.machine;
         `Retry
       | State_kind.Prune -> `Retry

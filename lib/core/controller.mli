@@ -38,13 +38,27 @@ val averted_error : t -> exn option
 (** The deferred out-of-memory error, once pruning has engaged. *)
 
 val collect :
-  ?on_finalize:(Heap_obj.t -> unit) -> t -> Store.t -> Roots.t -> stats:Gc_stats.t -> unit
+  ?on_finalize:(Heap_obj.t -> unit) ->
+  ?on_poison:(Collector.edge -> unit) ->
+  ?before_sweep:(unit -> unit) ->
+  t ->
+  Store.t ->
+  Roots.t ->
+  stats:Gc_stats.t ->
+  unit
 (** Performs one full-heap collection in the current state's mode, then
     applies the Figure 2 state transition. [on_finalize] is invoked for
     each newly unreachable finalizable object (which is kept alive for
     this collection, Java-style); finalizers stop running after the first
     prune when the strict [finalizers_after_prune = false] option is
-    set. *)
+    set.
+
+    [on_poison] is invoked for every reference a PRUNE collection
+    poisons, before the word is overwritten — the doomed target subtree
+    is still intact, which is the window the runtime's resurrection
+    subsystem uses to serialize swap images. [before_sweep] runs after
+    all marking and finalizer processing but before the sweep frees
+    unmarked objects: the last moment the doomed closure can be read. *)
 
 val on_allocation_failure :
   t -> Store.t -> requested:int -> [ `Retry | `Out_of_memory of exn ]
@@ -84,3 +98,33 @@ val pruned_edge_types : t -> (Class_registry.id * Class_registry.id) list
     "over 100 different reference types" measurements of Section 6). *)
 
 val state_transitions : t -> (int * State_kind.t) list
+
+val note_misprediction :
+  t ->
+  src_class:Class_registry.id ->
+  tgt_class:Class_registry.id ->
+  stale:int ->
+  unit
+(** Resurrection feedback: a program access to a pruned reference of this
+    edge type was recovered from a swap image, proving the selection
+    wrong. Protects the edge type in the table (raises [maxstaleuse] to
+    the pruned staleness plus [stale_slack], so the same references no
+    longer qualify for selection) and counts the misprediction. When the
+    count within the current prune epoch (since the last PRUNE
+    collection) reaches [Config.safe_mode_threshold], the state machine
+    enters the SAFE moratorium. *)
+
+val mispredictions : t -> int
+(** Total recovered mispredictions reported via {!note_misprediction}. *)
+
+val epoch_mispredictions : t -> int
+(** Mispredictions counted since the last PRUNE collection. *)
+
+val in_safe_mode : t -> bool
+
+val safe_entries : t -> int
+(** Times the SAFE moratorium has been entered. *)
+
+val safe_exits_forced : t -> int
+(** SAFE moratoria cut short by allocation exhaustion (pressure
+    override). *)

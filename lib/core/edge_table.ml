@@ -57,6 +57,15 @@ let record_stale_use t ~src ~tgt ~stale =
   let i = find_or_add t ~src ~tgt in
   if stale > t.max_stale_uses.(i) then t.max_stale_uses.(i) <- stale
 
+(* A misprediction decays the controller's confidence in pruning this
+   edge type: raising maxstaleuse to the pruned staleness plus the
+   candidate slack means the same references no longer qualify
+   (selection requires stale >= maxstaleuse + slack). *)
+let protect t ~src ~tgt ~min_stale_use =
+  let i = find_or_add t ~src ~tgt in
+  if min_stale_use > t.max_stale_uses.(i) then
+    t.max_stale_uses.(i) <- min_stale_use
+
 let max_stale_use t ~src ~tgt =
   match probe t ~src ~tgt with `Found i -> t.max_stale_uses.(i) | `Empty _ -> 0
 

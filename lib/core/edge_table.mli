@@ -41,6 +41,17 @@ val record_stale_use :
 val max_stale_use : t -> src:Lp_heap.Class_registry.id -> tgt:Lp_heap.Class_registry.id -> int
 (** 0 when the edge type has no entry. *)
 
+val protect :
+  t ->
+  src:Lp_heap.Class_registry.id ->
+  tgt:Lp_heap.Class_registry.id ->
+  min_stale_use:int ->
+  unit
+(** Misprediction feedback: raise the entry's [maxstaleuse] to at least
+    [min_stale_use], creating the entry if absent. A resurrected access
+    proves the edge type was pruned wrongly; protecting it keeps the
+    same references from qualifying for selection again. *)
+
 val add_bytes :
   t -> src:Lp_heap.Class_registry.id -> tgt:Lp_heap.Class_registry.id -> int -> unit
 (** SELECT-state attribution: add claimed bytes to the entry's

@@ -24,6 +24,21 @@ exception Heap_corruption of {
   gc_count : int;
 }
 
+exception Out_of_disk of { resident_bytes : int; limit_bytes : int }
+
+type resurrection_failure =
+  | Image_missing
+  | Image_torn of { expected_bytes : int; actual_bytes : int }
+  | Image_crc_mismatch
+  | Image_version_unsupported of int
+  | Reallocation_exhausted of { attempts : int; size_bytes : int }
+
+exception Resurrection_failed of {
+  target : int;
+  reason : resurrection_failure;
+  gc_count : int;
+}
+
 let out_of_memory ~gc_count ~used_bytes ~limit_bytes =
   Out_of_memory { gc_count; used_bytes; limit_bytes }
 
@@ -36,18 +51,39 @@ let disk_exhausted ~resident_bytes ~limit_bytes ~retries ~gc_count =
 let heap_corruption ~src_class ~field ~target ~gc_count =
   Heap_corruption { src_class; field; target; gc_count }
 
+let out_of_disk ~resident_bytes ~limit_bytes =
+  Out_of_disk { resident_bytes; limit_bytes }
+
+let resurrection_failed ~target ~reason ~gc_count =
+  Resurrection_failed { target; reason; gc_count }
+
+let resurrection_failure_to_string = function
+  | Image_missing -> "no swap image for the pruned target"
+  | Image_torn { expected_bytes; actual_bytes } ->
+    Printf.sprintf "torn swap image (%d of %d bytes)" actual_bytes expected_bytes
+  | Image_crc_mismatch -> "swap image checksum mismatch"
+  | Image_version_unsupported v ->
+    Printf.sprintf "unsupported swap image version %d" v
+  | Reallocation_exhausted { attempts; size_bytes } ->
+    Printf.sprintf "re-allocation of %d bytes failed after %d collection(s)"
+      size_bytes attempts
+
 let label = function
   | Out_of_memory _ -> Some "OutOfMemoryError"
   | Internal_error _ -> Some "InternalError"
   | Disk_exhausted _ -> Some "DiskExhausted"
   | Heap_corruption _ -> Some "HeapCorruption"
+  | Out_of_disk _ -> Some "OutOfDisk"
+  | Resurrection_failed _ -> Some "ResurrectionFailed"
   | _ -> None
 
 let is_structured e = label e <> None
 
 let is_recoverable = function
   | Internal_error _ | Heap_corruption _ -> true
-  | Out_of_memory _ | Disk_exhausted _ | _ -> false
+  | Out_of_memory _ | Disk_exhausted _ | Out_of_disk _ | Resurrection_failed _
+  | _ ->
+    false
 
 let rec pp_exn ppf = function
   | Out_of_memory { gc_count; used_bytes; limit_bytes } ->
@@ -67,4 +103,12 @@ let rec pp_exn ppf = function
       "HeapCorruption: %s field %d held a dangling reference to #%d \
        (quarantined; %d collections)"
       src_class field target gc_count
+  | Out_of_disk { resident_bytes; limit_bytes } ->
+    Format.fprintf ppf "OutOfDisk (%d resident of %d limit)" resident_bytes
+      limit_bytes
+  | Resurrection_failed { target; reason; gc_count } ->
+    Format.fprintf ppf "ResurrectionFailed: object #%d: %s (%d collections)"
+      target
+      (resurrection_failure_to_string reason)
+      gc_count
   | e -> Format.pp_print_string ppf (Printexc.to_string e)

@@ -1,18 +1,22 @@
-type t = Inactive | Observe | Select | Prune
+type t = Inactive | Observe | Select | Prune | Safe
 
 let to_string = function
   | Inactive -> "INACTIVE"
   | Observe -> "OBSERVE"
   | Select -> "SELECT"
   | Prune -> "PRUNE"
+  | Safe -> "SAFE"
 
 let of_string = function
   | "INACTIVE" | "inactive" -> Some Inactive
   | "OBSERVE" | "observe" -> Some Observe
   | "SELECT" | "select" -> Some Select
   | "PRUNE" | "prune" -> Some Prune
+  | "SAFE" | "safe" -> Some Safe
   | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
-let tracking = function Inactive -> false | Observe | Select | Prune -> true
+let tracking = function
+  | Inactive -> false
+  | Observe | Select | Prune | Safe -> true

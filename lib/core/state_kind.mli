@@ -1,6 +1,14 @@
-(** The four states of the leak pruning state diagram (paper Figure 2). *)
+(** The states of the leak pruning state diagram (paper Figure 2),
+    extended with the controller's misprediction safe mode.
 
-type t = Inactive | Observe | Select | Prune
+    [Safe] is entered when barrier-level resurrections (each one a
+    pruning misprediction made recoverable) exceed the configured
+    per-epoch threshold: the controller stops trusting its predictions
+    and suspends pruning for a configured number of collections while
+    staleness tracking continues, then returns to [Observe] (or straight
+    to [Select] under continued memory pressure). *)
+
+type t = Inactive | Observe | Select | Prune | Safe
 
 val to_string : t -> string
 
@@ -10,4 +18,5 @@ val pp : Format.formatter -> t -> unit
 
 val tracking : t -> bool
 (** Whether staleness tracking is active: true for every state except
-    [Inactive]. *)
+    [Inactive] — including [Safe], which keeps the edge table warm while
+    pruning is suspended. *)

@@ -4,6 +4,9 @@ type t = {
   mutable pruned_once : bool;
   mutable exhaustion_noted : bool;
   mutable gc_seen : int;
+  mutable safe_until : int;  (* gc_seen at which SAFE expires *)
+  mutable safe_entries : int;
+  mutable safe_exits_forced : int;
   mutable history : (int * State_kind.t) list;  (* reverse chronological *)
 }
 
@@ -23,6 +26,9 @@ let create (config : Config.t) =
     pruned_once = false;
     exhaustion_noted = false;
     gc_seen = 0;
+    safe_until = 0;
+    safe_entries = 0;
+    safe_exits_forced = 0;
     history = [ (0, state) ];
   }
 
@@ -32,21 +38,43 @@ let has_pruned t = t.pruned_once
 
 let note_prune_performed t = t.pruned_once <- true
 
+let safe_entries t = t.safe_entries
+
+let safe_exits_forced t = t.safe_exits_forced
+
+let in_safe_mode t = t.state = State_kind.Safe
+
 let goto t s =
   if s <> t.state then begin
     t.state <- s;
     t.history <- (t.gc_seen, s) :: t.history
   end
 
+let enter_safe t =
+  match t.config.Config.force_state with
+  | Some _ -> ()
+  | None ->
+    if t.state <> State_kind.Safe then begin
+      t.safe_entries <- t.safe_entries + 1;
+      t.safe_until <- t.gc_seen + t.config.Config.safe_mode_collections;
+      goto t State_kind.Safe
+    end
+
 (* Under option (1) the Select -> Prune move happens the moment the VM is
    about to throw an out-of-memory error, so the very next collection
-   prunes. *)
+   prunes. In SAFE, exhaustion is the pressure override: holding the
+   pruning moratorium while the program dies of memory starvation would
+   be the opposite of graceful, so the machine re-arms SELECT early. *)
 let note_exhaustion t =
   t.exhaustion_noted <- true;
   match t.config.Config.force_state with
   | Some _ -> ()
   | None ->
-    if
+    if t.state = State_kind.Safe then begin
+      t.safe_exits_forced <- t.safe_exits_forced + 1;
+      goto t State_kind.Select
+    end
+    else if
       t.state = State_kind.Select
       && t.config.Config.prune_trigger = Config.On_exhaustion
     then goto t State_kind.Prune
@@ -73,6 +101,12 @@ let after_gc t ~occupancy =
       t.exhaustion_noted <- false;
       if advance then goto t State_kind.Prune
     | State_kind.Prune ->
-      if nearly_full then goto t State_kind.Select else goto t State_kind.Observe)
+      if nearly_full then goto t State_kind.Select else goto t State_kind.Observe
+    | State_kind.Safe ->
+      (* the moratorium expires after [safe_mode_collections]
+         collections; under pressure it resumes selection directly *)
+      if t.gc_seen >= t.safe_until then
+        if nearly_full then goto t State_kind.Select
+        else goto t State_kind.Observe)
 
 let transitions t = List.rev t.history

@@ -17,6 +17,12 @@
       advances directly.
     - After a [Prune] collection: back to [Observe] if the heap is no
       longer nearly full, otherwise to [Select] to pick more references.
+    - [Safe] (entered via {!enter_safe} when the controller counts too
+      many recovered mispredictions in one prune epoch) suspends pruning
+      for [Config.safe_mode_collections] collections, then resumes at
+      [Observe] — or [Select] if the heap is nearly full. An allocation
+      exhaustion while in [Safe] forces the exit immediately: memory
+      pressure overrides the moratorium.
 
     A forced state (Figure 7's overhead experiments) never transitions. *)
 
@@ -32,7 +38,22 @@ val note_prune_performed : t -> unit
 
 val note_exhaustion : t -> unit
 (** Called when allocation still fails after a collection; under
-    [On_exhaustion] this is what arms the transition to [Prune]. *)
+    [On_exhaustion] this is what arms the transition to [Prune]. In
+    [Safe] it forces an early exit to [Select] (pressure override),
+    counted in {!safe_exits_forced}. *)
+
+val enter_safe : t -> unit
+(** Enter the SAFE pruning moratorium for [Config.safe_mode_collections]
+    collections (no-op when already in [Safe] or when the state is
+    forced). *)
+
+val in_safe_mode : t -> bool
+
+val safe_entries : t -> int
+(** How many times the machine has entered [Safe]. *)
+
+val safe_exits_forced : t -> int
+(** How many SAFE moratoria were cut short by allocation exhaustion. *)
 
 val after_gc : t -> occupancy:float -> unit
 (** Apply the Figure 2 transition for a collection that ended with the

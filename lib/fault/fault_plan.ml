@@ -1,6 +1,6 @@
-type site = Alloc | Disk | Step
+type site = Alloc | Disk | Step | Swap
 
-type fault = Refuse_alloc | Disk_failure | Corrupt_word | Kill_thread
+type fault = Refuse_alloc | Disk_failure | Corrupt_word | Kill_thread | Corrupt_image | Torn_write
 
 type event = { site : site; fault : fault; at : int; repeat : bool }
 
@@ -9,6 +9,7 @@ type t = {
   mutable alloc_visits : int;
   mutable disk_visits : int;
   mutable step_visits : int;
+  mutable swap_visits : int;
   mutable fired_log : (site * int * fault) list;  (* reverse order *)
 }
 
@@ -21,6 +22,7 @@ let make events =
     alloc_visits = 0;
     disk_visits = 0;
     step_visits = 0;
+    swap_visits = 0;
     fired_log = [];
   }
 
@@ -32,12 +34,14 @@ let random ?(events = 4) ~seed () =
   let rng = Random.State.make [| 0x5eed; seed |] in
   let one () =
     let at = 1 + Random.State.int rng 250 in
-    match Random.State.int rng 6 with
+    match Random.State.int rng 8 with
     | 0 -> { site = Alloc; fault = Refuse_alloc; at; repeat = false }
     | 1 -> { site = Alloc; fault = Refuse_alloc; at; repeat = true }
     | 2 -> { site = Disk; fault = Disk_failure; at; repeat = false }
     | 3 -> { site = Disk; fault = Disk_failure; at; repeat = Random.State.bool rng }
     | 4 -> { site = Step; fault = Corrupt_word; at; repeat = false }
+    | 5 -> { site = Swap; fault = Corrupt_image; at; repeat = false }
+    | 6 -> { site = Swap; fault = Torn_write; at; repeat = false }
     | _ -> { site = Step; fault = Kill_thread; at; repeat = false }
   in
   make (List.init events (fun _ -> one ()))
@@ -48,6 +52,7 @@ let visits t = function
   | Alloc -> t.alloc_visits
   | Disk -> t.disk_visits
   | Step -> t.step_visits
+  | Swap -> t.swap_visits
 
 let check t site =
   let n =
@@ -61,6 +66,9 @@ let check t site =
     | Step ->
       t.step_visits <- t.step_visits + 1;
       t.step_visits
+    | Swap ->
+      t.swap_visits <- t.swap_visits + 1;
+      t.swap_visits
   in
   let due =
     List.filter_map
@@ -80,12 +88,15 @@ let site_to_string = function
   | Alloc -> "alloc"
   | Disk -> "disk"
   | Step -> "step"
+  | Swap -> "swap"
 
 let fault_to_string = function
   | Refuse_alloc -> "refuse-alloc"
   | Disk_failure -> "disk-failure"
   | Corrupt_word -> "corrupt-word"
   | Kill_thread -> "kill-thread"
+  | Corrupt_image -> "corrupt-image"
+  | Torn_write -> "torn-write"
 
 let describe t =
   match t.events with

@@ -18,6 +18,7 @@ type site =
   | Alloc  (** every object allocation in the store *)
   | Disk  (** every post-collection disk-swap operation *)
   | Step  (** every chaos-harness workload step *)
+  | Swap  (** every swap-image write (pruned-object serialization) *)
 
 type fault =
   | Refuse_alloc
@@ -31,6 +32,12 @@ type fault =
       (** a reference word in a live object is corrupted (poisoned,
           retargeted, or left dangling) *)
   | Kill_thread  (** a mutator thread dies mid-mutation, dropping its frames *)
+  | Corrupt_image
+      (** the swap image being written suffers at-rest bit rot: a payload
+          byte is flipped, so a later load fails its CRC check *)
+  | Torn_write
+      (** the swap image write is cut short, as if the process died
+          mid-write; a later load fails the length check *)
 
 type event = {
   site : site;

@@ -12,6 +12,9 @@ type report = {
   gc_count : int;
   faults_fired : int;
   recovered : int;
+  poisoned : int;
+  resurrections : int;
+  safe_entries : int;
   outcome : outcome;
 }
 
@@ -42,7 +45,7 @@ let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
   (* The VM shape is drawn from the seed too, so a seed sweep covers
      small and large heaps, generational and whole-heap collection, and
      the disk baseline. *)
-  let heap_bytes = 32_768 + (8 * Random.State.int rng 4096) in
+  let heap_bytes = 10_240 + (8 * Random.State.int rng 1024) in
   let nursery_bytes =
     if Random.State.bool rng then Some (heap_bytes / 4) else None
   in
@@ -51,16 +54,36 @@ let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
       Some (Lp_runtime.Diskswap.default_config ~disk_limit_bytes:heap_bytes)
     else None
   in
+  (* Most seeds exercise barrier-level recovery; the rest keep the
+     paper's prune-means-gone semantics in the sweep. *)
+  let resurrection = Random.State.int rng 4 > 0 in
   let plan = if faults then Some (Lp_fault.Fault_plan.random ~seed ()) else None in
   let vm =
-    Lp_runtime.Vm.create ?disk ?nursery_bytes ?fault:plan ~heap_bytes ()
+    Lp_runtime.Vm.create ?disk ~resurrection ?nursery_bytes ?fault:plan
+      ~heap_bytes ()
   in
   let store = Lp_runtime.Vm.store vm in
   let gcs = ref 0 in
+  let debug = Sys.getenv_opt "LP_CHAOS_DEBUG" <> None in
   Lp_runtime.Vm.set_gc_listener vm
     (Some
-       (fun _ ->
+       (fun r ->
          incr gcs;
+         if debug then begin
+           let leak_cls =
+             Class_registry.find (Lp_runtime.Vm.registry vm) "Chaos$Leak"
+           in
+           let leaks = ref 0 in
+           Store.iter_live store (fun o ->
+               if Some o.Heap_obj.class_id = leak_cls then incr leaks);
+           Printf.eprintf
+             "seed %d gc %d: live=%d/%d leaks=%d state=%s res=%b images=%d\n"
+             seed r.Lp_runtime.Vm.gc_number r.Lp_runtime.Vm.live_bytes_after
+             heap_bytes !leaks
+             (Lp_core.State_kind.to_string r.Lp_runtime.Vm.state)
+             (Lp_runtime.Vm.resurrection_enabled vm)
+             (Lp_runtime.Diskswap.image_count (Lp_runtime.Vm.swap vm))
+         end;
          match Lp_runtime.Diagnostics.heap_check ~strict:true vm with
          | Ok () -> ()
          | Error msg -> raise (Check_failed msg)));
@@ -88,27 +111,37 @@ let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
   in
   spawn_thread ();
   spawn_thread ();
+  (* Leaked nodes are dead code to the program: random reads and writes
+     must not touch them, or the churn keeps resetting their staleness
+     and truncating the chain before pruning can ever select it. *)
+  let leak_class = Lp_runtime.Vm.register_class vm "Chaos$Leak" in
   (* Uniform sampling over the live heap (allocation-slot order is
      deterministic, so so is the sample). *)
   let random_live () =
+    let eligible (obj : Heap_obj.t) = obj.Heap_obj.class_id <> leak_class in
     let n = ref 0 in
-    Store.iter_live store (fun _ -> incr n);
+    Store.iter_live store (fun obj -> if eligible obj then incr n);
     if !n = 0 then None
     else begin
       let k = Random.State.int rng !n in
       let i = ref 0 and found = ref None in
       Store.iter_live store (fun obj ->
-          if !i = k then found := Some obj;
-          incr i);
+          if eligible obj then begin
+            if !i = k then found := Some obj;
+            incr i
+          end);
       !found
     end
   in
   let random_field (obj : Heap_obj.t) =
-    Random.State.int rng (Array.length obj.Heap_obj.fields)
+    (* never the reserved leak-chain slot of the statics container *)
+    let n = Array.length obj.Heap_obj.fields in
+    Random.State.int rng (if obj == statics then n - 1 else n)
   in
   let anchor obj =
+    (* slot 15 is reserved for the leak chain *)
     if Random.State.bool rng || !threads = [] then
-      Lp_runtime.Mutator.write_obj vm statics (Random.State.int rng 16) obj
+      Lp_runtime.Mutator.write_obj vm statics (Random.State.int rng 15) obj
     else begin
       let _, fr = List.nth !threads (Random.State.int rng (List.length !threads)) in
       Roots.set_slot fr (Random.State.int rng 8) obj.Heap_obj.id
@@ -128,6 +161,21 @@ let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
         Lp_runtime.Mutator.write_obj vm src (random_field src) obj
       | _ -> ()
   in
+  (* A leak in the paper's shape: append to a chain the program never
+     reads again. Its staleness grows collection after collection until
+     the heap fills and the controller prunes it — which is what makes
+     poke-pruned steps (and thus resurrection and SAFE mode) reachable
+     within a chaos run. *)
+  let step_leak () =
+    let node =
+      Lp_runtime.Vm.alloc vm ~class_name:"Chaos$Leak" ~scalar_bytes:224
+        ~n_fields:1 ()
+    in
+    (match Lp_runtime.Mutator.read vm statics 15 with
+    | Some head -> Lp_runtime.Mutator.write_obj vm node 0 head
+    | None -> ());
+    Lp_runtime.Mutator.write_obj vm statics 15 node
+  in
   let step_write () =
     match random_live () with
     | Some src when Array.length src.Heap_obj.fields > 0 ->
@@ -145,6 +193,23 @@ let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
     | Some src when Array.length src.Heap_obj.fields > 0 ->
       ignore (Lp_runtime.Mutator.read vm src (random_field src))
     | _ -> ()
+  in
+  (* Deliberately load a pruned (poisoned) reference: with resurrection
+     on this drives the swap-image recovery path and the controller's
+     misprediction/SAFE feedback; with it off, the structured
+     InternalError protocol. Falls back to a plain read when the heap
+     holds no poison. *)
+  let step_poke_pruned () =
+    let found = ref None in
+    Store.iter_live store (fun obj ->
+        if !found = None then
+          Array.iteri
+            (fun i w ->
+              if !found = None && Word.poisoned w then found := Some (obj, i))
+            obj.Heap_obj.fields);
+    match !found with
+    | Some (src, i) -> ignore (Lp_runtime.Mutator.read vm src i)
+    | None -> step_read ()
   in
   let step_thread () =
     if !threads = [] || (List.length !threads < 4 && Random.State.bool rng) then
@@ -178,8 +243,9 @@ let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
             if !threads <> [] then
               kill_nth (Random.State.int rng (List.length !threads))
           | Lp_fault.Fault_plan.Refuse_alloc | Lp_fault.Fault_plan.Disk_failure
+          | Lp_fault.Fault_plan.Corrupt_image | Lp_fault.Fault_plan.Torn_write
             ->
-            (* owned by the store / disk trigger points *)
+            (* owned by the store / disk / swap trigger points *)
             ())
         (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Step)
   in
@@ -188,10 +254,12 @@ let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
     try
       apply_step_faults ();
       match Random.State.int rng 100 with
-      | n when n < 45 -> step_alloc ()
-      | n when n < 65 -> step_write ()
-      | n when n < 85 -> step_read ()
-      | n when n < 92 -> step_thread ()
+      | n when n < 28 -> step_alloc ()
+      | n when n < 52 -> step_leak ()
+      | n when n < 64 -> step_write ()
+      | n when n < 75 -> step_read ()
+      | n when n < 87 -> step_poke_pruned ()
+      | n when n < 93 -> step_thread ()
       | _ -> Lp_runtime.Vm.run_gc vm
     with e when Lp_core.Errors.is_recoverable e ->
       (* InternalError (pruned access) and HeapCorruption: the chaos
@@ -220,6 +288,9 @@ let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
     faults_fired =
       (match plan with Some p -> Lp_fault.Fault_plan.fired_count p | None -> 0);
     recovered = !recovered;
+    poisoned = (Lp_runtime.Vm.stats vm).Gc_stats.references_poisoned;
+    resurrections = (Lp_runtime.Vm.stats vm).Gc_stats.resurrections;
+    safe_entries = Lp_core.Controller.safe_entries (Lp_runtime.Vm.controller vm);
     outcome;
   }
 

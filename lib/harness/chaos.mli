@@ -1,11 +1,17 @@
 (** Randomized chaos testing of the VM under fault injection.
 
     A chaos run drives a seeded random workload — allocations that build
-    and overwrite a shared object graph, reference reads and writes
-    through the mutator barriers, forced collections, thread spawns and
-    deaths — against a VM that may carry a {!Lp_fault.Fault_plan}
-    injecting allocation refusals, disk failures, word corruption and
-    thread kills. After every full collection a strengthened heap
+    and overwrite a shared object graph, a leak in the paper's shape (an
+    append-only chain the program never reads back, which random reads
+    and writes deliberately avoid so its staleness can grow until
+    pruning selects it), reference reads and writes through the mutator
+    barriers, forced collections, thread spawns and deaths — against a VM that may carry a {!Lp_fault.Fault_plan}
+    injecting allocation refusals, disk failures, word corruption,
+    thread kills and swap-image storage faults (bit rot, torn writes).
+    Most seeds enable the resurrection subsystem, and the workload mix
+    includes deliberate loads of pruned references, driving the
+    swap-image recovery path and the controller's misprediction / SAFE
+    feedback loop. After every full collection a strengthened heap
     verifier ({!Diagnostics.heap_check} in strict mode) must pass.
 
     The contract being tested is the robustness claim of the error
@@ -37,6 +43,12 @@ type report = {
   recovered : int;
       (** recoverable structured errors ([InternalError],
           [HeapCorruption]) caught mid-run, after which the run went on *)
+  poisoned : int;
+      (** references poisoned by PRUNE collections during the run *)
+  resurrections : int;
+      (** pruned objects restored from swap images by the read barrier *)
+  safe_entries : int;
+      (** times the controller entered the SAFE pruning moratorium *)
   outcome : outcome;
 }
 
@@ -49,8 +61,9 @@ val run_one : ?faults:bool -> ?steps:int -> seed:int -> unit -> report
 (** One deterministic chaos run. [faults] (default [true]) attaches the
     fault plan [Lp_fault.Fault_plan.random ~seed]; [false] runs the same
     workload fault-free. [steps] caps the workload (default 300). The
-    VM shape (heap size, generational mode, disk baseline) is itself
-    drawn from the seed, so a sweep covers all configurations. *)
+    VM shape (heap size, generational mode, disk baseline, resurrection)
+    is itself drawn from the seed, so a sweep covers all
+    configurations. *)
 
 val shrink : ?faults:bool -> ?steps:int -> seed:int -> unit -> int option
 (** The smallest step cap at which [seed] still fails ([Violation] or

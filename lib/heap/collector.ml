@@ -6,10 +6,16 @@ type mark_config = {
   set_untouched_bits : bool;
   stale_tick_gc : int option;
   edge_filter : (edge -> edge_action) option;
+  on_poison : (edge -> unit) option;
 }
 
 let base_config =
-  { set_untouched_bits = false; stale_tick_gc = None; edge_filter = None }
+  {
+    set_untouched_bits = false;
+    stale_tick_gc = None;
+    edge_filter = None;
+    on_poison = None;
+  }
 
 let tick stats gc obj =
   match gc with
@@ -72,6 +78,9 @@ let scan_object store stats ~config queue deferred (obj : Heap_obj.t) =
               stats.Gc_stats.candidates_enqueued + 1;
             deferred := { src = obj; field = i; tgt } :: !deferred
           | Poison ->
+            (* the hook sees the edge while the target's subtree is still
+               intact, so it can capture a swap image before the sweep *)
+            (match config.on_poison with Some f -> f { src = obj; field = i; tgt } | None -> ());
             fields.(i) <- Word.poison w;
             stats.Gc_stats.references_poisoned <-
               stats.Gc_stats.references_poisoned + 1)
@@ -107,7 +116,9 @@ let stale_closure store ~stats ~set_untouched_bits ~stale_tick_gc (e : edge) =
   let tgt = e.tgt in
   if Header.marked tgt.Heap_obj.header then 0
   else begin
-    let config = { set_untouched_bits; stale_tick_gc; edge_filter = None } in
+    let config =
+      { set_untouched_bits; stale_tick_gc; edge_filter = None; on_poison = None }
+    in
     let queue = Work_queue.create () in
     let bytes = ref 0 in
     let claim (obj : Heap_obj.t) =

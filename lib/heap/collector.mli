@@ -37,6 +37,11 @@ type mark_config = {
           on tracing, as in the paper, so only live objects pay for it *)
   edge_filter : (edge -> edge_action) option;
       (** [None] traces everything (base collection) *)
+  on_poison : (edge -> unit) option;
+      (** invoked for every edge the filter resolves to [Poison], before
+          the word is poisoned — the target and its subtree are still
+          fully intact, which is the window the resurrection subsystem
+          uses to serialize swap images of the doomed closure *)
 }
 
 val base_config : mark_config

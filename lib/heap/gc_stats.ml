@@ -13,6 +13,9 @@ type t = {
   mutable bytes_reclaimed : int;
   mutable finalizers_enqueued : int;
   mutable words_quarantined : int;
+  mutable resurrections : int;
+  mutable resurrection_failures : int;
+  mutable words_repoisoned : int;
 }
 
 let create () =
@@ -31,6 +34,9 @@ let create () =
     bytes_reclaimed = 0;
     finalizers_enqueued = 0;
     words_quarantined = 0;
+    resurrections = 0;
+    resurrection_failures = 0;
+    words_repoisoned = 0;
   }
 
 let copy t =
@@ -49,6 +55,9 @@ let copy t =
     bytes_reclaimed = t.bytes_reclaimed;
     finalizers_enqueued = t.finalizers_enqueued;
     words_quarantined = t.words_quarantined;
+    resurrections = t.resurrections;
+    resurrection_failures = t.resurrection_failures;
+    words_repoisoned = t.words_repoisoned;
   }
 
 let reset t =
@@ -65,13 +74,18 @@ let reset t =
   t.objects_swept <- 0;
   t.bytes_reclaimed <- 0;
   t.finalizers_enqueued <- 0;
-  t.words_quarantined <- 0
+  t.words_quarantined <- 0;
+  t.resurrections <- 0;
+  t.resurrection_failures <- 0;
+  t.words_repoisoned <- 0
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>collections: %d@ marked: %d@ fields scanned: %d@ stale ticks: %d@ \
      candidates: %d@ stale-closure objects: %d@ poisoned: %d@ swept: %d@ \
-     bytes reclaimed: %d@ finalizers enqueued: %d@ words quarantined: %d@]"
+     bytes reclaimed: %d@ finalizers enqueued: %d@ words quarantined: %d@ \
+     resurrections: %d (%d failed)@ words repoisoned: %d@]"
     t.collections t.objects_marked t.fields_scanned t.stale_ticks
     t.candidates_enqueued t.stale_closure_objects t.references_poisoned
     t.objects_swept t.bytes_reclaimed t.finalizers_enqueued t.words_quarantined
+    t.resurrections t.resurrection_failures t.words_repoisoned

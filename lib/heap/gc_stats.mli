@@ -23,6 +23,15 @@ type t = {
   mutable words_quarantined : int;
       (** dangling (corrupt) reference words the collector or the read
           barrier poisoned instead of crashing on *)
+  mutable resurrections : int;
+      (** pruned objects restored from swap images by the read barrier
+          (each one a recovered misprediction) *)
+  mutable resurrection_failures : int;
+      (** recovery attempts that failed (corrupt image, exhausted
+          re-allocation) and fell back to the internal error *)
+  mutable words_repoisoned : int;
+      (** poison re-applied to restored fields whose targets are still
+          pruned (or gone); part of the verifier's poison accounting *)
 }
 
 val create : unit -> t

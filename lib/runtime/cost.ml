@@ -17,6 +17,7 @@ type t = {
   gc_root : int;
   disk_swap_out : int;
   disk_swap_in : int;
+  resurrect : int;
   write_barrier : int;
   gc_minor_slot : int;
   gc_minor_promote : int;
@@ -43,6 +44,7 @@ let core2 =
     gc_root = 2;
     disk_swap_out = 4000;
     disk_swap_in = 12000;
+    resurrect = 16000;
     write_barrier = 1;
     gc_minor_slot = 2;
     gc_minor_promote = 4;

@@ -32,6 +32,9 @@ type t = {
   gc_root : int;  (** scanning one root slot *)
   disk_swap_out : int;  (** writing one object to disk (Melt baseline) *)
   disk_swap_in : int;  (** faulting one object back from disk *)
+  resurrect : int;
+      (** restoring one pruned object from its swap image: image read,
+          checksum validation, re-allocation and field rewiring *)
   write_barrier : int;  (** generational write barrier (remembered set) *)
   gc_minor_slot : int;  (** scanning one slot in a minor collection *)
   gc_minor_promote : int;  (** promoting one nursery survivor *)

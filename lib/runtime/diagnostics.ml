@@ -181,18 +181,20 @@ let heap_check ?(strict = false) vm =
       (Printf.sprintf "byte accounting: traversal found %d, store reports %d"
          !bytes (Store.used_bytes store));
   (* Poison accounting: every poisoned word must be explained by pruning,
-     a quarantined corrupt word, or a deliberate injection. *)
+     a quarantined corrupt word, a deliberate injection, or poison
+     re-applied while restoring a resurrected object's fields. *)
   let stats = Vm.stats vm in
   let accounted =
     stats.Gc_stats.references_poisoned
     + stats.Gc_stats.words_quarantined
     + Vm.corruptions_injected vm
+    + stats.Gc_stats.words_repoisoned
   in
   if !poisoned_words > 0 && accounted = 0 then
     fail
       (Printf.sprintf
-         "%d poisoned words in the heap but no pruning, quarantine or injection \
-          ever recorded"
+         "%d poisoned words in the heap but no pruning, quarantine, injection \
+          or repoisoning ever recorded"
          !poisoned_words);
   if strict && !poisoned_words > accounted then
     (* strict mode assumes no [Mutator.arraycopy] of poisoned words
@@ -200,10 +202,56 @@ let heap_check ?(strict = false) vm =
     fail
       (Printf.sprintf
          "%d poisoned words exceed the %d accounted for (pruned %d + \
-          quarantined %d + injected %d)"
+          quarantined %d + injected %d + repoisoned %d)"
          !poisoned_words accounted stats.Gc_stats.references_poisoned
          stats.Gc_stats.words_quarantined
-         (Vm.corruptions_injected vm));
+         (Vm.corruptions_injected vm)
+         stats.Gc_stats.words_repoisoned);
+  (* Resurrection invariants. The swap store always exists; without the
+     offload baseline it holds only prune images. *)
+  let swap = Vm.swap vm in
+  let image_sum = ref 0 in
+  let image_count = ref 0 in
+  let swap_faults_fired =
+    match Vm.fault_plan vm with
+    | None -> 0
+    | Some plan ->
+      List.length
+        (List.filter
+           (fun (site, _, _) -> site = Lp_fault.Fault_plan.Swap)
+           (Lp_fault.Fault_plan.fired plan))
+  in
+  Diskswap.iter_images swap (fun ~id ~image ->
+      incr image_count;
+      image_sum := !image_sum + Bytes.length image;
+      match Swap_image.decode image with
+      | Ok img ->
+        if img.Swap_image.object_id <> id then
+          fail
+            (Printf.sprintf
+               "swap image stored under id %d records object id %d" id
+               img.Swap_image.object_id)
+        (* NB: [Store.mem store id] proves nothing here — the freed
+           identifier may have been recycled by an unrelated live
+           object, which is exactly why images record referent classes *)
+      | Error reason ->
+        (* only an injected storage fault may leave a corrupt image *)
+        if swap_faults_fired = 0 then
+          fail
+            (Printf.sprintf "swap image %d is corrupt (%s) with no swap fault \
+                             ever injected"
+               id
+               (Lp_core.Errors.resurrection_failure_to_string reason)));
+  if !image_sum <> Diskswap.image_bytes swap then
+    fail
+      (Printf.sprintf "image accounting: images sum to %d, store reports %d"
+         !image_sum (Diskswap.image_bytes swap));
+  if Diskswap.image_count swap <> !image_count then
+    fail
+      (Printf.sprintf "image count: iterated %d, store reports %d" !image_count
+         (Diskswap.image_count swap));
+  if stats.Gc_stats.resurrections > 0 && not (Vm.resurrection_enabled vm) then
+    fail "resurrections counted with the subsystem disabled";
   let controller = Vm.controller vm in
   if
     Lp_core.Controller.pruned_edge_types controller <> []

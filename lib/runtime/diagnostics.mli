@@ -53,12 +53,20 @@ val heap_check : ?strict:bool -> Vm.t -> (unit, string) result
     non-null, non-poisoned reference in the live heap must point to a
     live object; byte accounting must agree with a fresh traversal; no
     object may carry leftover GC mark bits between collections; any
-    poisoned word must be explained by pruning, quarantine or an
-    injected corruption; recorded pruned edge types imply poisoned
-    references, which imply a recorded averted error; every
-    disk-resident identifier must be live with matching size and closed
-    byte totals; every remembered-set source must be live with its field
-    in bounds. [strict] additionally requires the poisoned-word {e
-    count} not to exceed the sum of the recorded causes — valid only
-    when the program never {!Mutator.arraycopy}s poisoned words (copies
-    duplicate poison without a counter increment). Default [false]. *)
+    poisoned word must be explained by pruning, quarantine, an injected
+    corruption or resurrection-time repoisoning; recorded pruned edge
+    types imply poisoned references, which imply a recorded averted
+    error; every disk-resident identifier must be live with matching
+    size and closed byte totals; every remembered-set source must be
+    live with its field in bounds.
+
+    Resurrection invariants: every retained swap image must be stored
+    under the object identifier it records and must decode cleanly
+    unless a [Swap]-site fault was actually injected this run; image
+    byte and count accounting must close against the swap store; and a
+    VM that never enabled resurrection must count zero resurrections.
+
+    [strict] additionally requires the poisoned-word {e count} not to
+    exceed the sum of the recorded causes — valid only when the program
+    never {!Mutator.arraycopy}s poisoned words (copies duplicate poison
+    without a counter increment). Default [false]. *)

@@ -9,28 +9,47 @@ type config = {
 let default_config ~disk_limit_bytes =
   { disk_limit_bytes; offload_stale_threshold = 2; offload_occupancy = 0.9 }
 
+(* An offloaded object's disk residency: its heap size (what the store's
+   swapped-out credit refunds) and the serialized payload a swap-in must
+   read back. *)
+type entry = { bytes : int; payload : bytes }
+
 type t = {
   config : config;
-  resident : (int, int) Hashtbl.t;  (* object id -> size in bytes *)
+  resident : (int, entry) Hashtbl.t;  (* object id -> offloaded payload *)
+  images : (int, bytes) Hashtbl.t;  (* pruned object id -> swap image *)
+  forwards : (int, int) Hashtbl.t;  (* pruned id -> resurrected id *)
   mutable resident_total : int;
+  mutable image_total : int;
   mutable swap_outs : int;
   mutable swap_ins : int;
+  mutable image_writes : int;
+  mutable image_drops : int;
   mutable fault : (unit -> bool) option;
+  mutable image_fault : (bytes -> bytes) option;
 }
 
-exception Out_of_disk of { resident_bytes : int; limit_bytes : int }
+exception Out_of_disk = Lp_core.Errors.Out_of_disk
 
 let create config =
   {
     config;
     resident = Hashtbl.create 1024;
+    images = Hashtbl.create 1024;
+    forwards = Hashtbl.create 64;
     resident_total = 0;
+    image_total = 0;
     swap_outs = 0;
     swap_ins = 0;
+    image_writes = 0;
+    image_drops = 0;
     fault = None;
+    image_fault = None;
   }
 
 let set_fault_hook t f = t.fault <- f
+
+let set_image_fault_hook t f = t.image_fault <- f
 
 let resident_bytes t = t.resident_total
 
@@ -38,26 +57,96 @@ let resident_count t = Hashtbl.length t.resident
 
 let is_resident t id = Hashtbl.mem t.resident id
 
-let iter_resident t f = Hashtbl.iter (fun id bytes -> f ~id ~bytes) t.resident
+let iter_resident t f =
+  Hashtbl.iter (fun id { bytes; _ } -> f ~id ~bytes) t.resident
 
 let total_swap_outs t = t.swap_outs
 
 let total_swap_ins t = t.swap_ins
+
+let disk_bytes t = t.resident_total + t.image_total
+
+let out_of_disk t =
+  Lp_core.Errors.Out_of_disk
+    { resident_bytes = disk_bytes t; limit_bytes = t.config.disk_limit_bytes }
+
+(* ---- Swap images of pruned objects ---- *)
+
+(* The write-time fault hook models the storage layer: whatever bytes it
+   returns are what a later load will see (bit rot, torn write). *)
+let store_image t ~id image =
+  let image = match t.image_fault with Some f -> f image | None -> image in
+  (match Hashtbl.find_opt t.images id with
+  | Some old -> t.image_total <- t.image_total - Bytes.length old
+  | None -> ());
+  Hashtbl.replace t.images id image;
+  t.image_total <- t.image_total + Bytes.length image;
+  t.image_writes <- t.image_writes + 1
+
+let load_image t id = Hashtbl.find_opt t.images id
+
+let has_image t id = Hashtbl.mem t.images id
+
+let drop_image t id =
+  match Hashtbl.find_opt t.images id with
+  | None -> ()
+  | Some image ->
+    Hashtbl.remove t.images id;
+    t.image_total <- t.image_total - Bytes.length image;
+    t.image_drops <- t.image_drops + 1
+
+let retain_images t ~keep =
+  let doomed = ref [] in
+  Hashtbl.iter (fun id _ -> if not (keep id) then doomed := id :: !doomed) t.images;
+  List.iter (drop_image t) !doomed
+
+let iter_images t f = Hashtbl.iter (fun id image -> f ~id ~image) t.images
+
+let image_count t = Hashtbl.length t.images
+
+let image_bytes t = t.image_total
+
+let image_writes t = t.image_writes
+
+let image_drops t = t.image_drops
+
+let forward t ~old_id ~new_id = Hashtbl.replace t.forwards old_id new_id
+
+(* Transitive: a resurrected object can itself be pruned and resurrected
+   again, chaining entries. The visit bound makes a (buggy) cycle
+   terminate at the last id seen rather than hanging the barrier. *)
+let resolve_forward t id =
+  let rec follow id steps =
+    match Hashtbl.find_opt t.forwards id with
+    | Some next when steps < Hashtbl.length t.forwards + 1 ->
+      follow next (steps + 1)
+    | Some _ | None -> id
+  in
+  let final = follow id 0 in
+  if final = id then None else Some final
+
+(* ---- Offload baseline ---- *)
 
 (* Objects reclaimed by the sweep release their disk space. Runs before
    any allocation can recycle an identifier, so a live id here is still
    the same object. *)
 let reconcile t store =
   let dead = ref [] in
-  Hashtbl.iter (fun id size -> if not (Store.mem store id) then dead := (id, size) :: !dead) t.resident;
+  Hashtbl.iter
+    (fun id { bytes; _ } ->
+      if not (Store.mem store id) then dead := (id, bytes) :: !dead)
+    t.resident;
   List.iter
-    (fun (id, size) ->
+    (fun (id, bytes) ->
       Hashtbl.remove t.resident id;
-      t.resident_total <- t.resident_total - size)
+      t.resident_total <- t.resident_total - bytes)
     !dead
 
-let offload_one t (obj : Heap_obj.t) =
-  Hashtbl.replace t.resident obj.Heap_obj.id obj.Heap_obj.size_bytes;
+let offload_one t store (obj : Heap_obj.t) =
+  let payload = Swap_image.encode (Swap_image.capture store obj) in
+  let payload = match t.image_fault with Some f -> f payload | None -> payload in
+  Hashtbl.replace t.resident obj.Heap_obj.id
+    { bytes = obj.Heap_obj.size_bytes; payload };
   t.resident_total <- t.resident_total + obj.Heap_obj.size_bytes;
   t.swap_outs <- t.swap_outs + 1
 
@@ -66,9 +155,7 @@ let after_gc ?(allow_offload = true) t store =
   | Some fails when fails () ->
     (* injected disk failure: the post-collection disk operation dies
        before any bookkeeping, as a real I/O error would *)
-    raise
-      (Out_of_disk
-         { resident_bytes = t.resident_total; limit_bytes = t.config.disk_limit_bytes })
+    raise (out_of_disk t)
   | Some _ | None -> ());
   reconcile t store;
   let limit = Store.limit_bytes store in
@@ -76,26 +163,45 @@ let after_gc ?(allow_offload = true) t store =
   if
     allow_offload
     && float_of_int (in_memory ()) /. float_of_int limit > t.config.offload_occupancy
-  then
+  then begin
+    (* Candidates are offloaded most-stale first (ties broken by lowest
+       id) so the payload write order — and therefore which write an
+       injected swap fault lands on — is a deterministic function of the
+       heap, not of hash-table iteration order. *)
+    let candidates = ref [] in
     Store.iter_live store (fun obj ->
         (* statics containers model immortal space: never offloaded *)
         if
           Heap_obj.stale obj >= t.config.offload_stale_threshold
           && (not (Header.statics_container obj.Heap_obj.header))
           && not (Hashtbl.mem t.resident obj.Heap_obj.id)
-        then offload_one t obj);
+        then candidates := obj :: !candidates);
+    let candidates =
+      List.sort
+        (fun (a : Heap_obj.t) (b : Heap_obj.t) ->
+          match compare (Heap_obj.stale b) (Heap_obj.stale a) with
+          | 0 -> compare a.Heap_obj.id b.Heap_obj.id
+          | c -> c)
+        !candidates
+    in
+    List.iter (offload_one t store) candidates
+  end;
   Store.set_swapped_out_bytes store t.resident_total;
-  if t.resident_total > t.config.disk_limit_bytes then
-    raise
-      (Out_of_disk
-         { resident_bytes = t.resident_total; limit_bytes = t.config.disk_limit_bytes })
+  if disk_bytes t > t.config.disk_limit_bytes then raise (out_of_disk t)
 
 let retrieve t store (obj : Heap_obj.t) =
   match Hashtbl.find_opt t.resident obj.Heap_obj.id with
-  | None -> false
-  | Some size ->
+  | None -> `Not_resident
+  | Some { bytes; payload } -> (
+    (* The entry is released either way: a successful swap-in moves the
+       object back to memory; a corrupt payload means the disk copy is
+       lost. Removing before decoding keeps resident_total consistent
+       even when the decode reports a fault. *)
     Hashtbl.remove t.resident obj.Heap_obj.id;
-    t.resident_total <- t.resident_total - size;
-    t.swap_ins <- t.swap_ins + 1;
+    t.resident_total <- t.resident_total - bytes;
     Store.set_swapped_out_bytes store t.resident_total;
-    true
+    match Swap_image.decode payload with
+    | Ok _ ->
+      t.swap_ins <- t.swap_ins + 1;
+      `Swapped_in
+    | Error reason -> `Corrupt reason)

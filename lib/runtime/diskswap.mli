@@ -1,23 +1,36 @@
-(** Disk-offloading leak-tolerance baseline (Melt / LeakSurvivor style).
+(** The swap store: disk-offload baseline plus pruned-object images.
 
-    The prior systems the paper compares against (Section 7) tolerate
-    leaks by transferring highly stale objects to disk and retrieving
-    them if the program ever accesses them. Mispredictions are therefore
-    cheap (a disk fault) rather than fatal — but disk is finite, so "all
-    will eventually exhaust disk space and crash".
+    Two kinds of data live here, both serialized through
+    {!Swap_image} so every byte on "disk" is versioned, length-prefixed
+    and CRC-checksummed:
 
-    This module models that behaviour: after a collection that leaves the
-    heap nearly full, every live object whose stale counter has reached
-    the offload threshold is moved to a bounded simulated disk. Offloaded
-    bytes stop counting against the heap limit; a read-barrier access to
-    an offloaded object faults it back in (the VM charges the fault
-    cost). When resident disk bytes exceed the disk limit the run dies
-    with {!Out_of_disk}.
+    {b Offload payloads} (Melt / LeakSurvivor style, paper Section 7).
+    The prior systems the paper compares against tolerate leaks by
+    transferring highly stale objects to disk and retrieving them if the
+    program ever accesses them. Mispredictions are therefore cheap (a
+    disk fault) rather than fatal — but disk is finite, so "all will
+    eventually exhaust disk space and crash". After a collection that
+    leaves the heap nearly full, every live object whose stale counter
+    has reached the offload threshold is serialized and moved to the
+    bounded simulated disk, most-stale first with ties broken by lowest
+    identifier — a deterministic order, so injected swap faults land on
+    the same write in every run. Offloaded bytes stop counting against
+    the heap limit; a read-barrier access faults the payload back in
+    (validating it — a corrupt payload means the disk copy is lost).
 
-    Used by the Section 6 comparison on JbbMod (Melt and LeakSurvivor
-    tolerate it until the disk fills; leak pruning is bounded-memory) and
-    to ground Table 2's "Most stale" column, which is these systems'
-    prediction algorithm. *)
+    {b Prune images} (the resurrection subsystem). When a PRUNE
+    collection poisons references, the VM serializes each doomed object
+    into an image stored here, keyed by its (about to be freed) object
+    identifier. A later access to the poisoned reference — a
+    misprediction — re-allocates the object from its image instead of
+    killing the session. The {e forwarding table} maps pruned
+    identifiers to their resurrected ones, transitively, so sibling
+    poisoned references resolve to the already-restored copy.
+
+    Both kinds count against [disk_limit_bytes]; exceeding it raises
+    {!Out_of_disk}, which is a compiler-enforced {e alias} of
+    {!Lp_core.Errors.Out_of_disk} — the swap layer cannot drift into a
+    parallel error taxonomy. *)
 
 type config = {
   disk_limit_bytes : int;
@@ -30,10 +43,17 @@ val default_config : disk_limit_bytes:int -> config
 type t
 
 exception Out_of_disk of { resident_bytes : int; limit_bytes : int }
+(** Alias, not a lookalike: the implementation rebinds
+    [Lp_core.Errors.Out_of_disk] ([exception Out_of_disk = ...]), so
+    [Diskswap.Out_of_disk] and [Errors.Out_of_disk] are the same
+    constructor and a handler for one always matches the other; the
+    compiler rejects any drift between the two declarations. *)
 
 val create : config -> t
 
 val resident_bytes : t -> int
+(** Offload payload residency only (the store's swapped-out credit);
+    prune images are accounted separately in {!image_bytes}. *)
 
 val resident_count : t -> int
 
@@ -50,19 +70,78 @@ val set_fault_hook : t -> (unit -> bool) option -> unit
     with {!Out_of_disk} as an injected (possibly transient) disk
     failure. [None] by default. *)
 
+val set_image_fault_hook : t -> (bytes -> bytes) option -> unit
+(** Write-time storage fault model: every serialized payload or image
+    passes through the hook on its way to "disk", and whatever bytes the
+    hook returns are what a later load sees. The VM wires the
+    {!Lp_fault.Fault_plan.Swap} site here, applying
+    [Corrupt_image] / [Torn_write] transformations. [None] by default. *)
+
 val total_swap_outs : t -> int
 
 val total_swap_ins : t -> int
 
+val disk_bytes : t -> int
+(** Total disk footprint: offload payloads plus prune images. *)
+
 val after_gc : ?allow_offload:bool -> t -> Lp_heap.Store.t -> unit
 (** Post-sweep hook: reconciles entries for objects that died, then
-    offloads stale objects if the heap is still too full, updating the
-    store's swapped-out credit. [allow_offload:false] runs the hook in
-    degraded mode — reconcile and re-check only, no new offloads — which
-    is how the VM retries after an [Out_of_disk].
+    serializes and offloads stale objects (most-stale first, lowest id
+    on ties) if the heap is still too full, updating the store's
+    swapped-out credit. [allow_offload:false] runs the hook in degraded
+    mode — reconcile and re-check only, no new offloads — which is how
+    the VM retries after an [Out_of_disk].
     @raise Out_of_disk when the disk limit is exceeded (or an injected
     fault fires, see {!set_fault_hook}). *)
 
-val retrieve : t -> Lp_heap.Store.t -> Lp_heap.Heap_obj.t -> bool
-(** Faults an object back in on program access. Returns whether a disk
-    fault actually happened (for cost accounting). *)
+val retrieve :
+  t ->
+  Lp_heap.Store.t ->
+  Lp_heap.Heap_obj.t ->
+  [ `Not_resident
+  | `Swapped_in
+  | `Corrupt of Lp_core.Errors.resurrection_failure ]
+(** Faults an offloaded object back in on program access, validating its
+    payload. [`Swapped_in] is a real disk fault (the VM charges the
+    fault cost); [`Corrupt] means the payload failed validation — the
+    disk copy is lost and the residency entry released either way, so
+    accounting never goes negative even when the same object is
+    retrieved twice (the second call is [`Not_resident]). *)
+
+(** {1 Prune images and forwarding} *)
+
+val store_image : t -> id:int -> bytes -> unit
+(** Writes a pruned object's swap image, passing it through the
+    image-fault hook (see {!set_image_fault_hook}); replaces any
+    previous image for the same identifier. *)
+
+val load_image : t -> int -> bytes option
+
+val has_image : t -> int -> bool
+
+val drop_image : t -> int -> unit
+(** Releases an image's disk space; no-op when absent. *)
+
+val retain_images : t -> keep:(int -> bool) -> unit
+(** Retention sweep: drops every image whose identifier fails [keep].
+    The VM keeps exactly the images still referenced by live poisoned
+    words (directly or through another retained image). *)
+
+val iter_images : t -> (id:int -> image:bytes -> unit) -> unit
+
+val image_count : t -> int
+
+val image_bytes : t -> int
+
+val image_writes : t -> int
+
+val image_drops : t -> int
+
+val forward : t -> old_id:int -> new_id:int -> unit
+(** Records that the pruned object [old_id] was resurrected as
+    [new_id], so sibling poisoned references resolve to the restored
+    copy instead of resurrecting a duplicate. *)
+
+val resolve_forward : t -> int -> int option
+(** Follows the forwarding chain transitively; [None] when the
+    identifier was never forwarded. *)

@@ -11,12 +11,36 @@ let read vm (src : Heap_obj.t) i =
   if Word.is_null w then None
   else if Word.poisoned w then begin
     charge_barrier vm (cost.Cost.barrier_cold + cost.Cost.barrier_poison_check);
-    let tgt_class =
+    let tgt_class () =
       match Store.get_opt (Vm.store vm) (Word.target w) with
       | Some obj -> Class_registry.name (Vm.registry vm) obj.Heap_obj.class_id
       | None -> "<reclaimed>"
     in
-    raise (Lp_core.Controller.poisoned_access_error (Vm.controller vm) ~src ~tgt_class)
+    if not (Vm.resurrection_enabled vm) then
+      raise
+        (Lp_core.Controller.poisoned_access_error (Vm.controller vm) ~src
+           ~tgt_class:(tgt_class ()))
+    else begin
+      (* barrier-level recovery: restore the pruned target from its swap
+         image and retry the load *)
+      match Vm.try_resurrect vm src ~field:i with
+      | Ok tgt ->
+        (* the program just used the resurrected reference *)
+        Heap_obj.set_stale tgt 0;
+        Some tgt
+      | Error reason ->
+        let stats = Vm.stats vm in
+        stats.Gc_stats.resurrection_failures <-
+          stats.Gc_stats.resurrection_failures + 1;
+        raise
+          (Lp_core.Errors.internal_error
+             ~cause:
+               (Lp_core.Errors.resurrection_failed ~target:(Word.target w)
+                  ~reason ~gc_count:(Vm.gc_count vm))
+             ~src_class:
+               (Class_registry.name (Vm.registry vm) src.Heap_obj.class_id)
+             ~tgt_class:(tgt_class ()))
+    end
   end
   else begin
     let tgt =
@@ -43,9 +67,24 @@ let read vm (src : Heap_obj.t) i =
       Heap_obj.set_stale tgt 0
     end;
     (match Vm.disk vm with
-    | Some d ->
-      if Diskswap.retrieve d (Vm.store vm) tgt then
-        Vm.charge vm cost.Cost.disk_swap_in
+    | Some d -> (
+      match Diskswap.retrieve d (Vm.store vm) tgt with
+      | `Not_resident -> ()
+      | `Swapped_in -> Vm.charge vm cost.Cost.disk_swap_in
+      | `Corrupt reason ->
+        (* the disk copy of an offloaded object failed validation: the
+           payload is lost; surface it with the same cause protocol as a
+           failed resurrection *)
+        Vm.charge vm cost.Cost.disk_swap_in;
+        raise
+          (Lp_core.Errors.internal_error
+             ~cause:
+               (Lp_core.Errors.resurrection_failed ~target:tgt.Heap_obj.id
+                  ~reason ~gc_count:(Vm.gc_count vm))
+             ~src_class:
+               (Class_registry.name (Vm.registry vm) src.Heap_obj.class_id)
+             ~tgt_class:
+               (Class_registry.name (Vm.registry vm) tgt.Heap_obj.class_id)))
     | None -> ());
     Some tgt
   end

@@ -1,0 +1,144 @@
+open Lp_heap
+
+type field = { word : Word.t; referent_class : int }
+
+type t = {
+  object_id : int;
+  class_id : Class_registry.id;
+  stale : int;
+  scalar_bytes : int;
+  fields : field array;
+}
+
+let version = 1
+
+let header_bytes = 12
+
+let magic0 = 'L'
+
+let magic1 = 'P'
+
+(* CRC-32, IEEE 802.3 polynomial (reflected 0xEDB88320) — the same
+   checksum a real swap file format would use, table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 buf ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get buf i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let capture store (obj : Heap_obj.t) =
+  let fields =
+    Array.map
+      (fun w ->
+        if Word.is_null w then { word = Word.null; referent_class = -1 }
+        else
+          let referent_class =
+            match Store.get_opt store (Word.target w) with
+            | Some tgt -> tgt.Heap_obj.class_id
+            | None -> -1
+          in
+          { word = w; referent_class })
+      obj.Heap_obj.fields
+  in
+  {
+    object_id = obj.Heap_obj.id;
+    class_id = obj.Heap_obj.class_id;
+    stale = Heap_obj.stale obj;
+    scalar_bytes = obj.Heap_obj.scalar_bytes;
+    fields;
+  }
+
+(* Payload: five fixed int32s, then two int32s per field. *)
+let payload_bytes t = 20 + (8 * Array.length t.fields)
+
+let encoded_bytes t = header_bytes + payload_bytes t
+
+let encode t =
+  let payload_len = payload_bytes t in
+  let buf = Bytes.create (header_bytes + payload_len) in
+  let put off v = Bytes.set_int32_le buf off (Int32.of_int v) in
+  Bytes.set buf 0 magic0;
+  Bytes.set buf 1 magic1;
+  Bytes.set buf 2 (Char.chr version);
+  Bytes.set buf 3 '\000';
+  put 4 payload_len;
+  put header_bytes t.object_id;
+  put (header_bytes + 4) t.class_id;
+  put (header_bytes + 8) t.stale;
+  put (header_bytes + 12) t.scalar_bytes;
+  put (header_bytes + 16) (Array.length t.fields);
+  Array.iteri
+    (fun i f ->
+      let off = header_bytes + 20 + (8 * i) in
+      put off f.word;
+      put (off + 4) f.referent_class)
+    t.fields;
+  put 8 (crc32 buf ~pos:header_bytes ~len:payload_len);
+  buf
+
+let decode buf =
+  let len = Bytes.length buf in
+  let get off = Int32.to_int (Bytes.get_int32_le buf off) in
+  if len < header_bytes then
+    Error
+      (Lp_core.Errors.Image_torn
+         { expected_bytes = header_bytes; actual_bytes = len })
+  else if Bytes.get buf 0 <> magic0 || Bytes.get buf 1 <> magic1 then
+    (* the prelude itself is rotten; there is no checksum to compare so
+       this reports as a checksum-class failure *)
+    Error Lp_core.Errors.Image_crc_mismatch
+  else
+    let v = Char.code (Bytes.get buf 2) in
+    if v <> version then Error (Lp_core.Errors.Image_version_unsupported v)
+    else
+      let payload_len = get 4 in
+      let expected = header_bytes + payload_len in
+      if payload_len < 20 || len <> expected then
+        Error
+          (Lp_core.Errors.Image_torn
+             { expected_bytes = expected; actual_bytes = len })
+      else if
+        (* the stored int32 reads back sign-extended; compare unsigned *)
+        get 8 land 0xFFFFFFFF <> crc32 buf ~pos:header_bytes ~len:payload_len
+      then
+        Error Lp_core.Errors.Image_crc_mismatch
+      else
+        let n_fields = get (header_bytes + 16) in
+        if n_fields < 0 || payload_len <> 20 + (8 * n_fields) then
+          (* structurally impossible given a valid CRC, but decoding stays
+             total rather than trusting arithmetic on attacker bytes *)
+          Error Lp_core.Errors.Image_crc_mismatch
+        else
+          Ok
+            {
+              object_id = get header_bytes;
+              class_id = get (header_bytes + 4);
+              stale = get (header_bytes + 8);
+              scalar_bytes = get (header_bytes + 12);
+              fields =
+                Array.init n_fields (fun i ->
+                    let off = header_bytes + 20 + (8 * i) in
+                    { word = get off; referent_class = get (off + 4) });
+            }
+
+let tear buf ~keep =
+  let keep = max 0 (min keep (Bytes.length buf - 1)) in
+  Bytes.sub buf 0 keep
+
+let corrupt buf ~pos =
+  let len = Bytes.length buf in
+  let pos = if len <= header_bytes then max 0 (min pos (len - 1)) else header_bytes + (max 0 pos mod (len - header_bytes)) in
+  let buf = Bytes.copy buf in
+  Bytes.set buf pos (Char.chr (Char.code (Bytes.get buf pos) lxor 1));
+  buf

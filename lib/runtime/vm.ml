@@ -14,7 +14,9 @@ type t = {
   controller : Lp_core.Controller.t;
   cost : Cost.t;
   charge_barriers : bool;
-  disk : Diskswap.t option;
+  swap : Diskswap.t;
+  offload : bool;  (* user configured the disk-offload baseline *)
+  resurrection : bool;
   finalizers : (int, Heap_obj.t -> unit) Hashtbl.t;
   statics_objects : (string, Heap_obj.t) Hashtbl.t;
   main_thread : Roots.thread;
@@ -30,7 +32,8 @@ type t = {
 }
 
 let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
-    ?(charge_barriers = true) ?disk ?nursery_bytes ?fault ~heap_bytes () =
+    ?(charge_barriers = true) ?disk ?(resurrection = false) ?nursery_bytes
+    ?fault ~heap_bytes () =
   (match nursery_bytes with
   | Some n when n <= 0 || n >= heap_bytes ->
     invalid_arg "Vm.create: nursery_bytes must be in (0, heap_bytes)"
@@ -38,10 +41,21 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
   let registry = Class_registry.create () in
   let roots = Roots.create () in
   let store = Store.create ~limit_bytes:heap_bytes in
-  let disk = Option.map Diskswap.create disk in
+  (* The VM always owns a swap store: the resurrection subsystem keeps
+     prune images there even when the disk-offload baseline is off (in
+     which case the "disk" is unbounded — image retention, not a byte
+     limit, bounds it). *)
+  let offload = disk <> None in
+  let swap =
+    Diskswap.create
+      (match disk with
+      | Some config -> config
+      | None -> Diskswap.default_config ~disk_limit_bytes:max_int)
+  in
   (* Thread the fault plan's trigger points through the layers that own
-     them: the store consults the Alloc site, the disk the Disk site.
-     (The Step site belongs to the chaos harness.) *)
+     them: the store consults the Alloc site, the disk the Disk site,
+     and every swap-image write the Swap site. (The Step site belongs to
+     the chaos harness.) *)
   (match fault with
   | Some plan ->
     Store.set_alloc_fault store
@@ -49,14 +63,28 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
          (fun () ->
            List.mem Lp_fault.Fault_plan.Refuse_alloc
              (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Alloc)));
-    Option.iter
-      (fun d ->
-        Diskswap.set_fault_hook d
-          (Some
-             (fun () ->
-               List.mem Lp_fault.Fault_plan.Disk_failure
-                 (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Disk))))
-      disk
+    if offload then
+      Diskswap.set_fault_hook swap
+        (Some
+           (fun () ->
+             List.mem Lp_fault.Fault_plan.Disk_failure
+               (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Disk)));
+    Diskswap.set_image_fault_hook swap
+      (Some
+         (fun image ->
+           (* visit count doubles as a deterministic corruption offset *)
+           let visit = Lp_fault.Fault_plan.visits plan Lp_fault.Fault_plan.Swap in
+           List.fold_left
+             (fun image -> function
+               | Lp_fault.Fault_plan.Corrupt_image ->
+                 Swap_image.corrupt image ~pos:visit
+               | Lp_fault.Fault_plan.Torn_write ->
+                 Swap_image.tear image ~keep:(Bytes.length image / 2)
+               | Lp_fault.Fault_plan.Refuse_alloc | Lp_fault.Fault_plan.Disk_failure
+               | Lp_fault.Fault_plan.Corrupt_word | Lp_fault.Fault_plan.Kill_thread
+                 -> image)
+             image
+             (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Swap)))
   | None -> ());
   {
     registry;
@@ -66,7 +94,9 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
     controller = Lp_core.Controller.create config registry;
     cost;
     charge_barriers;
-    disk;
+    swap;
+    offload;
+    resurrection;
     finalizers = Hashtbl.create 64;
     statics_objects = Hashtbl.create 16;
     main_thread = Roots.spawn_thread roots;
@@ -87,7 +117,11 @@ let registry t = t.registry
 let stats t = t.stats
 let controller t = t.controller
 let cost t = t.cost
-let disk t = t.disk
+let disk t = if t.offload then Some t.swap else None
+
+let swap t = t.swap
+
+let resurrection_enabled t = t.resurrection
 let charge_barriers t = t.charge_barriers
 let remset t = t.remset
 let fault_plan t = t.fault
@@ -146,7 +180,7 @@ let gc_history t = List.rev t.gc_history
 
 let live_bytes t =
   Store.live_bytes t.store
-  - (match t.disk with Some d -> Diskswap.resident_bytes d | None -> 0)
+  - (if t.offload then Diskswap.resident_bytes t.swap else 0)
 
 let used_bytes t = Store.used_bytes t.store
 
@@ -164,9 +198,102 @@ let run_finalizer t (obj : Heap_obj.t) =
     f obj
   | None -> ()
 
+(* enqueue an identifier and, if it was forwarded (pruned then
+   resurrected), the identifier it forwards to *)
+let enqueue_ref t seen queue id =
+  let push id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      Queue.add id queue
+    end
+  in
+  push id;
+  match Diskswap.resolve_forward t.swap id with
+  | Some final -> push final
+  | None -> ()
+
+(* Runs between marking and the sweep, when liveness is decided but the
+   doomed objects are still intact: serialize a swap image of every
+   dying object reachable from a freshly pruned edge or from a live
+   poisoned word, so a later misprediction can be recovered. *)
+let capture_images t doomed =
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter (enqueue_ref t seen queue) doomed;
+  Store.iter_live t.store (fun obj ->
+      if Header.marked obj.Heap_obj.header then
+        Array.iter
+          (fun w ->
+            if (not (Word.is_null w)) && Word.poisoned w then
+              enqueue_ref t seen queue (Word.target w))
+          obj.Heap_obj.fields);
+  let rec drain () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some id ->
+      (match Store.get_opt t.store id with
+      | Some obj when not (Header.marked obj.Heap_obj.header) ->
+        if not (Diskswap.has_image t.swap id) then
+          Diskswap.store_image t.swap ~id
+            (Swap_image.encode (Swap_image.capture t.store obj));
+        (* the whole unmarked subtree dies with it *)
+        Array.iter
+          (fun w ->
+            if not (Word.is_null w) then enqueue_ref t seen queue (Word.target w))
+          obj.Heap_obj.fields
+      | Some _ | None -> ());
+      drain ()
+  in
+  drain ()
+
+(* Post-sweep retention: keep exactly the images still reachable from a
+   live poisoned word, directly or through reference words recorded in
+   another retained image. Everything else is released disk space. *)
+let retain_images t =
+  let keep = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Store.iter_live t.store (fun obj ->
+      Array.iter
+        (fun w ->
+          if (not (Word.is_null w)) && Word.poisoned w then
+            enqueue_ref t keep queue (Word.target w))
+        obj.Heap_obj.fields);
+  let rec drain () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some id ->
+      (match Diskswap.load_image t.swap id with
+      | None -> ()
+      | Some image -> (
+        match Swap_image.decode image with
+        | Ok img ->
+          Array.iter
+            (fun (f : Swap_image.field) ->
+              if not (Word.is_null f.Swap_image.word) then
+                enqueue_ref t keep queue (Word.target f.Swap_image.word))
+            img.Swap_image.fields
+        | Error _ ->
+          (* corrupt but referenced: retained, so the eventual access
+             reports the real failure instead of Image_missing *)
+          ()));
+      drain ()
+  in
+  drain ();
+  Diskswap.retain_images t.swap ~keep:(Hashtbl.mem keep)
+
 let collect_once t =
-  Lp_core.Controller.collect ~on_finalize:(run_finalizer t) t.controller t.store
-    t.roots ~stats:t.stats;
+  let doomed = ref [] in
+  let on_poison, before_sweep =
+    if t.resurrection then
+      ( Some
+          (fun (e : Collector.edge) ->
+            doomed := e.Collector.tgt.Heap_obj.id :: !doomed),
+        Some (fun () -> capture_images t !doomed) )
+    else (None, None)
+  in
+  Lp_core.Controller.collect ~on_finalize:(run_finalizer t) ?on_poison
+    ?before_sweep t.controller t.store t.roots ~stats:t.stats;
+  if t.resurrection then retain_images t;
   if t.nursery_limit <> None then begin
     (* a full-heap collection empties the nursery: every survivor is
        mature afterwards *)
@@ -213,7 +340,7 @@ let run_disk_phase t d =
 let run_gc t =
   let before = Gc_stats.copy t.stats in
   collect_once t;
-  (match t.disk with Some d -> run_disk_phase t d | None -> ());
+  if t.offload then run_disk_phase t t.swap;
   let gc_cost =
     Cost.gc_cost t.cost ~before ~after:t.stats
     + (Roots.root_count t.roots * t.cost.Cost.gc_root)
@@ -247,8 +374,8 @@ let rec alloc_slow_path t size attempts =
       config.Lp_core.Config.policy <> Lp_core.Policy.None_
       && config.Lp_core.Config.force_state = None
     in
-    match t.disk with
-    | Some _ when not pruning_active ->
+    match t.offload with
+    | true when not pruning_active ->
       (* Disk-only baseline: the post-collection offload is the only
          recourse. The retry collections let staleness reach the
          offload threshold (counters only move at collections); after
@@ -256,7 +383,7 @@ let rec alloc_slow_path t size attempts =
       if attempts < config.Lp_core.Config.disk_baseline_retries then
         alloc_slow_path t size (attempts + 1)
       else raise (oom_error t)
-    | Some _ | None ->
+    | true | false ->
       if attempts >= config.Lp_core.Config.max_slow_path_attempts then
         raise (oom_error t)
       else begin
@@ -342,6 +469,120 @@ let inject_word_corruption t (obj : Heap_obj.t) ~field mode =
     (* An identifier far past the allocation frontier: dead now, and it
        stays dead until thousands of fresh allocations pass it. *)
     fields.(field) <- Word.of_id (Store.next_fresh_id t.store + 4096)
+
+(* Barrier-level recovery (the resurrection subsystem). Called by the
+   read barrier when the program loads a poisoned reference and
+   [resurrection] is enabled. On success the poisoned word in
+   [src.fields.(field)] has been replaced by a clean reference to the
+   restored object and the load can be retried. *)
+let try_resurrect t (src : Heap_obj.t) ~field =
+  let w = src.Heap_obj.fields.(field) in
+  let target = Word.target w in
+  charge t t.cost.Cost.resurrect;
+  match Diskswap.resolve_forward t.swap target with
+  | Some final when Store.mem t.store final ->
+    (* a sibling reference already resurrected the object: rewire *)
+    src.Heap_obj.fields.(field) <- Word.of_id final;
+    Ok (Store.get t.store final)
+  | Some _ | None -> (
+    match Diskswap.load_image t.swap target with
+    | None when Store.mem t.store target ->
+      (* The pruned edge's target survived through another live path, so
+         no image was ever captured (capture only images dying objects)
+         and the identifier cannot have been recycled: un-poison the
+         word. Still a misprediction — the program used a pruned
+         reference — so the edge type is protected all the same. *)
+      let tgt = Store.get t.store target in
+      src.Heap_obj.fields.(field) <- Word.of_id target;
+      Lp_core.Controller.note_misprediction t.controller
+        ~src_class:src.Heap_obj.class_id ~tgt_class:tgt.Heap_obj.class_id
+        ~stale:(Heap_obj.stale tgt);
+      Ok tgt
+    | None -> Error Lp_core.Errors.Image_missing
+    | Some bytes -> (
+      match Swap_image.decode bytes with
+      | Error reason -> Error reason
+      | Ok image ->
+        let n_fields = Array.length image.Swap_image.fields in
+        let scalar_bytes = image.Swap_image.scalar_bytes in
+        let size = Heap_obj.size_of ~n_fields ~scalar_bytes in
+        let attempts =
+          (Lp_core.Controller.config t.controller)
+            .Lp_core.Config.resurrection_alloc_attempts
+        in
+        (* bounded re-allocation through the collector: each retry runs a
+           full collection, letting pruning (or plain reclamation) make
+           room for the object coming back *)
+        let rec obtain n =
+          if Store.would_overflow t.store size then retry n
+          else
+            match
+              Store.alloc_generation t.store ~nursery:false
+                ~class_id:image.Swap_image.class_id ~n_fields ~scalar_bytes
+                ~finalizable:false
+            with
+            | obj -> Ok obj
+            | exception Store.Heap_full _ -> retry n
+        and retry n =
+          if n >= attempts then
+            Error
+              (Lp_core.Errors.Reallocation_exhausted
+                 { attempts = n; size_bytes = size })
+          else begin
+            run_gc t;
+            obtain (n + 1)
+          end
+        in
+        (match obtain 0 with
+        | Error _ as e -> e
+        | Ok obj ->
+          (* Restore fields. A reference whose target still has a swap
+             image is re-poisoned: the original is dead awaiting its own
+             resurrection, and whatever live object occupies the
+             (possibly recycled) identifier now is not it. Otherwise a
+             plain reference is rewired only when its (forward-resolved)
+             target is live with the class recorded at capture time —
+             identifier recycling cannot splice in an unrelated object.
+             Everything else is re-poisoned: the edge stays pruned and a
+             later access recovers it in turn. *)
+          Array.iteri
+            (fun i (f : Swap_image.field) ->
+              let word = f.Swap_image.word in
+              let repoison tid =
+                t.stats.Gc_stats.words_repoisoned <-
+                  t.stats.Gc_stats.words_repoisoned + 1;
+                Word.poison (Word.of_id tid)
+              in
+              obj.Heap_obj.fields.(i) <-
+                (if Word.is_null word then Word.null
+                 else if Word.poisoned word then word
+                 else begin
+                   let tid = Word.target word in
+                   match Diskswap.resolve_forward t.swap tid with
+                   | Some final when Store.mem t.store final -> Word.of_id final
+                   | Some final -> repoison final
+                   | None ->
+                     if Diskswap.has_image t.swap tid then repoison tid
+                     else (
+                       match Store.get_opt t.store tid with
+                       | Some tobj
+                         when tobj.Heap_obj.class_id
+                              = f.Swap_image.referent_class ->
+                         Word.of_id tid
+                       | Some _ | None -> repoison tid)
+                 end))
+            image.Swap_image.fields;
+          Heap_obj.set_stale obj image.Swap_image.stale;
+          Diskswap.forward t.swap ~old_id:target ~new_id:obj.Heap_obj.id;
+          Diskswap.drop_image t.swap target;
+          src.Heap_obj.fields.(field) <- Word.of_id obj.Heap_obj.id;
+          t.stats.Gc_stats.resurrections <- t.stats.Gc_stats.resurrections + 1;
+          (* misprediction feedback: protect the edge type and maybe
+             enter the SAFE moratorium *)
+          Lp_core.Controller.note_misprediction t.controller
+            ~src_class:src.Heap_obj.class_id
+            ~tgt_class:image.Swap_image.class_id ~stale:image.Swap_image.stale;
+          Ok obj)))
 
 let with_frame t ?thread ~n_slots f =
   let thread = match thread with Some th -> th | None -> t.main_thread in

@@ -28,6 +28,7 @@ val create :
   ?cost:Cost.t ->
   ?charge_barriers:bool ->
   ?disk:Diskswap.config ->
+  ?resurrection:bool ->
   ?nursery_bytes:int ->
   ?fault:Lp_fault.Fault_plan.t ->
   heap_bytes:int ->
@@ -43,9 +44,14 @@ val create :
     the runtime: the store consults its [Alloc] site on every
     allocation, the disk baseline its [Disk] site on every
     post-collection disk operation (the [Step] site is driven by the
-    chaos harness). Defaults: paper-default pruning config, default
-    costs, barriers charged, no disk baseline, non-generational, no
-    faults. *)
+    chaos harness). [resurrection] (default [false], preserving the
+    paper's semantics where pruned data is gone for good) enables the
+    resurrection subsystem: PRUNE collections serialize doomed objects
+    into checksummed swap images, and the read barrier restores a
+    pruned target from its image on access instead of raising — see
+    {!try_resurrect}. Defaults: paper-default pruning config, default
+    costs, barriers charged, no disk baseline, no resurrection,
+    non-generational, no faults. *)
 
 (** {1 Components} *)
 
@@ -56,6 +62,16 @@ val stats : t -> Gc_stats.t
 val controller : t -> Lp_core.Controller.t
 val cost : t -> Cost.t
 val disk : t -> Diskswap.t option
+(** The swap store, exposed only when the disk-offload {e baseline} was
+    configured via [?disk] ([None] otherwise — use {!swap} for the
+    always-present store backing resurrection images). *)
+
+val swap : t -> Diskswap.t
+(** The VM's swap store. Always present: prune images live here even
+    without the offload baseline (the store is then unbounded and only
+    image retention limits it). *)
+
+val resurrection_enabled : t -> bool
 val charge_barriers : t -> bool
 val remset : t -> Remset.t
 val fault_plan : t -> Lp_fault.Fault_plan.t option
@@ -187,3 +203,28 @@ val inject_word_corruption :
     structured errors. *)
 
 val corruptions_injected : t -> int
+
+(** {1 Resurrection} *)
+
+val try_resurrect :
+  t ->
+  Lp_heap.Heap_obj.t ->
+  field:int ->
+  (Heap_obj.t, Lp_core.Errors.resurrection_failure) result
+(** Barrier-level recovery of a poisoned reference in
+    [src.fields.(field)] (called by {!Mutator.read}; exposed for tests).
+    If the pruned target was already resurrected through a sibling
+    reference, the word is rewired to the forwarded copy; if it never
+    died at all (it survived through another live path, so no image was
+    captured), the word is simply un-poisoned. Otherwise its
+    swap image is loaded and validated (torn or corrupt images yield the
+    corresponding {!Lp_core.Errors.resurrection_failure}), the object is
+    re-allocated through a bounded collect-and-retry loop
+    ([Config.resurrection_alloc_attempts] collections, then
+    [Reallocation_exhausted]), its fields are restored — a plain
+    reference only when its target is live with the class recorded at
+    capture time, everything else re-poisoned (counted in
+    [Gc_stats.words_repoisoned]) — and the forwarding table and
+    misprediction feedback ({!Lp_core.Controller.note_misprediction})
+    are updated. On [Ok] the triggering word is already rewired and the
+    load can be retried. *)

@@ -150,6 +150,77 @@ let test_dead_objects_release_disk () =
   Vm.run_gc vm;
   Alcotest.(check int) "disk released" 0 (Diskswap.resident_bytes d)
 
+(* ---- Accounting edges: retrieval must never drive residency negative,
+   no matter how it interleaves with reconciliation or faults. ---- *)
+
+let offloaded_fixture ?image_fault () =
+  let store, objs = stale_full_store () in
+  let d =
+    Diskswap.create
+      { Diskswap.disk_limit_bytes = 100_000; offload_stale_threshold = 2; offload_occupancy = 0.5 }
+  in
+  Diskswap.set_image_fault_hook d image_fault;
+  Diskswap.after_gc d store;
+  Alcotest.(check bool) "fixture offloaded something" true
+    (Diskswap.resident_count d > 0);
+  (store, d, objs)
+
+let test_double_retrieve_is_not_resident () =
+  let store, d, objs = offloaded_fixture () in
+  let obj = List.find (fun o -> Diskswap.is_resident d o.Heap_obj.id) objs in
+  (match Diskswap.retrieve d store obj with
+  | `Swapped_in -> ()
+  | `Not_resident | `Corrupt _ -> Alcotest.fail "first retrieve must swap in");
+  let resident_after = Diskswap.resident_bytes d in
+  (match Diskswap.retrieve d store obj with
+  | `Not_resident -> ()
+  | `Swapped_in | `Corrupt _ ->
+    Alcotest.fail "second retrieve of the same object must be a no-op");
+  Alcotest.(check int) "no double release" resident_after
+    (Diskswap.resident_bytes d);
+  Alcotest.(check bool) "residency non-negative" true
+    (Diskswap.resident_bytes d >= 0)
+
+let test_reconcile_after_retrieve () =
+  let store, d, objs = offloaded_fixture () in
+  (* retrieve half the resident set, then reconcile: the already-released
+     entries must not be released a second time *)
+  List.iteri
+    (fun i o ->
+      if i mod 2 = 0 && Diskswap.is_resident d o.Heap_obj.id then
+        ignore (Diskswap.retrieve d store o))
+    objs;
+  let after_retrieves = Diskswap.resident_bytes d in
+  Diskswap.after_gc ~allow_offload:false d store;
+  Alcotest.(check int) "reconcile releases nothing extra" after_retrieves
+    (Diskswap.resident_bytes d);
+  Alcotest.(check bool) "residency non-negative" true (after_retrieves >= 0)
+
+let test_residency_non_negative_under_faults () =
+  (* every payload write is corrupted: each retrieval reports `Corrupt
+     and releases the entry exactly once; the books stay closed *)
+  let store, d, objs =
+    offloaded_fixture
+      ~image_fault:(fun img -> Lp_runtime.Swap_image.corrupt img ~pos:3)
+      ()
+  in
+  List.iter
+    (fun o ->
+      if Diskswap.is_resident d o.Heap_obj.id then begin
+        (match Diskswap.retrieve d store o with
+        | `Corrupt _ -> ()
+        | `Swapped_in -> Alcotest.fail "corrupted payload must not swap in"
+        | `Not_resident -> Alcotest.fail "entry disappeared");
+        (match Diskswap.retrieve d store o with
+        | `Not_resident -> ()
+        | `Swapped_in | `Corrupt _ -> Alcotest.fail "entry must be released once");
+        Alcotest.(check bool) "residency non-negative" true
+          (Diskswap.resident_bytes d >= 0)
+      end)
+    objs;
+  Alcotest.(check int) "all entries released" 0 (Diskswap.resident_count d);
+  Alcotest.(check int) "accounting drained to zero" 0 (Diskswap.resident_bytes d)
+
 let test_combined_pruning_and_disk () =
   (* with pruning enabled alongside the disk, an allocation failure
      falls through to the SELECT/PRUNE protocol instead of giving up *)
@@ -177,5 +248,9 @@ let suite =
       Alcotest.test_case "direct out-of-disk payload" `Quick test_direct_out_of_disk_payload;
       Alcotest.test_case "reconcile releases swept objects" `Quick test_reconcile_releases_swept;
       Alcotest.test_case "dead objects release disk" `Quick test_dead_objects_release_disk;
+      Alcotest.test_case "double retrieve" `Quick test_double_retrieve_is_not_resident;
+      Alcotest.test_case "reconcile after retrieve" `Quick test_reconcile_after_retrieve;
+      Alcotest.test_case "residency under faults" `Quick
+        test_residency_non_negative_under_faults;
       Alcotest.test_case "combined pruning + disk" `Quick test_combined_pruning_and_disk;
     ] )

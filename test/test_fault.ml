@@ -113,12 +113,20 @@ let test_chaos_determinism () =
   Alcotest.(check bool) "identical reports from the same seed" true (r1 = r2)
 
 let test_chaos_fault_free_sweep () =
+  (* Fault-free runs must never hit a Violation or Crash, and no fault
+     events may fire. A Clean_stop is acceptable even without faults:
+     the workload leaks by design, and when SAFE mode suspends pruning
+     after mispredictions the deferred OutOfMemoryError (or the disk
+     baseline's DiskExhausted) legitimately surfaces. *)
   List.iter
     (fun (r : Lp_harness.Chaos.report) ->
       Alcotest.(check bool)
-        (Printf.sprintf "seed %d survives fault-free" r.Lp_harness.Chaos.seed)
-        true
-        (r.Lp_harness.Chaos.outcome = Lp_harness.Chaos.Survived))
+        (Printf.sprintf "seed %d clean without faults" r.Lp_harness.Chaos.seed)
+        false
+        (Lp_harness.Chaos.failed r);
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d fired no faults" r.Lp_harness.Chaos.seed)
+        0 r.Lp_harness.Chaos.faults_fired)
     (Lp_harness.Chaos.run_seeds ~faults:false ~seeds:40 ())
 
 let test_chaos_faulted_sweep () =

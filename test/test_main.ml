@@ -16,6 +16,7 @@ let () =
       Test_controller.suite;
       Test_vm_mutator.suite;
       Test_diskswap.suite;
+      Test_resurrection.suite;
       Test_fault.suite;
       Test_degradation.suite;
       Test_generational.suite;
