@@ -26,7 +26,19 @@ let workloads =
   @ List.map Lp_workloads.Dacapo.workload_of_spec Lp_workloads.Dacapo.suite
 
 let find_workload name =
-  List.find_opt (fun w -> w.Lp_workloads.Workload.name = name) workloads
+  (* Tolerant matching: "ListLeak", "list_leak" and "list-leak" all
+     denote the same workload. *)
+  let normalize s =
+    String.lowercase_ascii
+      (String.concat "" (String.split_on_char '-'
+         (String.concat "" (String.split_on_char '_' s))))
+  in
+  match List.find_opt (fun w -> w.Lp_workloads.Workload.name = name) workloads with
+  | Some _ as found -> found
+  | None ->
+    List.find_opt
+      (fun w -> normalize w.Lp_workloads.Workload.name = normalize name)
+      workloads
 
 let list_cmd =
   let doc = "List the bundled workloads (the paper's ten leaks and the non-leaking suite)." in
@@ -168,6 +180,154 @@ let interp_cmd =
   Cmd.v (Cmd.info "interp" ~doc)
     Term.(const run $ file_arg $ main_arg $ statics_arg $ heap_arg $ times_arg)
 
+let trace_cmd =
+  let doc =
+    "Run a workload with the event sink attached and export the trace \
+     (JSONL, Chrome trace_event, or a metrics dump). The output is \
+     self-validated before it is written: the JSON must parse, spans must \
+     nest, and the reclaimed-bytes total of the prune-decision events must \
+     equal the metrics registry's prune.bytes_reclaimed counter."
+  in
+  let workload_arg =
+    Arg.(required & opt (some string) None
+         & info [ "workload"; "w" ] ~docv:"WORKLOAD"
+             ~doc:"Workload to run (see `leakpruner list`; name matching is \
+                   case- and separator-insensitive).")
+  in
+  let policy_arg =
+    Arg.(value & opt policy_conv Lp_core.Policy.Default
+         & info [ "policy"; "p" ] ~docv:"POLICY"
+             ~doc:"Prediction policy: default, most-stale, indiv-refs, or none.")
+  in
+  let heap_arg =
+    Arg.(value & opt (some int) None
+         & info [ "heap" ] ~docv:"BYTES" ~doc:"Heap size in simulated bytes.")
+  in
+  let cap_arg =
+    Arg.(value & opt int 3_000
+         & info [ "cap" ] ~docv:"N" ~doc:"Iteration cap (traces are dense; the default keeps them small).")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome); ("metrics", `Metrics) ]) `Jsonl
+         & info [ "format"; "f" ] ~docv:"FORMAT"
+             ~doc:"Output format: jsonl (one event per line), chrome \
+                   (trace_event JSON for chrome://tracing / Perfetto), or \
+                   metrics (text dump of the registry snapshot).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let buffer_arg =
+    Arg.(value & opt int 262_144
+         & info [ "buffer" ] ~docv:"N"
+             ~doc:"Event ring capacity. The default is large enough that \
+                   bundled workloads under their default caps drop nothing, \
+                   which the prune audit cross-check relies on.")
+  in
+  let run name policy heap cap format out buffer =
+    match find_workload name with
+    | None ->
+      Printf.eprintf "unknown workload %S; see `leakpruner list`\n" name;
+      exit 1
+    | Some w ->
+      let config = Lp_core.Config.make ~policy () in
+      let captured = ref None in
+      let r =
+        Lp_harness.Driver.run ~config ?heap_bytes:heap ~max_iterations:cap
+          ~prepare_vm:(fun vm ->
+            ignore (Lp_runtime.Vm.enable_trace ~capacity:buffer vm);
+            captured := Some vm)
+          w
+      in
+      let vm = match !captured with Some vm -> vm | None -> assert false in
+      let sink =
+        match Lp_runtime.Vm.sink vm with Some s -> s | None -> assert false
+      in
+      let events = Lp_obs.Sink.events sink in
+      let dropped = Lp_obs.Sink.dropped sink in
+      let registry = Lp_runtime.Vm.registry vm in
+      let class_name id =
+        if id < 0 then "<none>"
+        else
+          try Lp_heap.Class_registry.name registry id
+          with _ -> Printf.sprintf "class#%d" id
+      in
+      let snap = Lp_runtime.Vm.metrics_snapshot vm in
+      (* Audit cross-check: the trace and the registry must tell the
+         same story. Only sound when the ring dropped nothing. *)
+      let audit_errors = ref [] in
+      let audit msg ok = if not ok then audit_errors := msg :: !audit_errors in
+      (if dropped = 0 then begin
+         let sum =
+           List.fold_left
+             (fun acc (st : Lp_obs.Event.stamped) ->
+               match st.Lp_obs.Event.ev with
+               | Lp_obs.Event.Prune_decision { bytes_reclaimed; _ } ->
+                 acc + bytes_reclaimed
+               | _ -> acc)
+             0 events
+         in
+         let counter =
+           match Lp_obs.Metrics.find_counter snap "prune.bytes_reclaimed" with
+           | Some v -> v
+           | None -> 0
+         in
+         audit
+           (Printf.sprintf
+              "prune-decision events sum to %d bytes but prune.bytes_reclaimed \
+               is %d"
+              sum counter)
+           (sum = counter)
+       end
+       else
+         Printf.eprintf
+           "leakpruner: trace: ring dropped %d event(s); audit cross-check \
+            skipped (raise --buffer)\n"
+           dropped);
+      let output =
+        match format with
+        | `Jsonl ->
+          let s = Lp_obs.Export.to_jsonl ~class_name events in
+          (match Lp_obs.Json.validate_jsonl s with
+          | Ok _ -> ()
+          | Error e -> audit (Printf.sprintf "JSONL self-check failed: %s" e) false);
+          s
+        | `Chrome ->
+          let s = Lp_obs.Export.to_chrome_trace ~class_name ~dropped events in
+          (match Lp_obs.Json.parse s with
+          | Ok _ -> ()
+          | Error e -> audit (Printf.sprintf "Chrome trace is not valid JSON: %s" e) false);
+          (match
+             Lp_obs.Export.check_spans ~allow_truncated_head:(dropped > 0) events
+           with
+          | Ok _ -> ()
+          | Error e -> audit (Printf.sprintf "span nesting check failed: %s" e) false);
+          s
+        | `Metrics -> Lp_obs.Metrics.to_text snap
+      in
+      (match out with
+      | None -> print_string output
+      | Some file ->
+        let oc = open_out file in
+        output_string oc output;
+        close_out oc);
+      Printf.eprintf
+        "leakpruner: trace: %s ran %d iteration(s) (%s); %d event(s) retained, \
+         %d dropped\n"
+        r.Lp_harness.Driver.workload r.Lp_harness.Driver.iterations
+        (Lp_harness.Driver.outcome_to_string r.Lp_harness.Driver.outcome)
+        (List.length events) dropped;
+      match !audit_errors with
+      | [] -> ()
+      | errors ->
+        List.iter (Printf.eprintf "leakpruner: trace: AUDIT FAILED: %s\n") errors;
+        exit 1
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ workload_arg $ policy_arg $ heap_arg $ cap_arg
+          $ format_arg $ out_arg $ buffer_arg)
+
 let chaos_cmd =
   let doc =
     "Chaos-test the runtime: seeded random workloads under fault injection, \
@@ -194,6 +354,33 @@ let chaos_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print failures and the summary.")
   in
+  let trace_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:"For every failing seed, re-run its minimal reproduction \
+                   with the event sink attached and write a Chrome trace_event \
+                   file (chrome://tracing / Perfetto) into DIR.")
+  in
+  (* The shrink artifact for a failing seed: the minimal reproduction,
+     re-run traced, exported as a Chrome trace. Reruns are exact (the
+     run is a deterministic function of seed and cap, and tracing never
+     changes behaviour), so the trace shows the actual failure. *)
+  let write_failure_trace ~faults ~steps ~seed dir =
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let r =
+      Lp_harness.Chaos.run_one ~faults ~steps ~trace_capacity:65_536 ~seed ()
+    in
+    let file = Filename.concat dir (Printf.sprintf "chaos_seed_%d.trace.json" seed) in
+    let oc = open_out file in
+    output_string oc
+      (Lp_obs.Export.to_chrome_trace
+         ~dropped:r.Lp_harness.Chaos.trace_dropped r.Lp_harness.Chaos.trace);
+    close_out oc;
+    Printf.printf "seed %d trace written to %s (%d event(s), %d dropped)\n"
+      seed file
+      (List.length r.Lp_harness.Chaos.trace)
+      r.Lp_harness.Chaos.trace_dropped
+  in
   let print_report (r : Lp_harness.Chaos.report) =
     Printf.printf
       "seed %4d: %-10s %4d steps, %3d collections, %2d faults fired, %d \
@@ -212,7 +399,7 @@ let chaos_cmd =
       | Lp_harness.Chaos.Survived -> ""
       | o -> "  (" ^ Lp_harness.Chaos.outcome_to_string o ^ ")")
   in
-  let run seeds steps no_faults seed quiet =
+  let run seeds steps no_faults seed quiet trace_dir =
     if seeds < 0 || steps < 0 then begin
       Printf.eprintf "leakpruner: chaos: --seeds and --steps must be non-negative\n";
       exit 2
@@ -229,8 +416,15 @@ let chaos_cmd =
         print_endline
           (Lp_fault.Fault_plan.describe (Lp_fault.Fault_plan.random ~seed ()));
       if Lp_harness.Chaos.failed r then begin
-        (match Lp_harness.Chaos.shrink ~faults ~steps ~seed () with
+        let shrunk = Lp_harness.Chaos.shrink ~faults ~steps ~seed () in
+        (match shrunk with
         | Some n -> Printf.printf "minimal reproduction: %d step(s)\n" n
+        | None -> ());
+        (match trace_dir with
+        | Some dir ->
+          write_failure_trace ~faults
+            ~steps:(match shrunk with Some n -> n | None -> steps)
+            ~seed dir
         | None -> ());
         exit 1
       end
@@ -256,19 +450,26 @@ let chaos_cmd =
         (if no_faults then " (fault-free)" else "");
       List.iter
         (fun r ->
-          if Lp_harness.Chaos.failed r then
-            match
-              Lp_harness.Chaos.shrink ~faults ~steps ~seed:r.Lp_harness.Chaos.seed ()
-            with
+          if Lp_harness.Chaos.failed r then begin
+            let seed = r.Lp_harness.Chaos.seed in
+            let shrunk = Lp_harness.Chaos.shrink ~faults ~steps ~seed () in
+            (match shrunk with
             | Some n ->
-              Printf.printf "seed %d minimal reproduction: %d step(s)\n"
-                r.Lp_harness.Chaos.seed n
-            | None -> ())
+              Printf.printf "seed %d minimal reproduction: %d step(s)\n" seed n
+            | None -> ());
+            match trace_dir with
+            | Some dir ->
+              write_failure_trace ~faults
+                ~steps:(match shrunk with Some n -> n | None -> steps)
+                ~seed dir
+            | None -> ()
+          end)
         reports;
       if !failures > 0 then exit 1
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ seeds_arg $ steps_arg $ no_faults_arg $ seed_arg $ quiet_arg)
+    Term.(const run $ seeds_arg $ steps_arg $ no_faults_arg $ seed_arg $ quiet_arg
+          $ trace_dir_arg)
 
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures (see bench/main.exe --list)." in
@@ -291,4 +492,5 @@ let () =
   let info = Cmd.info "leakpruner" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; interp_cmd; chaos_cmd; experiment_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; interp_cmd; trace_cmd; chaos_cmd; experiment_cmd ]))

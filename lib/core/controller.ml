@@ -14,12 +14,22 @@ type t = {
   mutable gc_count : int;
   mutable mispredictions : int;  (* resurrected pruned accesses, all time *)
   mutable epoch_mispredictions : int;  (* since the last PRUNE collection *)
+  metrics : Lp_obs.Metrics.t;
+  mutable sink : Lp_obs.Sink.t option;
+  (* Interned once so the per-collection updates are field writes. *)
+  c_mispredictions : Lp_obs.Metrics.counter;
+  c_prune_decisions : Lp_obs.Metrics.counter;
+  c_prune_refs : Lp_obs.Metrics.counter;
+  c_prune_bytes : Lp_obs.Metrics.counter;
 }
 
-let create config registry =
+let create ?metrics config registry =
   match Config.validate config with
   | Error msg -> invalid_arg ("Controller.create: " ^ msg)
   | Ok config ->
+    let metrics =
+      match metrics with Some m -> m | None -> Lp_obs.Metrics.create ()
+    in
     {
       config;
       registry;
@@ -34,7 +44,33 @@ let create config registry =
       gc_count = 0;
       mispredictions = 0;
       epoch_mispredictions = 0;
+      metrics;
+      sink = None;
+      c_mispredictions = Lp_obs.Metrics.counter metrics "controller.mispredictions";
+      c_prune_decisions = Lp_obs.Metrics.counter metrics "prune.decisions";
+      c_prune_refs = Lp_obs.Metrics.counter metrics "prune.refs_poisoned";
+      c_prune_bytes = Lp_obs.Metrics.counter metrics "prune.bytes_reclaimed";
     }
+
+let set_sink t sink = t.sink <- sink
+
+let sink t = t.sink
+
+let metrics t = t.metrics
+
+(* Observability helpers. Events are constructed inside the [Some]
+   branch so a disabled sink costs exactly the branch. *)
+let phase_begin t phase =
+  match t.sink with
+  | Some s ->
+    Lp_obs.Sink.emit s (Lp_obs.Event.Phase_begin { gc = t.gc_count; phase })
+  | None -> ()
+
+let phase_end t phase work =
+  match t.sink with
+  | Some s ->
+    Lp_obs.Sink.emit s (Lp_obs.Event.Phase_end { gc = t.gc_count; phase; work })
+  | None -> ()
 
 let config t = t.config
 
@@ -102,6 +138,7 @@ let on_stale_use t ~src ~tgt =
 let note_misprediction t ~src_class ~tgt_class ~stale =
   t.mispredictions <- t.mispredictions + 1;
   t.epoch_mispredictions <- t.epoch_mispredictions + 1;
+  Lp_obs.Metrics.incr t.c_mispredictions;
   Edge_table.protect t.table ~src:src_class ~tgt:tgt_class
     ~min_stale_use:(stale + t.config.Config.stale_slack);
   match t.config.Config.safe_mode_threshold with
@@ -113,7 +150,12 @@ let note_misprediction t ~src_class ~tgt_class ~stale =
          "leak pruning: %d mispredictions this epoch; entering SAFE for %d \
           collection(s)"
          t.epoch_mispredictions t.config.Config.safe_mode_collections);
-    State_machine.enter_safe t.machine
+    State_machine.enter_safe t.machine;
+    (match t.sink with
+    | Some s ->
+      Lp_obs.Sink.emit s
+        (Lp_obs.Event.Safe_enter { mispredictions = t.epoch_mispredictions })
+    | None -> ())
   | Some _ | None -> ()
 
 let poisoned_access_error t ~src ~tgt_class =
@@ -146,80 +188,97 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
     Edge_table.decay_max_stale_use t.table
   | Some _ | None -> ());
   let poisoned_before = stats.Gc_stats.references_poisoned in
+  (* Every branch funnels its in-use closure through [mark] so the phase
+     span and its work figure (fields scanned) are attributed uniformly. *)
+  let mark config =
+    phase_begin t "mark";
+    let before = stats.Gc_stats.fields_scanned in
+    let r = Collector.mark store roots ~stats ~config in
+    phase_end t "mark" (stats.Gc_stats.fields_scanned - before);
+    r
+  in
+  let select_winner () =
+    phase_begin t "selection";
+    stats.Gc_stats.selection_scans <- stats.Gc_stats.selection_scans + 1;
+    (match Edge_table.select_max_bytes t.table with
+    | Some (src, tgt, bytes) ->
+      t.selected <- Some (src, tgt);
+      t.last_selection <- Some (src, tgt, bytes)
+    | None -> t.selected <- None);
+    Edge_table.reset_bytes t.table;
+    phase_end t "selection" 1
+  in
+  (* The edge type a PRUNE collection acted on, remembered past the
+     [t.selected] reset for the decision event after the sweep. *)
+  let decision_edge = ref None in
   (match (st, t.config.Config.policy) with
   | State_kind.Inactive, _ | _, Policy.None_ ->
-    ignore (Collector.mark store roots ~stats ~config:Collector.base_config)
+    ignore (mark { Collector.base_config with Collector.events = t.sink })
   | (State_kind.Observe | State_kind.Safe), _ ->
     ignore
-      (Collector.mark store roots ~stats
-         ~config:
-           {
-             Collector.set_untouched_bits = true;
-             stale_tick_gc = tick;
-             edge_filter = None;
-             on_poison = None;
-           })
+      (mark
+         {
+           Collector.set_untouched_bits = true;
+           stale_tick_gc = tick;
+           edge_filter = None;
+           on_poison = None;
+           events = t.sink;
+         })
   | State_kind.Select, Policy.Default ->
     let filter = Selection.select_filter_default t.config t.table in
     let deferred =
-      Collector.mark store roots ~stats
-        ~config:
-          {
-            Collector.set_untouched_bits = true;
-            stale_tick_gc = tick;
-            edge_filter = Some filter;
-            on_poison = None;
-          }
+      mark
+        {
+          Collector.set_untouched_bits = true;
+          stale_tick_gc = tick;
+          edge_filter = Some filter;
+          on_poison = None;
+          events = t.sink;
+        }
     in
+    phase_begin t "stale_closure";
+    let claimed_before = stats.Gc_stats.stale_closure_objects in
     List.iter
       (fun (edge : Collector.edge) ->
         let bytes =
-          Collector.stale_closure store ~stats ~set_untouched_bits:true
-            ~stale_tick_gc:tick edge
+          Collector.stale_closure ?events:t.sink store ~stats
+            ~set_untouched_bits:true ~stale_tick_gc:tick edge
         in
         if bytes > 0 then
           Edge_table.add_bytes t.table
             ~src:edge.Collector.src.Heap_obj.class_id
             ~tgt:edge.Collector.tgt.Heap_obj.class_id bytes)
       deferred;
-    stats.Gc_stats.selection_scans <- stats.Gc_stats.selection_scans + 1;
-    (match Edge_table.select_max_bytes t.table with
-    | Some (src, tgt, bytes) ->
-      t.selected <- Some (src, tgt);
-      t.last_selection <- Some (src, tgt, bytes)
-    | None -> t.selected <- None);
-    Edge_table.reset_bytes t.table
+    phase_end t "stale_closure"
+      (stats.Gc_stats.stale_closure_objects - claimed_before);
+    select_winner ()
   | State_kind.Select, Policy.Individual_refs ->
     let filter = Selection.select_filter_individual t.config t.table in
     ignore
-      (Collector.mark store roots ~stats
-         ~config:
-           {
-             Collector.set_untouched_bits = true;
-             stale_tick_gc = tick;
-             edge_filter = Some filter;
-             on_poison = None;
-           });
-    stats.Gc_stats.selection_scans <- stats.Gc_stats.selection_scans + 1;
-    (match Edge_table.select_max_bytes t.table with
-    | Some (src, tgt, bytes) ->
-      t.selected <- Some (src, tgt);
-      t.last_selection <- Some (src, tgt, bytes)
-    | None -> t.selected <- None);
-    Edge_table.reset_bytes t.table
+      (mark
+         {
+           Collector.set_untouched_bits = true;
+           stale_tick_gc = tick;
+           edge_filter = Some filter;
+           on_poison = None;
+           events = t.sink;
+         });
+    select_winner ()
   | State_kind.Select, Policy.Most_stale ->
     ignore
-      (Collector.mark store roots ~stats
-         ~config:
-           {
-             Collector.set_untouched_bits = true;
-             stale_tick_gc = tick;
-             edge_filter = None;
-             on_poison = None;
-           });
+      (mark
+         {
+           Collector.set_untouched_bits = true;
+           stale_tick_gc = tick;
+           edge_filter = None;
+           on_poison = None;
+           events = t.sink;
+         });
+    phase_begin t "selection";
     stats.Gc_stats.selection_scans <- stats.Gc_stats.selection_scans + 1;
     let level = Selection.max_live_staleness store ~marked_only:true in
-    t.selected_level <- (if level >= 2 then Some level else None)
+    t.selected_level <- (if level >= 2 then Some level else None);
+    phase_end t "selection" 1
   | State_kind.Prune, (Policy.Default | Policy.Individual_refs) ->
     record_averted t store;
     let filter =
@@ -229,11 +288,17 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
       | None -> None
     in
     ignore
-      (Collector.mark store roots ~stats
-         ~config:
-           { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = filter; on_poison });
+      (mark
+         {
+           Collector.set_untouched_bits = true;
+           stale_tick_gc = tick;
+           edge_filter = filter;
+           on_poison;
+           events = t.sink;
+         });
     State_machine.note_prune_performed t.machine;
     t.epoch_mispredictions <- 0;
+    decision_edge := t.selected;
     (match (t.selected, stats.Gc_stats.references_poisoned - poisoned_before) with
     | Some selected, n when n > 0 ->
       if not (List.mem selected t.pruned_types) then
@@ -251,9 +316,14 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
       | None -> None
     in
     ignore
-      (Collector.mark store roots ~stats
-         ~config:
-           { Collector.set_untouched_bits = true; stale_tick_gc = tick; edge_filter = filter; on_poison });
+      (mark
+         {
+           Collector.set_untouched_bits = true;
+           stale_tick_gc = tick;
+           edge_filter = filter;
+           on_poison;
+           events = t.sink;
+         });
     State_machine.note_prune_performed t.machine;
     t.epoch_mispredictions <- 0;
     t.selected_level <- None);
@@ -262,29 +332,56 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
   in
   (match on_finalize with
   | Some f when run_finalizers ->
-    Collector.resurrect_finalizables store ~stats ~on_finalize:f
+    phase_begin t "finalizers";
+    let enq_before = stats.Gc_stats.finalizers_enqueued in
+    Collector.resurrect_finalizables store ~stats ~on_finalize:f;
+    phase_end t "finalizers" (stats.Gc_stats.finalizers_enqueued - enq_before)
   | Some _ | None -> ());
   (* Last chance to read doomed objects: everything unmarked is still
      intact here, which is when swap images of pruned closures are
      captured. *)
   (match before_sweep with Some f -> f () | None -> ());
   let freed_before = stats.Gc_stats.bytes_reclaimed in
+  phase_begin t "sweep";
+  let swept_before = stats.Gc_stats.objects_swept in
   Collector.sweep store ~stats;
+  phase_end t "sweep" (stats.Gc_stats.objects_swept - swept_before);
   let freed = stats.Gc_stats.bytes_reclaimed - freed_before in
   (* A prune that neither poisons nor frees is unproductive; enough of
      those in a row and the deferred error is finally thrown. *)
   (match st with
   | State_kind.Prune ->
-    if stats.Gc_stats.references_poisoned - poisoned_before = 0 && freed = 0 then
+    let n = stats.Gc_stats.references_poisoned - poisoned_before in
+    if n = 0 && freed = 0 then
       t.unproductive_cycles <- t.unproductive_cycles + 1
-    else t.unproductive_cycles <- 0
+    else t.unproductive_cycles <- 0;
+    (* The audit record of this prune decision: the counters below and
+       the event carry the same [freed], so a trace's reclaimed-bytes
+       sum equals the metrics snapshot by construction. *)
+    Lp_obs.Metrics.incr t.c_prune_decisions;
+    Lp_obs.Metrics.incr ~by:n t.c_prune_refs;
+    Lp_obs.Metrics.incr ~by:freed t.c_prune_bytes;
+    (match t.sink with
+    | Some s ->
+      let src_class, tgt_class =
+        match !decision_edge with Some (a, b) -> (a, b) | None -> (-1, -1)
+      in
+      Lp_obs.Sink.emit s
+        (Lp_obs.Event.Prune_decision
+           { src_class; tgt_class; refs_poisoned = n; bytes_reclaimed = freed })
+    | None -> ())
   | State_kind.Inactive | State_kind.Observe | State_kind.Select
   | State_kind.Safe ->
     ());
   let occupancy =
     float_of_int (Store.live_bytes store) /. float_of_int (Store.limit_bytes store)
   in
-  State_machine.after_gc t.machine ~occupancy
+  let was_safe = State_machine.in_safe_mode t.machine in
+  State_machine.after_gc t.machine ~occupancy;
+  if was_safe && not (State_machine.in_safe_mode t.machine) then
+    match t.sink with
+    | Some s -> Lp_obs.Sink.emit s (Lp_obs.Event.Safe_exit { forced = false })
+    | None -> ()
 
 let on_allocation_failure t store ~requested =
   let oom () =
@@ -326,6 +423,10 @@ let on_allocation_failure t store ~requested =
            exit (counted in safe_exits_forced) and retry through
            SELECT/PRUNE. *)
         report t "leak pruning: allocation failed in SAFE; moratorium lifted";
+        (match t.sink with
+        | Some s ->
+          Lp_obs.Sink.emit s (Lp_obs.Event.Safe_exit { forced = true })
+        | None -> ());
         State_machine.note_exhaustion t.machine;
         `Retry
       | State_kind.Prune -> `Retry

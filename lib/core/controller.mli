@@ -22,9 +22,26 @@ open Lp_heap
 
 type t
 
-val create : Config.t -> Class_registry.t -> t
+val create : ?metrics:Lp_obs.Metrics.t -> Config.t -> Class_registry.t -> t
 (** @raise Invalid_argument when the configuration fails
-    {!Config.validate}. *)
+    {!Config.validate}. [metrics] is the registry the controller
+    publishes its counters into ([controller.mispredictions],
+    [prune.decisions], [prune.refs_poisoned], [prune.bytes_reclaimed]);
+    a private registry is created when omitted, so standalone
+    controllers keep working unchanged. *)
+
+val set_sink : t -> Lp_obs.Sink.t option -> unit
+(** Attaches (or detaches) the event sink. With a sink attached, each
+    full-heap collection emits phase spans (mark, stale_closure,
+    selection, finalizers, sweep), per-edge poison events from the
+    collector, one [Prune_decision] per PRUNE collection carrying the
+    same reclaimed-bytes figure the [prune.bytes_reclaimed] counter
+    accumulates, and [Safe_enter]/[Safe_exit] transitions. With no sink
+    (the default), every site costs one branch. *)
+
+val sink : t -> Lp_obs.Sink.t option
+
+val metrics : t -> Lp_obs.Metrics.t
 
 val config : t -> Config.t
 

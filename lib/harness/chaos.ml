@@ -16,6 +16,11 @@ type report = {
   resurrections : int;
   safe_entries : int;
   outcome : outcome;
+  trace : Lp_obs.Event.stamped list;
+      (* the run's event log (empty unless [trace_capacity] was given);
+         events carry only scalars, so reports stay structurally
+         comparable for the reproduce check *)
+  trace_dropped : int;
 }
 
 let failed r = match r.outcome with Violation _ | Crash _ -> true | _ -> false
@@ -40,7 +45,7 @@ exception Check_failed of string
 
 let default_steps = 300
 
-let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
+let run_one ?(faults = true) ?(steps = default_steps) ?trace_capacity ~seed () =
   let rng = Random.State.make [| 0xC4A05; seed |] in
   (* The VM shape is drawn from the seed too, so a seed sweep covers
      small and large heaps, generational and whole-heap collection, and
@@ -62,6 +67,9 @@ let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
     Lp_runtime.Vm.create ?disk ~resurrection ?nursery_bytes ?fault:plan
       ~heap_bytes ()
   in
+  (match trace_capacity with
+  | Some capacity -> ignore (Lp_runtime.Vm.enable_trace ~capacity vm)
+  | None -> ());
   let store = Lp_runtime.Vm.store vm in
   let gcs = ref 0 in
   let debug = Sys.getenv_opt "LP_CHAOS_DEBUG" <> None in
@@ -292,6 +300,11 @@ let run_one ?(faults = true) ?(steps = default_steps) ~seed () =
     resurrections = (Lp_runtime.Vm.stats vm).Gc_stats.resurrections;
     safe_entries = Lp_core.Controller.safe_entries (Lp_runtime.Vm.controller vm);
     outcome;
+    trace = Lp_runtime.Vm.trace_events vm;
+    trace_dropped =
+      (match Lp_runtime.Vm.sink vm with
+      | Some s -> Lp_obs.Sink.dropped s
+      | None -> 0);
   }
 
 let shrink ?faults ?(steps = default_steps) ~seed () =

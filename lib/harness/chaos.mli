@@ -50,6 +50,13 @@ type report = {
   safe_entries : int;
       (** times the controller entered the SAFE pruning moratorium *)
   outcome : outcome;
+  trace : Lp_obs.Event.stamped list;
+      (** the run's event log, oldest first — empty unless
+          [trace_capacity] was passed to {!run_one}. Events carry only
+          scalars, so reports (trace included) remain structurally
+          comparable, which the reproduce check relies on. *)
+  trace_dropped : int;
+      (** events the ring dropped (0 means [trace] is complete) *)
 }
 
 val failed : report -> bool
@@ -57,13 +64,16 @@ val failed : report -> bool
 
 val outcome_to_string : outcome -> string
 
-val run_one : ?faults:bool -> ?steps:int -> seed:int -> unit -> report
+val run_one :
+  ?faults:bool -> ?steps:int -> ?trace_capacity:int -> seed:int -> unit -> report
 (** One deterministic chaos run. [faults] (default [true]) attaches the
     fault plan [Lp_fault.Fault_plan.random ~seed]; [false] runs the same
     workload fault-free. [steps] caps the workload (default 300). The
     VM shape (heap size, generational mode, disk baseline, resurrection)
     is itself drawn from the seed, so a sweep covers all
-    configurations. *)
+    configurations. [trace_capacity] attaches an event sink of that
+    capacity before the first step; the log lands in {!report.trace}.
+    Tracing never changes a run's behaviour — only its observation. *)
 
 val shrink : ?faults:bool -> ?steps:int -> seed:int -> unit -> int option
 (** The smallest step cap at which [seed] still fails ([Violation] or

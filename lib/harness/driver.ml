@@ -31,7 +31,7 @@ let outcome_to_string = function
 
 let run ?(policy = Lp_core.Policy.Default) ?config ?heap_bytes
     ?(max_iterations = 50_000) ?(charge_barriers = true) ?cost ?disk
-    ?(record_iteration_cycles = false) (w : Lp_workloads.Workload.t) =
+    ?(record_iteration_cycles = false) ?prepare_vm (w : Lp_workloads.Workload.t) =
   let config =
     match config with
     | Some c -> c
@@ -45,6 +45,9 @@ let run ?(policy = Lp_core.Policy.Default) ?config ?heap_bytes
   let vm =
     Lp_runtime.Vm.create ~config ~charge_barriers ?cost ?disk ~heap_bytes ()
   in
+  (* Runs before the workload's own [prepare] so a trace attached here
+     observes the workload's setup allocations too. *)
+  (match prepare_vm with Some f -> f vm | None -> ());
   let iteration = ref 0 in
   let series = ref [] in
   Lp_runtime.Vm.set_gc_listener vm

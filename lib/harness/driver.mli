@@ -40,12 +40,15 @@ val run :
   ?cost:Lp_runtime.Cost.t ->
   ?disk:Lp_runtime.Diskswap.config ->
   ?record_iteration_cycles:bool ->
+  ?prepare_vm:(Lp_runtime.Vm.t -> unit) ->
   Lp_workloads.Workload.t ->
   result
 (** Defaults: the workload's default heap (≈2× non-leaking live size),
     the paper-default pruning configuration with the given [policy]
     (default [Default]), a cap of 50,000 iterations, barrier cycles
-    charged. An explicit [config] overrides [policy]. *)
+    charged. An explicit [config] overrides [policy]. [prepare_vm] runs
+    on the freshly created VM before the workload's [prepare] — the
+    hook the trace CLI and tests use to attach an event sink. *)
 
 val survival_factor : base:result -> result -> float
 (** Iterations relative to the Base run — Table 1's "runs NX longer". *)

@@ -7,6 +7,7 @@ type mark_config = {
   stale_tick_gc : int option;
   edge_filter : (edge -> edge_action) option;
   on_poison : (edge -> unit) option;
+  events : Lp_obs.Sink.t option;
 }
 
 let base_config =
@@ -15,6 +16,7 @@ let base_config =
     stale_tick_gc = None;
     edge_filter = None;
     on_poison = None;
+    events = None;
   }
 
 let tick stats gc obj =
@@ -35,7 +37,12 @@ let mark_object stats ?(stale_tick_gc = None) (obj : Heap_obj.t) =
    would take the whole VM down, so the word is quarantined instead:
    poisoned like a pruned reference, turning any later program access
    into a structured error. *)
-let quarantine stats fields i =
+let quarantine ?(events = None) stats fields i =
+  (match events with
+  | Some sink ->
+    Lp_obs.Sink.emit sink
+      (Lp_obs.Event.Quarantine { target = Word.target fields.(i) })
+  | None -> ());
   fields.(i) <- Word.poison fields.(i);
   stats.Gc_stats.words_quarantined <- stats.Gc_stats.words_quarantined + 1
 
@@ -60,7 +67,7 @@ let scan_object store stats ~config queue deferred (obj : Heap_obj.t) =
           else w
         in
         match Store.get_opt store (Word.target w) with
-        | None -> quarantine stats fields i
+        | None -> quarantine ~events:config.events stats fields i
         | Some tgt -> (
           let action =
             match config.edge_filter with
@@ -81,6 +88,16 @@ let scan_object store stats ~config queue deferred (obj : Heap_obj.t) =
             (* the hook sees the edge while the target's subtree is still
                intact, so it can capture a swap image before the sweep *)
             (match config.on_poison with Some f -> f { src = obj; field = i; tgt } | None -> ());
+            (match config.events with
+            | Some sink ->
+              Lp_obs.Sink.emit sink
+                (Lp_obs.Event.Edge_poisoned
+                   {
+                     src_class = obj.Heap_obj.class_id;
+                     field = i;
+                     target = tgt.Heap_obj.id;
+                   })
+            | None -> ());
             fields.(i) <- Word.poison w;
             stats.Gc_stats.references_poisoned <-
               stats.Gc_stats.references_poisoned + 1)
@@ -112,12 +129,19 @@ let mark store roots ~stats ~config =
 
 (* The stale closure traces everything (no filter), but additionally sets
    the stale-mark diagnostic bit and counts claimed bytes. *)
-let stale_closure store ~stats ~set_untouched_bits ~stale_tick_gc (e : edge) =
+let stale_closure ?events store ~stats ~set_untouched_bits ~stale_tick_gc
+    (e : edge) =
   let tgt = e.tgt in
   if Header.marked tgt.Heap_obj.header then 0
   else begin
     let config =
-      { set_untouched_bits; stale_tick_gc; edge_filter = None; on_poison = None }
+      {
+        set_untouched_bits;
+        stale_tick_gc;
+        edge_filter = None;
+        on_poison = None;
+        events;
+      }
     in
     let queue = Work_queue.create () in
     let bytes = ref 0 in
@@ -149,7 +173,7 @@ let stale_closure store ~stats ~set_untouched_bits ~stale_tick_gc (e : edge) =
                   stats.Gc_stats.untouched_bits_set + 1
               end;
               match Store.get_opt store (Word.target fields.(i)) with
-              | None -> quarantine stats fields i
+              | None -> quarantine ~events:config.events stats fields i
               | Some child ->
                 if not (Header.marked child.Heap_obj.header) then claim child
             end

@@ -42,6 +42,11 @@ type mark_config = {
           the word is poisoned — the target and its subtree are still
           fully intact, which is the window the resurrection subsystem
           uses to serialize swap images of the doomed closure *)
+  events : Lp_obs.Sink.t option;
+      (** observability sink: per-edge [Edge_poisoned] and [Quarantine]
+          events are emitted as the scan applies them; [None] (the
+          default) costs one branch per poisoned or quarantined edge and
+          nothing on traced edges *)
 }
 
 val base_config : mark_config
@@ -59,6 +64,7 @@ val mark :
     the phases below apply the same rule. *)
 
 val stale_closure :
+  ?events:Lp_obs.Sink.t ->
   Store.t ->
   stats:Gc_stats.t ->
   set_untouched_bits:bool ->

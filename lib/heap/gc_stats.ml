@@ -79,6 +79,35 @@ let reset t =
   t.resurrection_failures <- 0;
   t.words_repoisoned <- 0
 
+(* One (name, getter) row per field keeps publish and the record in
+   sync by construction — adding a counter means adding a row here. *)
+let fields : (string * (t -> int)) list =
+  [
+    ("gc.collections", fun t -> t.collections);
+    ("gc.objects_marked", fun t -> t.objects_marked);
+    ("gc.fields_scanned", fun t -> t.fields_scanned);
+    ("gc.untouched_bits_set", fun t -> t.untouched_bits_set);
+    ("gc.stale_ticks", fun t -> t.stale_ticks);
+    ("gc.stale_tick_scans", fun t -> t.stale_tick_scans);
+    ("gc.candidates_enqueued", fun t -> t.candidates_enqueued);
+    ("gc.stale_closure_objects", fun t -> t.stale_closure_objects);
+    ("gc.references_poisoned", fun t -> t.references_poisoned);
+    ("gc.selection_scans", fun t -> t.selection_scans);
+    ("gc.objects_swept", fun t -> t.objects_swept);
+    ("gc.bytes_reclaimed", fun t -> t.bytes_reclaimed);
+    ("gc.finalizers_enqueued", fun t -> t.finalizers_enqueued);
+    ("gc.words_quarantined", fun t -> t.words_quarantined);
+    ("gc.resurrections", fun t -> t.resurrections);
+    ("gc.resurrection_failures", fun t -> t.resurrection_failures);
+    ("gc.words_repoisoned", fun t -> t.words_repoisoned);
+  ]
+
+let publish t registry =
+  List.iter
+    (fun (name, get) ->
+      Lp_obs.Metrics.set_counter (Lp_obs.Metrics.counter registry name) (get t))
+    fields
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>collections: %d@ marked: %d@ fields scanned: %d@ stale ticks: %d@ \

@@ -40,4 +40,13 @@ val copy : t -> t
 
 val reset : t -> unit
 
+val publish : t -> Lp_obs.Metrics.t -> unit
+(** Publishes every field into the metrics registry as a cumulative
+    [gc.*] counter (absolute set, so publishing is idempotent). The
+    mutable record stays the collector's hot-path representation; the
+    registry is the reporting surface every consumer snapshots. *)
+
+val fields : (string * (t -> int)) list
+(** The published (metric name, getter) rows, in record order. *)
+
 val pp : Format.formatter -> t -> unit

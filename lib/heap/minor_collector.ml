@@ -9,7 +9,10 @@ type result = {
 (* Marks (with the ordinary mark bit, cleared before returning) every
    nursery object reachable from roots and remembered slots, scanning
    only nursery objects' fields plus the remembered mature slots. *)
-let collect store roots ~remset =
+let collect ?events ?(number = 0) store roots ~remset =
+  (match events with
+  | Some sink -> Lp_obs.Sink.emit sink (Lp_obs.Event.Minor_begin { n = number })
+  | None -> ());
   let queue = Work_queue.create () in
   let slots_scanned = ref 0 in
   let consider id =
@@ -65,6 +68,12 @@ let collect store roots ~remset =
   in
   List.iter (Store.free store) !dead;
   Remset.clear remset;
+  (match events with
+  | Some sink ->
+    Lp_obs.Sink.emit sink
+      (Lp_obs.Event.Minor_end
+         { n = number; promoted = !promoted_objects; freed = freed_objects })
+  | None -> ());
   {
     promoted_objects = !promoted_objects;
     promoted_bytes = !promoted_bytes;

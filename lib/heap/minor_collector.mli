@@ -24,5 +24,14 @@ type result = {
   slots_scanned : int;
 }
 
-val collect : Store.t -> Roots.t -> remset:Remset.t -> result
-(** Runs one minor collection and clears the remembered set. *)
+val collect :
+  ?events:Lp_obs.Sink.t ->
+  ?number:int ->
+  Store.t ->
+  Roots.t ->
+  remset:Remset.t ->
+  result
+(** Runs one minor collection and clears the remembered set. When an
+    observability sink is given, brackets the collection in
+    [Minor_begin]/[Minor_end] events labelled [number] (the VM's minor
+    collection count; default 0). *)

@@ -1,0 +1,66 @@
+(** The typed events the runtime traces (the observability plane's
+    vocabulary).
+
+    Class identifiers are carried as raw [Class_registry] ids — the
+    heap layer that emits most events has no access to names, and the
+    exporters accept a resolver to render them. Events are stamped with
+    the VM's {e logical} clock (simulated cycles), never wall time, so a
+    trace is a deterministic function of the program, the seed and the
+    configuration. *)
+
+type t =
+  | Gc_begin of { gc : int; state : string }
+      (** a full-heap collection starts, in controller state [state] *)
+  | Gc_end of { gc : int; state : string; live_bytes : int; reclaimed_bytes : int }
+  | Phase_begin of { gc : int; phase : string }
+      (** collection sub-phase: mark / stale-closure / selection /
+          sweep / disk *)
+  | Phase_end of { gc : int; phase : string; work : int }
+      (** [work] is a phase-specific magnitude (objects marked, bytes
+          claimed, bytes swept, ...) *)
+  | Minor_begin of { n : int }
+  | Minor_end of { n : int; promoted : int; freed : int }
+  | Barrier_cold of { src_class : int; field : int }
+      (** read barrier out-of-line hit: first use of a reference since
+          the collection that scanned it *)
+  | Poison_trap of { src_class : int; field : int; target : int }
+      (** the program loaded a pruned (poisoned) reference *)
+  | Edge_poisoned of { src_class : int; field : int; target : int }
+      (** the collector poisoned one reference during a PRUNE collection *)
+  | Quarantine of { target : int }
+      (** a corrupt (dangling) word was poisoned instead of crashing *)
+  | Prune_decision of {
+      src_class : int;
+      tgt_class : int;
+      refs_poisoned : int;
+      bytes_reclaimed : int;
+    }
+      (** one PRUNE collection's outcome: the selected edge type, how
+          many references it poisoned and the bytes the sweep then
+          reclaimed *)
+  | Resurrection_attempt of { target : int }
+  | Resurrection_ok of { target : int; new_id : int }
+  | Resurrection_failed of { target : int; reason : string }
+  | Safe_enter of { mispredictions : int }
+  | Safe_exit of { forced : bool }
+      (** [forced]: memory pressure lifted the moratorium early *)
+  | Disk_offload of { id : int; bytes : int }
+  | Disk_restore of { id : int; ok : bool }
+  | Image_capture of { id : int; bytes : int }
+      (** swap image of a dying object written before the sweep *)
+  | Image_drop of { id : int }
+
+type stamped = { seq : int; at : int; ev : t }
+(** [seq] is a per-sink sequence number (total order even between events
+    at the same logical time); [at] is the VM's logical clock. *)
+
+val type_name : t -> string
+(** Stable snake_case tag used by the exporters. *)
+
+val span : t -> [ `Begin | `End | `Instant ]
+(** Whether the event opens, closes, or does not belong to a nested
+    duration span in the Chrome trace. *)
+
+val span_label : t -> string
+(** The label shared by a span's begin and end events (["gc#3"],
+    ["gc#3/mark"], ["minor#7"]); begin/end pairs carry equal labels. *)

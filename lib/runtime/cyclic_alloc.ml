@@ -48,6 +48,7 @@ let program_reachable t (obj : Heap_obj.t) =
            stale_tick_gc = None;
            edge_filter = Some filter;
            on_poison = None;
+           events = None;
          });
   let reachable = Header.marked obj.Heap_obj.header in
   Store.iter_live store (fun o ->

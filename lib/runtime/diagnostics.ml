@@ -66,18 +66,46 @@ let top_edges vm ~n =
   in
   List.filteri (fun i _ -> i < n) sorted
 
+(* The audit timeline's distinct pruned edge types, first-pruned order.
+   With a sink attached this is derived from the [Prune_decision] events
+   (the same record the trace exporters see); the controller's own list
+   is the fallback so the report works untraced. The event filter
+   mirrors the controller's recording rule: an edge was "pruned" only
+   when it was selected and at least one reference was poisoned. *)
 let pruned_report vm =
   let registry = Vm.registry vm in
-  List.map
-    (fun (src, tgt) ->
-      Printf.sprintf "%s -> %s"
-        (Class_registry.name registry src)
-        (Class_registry.name registry tgt))
-    (Lp_core.Controller.pruned_edge_types (Vm.controller vm))
+  let name (src, tgt) =
+    Printf.sprintf "%s -> %s"
+      (Class_registry.name registry src)
+      (Class_registry.name registry tgt)
+  in
+  let from_events events =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (st : Lp_obs.Event.stamped) ->
+        match st.Lp_obs.Event.ev with
+        | Lp_obs.Event.Prune_decision { src_class; tgt_class; refs_poisoned; _ }
+          when src_class >= 0 && refs_poisoned > 0
+               && not (Hashtbl.mem seen (src_class, tgt_class)) ->
+          Hashtbl.add seen (src_class, tgt_class) ();
+          Some (name (src_class, tgt_class))
+        | _ -> None)
+      events
+  in
+  match Vm.sink vm with
+  | Some sink when Lp_obs.Sink.dropped sink = 0 ->
+    from_events (Lp_obs.Sink.events sink)
+  | Some _ | None ->
+    (* no sink, or the ring wrapped and early decisions are gone *)
+    List.map name (Lp_core.Controller.pruned_edge_types (Vm.controller vm))
 
 let summary vm =
   let buf = Buffer.create 1024 in
   let controller = Vm.controller vm in
+  let snap = Vm.metrics_snapshot vm in
+  let counter name =
+    match Lp_obs.Metrics.find_counter snap name with Some v -> v | None -> 0
+  in
   Buffer.add_string buf
     (Printf.sprintf "heap: %d / %d bytes reachable (%.0f%%), state %s, %d collections\n"
        (Vm.live_bytes vm) (Vm.heap_limit vm)
@@ -85,8 +113,15 @@ let summary vm =
        *. float_of_int (Vm.live_bytes vm)
        /. float_of_int (Vm.heap_limit vm))
        (Lp_core.State_kind.to_string (Lp_core.Controller.state controller))
-       (Vm.gc_count vm));
-  let hist = staleness_histogram vm in
+       (counter "gc.collections"));
+  (* The most recent retained per-collection histogram when one exists
+     (the registry keeps the last 16); a live traversal only when no
+     full collection has recorded one yet. *)
+  let hist =
+    match Lp_obs.Metrics.find_series snap "gc.staleness_histogram" with
+    | Some (_ :: _ as snapshots) -> List.nth snapshots (List.length snapshots - 1)
+    | Some [] | None -> staleness_histogram vm
+  in
   Buffer.add_string buf "staleness histogram (objects per counter value 0..7):\n  ";
   Array.iter (fun n -> Buffer.add_string buf (Printf.sprintf "%d " n)) hist;
   Buffer.add_string buf
@@ -112,6 +147,41 @@ let summary vm =
   | pruned ->
     Buffer.add_string buf "pruned reference types so far:\n";
     List.iter (fun l -> Buffer.add_string buf ("  " ^ l ^ "\n")) pruned);
+  (* With a trace attached, every PRUNE collection's decision is in the
+     event log; render them as the audit timeline (logical time, edge
+     type, poison count, reclaimed bytes). *)
+  (match Vm.sink vm with
+  | None -> ()
+  | Some sink ->
+    let registry = Vm.registry vm in
+    let decisions =
+      List.filter_map
+        (fun (st : Lp_obs.Event.stamped) ->
+          match st.Lp_obs.Event.ev with
+          | Lp_obs.Event.Prune_decision
+              { src_class; tgt_class; refs_poisoned; bytes_reclaimed } ->
+            Some
+              (st.Lp_obs.Event.at, src_class, tgt_class, refs_poisoned,
+               bytes_reclaimed)
+          | _ -> None)
+        (Lp_obs.Sink.events sink)
+    in
+    if decisions <> [] then begin
+      Buffer.add_string buf "prune audit timeline:\n";
+      List.iter
+        (fun (at, src_class, tgt_class, refs_poisoned, bytes_reclaimed) ->
+          let edge =
+            if src_class < 0 then "<most-stale level>"
+            else
+              Printf.sprintf "%s -> %s"
+                (Class_registry.name registry src_class)
+                (Class_registry.name registry tgt_class)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  [cycle %d] %s: %d reference(s), %d bytes reclaimed\n"
+               at edge refs_poisoned bytes_reclaimed))
+        decisions
+    end);
   Buffer.contents buf
 
 let to_dot ?(max_objects = 400) vm =

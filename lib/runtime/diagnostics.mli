@@ -34,13 +34,19 @@ val top_edges :
     leak pruning has learned to protect. *)
 
 val pruned_report : Vm.t -> string list
-(** One line per reference type pruned so far, in first-pruned order. *)
+(** One line per reference type pruned so far, in first-pruned order.
+    Derived from the trace's [Prune_decision] events when a sink is
+    attached and its ring has not dropped anything; otherwise from the
+    controller's own record — both sources agree by construction. *)
 
 val summary : Vm.t -> string
 (** A multi-line report: heap occupancy, state, staleness histogram,
     top classes by footprint, protected edges and pruned types. This is
     what a production deployment would log when the out-of-memory
-    warning of Section 3.2 fires. *)
+    warning of Section 3.2 fires. Built over {!Vm.metrics_snapshot}
+    (collections count, retained per-collection staleness histogram);
+    with a trace attached the prune audit timeline — one line per
+    [Prune_decision] event with its logical timestamp — is appended. *)
 
 val to_dot : ?max_objects:int -> Vm.t -> string
 (** A Graphviz rendering of the live object graph: nodes labelled with

@@ -21,17 +21,25 @@ type t = {
   forwards : (int, int) Hashtbl.t;  (* pruned id -> resurrected id *)
   mutable resident_total : int;
   mutable image_total : int;
-  mutable swap_outs : int;
-  mutable swap_ins : int;
-  mutable image_writes : int;
-  mutable image_drops : int;
+  (* The disk.* totals live in the metrics registry; the accessors below
+     read them back, so the registry is the single source of truth. *)
+  c_swap_outs : Lp_obs.Metrics.counter;
+  c_swap_ins : Lp_obs.Metrics.counter;
+  c_image_writes : Lp_obs.Metrics.counter;
+  c_image_drops : Lp_obs.Metrics.counter;
+  g_resident_bytes : Lp_obs.Metrics.gauge;
+  g_image_bytes : Lp_obs.Metrics.gauge;
+  mutable sink : Lp_obs.Sink.t option;
   mutable fault : (unit -> bool) option;
   mutable image_fault : (bytes -> bytes) option;
 }
 
 exception Out_of_disk = Lp_core.Errors.Out_of_disk
 
-let create config =
+let create ?metrics config =
+  let metrics =
+    match metrics with Some m -> m | None -> Lp_obs.Metrics.create ()
+  in
   {
     config;
     resident = Hashtbl.create 1024;
@@ -39,17 +47,30 @@ let create config =
     forwards = Hashtbl.create 64;
     resident_total = 0;
     image_total = 0;
-    swap_outs = 0;
-    swap_ins = 0;
-    image_writes = 0;
-    image_drops = 0;
+    c_swap_outs = Lp_obs.Metrics.counter metrics "disk.swap_outs";
+    c_swap_ins = Lp_obs.Metrics.counter metrics "disk.swap_ins";
+    c_image_writes = Lp_obs.Metrics.counter metrics "disk.image_writes";
+    c_image_drops = Lp_obs.Metrics.counter metrics "disk.image_drops";
+    g_resident_bytes = Lp_obs.Metrics.gauge metrics "disk.resident_bytes";
+    g_image_bytes = Lp_obs.Metrics.gauge metrics "disk.image_bytes";
+    sink = None;
     fault = None;
     image_fault = None;
   }
 
+let set_sink t s = t.sink <- s
+
 let set_fault_hook t f = t.fault <- f
 
 let set_image_fault_hook t f = t.image_fault <- f
+
+let set_resident_total t total =
+  t.resident_total <- total;
+  Lp_obs.Metrics.set_gauge t.g_resident_bytes total
+
+let set_image_total t total =
+  t.image_total <- total;
+  Lp_obs.Metrics.set_gauge t.g_image_bytes total
 
 let resident_bytes t = t.resident_total
 
@@ -60,9 +81,9 @@ let is_resident t id = Hashtbl.mem t.resident id
 let iter_resident t f =
   Hashtbl.iter (fun id { bytes; _ } -> f ~id ~bytes) t.resident
 
-let total_swap_outs t = t.swap_outs
+let total_swap_outs t = Lp_obs.Metrics.counter_value t.c_swap_outs
 
-let total_swap_ins t = t.swap_ins
+let total_swap_ins t = Lp_obs.Metrics.counter_value t.c_swap_ins
 
 let disk_bytes t = t.resident_total + t.image_total
 
@@ -77,11 +98,16 @@ let out_of_disk t =
 let store_image t ~id image =
   let image = match t.image_fault with Some f -> f image | None -> image in
   (match Hashtbl.find_opt t.images id with
-  | Some old -> t.image_total <- t.image_total - Bytes.length old
+  | Some old -> set_image_total t (t.image_total - Bytes.length old)
   | None -> ());
   Hashtbl.replace t.images id image;
-  t.image_total <- t.image_total + Bytes.length image;
-  t.image_writes <- t.image_writes + 1
+  set_image_total t (t.image_total + Bytes.length image);
+  Lp_obs.Metrics.incr t.c_image_writes;
+  match t.sink with
+  | Some s ->
+    Lp_obs.Sink.emit s
+      (Lp_obs.Event.Image_capture { id; bytes = Bytes.length image })
+  | None -> ()
 
 let load_image t id = Hashtbl.find_opt t.images id
 
@@ -92,8 +118,11 @@ let drop_image t id =
   | None -> ()
   | Some image ->
     Hashtbl.remove t.images id;
-    t.image_total <- t.image_total - Bytes.length image;
-    t.image_drops <- t.image_drops + 1
+    set_image_total t (t.image_total - Bytes.length image);
+    Lp_obs.Metrics.incr t.c_image_drops;
+    (match t.sink with
+    | Some s -> Lp_obs.Sink.emit s (Lp_obs.Event.Image_drop { id })
+    | None -> ())
 
 let retain_images t ~keep =
   let doomed = ref [] in
@@ -106,9 +135,9 @@ let image_count t = Hashtbl.length t.images
 
 let image_bytes t = t.image_total
 
-let image_writes t = t.image_writes
+let image_writes t = Lp_obs.Metrics.counter_value t.c_image_writes
 
-let image_drops t = t.image_drops
+let image_drops t = Lp_obs.Metrics.counter_value t.c_image_drops
 
 let forward t ~old_id ~new_id = Hashtbl.replace t.forwards old_id new_id
 
@@ -139,7 +168,7 @@ let reconcile t store =
   List.iter
     (fun (id, bytes) ->
       Hashtbl.remove t.resident id;
-      t.resident_total <- t.resident_total - bytes)
+      set_resident_total t (t.resident_total - bytes))
     !dead
 
 let offload_one t store (obj : Heap_obj.t) =
@@ -147,8 +176,14 @@ let offload_one t store (obj : Heap_obj.t) =
   let payload = match t.image_fault with Some f -> f payload | None -> payload in
   Hashtbl.replace t.resident obj.Heap_obj.id
     { bytes = obj.Heap_obj.size_bytes; payload };
-  t.resident_total <- t.resident_total + obj.Heap_obj.size_bytes;
-  t.swap_outs <- t.swap_outs + 1
+  set_resident_total t (t.resident_total + obj.Heap_obj.size_bytes);
+  Lp_obs.Metrics.incr t.c_swap_outs;
+  match t.sink with
+  | Some s ->
+    Lp_obs.Sink.emit s
+      (Lp_obs.Event.Disk_offload
+         { id = obj.Heap_obj.id; bytes = obj.Heap_obj.size_bytes })
+  | None -> ()
 
 let after_gc ?(allow_offload = true) t store =
   (match t.fault with
@@ -198,10 +233,20 @@ let retrieve t store (obj : Heap_obj.t) =
        lost. Removing before decoding keeps resident_total consistent
        even when the decode reports a fault. *)
     Hashtbl.remove t.resident obj.Heap_obj.id;
-    t.resident_total <- t.resident_total - bytes;
+    set_resident_total t (t.resident_total - bytes);
     Store.set_swapped_out_bytes store t.resident_total;
+    let emit_restore ok =
+      match t.sink with
+      | Some s ->
+        Lp_obs.Sink.emit s
+          (Lp_obs.Event.Disk_restore { id = obj.Heap_obj.id; ok })
+      | None -> ()
+    in
     match Swap_image.decode payload with
     | Ok _ ->
-      t.swap_ins <- t.swap_ins + 1;
+      Lp_obs.Metrics.incr t.c_swap_ins;
+      emit_restore true;
       `Swapped_in
-    | Error reason -> `Corrupt reason)
+    | Error reason ->
+      emit_restore false;
+      `Corrupt reason)

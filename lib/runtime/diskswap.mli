@@ -49,7 +49,19 @@ exception Out_of_disk of { resident_bytes : int; limit_bytes : int }
     constructor and a handler for one always matches the other; the
     compiler rejects any drift between the two declarations. *)
 
-val create : config -> t
+val create : ?metrics:Lp_obs.Metrics.t -> config -> t
+(** [metrics] is the registry the swap store publishes into: counters
+    [disk.swap_outs], [disk.swap_ins], [disk.image_writes],
+    [disk.image_drops] and gauges [disk.resident_bytes],
+    [disk.image_bytes] — the registry is the single source of truth; the
+    accessors below read it back. A private registry is created when
+    omitted. *)
+
+val set_sink : t -> Lp_obs.Sink.t option -> unit
+(** Attaches the event sink: offloads, restores (with validation
+    outcome) and prune-image writes/drops become [Disk_offload],
+    [Disk_restore], [Image_capture] and [Image_drop] events. No sink
+    (the default) costs one branch per operation. *)
 
 val resident_bytes : t -> int
 (** Offload payload residency only (the store's swapped-out credit);

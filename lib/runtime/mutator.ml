@@ -2,6 +2,32 @@ open Lp_heap
 
 let charge_barrier vm n = if Vm.charge_barriers vm then Vm.charge vm n
 
+(* Event emission lives out of line ([@inline never]) so the disabled
+   cost at each barrier site is one sink load, one compare and a
+   never-taken branch — constructing the event inline would swell the
+   barrier's hot code region even when no sink is attached. *)
+
+let[@inline never] emit_poison_trap s (src : Heap_obj.t) i target =
+  Lp_obs.Sink.emit s
+    (Lp_obs.Event.Poison_trap
+       { src_class = src.Heap_obj.class_id; field = i; target })
+
+let[@inline never] emit_resurrection_attempt s target =
+  Lp_obs.Sink.emit s (Lp_obs.Event.Resurrection_attempt { target })
+
+let[@inline never] emit_resurrection_ok s target (tgt : Heap_obj.t) =
+  Lp_obs.Sink.emit s
+    (Lp_obs.Event.Resurrection_ok { target; new_id = tgt.Heap_obj.id })
+
+let[@inline never] emit_resurrection_failed s target reason =
+  Lp_obs.Sink.emit s
+    (Lp_obs.Event.Resurrection_failed
+       { target; reason = Lp_core.Errors.resurrection_failure_to_string reason })
+
+let[@inline never] emit_barrier_cold s (src : Heap_obj.t) i =
+  Lp_obs.Sink.emit s
+    (Lp_obs.Event.Barrier_cold { src_class = src.Heap_obj.class_id; field = i })
+
 let read vm (src : Heap_obj.t) i =
   Vm.assert_live vm src;
   let cost = Vm.cost vm in
@@ -11,6 +37,9 @@ let read vm (src : Heap_obj.t) i =
   if Word.is_null w then None
   else if Word.poisoned w then begin
     charge_barrier vm (cost.Cost.barrier_cold + cost.Cost.barrier_poison_check);
+    (match Vm.sink vm with
+    | None -> ()
+    | Some s -> emit_poison_trap s src i (Word.target w));
     let tgt_class () =
       match Store.get_opt (Vm.store vm) (Word.target w) with
       | Some obj -> Class_registry.name (Vm.registry vm) obj.Heap_obj.class_id
@@ -23,12 +52,21 @@ let read vm (src : Heap_obj.t) i =
     else begin
       (* barrier-level recovery: restore the pruned target from its swap
          image and retry the load *)
+      (match Vm.sink vm with
+      | None -> ()
+      | Some s -> emit_resurrection_attempt s (Word.target w));
       match Vm.try_resurrect vm src ~field:i with
       | Ok tgt ->
+        (match Vm.sink vm with
+        | None -> ()
+        | Some s -> emit_resurrection_ok s (Word.target w) tgt);
         (* the program just used the resurrected reference *)
         Heap_obj.set_stale tgt 0;
         Some tgt
       | Error reason ->
+        (match Vm.sink vm with
+        | None -> ()
+        | Some s -> emit_resurrection_failed s (Word.target w) reason);
         let stats = Vm.stats vm in
         stats.Gc_stats.resurrection_failures <-
           stats.Gc_stats.resurrection_failures + 1;
@@ -62,6 +100,9 @@ let read vm (src : Heap_obj.t) i =
       (* Out-of-line cold path: first use of this reference since the last
          collection scanned it. *)
       charge_barrier vm cost.Cost.barrier_cold;
+      (match Vm.sink vm with
+      | None -> ()
+      | Some s -> emit_barrier_cold s src i);
       src.Heap_obj.fields.(i) <- Word.clear_untouched w;
       Lp_core.Controller.on_stale_use (Vm.controller vm) ~src ~tgt;
       Heap_obj.set_stale tgt 0

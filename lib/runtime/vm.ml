@@ -29,6 +29,13 @@ type t = {
   mutable gc_cycles : int;
   mutable gc_listener : (gc_record -> unit) option;
   mutable gc_history : gc_record list;  (* reverse order *)
+  (* Observability plane: the metrics registry is always on (counter and
+     gauge updates are field writes); the event sink is attached on
+     demand by [enable_trace] and every emission site is guarded by one
+     branch on [sink]. *)
+  metrics : Lp_obs.Metrics.t;
+  staleness_series : Lp_obs.Metrics.series;
+  mutable sink : Lp_obs.Sink.t option;
 }
 
 let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
@@ -41,13 +48,14 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
   let registry = Class_registry.create () in
   let roots = Roots.create () in
   let store = Store.create ~limit_bytes:heap_bytes in
+  let metrics = Lp_obs.Metrics.create () in
   (* The VM always owns a swap store: the resurrection subsystem keeps
      prune images there even when the disk-offload baseline is off (in
      which case the "disk" is unbounded — image retention, not a byte
      limit, bounds it). *)
   let offload = disk <> None in
   let swap =
-    Diskswap.create
+    Diskswap.create ~metrics
       (match disk with
       | Some config -> config
       | None -> Diskswap.default_config ~disk_limit_bytes:max_int)
@@ -91,7 +99,7 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
     store;
     roots;
     stats = Gc_stats.create ();
-    controller = Lp_core.Controller.create config registry;
+    controller = Lp_core.Controller.create ~metrics config registry;
     cost;
     charge_barriers;
     swap;
@@ -109,6 +117,10 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
     gc_cycles = 0;
     gc_listener = None;
     gc_history = [];
+    metrics;
+    staleness_series =
+      Lp_obs.Metrics.series metrics ~retain:16 "gc.staleness_histogram";
+    sink = None;
   }
 
 let store t = t.store
@@ -120,6 +132,34 @@ let cost t = t.cost
 let disk t = if t.offload then Some t.swap else None
 
 let swap t = t.swap
+
+let metrics t = t.metrics
+
+(* Publishing the collector's counters on demand keeps the hot mutable
+   record as the collector's working representation while every snapshot
+   still sees up-to-date gc.* values. *)
+let metrics_snapshot t =
+  Gc_stats.publish t.stats t.metrics;
+  Lp_obs.Metrics.snapshot t.metrics
+
+(* annotated so the barrier's disabled-sink guard compiles to a field
+   load and branch at every emission site, never an out-of-line call *)
+let[@inline] sink t = t.sink
+
+let enable_trace ?capacity t =
+  let s = Lp_obs.Sink.create ?capacity ~clock:(fun () -> t.cycles) () in
+  t.sink <- Some s;
+  Lp_core.Controller.set_sink t.controller (Some s);
+  Diskswap.set_sink t.swap (Some s);
+  s
+
+let disable_trace t =
+  t.sink <- None;
+  Lp_core.Controller.set_sink t.controller None;
+  Diskswap.set_sink t.swap None
+
+let trace_events t =
+  match t.sink with Some s -> Lp_obs.Sink.events s | None -> []
 
 let resurrection_enabled t = t.resurrection
 let charge_barriers t = t.charge_barriers
@@ -165,7 +205,10 @@ let remember_write t ~src ~field ~tgt =
 
 let run_minor_gc t =
   t.minor_collections <- t.minor_collections + 1;
-  let r = Minor_collector.collect t.store t.roots ~remset:t.remset in
+  let r =
+    Minor_collector.collect ?events:t.sink ~number:t.minor_collections t.store
+      t.roots ~remset:t.remset
+  in
   let minor_cost =
     (r.Minor_collector.slots_scanned * t.cost.Cost.gc_minor_slot)
     + (r.Minor_collector.promoted_objects * t.cost.Cost.gc_minor_promote)
@@ -337,8 +380,30 @@ let run_disk_phase t d =
   in
   attempt 0
 
+(* The per-collection staleness distribution, retained in the metrics
+   registry so the last N collections' histograms survive (they used to
+   be lost between collections). Counters saturate at
+   [Header.max_stale], so the array has a bucket per level. *)
+let record_staleness_histogram t =
+  let hist = Array.make (Header.max_stale + 1) 0 in
+  Store.iter_live t.store (fun obj ->
+      let s = Heap_obj.stale obj in
+      hist.(s) <- hist.(s) + 1);
+  Lp_obs.Metrics.record t.staleness_series hist
+
 let run_gc t =
   let before = Gc_stats.copy t.stats in
+  let gc_n = t.stats.Gc_stats.collections + 1 in
+  (match t.sink with
+  | Some s ->
+    Lp_obs.Sink.emit s
+      (Lp_obs.Event.Gc_begin
+         {
+           gc = gc_n;
+           state =
+             Lp_core.State_kind.to_string (Lp_core.Controller.state t.controller);
+         })
+  | None -> ());
   collect_once t;
   if t.offload then run_disk_phase t t.swap;
   let gc_cost =
@@ -347,6 +412,10 @@ let run_gc t =
   in
   t.cycles <- t.cycles + gc_cost;
   t.gc_cycles <- t.gc_cycles + gc_cost;
+  record_staleness_histogram t;
+  Lp_obs.Metrics.set_gauge
+    (Lp_obs.Metrics.gauge t.metrics "heap.live_bytes")
+    (live_bytes t);
   let record =
     {
       gc_number = t.stats.Gc_stats.collections;
@@ -354,6 +423,18 @@ let run_gc t =
       state = Lp_core.Controller.state t.controller;
     }
   in
+  (match t.sink with
+  | Some s ->
+    Lp_obs.Sink.emit s
+      (Lp_obs.Event.Gc_end
+         {
+           gc = gc_n;
+           state = Lp_core.State_kind.to_string record.state;
+           live_bytes = record.live_bytes_after;
+           reclaimed_bytes =
+             t.stats.Gc_stats.bytes_reclaimed - before.Gc_stats.bytes_reclaimed;
+         })
+  | None -> ());
   t.gc_history <- record :: t.gc_history;
   match t.gc_listener with Some f -> f record | None -> ()
 

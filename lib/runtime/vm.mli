@@ -76,6 +76,37 @@ val charge_barriers : t -> bool
 val remset : t -> Remset.t
 val fault_plan : t -> Lp_fault.Fault_plan.t option
 
+(** {1 Observability}
+
+    The metrics registry is always on — the controller, the swap store
+    and (on demand) the collector counters publish into it, and
+    {!metrics_snapshot} is the single consistent view. Event tracing is
+    opt-in: until {!enable_trace} attaches a sink, every emission site
+    in the VM, the mutator barriers, the controller and the collector
+    costs exactly one branch on a [None], and the {!Mutator.read} fast
+    path (null or clean reference) has no instrumentation at all. *)
+
+val metrics : t -> Lp_obs.Metrics.t
+
+val metrics_snapshot : t -> Lp_obs.Metrics.snapshot
+(** Publishes the collector's {!Gc_stats} counters into the registry,
+    then snapshots it. Includes the retained [gc.staleness_histogram]
+    series: one per-staleness-level live-object count array per
+    full-heap collection, last 16 collections. *)
+
+val enable_trace : ?capacity:int -> t -> Lp_obs.Sink.t
+(** Attaches a fresh event sink (drop-oldest ring, default capacity
+    {!Lp_obs.Sink.default_capacity}) clocked by the VM's simulated
+    cycles, and wires it into the controller and the swap store. Traces
+    are deterministic: no wall time is ever recorded. *)
+
+val disable_trace : t -> unit
+
+val sink : t -> Lp_obs.Sink.t option
+
+val trace_events : t -> Lp_obs.Event.stamped list
+(** The sink's retained events, oldest first ([[]] with no sink). *)
+
 (** {1 Classes and statics} *)
 
 val register_class : t -> string -> Class_registry.id

@@ -63,7 +63,7 @@ let test_untouched_bits_set () =
   let stats = Gc_stats.create () in
   ignore
     (Collector.mark store roots ~stats
-       ~config:{ Collector.set_untouched_bits = true; stale_tick_gc = None; edge_filter = None; on_poison = None });
+       ~config:{ Collector.set_untouched_bits = true; stale_tick_gc = None; edge_filter = None; on_poison = None; events = None });
   Collector.sweep store ~stats;
   Alcotest.(check bool) "bit set on scanned reference" true
     (Word.untouched a.Heap_obj.fields.(0));
@@ -85,7 +85,7 @@ let test_defer_returns_candidates_and_keeps_subtree_unmarked () =
   in
   let deferred =
     Collector.mark store roots ~stats
-      ~config:{ Collector.set_untouched_bits = false; stale_tick_gc = None; edge_filter = Some filter; on_poison = None }
+      ~config:{ Collector.set_untouched_bits = false; stale_tick_gc = None; edge_filter = Some filter; on_poison = None; events = None }
   in
   Alcotest.(check int) "one candidate" 1 (List.length deferred);
   Alcotest.(check bool) "b not marked by in-use closure" false
@@ -117,7 +117,7 @@ let test_stale_closure_zero_for_marked_target () =
   in
   let deferred =
     Collector.mark store roots ~stats
-      ~config:{ Collector.set_untouched_bits = false; stale_tick_gc = None; edge_filter = Some filter; on_poison = None }
+      ~config:{ Collector.set_untouched_bits = false; stale_tick_gc = None; edge_filter = Some filter; on_poison = None; events = None }
   in
   let bytes =
     Collector.stale_closure store ~stats ~set_untouched_bits:false ~stale_tick_gc:None
@@ -142,7 +142,7 @@ let test_poison_reclaims_subtree () =
   in
   ignore
     (Collector.mark store roots ~stats
-       ~config:{ Collector.set_untouched_bits = false; stale_tick_gc = None; edge_filter = Some filter; on_poison = None });
+       ~config:{ Collector.set_untouched_bits = false; stale_tick_gc = None; edge_filter = Some filter; on_poison = None; events = None });
   Collector.sweep store ~stats;
   Alcotest.(check bool) "reference poisoned" true (Word.poisoned a.Heap_obj.fields.(0));
   Alcotest.(check bool) "b reclaimed" false (Store.mem store b.Heap_obj.id);

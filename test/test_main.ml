@@ -4,6 +4,7 @@
 let () =
   Alcotest.run "leakpruning"
     [
+      Test_obs.suite;
       Test_word.suite;
       Test_header.suite;
       Test_stale_counter.suite;
