@@ -587,6 +587,142 @@ let run_obs_overhead_bench ~gate () =
     end
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-GC speedup sweep: jbb_mod and swap_leak collected at 1, 2
+   and 4 domains. The engine is deterministic by construction, so the
+   sweep doubles as an equivalence check (collections, reclaimed bytes
+   and fields scanned must match across domain counts) while the
+   wall-clock numbers measure the engine honestly on this host — on a
+   single-core box the extra domains cannot speed marking up, which is
+   why host_cores is part of the record. *)
+
+let parallel_gc_domain_counts = [ 1; 2; 4 ]
+
+let parallel_gc_workloads =
+  [ Lp_workloads.Jbb_mod.workload; Lp_workloads.Swap_leak.workload ]
+
+type parallel_gc_case = {
+  pg_workload : string;
+  pg_domains : int;
+  pg_gc_count : int;
+  pg_bytes_reclaimed : int;
+  pg_fields_scanned : int;
+  pg_mark_ns : int;
+  pg_pause_ns : int;
+  pg_pooled_rounds : int;
+}
+
+let run_parallel_gc_case w gc_domains =
+  let captured = ref None in
+  let r =
+    Lp_harness.Driver.run
+      ~config:(Lp_core.Config.make ~gc_domains ())
+      ~max_iterations:5_000
+      ~prepare_vm:(fun vm -> captured := Some vm)
+      w
+  in
+  let vm = match !captured with Some vm -> vm | None -> assert false in
+  let stats = Lp_runtime.Vm.stats vm in
+  {
+    pg_workload = r.Lp_harness.Driver.workload;
+    pg_domains = gc_domains;
+    pg_gc_count = r.Lp_harness.Driver.gc_count;
+    pg_bytes_reclaimed = r.Lp_harness.Driver.bytes_reclaimed;
+    pg_fields_scanned = stats.Lp_heap.Gc_stats.fields_scanned;
+    pg_mark_ns = Lp_core.Controller.mark_wall_ns (Lp_runtime.Vm.controller vm);
+    pg_pause_ns = Lp_runtime.Vm.gc_pause_ns vm;
+    pg_pooled_rounds =
+      (match Lp_runtime.Vm.par_engine vm with
+      | Some e -> Lp_par.Par_engine.pooled_rounds e
+      | None -> 0);
+  }
+
+let run_parallel_gc_bench () =
+  Lp_harness.Render.header "Parallel collection"
+    "mark throughput and pause at 1/2/4 collector domains; results in \
+     BENCH_parallel_gc.json";
+  let host_cores = Domain.recommended_domain_count () in
+  let cases =
+    List.concat_map
+      (fun w ->
+        List.map (run_parallel_gc_case w) parallel_gc_domain_counts)
+      parallel_gc_workloads
+  in
+  let base c =
+    List.find
+      (fun b -> b.pg_workload = c.pg_workload && b.pg_domains = 1)
+      cases
+  in
+  (* equivalence across the sweep: same collections, same reclaimed
+     bytes, same fields scanned at every domain count *)
+  let deterministic =
+    List.for_all
+      (fun c ->
+        let b = base c in
+        c.pg_gc_count = b.pg_gc_count
+        && c.pg_bytes_reclaimed = b.pg_bytes_reclaimed
+        && c.pg_fields_scanned = b.pg_fields_scanned)
+      cases
+  in
+  let throughput c =
+    if c.pg_mark_ns = 0 then 0.0
+    else float_of_int c.pg_fields_scanned /. (float_of_int c.pg_mark_ns /. 1e9)
+  in
+  let speedup c =
+    let b = base c in
+    if c.pg_mark_ns = 0 then 0.0
+    else float_of_int b.pg_mark_ns /. float_of_int c.pg_mark_ns
+  in
+  let case_json c =
+    Printf.sprintf
+      {|    { "workload": %S, "gc_domains": %d, "collections": %d,
+      "bytes_reclaimed": %d, "fields_scanned": %d, "mark_ns": %d,
+      "total_pause_ns": %d, "pooled_rounds": %d,
+      "mark_fields_per_s": %.0f, "mark_speedup_vs_1": %.3f }|}
+      c.pg_workload c.pg_domains c.pg_gc_count c.pg_bytes_reclaimed
+      c.pg_fields_scanned c.pg_mark_ns c.pg_pause_ns c.pg_pooled_rounds
+      (throughput c) (speedup c)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "parallel_gc",
+  "host_cores": %d,
+  "deterministic_across_domain_counts": %b,
+  "cases": [
+%s
+  ]
+}
+|}
+      host_cores deterministic
+      (String.concat ",\n" (List.map case_json cases))
+  in
+  let path = out_path "BENCH_parallel_gc.json" in
+  write_file path json;
+  Lp_harness.Render.table
+    ~columns:
+      [ "workload"; "domains"; "gcs"; "mark ms"; "pause ms"; "fields/s";
+        "speedup"; "pooled rounds" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           [
+             c.pg_workload;
+             string_of_int c.pg_domains;
+             string_of_int c.pg_gc_count;
+             Printf.sprintf "%.2f" (float_of_int c.pg_mark_ns /. 1e6);
+             Printf.sprintf "%.2f" (float_of_int c.pg_pause_ns /. 1e6);
+             Printf.sprintf "%.2e" (throughput c);
+             Printf.sprintf "%.2fx" (speedup c);
+             string_of_int c.pg_pooled_rounds;
+           ])
+         cases);
+  Printf.printf
+    "host cores: %d; outputs %s across domain counts\n" host_cores
+    (if deterministic then "IDENTICAL" else "DIVERGED (engine bug!)");
+  Printf.printf "wrote %s\n" path;
+  if not deterministic then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let experiments = Lp_harness.Experiments.all @ Lp_harness.Ablations.all
 
@@ -598,7 +734,10 @@ let list_experiments () =
   Printf.printf "%-13s %s\n" "obs"
     "Disabled-observability overhead (writes bench/out/BENCH_obs_overhead.json)";
   Printf.printf "%-13s %s\n" "obs-gate"
-    "Same measurement; exit 1 if overhead exceeds the 3% budget"
+    "Same measurement; exit 1 if overhead exceeds the 3% budget";
+  Printf.printf "%-13s %s\n" "gc-parallel"
+    "Parallel-GC speedup sweep at 1/2/4 domains (writes \
+     bench/out/BENCH_parallel_gc.json; exit 1 if outputs diverge)"
 
 let run_experiment id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -608,6 +747,7 @@ let run_experiment id =
     else if id = "resurrection" then run_resurrection_bench ()
     else if id = "obs" then run_obs_overhead_bench ~gate:false ()
     else if id = "obs-gate" then run_obs_overhead_bench ~gate:true ()
+    else if id = "gc-parallel" then run_parallel_gc_bench ()
     else begin
       Printf.eprintf "unknown experiment %S; try --list\n" id;
       exit 1
@@ -631,6 +771,7 @@ let () =
     List.iter (fun (_, _, run) -> run ()) experiments;
     run_microbenches ();
     run_resurrection_bench ();
-    run_obs_overhead_bench ~gate:false ()
+    run_obs_overhead_bench ~gate:false ();
+    run_parallel_gc_bench ()
   | [ "--list" ] -> list_experiments ()
   | ids -> List.iter run_experiment ids

@@ -18,6 +18,7 @@ type t = {
   safe_mode_threshold : int option;
   safe_mode_collections : int;
   resurrection_alloc_attempts : int;
+  gc_domains : int;
 }
 
 let default =
@@ -39,6 +40,7 @@ let default =
     safe_mode_threshold = Some 4;
     safe_mode_collections = 8;
     resurrection_alloc_attempts = 4;
+    gc_domains = 1;
   }
 
 let make ?(policy = default.policy) ?(observe_threshold = default.observe_threshold)
@@ -54,7 +56,8 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     ?(disk_retry_attempts = default.disk_retry_attempts)
     ?(safe_mode_threshold = default.safe_mode_threshold)
     ?(safe_mode_collections = default.safe_mode_collections)
-    ?(resurrection_alloc_attempts = default.resurrection_alloc_attempts) () =
+    ?(resurrection_alloc_attempts = default.resurrection_alloc_attempts)
+    ?(gc_domains = default.gc_domains) () =
   {
     policy;
     observe_threshold;
@@ -73,6 +76,7 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     safe_mode_threshold;
     safe_mode_collections;
     resurrection_alloc_attempts;
+    gc_domains;
   }
 
 let validate t =
@@ -98,4 +102,6 @@ let validate t =
     Error "safe_mode_collections must be >= 1"
   else if t.resurrection_alloc_attempts < 0 then
     Error "resurrection_alloc_attempts must be >= 0"
+  else if t.gc_domains < 1 || t.gc_domains > 64 then
+    Error "gc_domains must be in [1, 64]"
   else Ok t

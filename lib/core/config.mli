@@ -61,6 +61,13 @@ type t = {
       (** collections the barrier-level resurrection path may trigger
           while re-allocating a pruned object's replacement before the
           recovery fails with [Reallocation_exhausted]; default 4 *)
+  gc_domains : int;
+      (** collector domains for stop-the-world tracing and sweeping.
+          1 (the default) runs the original sequential collector,
+          bit-for-bit; [n > 1] routes full collections through the
+          [Lp_par] engine on a pool of [n] domains (the calling domain
+          included). Reclamation outcomes are identical at every value
+          by construction. Range [1, 64]. *)
 }
 
 val default : t
@@ -83,6 +90,7 @@ val make :
   ?safe_mode_threshold:int option ->
   ?safe_mode_collections:int ->
   ?resurrection_alloc_attempts:int ->
+  ?gc_domains:int ->
   unit ->
   t
 

@@ -16,6 +16,9 @@ type t = {
   mutable epoch_mispredictions : int;  (* since the last PRUNE collection *)
   metrics : Lp_obs.Metrics.t;
   mutable sink : Lp_obs.Sink.t option;
+  mutable engine : Lp_par.Par_engine.t option;
+      (* parallel tracing engine; [None] = original sequential path *)
+  mutable mark_wall_ns : int;  (* wall time spent in mark phases *)
   (* Interned once so the per-collection updates are field writes. *)
   c_mispredictions : Lp_obs.Metrics.counter;
   c_prune_decisions : Lp_obs.Metrics.counter;
@@ -46,6 +49,8 @@ let create ?metrics config registry =
       epoch_mispredictions = 0;
       metrics;
       sink = None;
+      engine = None;
+      mark_wall_ns = 0;
       c_mispredictions = Lp_obs.Metrics.counter metrics "controller.mispredictions";
       c_prune_decisions = Lp_obs.Metrics.counter metrics "prune.decisions";
       c_prune_refs = Lp_obs.Metrics.counter metrics "prune.refs_poisoned";
@@ -55,6 +60,12 @@ let create ?metrics config registry =
 let set_sink t sink = t.sink <- sink
 
 let sink t = t.sink
+
+let set_engine t engine = t.engine <- engine
+
+let engine t = t.engine
+
+let mark_wall_ns t = t.mark_wall_ns
 
 let metrics t = t.metrics
 
@@ -189,13 +200,41 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
   | Some _ | None -> ());
   let poisoned_before = stats.Gc_stats.references_poisoned in
   (* Every branch funnels its in-use closure through [mark] so the phase
-     span and its work figure (fields scanned) are attributed uniformly. *)
-  let mark config =
+     span and its work figure (fields scanned) are attributed uniformly.
+     The parallel engine, when installed, produces the same marked set,
+     counters and deferred edges as [Collector.mark] at every domain
+     count; [edge_note]/[apply_note] carry the Individual_refs byte
+     accounting, which the engine must split into a pure worker part and
+     a coordinator part. *)
+  let mark ?edge_note ?apply_note config =
     phase_begin t "mark";
     let before = stats.Gc_stats.fields_scanned in
-    let r = Collector.mark store roots ~stats ~config in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      match t.engine with
+      | Some e ->
+        Lp_par.Par_engine.mark e ~gc:t.gc_count ?edge_note ?apply_note store
+          roots ~stats ~config
+      | None -> Collector.mark store roots ~stats ~config
+    in
+    t.mark_wall_ns <-
+      t.mark_wall_ns + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
     phase_end t "mark" (stats.Gc_stats.fields_scanned - before);
     r
+  in
+  (* Stale closures claim shared sub-structures first-come-first-served,
+     so candidate order affects which edge type the claimed bytes are
+     attributed to. Both engines process candidates in canonical
+     (source id, field) order — a total order on edges — so SELECT
+     outcomes do not depend on traversal strategy or domain count. *)
+  let canonical_candidates deferred =
+    List.sort
+      (fun (a : Collector.edge) (b : Collector.edge) ->
+        match compare a.Collector.src.Heap_obj.id b.Collector.src.Heap_obj.id
+        with
+        | 0 -> compare a.Collector.field b.Collector.field
+        | c -> c)
+      deferred
   in
   let select_winner () =
     phase_begin t "selection";
@@ -238,31 +277,70 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
     in
     phase_begin t "stale_closure";
     let claimed_before = stats.Gc_stats.stale_closure_objects in
+    (match t.engine with
+    | Some e -> Lp_par.Par_engine.begin_stale e
+    | None -> ());
     List.iter
       (fun (edge : Collector.edge) ->
         let bytes =
-          Collector.stale_closure ?events:t.sink store ~stats
-            ~set_untouched_bits:true ~stale_tick_gc:tick edge
+          match t.engine with
+          | Some e ->
+            Lp_par.Par_engine.stale_closure e ~gc:t.gc_count ?events:t.sink
+              store ~stats ~set_untouched_bits:true ~stale_tick_gc:tick edge
+          | None ->
+            Collector.stale_closure ?events:t.sink store ~stats
+              ~set_untouched_bits:true ~stale_tick_gc:tick edge
         in
         if bytes > 0 then
           Edge_table.add_bytes t.table
             ~src:edge.Collector.src.Heap_obj.class_id
             ~tgt:edge.Collector.tgt.Heap_obj.class_id bytes)
-      deferred;
+      (canonical_candidates deferred);
+    (match t.engine with
+    | Some e -> Lp_par.Par_engine.end_stale e ~gc:t.gc_count ~events:t.sink
+    | None -> ());
     phase_end t "stale_closure"
       (stats.Gc_stats.stale_closure_objects - claimed_before);
     select_winner ()
   | State_kind.Select, Policy.Individual_refs ->
-    let filter = Selection.select_filter_individual t.config t.table in
-    ignore
-      (mark
-         {
-           Collector.set_untouched_bits = true;
-           stale_tick_gc = tick;
-           edge_filter = Some filter;
-           on_poison = None;
-           events = t.sink;
-         });
+    (* The sequential filter is impure (it adds bytes to the edge table
+       as a side effect of filtering), which workers must not do. The
+       parallel path splits it: workers evaluate the pure qualifying
+       predicate into buffered notes, and the coordinator applies them
+       in packet order at the merge — same totals, same table. *)
+    (match t.engine with
+    | None ->
+      let filter = Selection.select_filter_individual t.config t.table in
+      ignore
+        (mark
+           {
+             Collector.set_untouched_bits = true;
+             stale_tick_gc = tick;
+             edge_filter = Some filter;
+             on_poison = None;
+             events = t.sink;
+           })
+    | Some _ ->
+      let edge_note (edge : Collector.edge) =
+        if Selection.stale_qualifies t.config t.table edge then
+          Some
+            ( edge.Collector.src.Heap_obj.class_id,
+              edge.Collector.tgt.Heap_obj.class_id,
+              edge.Collector.tgt.Heap_obj.size_bytes )
+        else None
+      in
+      let apply_note (src, tgt, bytes) =
+        Edge_table.add_bytes t.table ~src ~tgt bytes
+      in
+      ignore
+        (mark ~edge_note ~apply_note
+           {
+             Collector.set_untouched_bits = true;
+             stale_tick_gc = tick;
+             edge_filter = None;
+             on_poison = None;
+             events = t.sink;
+           }));
     select_winner ()
   | State_kind.Select, Policy.Most_stale ->
     ignore
@@ -344,7 +422,9 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
   let freed_before = stats.Gc_stats.bytes_reclaimed in
   phase_begin t "sweep";
   let swept_before = stats.Gc_stats.objects_swept in
-  Collector.sweep store ~stats;
+  (match t.engine with
+  | Some e -> Lp_par.Par_engine.sweep e ~gc:t.gc_count ?events:t.sink store ~stats
+  | None -> Collector.sweep store ~stats);
   phase_end t "sweep" (stats.Gc_stats.objects_swept - swept_before);
   let freed = stats.Gc_stats.bytes_reclaimed - freed_before in
   (* A prune that neither poisons nor frees is unproductive; enough of

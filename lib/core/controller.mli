@@ -41,6 +41,21 @@ val set_sink : t -> Lp_obs.Sink.t option -> unit
 
 val sink : t -> Lp_obs.Sink.t option
 
+val set_engine : t -> Lp_par.Par_engine.t option -> unit
+(** Installs (or removes) the parallel tracing engine. With an engine
+    installed, full collections route the in-use closure, the stale
+    closures and the sweep through {!Lp_par.Par_engine}; the marked
+    set, the prune decisions, every [Gc_stats] counter and the
+    reclaimed bytes are identical to the sequential path by
+    construction. [None] (the default) runs the original sequential
+    collector, bit-for-bit. *)
+
+val engine : t -> Lp_par.Par_engine.t option
+
+val mark_wall_ns : t -> int
+(** Cumulative wall-clock nanoseconds spent in mark phases (both
+    engines) — the numerator of the bench's mark-phase throughput. *)
+
 val metrics : t -> Lp_obs.Metrics.t
 
 val config : t -> Config.t

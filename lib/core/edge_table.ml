@@ -76,14 +76,25 @@ let add_bytes t ~src ~tgt n =
 let bytes_used t ~src ~tgt =
   match probe t ~src ~tgt with `Found i -> t.bytes_useds.(i) | `Empty _ -> 0
 
+(* Ties break on the lexicographically least (src, tgt) class pair —
+   NOT on slot index, which depends on insertion order under hash
+   collisions. Entry insertion order is the one thing the parallel
+   engine does not reproduce exactly (byte totals and the entry SET are
+   identical; table placement is not), so the winner must be a function
+   of the entries alone. *)
 let select_max_bytes t =
   let best = ref None in
   for i = 0 to slots - 1 do
-    if t.src_classes.(i) >= 0 && t.bytes_useds.(i) > 0 then
+    if t.src_classes.(i) >= 0 && t.bytes_useds.(i) > 0 then begin
+      let src = t.src_classes.(i)
+      and tgt = t.tgt_classes.(i)
+      and bytes = t.bytes_useds.(i) in
       match !best with
-      | Some (_, _, bytes) when bytes >= t.bytes_useds.(i) -> ()
-      | Some _ | None ->
-        best := Some (t.src_classes.(i), t.tgt_classes.(i), t.bytes_useds.(i))
+      | Some (bsrc, btgt, bbytes)
+        when bbytes > bytes || (bbytes = bytes && (bsrc, btgt) <= (src, tgt)) ->
+        ()
+      | Some _ | None -> best := Some (src, tgt, bytes)
+    end
   done;
   !best
 

@@ -61,8 +61,10 @@ val bytes_used : t -> src:Lp_heap.Class_registry.id -> tgt:Lp_heap.Class_registr
 
 val select_max_bytes :
   t -> (Lp_heap.Class_registry.id * Lp_heap.Class_registry.id * int) option
-(** The entry with the greatest non-zero [bytesused], scanning slots in
-    index order (deterministic tie-break: lowest slot wins). *)
+(** The entry with the greatest non-zero [bytesused]; ties break on the
+    lexicographically least [(src, tgt)] class pair, which — unlike slot
+    order — does not depend on the order entries were first inserted, so
+    the winner is identical however the byte accounting was scheduled. *)
 
 val reset_bytes : t -> unit
 (** Zeroes every entry's [bytesused]; run at the end of each SELECT

@@ -1,6 +1,14 @@
-type site = Alloc | Disk | Step | Swap
+type site = Alloc | Disk | Step | Swap | Mark
 
-type fault = Refuse_alloc | Disk_failure | Corrupt_word | Kill_thread | Corrupt_image | Torn_write
+type fault =
+  | Refuse_alloc
+  | Disk_failure
+  | Corrupt_word
+  | Kill_thread
+  | Corrupt_image
+  | Torn_write
+  | Corrupt_mark_packet
+  | Steal_race
 
 type event = { site : site; fault : fault; at : int; repeat : bool }
 
@@ -10,6 +18,7 @@ type t = {
   mutable disk_visits : int;
   mutable step_visits : int;
   mutable swap_visits : int;
+  mutable mark_visits : int;
   mutable fired_log : (site * int * fault) list;  (* reverse order *)
 }
 
@@ -23,6 +32,7 @@ let make events =
     disk_visits = 0;
     step_visits = 0;
     swap_visits = 0;
+    mark_visits = 0;
     fired_log = [];
   }
 
@@ -34,7 +44,7 @@ let random ?(events = 4) ~seed () =
   let rng = Random.State.make [| 0x5eed; seed |] in
   let one () =
     let at = 1 + Random.State.int rng 250 in
-    match Random.State.int rng 8 with
+    match Random.State.int rng 10 with
     | 0 -> { site = Alloc; fault = Refuse_alloc; at; repeat = false }
     | 1 -> { site = Alloc; fault = Refuse_alloc; at; repeat = true }
     | 2 -> { site = Disk; fault = Disk_failure; at; repeat = false }
@@ -42,6 +52,8 @@ let random ?(events = 4) ~seed () =
     | 4 -> { site = Step; fault = Corrupt_word; at; repeat = false }
     | 5 -> { site = Swap; fault = Corrupt_image; at; repeat = false }
     | 6 -> { site = Swap; fault = Torn_write; at; repeat = false }
+    | 7 -> { site = Mark; fault = Corrupt_mark_packet; at; repeat = false }
+    | 8 -> { site = Mark; fault = Steal_race; at; repeat = false }
     | _ -> { site = Step; fault = Kill_thread; at; repeat = false }
   in
   make (List.init events (fun _ -> one ()))
@@ -53,6 +65,7 @@ let visits t = function
   | Disk -> t.disk_visits
   | Step -> t.step_visits
   | Swap -> t.swap_visits
+  | Mark -> t.mark_visits
 
 let check t site =
   let n =
@@ -69,6 +82,9 @@ let check t site =
     | Swap ->
       t.swap_visits <- t.swap_visits + 1;
       t.swap_visits
+    | Mark ->
+      t.mark_visits <- t.mark_visits + 1;
+      t.mark_visits
   in
   let due =
     List.filter_map
@@ -89,6 +105,7 @@ let site_to_string = function
   | Disk -> "disk"
   | Step -> "step"
   | Swap -> "swap"
+  | Mark -> "mark"
 
 let fault_to_string = function
   | Refuse_alloc -> "refuse-alloc"
@@ -97,6 +114,8 @@ let fault_to_string = function
   | Kill_thread -> "kill-thread"
   | Corrupt_image -> "corrupt-image"
   | Torn_write -> "torn-write"
+  | Corrupt_mark_packet -> "corrupt-mark-packet"
+  | Steal_race -> "steal-race"
 
 let describe t =
   match t.events with

@@ -19,6 +19,11 @@ type site =
   | Disk  (** every post-collection disk-swap operation *)
   | Step  (** every chaos-harness workload step *)
   | Swap  (** every swap-image write (pruned-object serialization) *)
+  | Mark
+      (** every full-heap collection's mark phase; the VM checks this
+          site once per collection regardless of [Config.gc_domains],
+          so fault streams stay aligned across domain counts — at 1
+          domain the parallel faults are structurally no-ops *)
 
 type fault =
   | Refuse_alloc
@@ -38,6 +43,15 @@ type fault =
   | Torn_write
       (** the swap image write is cut short, as if the process died
           mid-write; a later load fails the length check *)
+  | Corrupt_mark_packet
+      (** a parallel mark worker's discovery buffer is scrambled after
+          its seal was computed — worker-local queue corruption. The
+          engine must detect it by seal verification and recover it
+          exactly, so the fault is output-neutral by design. *)
+  | Steal_race
+      (** the next multi-packet mark round hands packets out in reverse
+          order, simulating a work-stealing scheduling race; merging by
+          packet index makes it output-neutral by construction *)
 
 type event = {
   site : site;

@@ -45,7 +45,8 @@ exception Check_failed of string
 
 let default_steps = 300
 
-let run_one ?(faults = true) ?(steps = default_steps) ?trace_capacity ~seed () =
+let run_one ?(faults = true) ?(gc_domains = 1) ?(steps = default_steps)
+    ?trace_capacity ~seed () =
   let rng = Random.State.make [| 0xC4A05; seed |] in
   (* The VM shape is drawn from the seed too, so a seed sweep covers
      small and large heaps, generational and whole-heap collection, and
@@ -63,9 +64,12 @@ let run_one ?(faults = true) ?(steps = default_steps) ?trace_capacity ~seed () =
      paper's prune-means-gone semantics in the sweep. *)
   let resurrection = Random.State.int rng 4 > 0 in
   let plan = if faults then Some (Lp_fault.Fault_plan.random ~seed ()) else None in
+  (* [Config.make ()] is [Config.default], so at gc_domains = 1 this is
+     the exact VM every chaos run always built. *)
   let vm =
-    Lp_runtime.Vm.create ?disk ~resurrection ?nursery_bytes ?fault:plan
-      ~heap_bytes ()
+    Lp_runtime.Vm.create
+      ~config:(Lp_core.Config.make ~gc_domains ())
+      ?disk ~resurrection ?nursery_bytes ?fault:plan ~heap_bytes ()
   in
   (match trace_capacity with
   | Some capacity -> ignore (Lp_runtime.Vm.enable_trace ~capacity vm)
@@ -252,8 +256,9 @@ let run_one ?(faults = true) ?(steps = default_steps) ?trace_capacity ~seed () =
               kill_nth (Random.State.int rng (List.length !threads))
           | Lp_fault.Fault_plan.Refuse_alloc | Lp_fault.Fault_plan.Disk_failure
           | Lp_fault.Fault_plan.Corrupt_image | Lp_fault.Fault_plan.Torn_write
-            ->
-            (* owned by the store / disk / swap trigger points *)
+          | Lp_fault.Fault_plan.Corrupt_mark_packet
+          | Lp_fault.Fault_plan.Steal_race ->
+            (* owned by the store / disk / swap / mark trigger points *)
             ())
         (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Step)
   in
@@ -289,6 +294,9 @@ let run_one ?(faults = true) ?(steps = default_steps) ?trace_capacity ~seed () =
       | None -> Crash { detail = Printexc.to_string e; step = !executed })
     | e -> Crash { detail = Printexc.to_string e; step = !executed }
   in
+  (* joins the collector domains (no-op at gc_domains = 1): a sweep over
+     hundreds of seeds must not accumulate live domains *)
+  Lp_runtime.Vm.shutdown vm;
   {
     seed;
     steps_run = !executed;
@@ -307,8 +315,8 @@ let run_one ?(faults = true) ?(steps = default_steps) ?trace_capacity ~seed () =
       | None -> 0);
   }
 
-let shrink ?faults ?(steps = default_steps) ~seed () =
-  let failing m = failed (run_one ?faults ~steps:m ~seed ()) in
+let shrink ?faults ?gc_domains ?(steps = default_steps) ~seed () =
+  let failing m = failed (run_one ?faults ?gc_domains ~steps:m ~seed ()) in
   if not (failing steps) then None
   else begin
     (* smallest failing cap: failure at cap [m] means the first failing
@@ -322,8 +330,8 @@ let shrink ?faults ?(steps = default_steps) ~seed () =
     Some !hi
   end
 
-let run_seeds ?faults ?steps ?progress ~seeds () =
+let run_seeds ?faults ?gc_domains ?steps ?progress ~seeds () =
   List.init seeds (fun i ->
-      let r = run_one ?faults ?steps ~seed:(i + 1) () in
+      let r = run_one ?faults ?gc_domains ?steps ~seed:(i + 1) () in
       (match progress with Some f -> f r | None -> ());
       r)

@@ -65,24 +65,40 @@ val failed : report -> bool
 val outcome_to_string : outcome -> string
 
 val run_one :
-  ?faults:bool -> ?steps:int -> ?trace_capacity:int -> seed:int -> unit -> report
+  ?faults:bool ->
+  ?gc_domains:int ->
+  ?steps:int ->
+  ?trace_capacity:int ->
+  seed:int ->
+  unit ->
+  report
 (** One deterministic chaos run. [faults] (default [true]) attaches the
     fault plan [Lp_fault.Fault_plan.random ~seed]; [false] runs the same
-    workload fault-free. [steps] caps the workload (default 300). The
-    VM shape (heap size, generational mode, disk baseline, resurrection)
-    is itself drawn from the seed, so a sweep covers all
-    configurations. [trace_capacity] attaches an event sink of that
-    capacity before the first step; the log lands in {!report.trace}.
-    Tracing never changes a run's behaviour — only its observation. *)
+    workload fault-free. [gc_domains] (default 1) sets
+    [Config.gc_domains]: the VM collects with the parallel tracing
+    engine, which reproduces the sequential collector's decisions,
+    counters, heap state and clock exactly — so every scalar report
+    field must be independent of [gc_domains], and the trace must match
+    up to the engine's own worker events and the traversal-order
+    interleaving of word-level mark events, which is exactly what the
+    differential determinism test asserts. The collector domains are
+    joined before the report is built. [steps] caps the workload (default 300). The VM shape (heap
+    size, generational mode, disk baseline, resurrection) is itself
+    drawn from the seed, so a sweep covers all configurations.
+    [trace_capacity] attaches an event sink of that capacity before the
+    first step; the log lands in {!report.trace}. Tracing never changes
+    a run's behaviour — only its observation. *)
 
-val shrink : ?faults:bool -> ?steps:int -> seed:int -> unit -> int option
+val shrink :
+  ?faults:bool -> ?gc_domains:int -> ?steps:int -> seed:int -> unit -> int option
 (** The smallest step cap at which [seed] still fails ([Violation] or
-    [Crash]); [None] if it does not fail at [steps]. Binary search is
-    sound because a capped run is a prefix of the full run, so failure
-    at cap [m] is monotone in [m]. *)
+    [Crash]) at the given domain count; [None] if it does not fail at
+    [steps]. Binary search is sound because a capped run is a prefix of
+    the full run, so failure at cap [m] is monotone in [m]. *)
 
 val run_seeds :
   ?faults:bool ->
+  ?gc_domains:int ->
   ?steps:int ->
   ?progress:(report -> unit) ->
   seeds:int ->

@@ -48,8 +48,16 @@ let quarantine ?(events = None) stats fields i =
 
 (* Scans the fields of [obj], maintaining untouched bits, applying the edge
    filter, and pushing newly marked targets. Deferred edges are appended to
-   [deferred] (in reverse discovery order; [mark] reverses at the end). *)
-let scan_object store stats ~config queue deferred (obj : Heap_obj.t) =
+   [deferred] (in reverse discovery order; [mark] reverses at the end).
+
+   Staleness ticks for objects marked here are accumulated in [to_tick]
+   and applied only after the whole closure finishes: the edge filter
+   reads target staleness, so ticking mid-traversal would make filter
+   decisions depend on visit order (DFS here, BFS rounds in the parallel
+   engine). Deferral keeps every filter evaluation against the
+   mark-start staleness; the final counters are unchanged because a tick
+   depends only on the object's own counter and the collection number. *)
+let scan_object store stats ~config ~to_tick queue deferred (obj : Heap_obj.t) =
   let fields = obj.Heap_obj.fields in
   for i = 0 to Array.length fields - 1 do
     let w = fields.(i) in
@@ -77,7 +85,10 @@ let scan_object store stats ~config queue deferred (obj : Heap_obj.t) =
           match action with
           | Trace ->
             if not (Header.marked tgt.Heap_obj.header) then begin
-              mark_object stats ~stale_tick_gc:config.stale_tick_gc tgt;
+              tgt.Heap_obj.header <- Header.set_marked tgt.Heap_obj.header;
+              stats.Gc_stats.objects_marked <-
+                stats.Gc_stats.objects_marked + 1;
+              if config.stale_tick_gc <> None then to_tick := tgt :: !to_tick;
               Work_queue.push queue tgt.Heap_obj.id
             end
           | Defer ->
@@ -105,12 +116,13 @@ let scan_object store stats ~config queue deferred (obj : Heap_obj.t) =
     end
   done
 
-let drain store stats ~config queue deferred =
+let drain store stats ~config ~to_tick queue deferred =
   let rec loop () =
     match Work_queue.pop queue with
     | None -> ()
     | Some id ->
-      scan_object store stats ~config queue deferred (Store.get store id);
+      scan_object store stats ~config ~to_tick queue deferred
+        (Store.get store id);
       loop ()
   in
   loop ()
@@ -118,13 +130,17 @@ let drain store stats ~config queue deferred =
 let mark store roots ~stats ~config =
   let queue = Work_queue.create () in
   let deferred = ref [] in
+  let to_tick = ref [] in
   Roots.iter roots (fun id ->
       let obj = Store.get store id in
       if not (Header.marked obj.Heap_obj.header) then begin
-        mark_object stats ~stale_tick_gc:config.stale_tick_gc obj;
+        obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
+        stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
+        if config.stale_tick_gc <> None then to_tick := obj :: !to_tick;
         Work_queue.push queue obj.Heap_obj.id
       end);
-  drain store stats ~config queue deferred;
+  drain store stats ~config ~to_tick queue deferred;
+  List.iter (tick stats config.stale_tick_gc) (List.rev !to_tick);
   List.rev !deferred
 
 (* The stale closure traces everything (no filter), but additionally sets

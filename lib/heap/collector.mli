@@ -33,8 +33,14 @@ type mark_config = {
           from the OBSERVE state onwards *)
   stale_tick_gc : int option;
       (** when [Some gc_number], apply the Section 4.1 staleness
-          increment to each object as it is marked — ticking piggybacks
-          on tracing, as in the paper, so only live objects pay for it *)
+          increment to each object marked during the closure — ticking
+          piggybacks on tracing, as in the paper, so only live objects
+          pay for it. The ticks are applied in one batch after the
+          closure finishes rather than at each mark: the edge filter
+          reads target staleness, and batch application keeps its
+          decisions a function of the mark-start heap alone, independent
+          of traversal order (sequential DFS vs the parallel engine's
+          BFS rounds) *)
   edge_filter : (edge -> edge_action) option;
       (** [None] traces everything (base collection) *)
   on_poison : (edge -> unit) option;
@@ -51,6 +57,16 @@ type mark_config = {
 
 val base_config : mark_config
 (** No untouched bits, no filter. *)
+
+val mark_object : Gc_stats.t -> ?stale_tick_gc:int option -> Heap_obj.t -> unit
+(** Sets the mark bit, counts the object, and applies the staleness
+    tick immediately when [stale_tick_gc] is [Some _]. The closures in
+    this module and the parallel engine defer their ticks instead (see
+    {!mark_config.stale_tick_gc}); this entry point is for callers
+    marking outside a filtered closure. *)
+
+val tick : Gc_stats.t -> int option -> Heap_obj.t -> unit
+(** The bare staleness tick (no marking); see {!mark_object}. *)
 
 val mark :
   Store.t -> Roots.t -> stats:Gc_stats.t -> config:mark_config -> edge list

@@ -9,7 +9,7 @@ type result = {
 (* Marks (with the ordinary mark bit, cleared before returning) every
    nursery object reachable from roots and remembered slots, scanning
    only nursery objects' fields plus the remembered mature slots. *)
-let collect ?events ?(number = 0) store roots ~remset =
+let collect ?events ?(number = 0) ?drain store roots ~remset =
   (match events with
   | Some sink -> Lp_obs.Sink.emit sink (Lp_obs.Event.Minor_begin { n = number })
   | None -> ());
@@ -36,20 +36,36 @@ let collect ?events ?(number = 0) store roots ~remset =
         let w = src.Heap_obj.fields.(field) in
         if (not (Word.is_null w)) && not (Word.poisoned w) then
           consider (Word.target w));
-  let rec drain () =
-    match Work_queue.pop queue with
-    | None -> ()
-    | Some id ->
-      let obj = Store.get store id in
-      Array.iter
-        (fun w ->
-          incr slots_scanned;
-          if (not (Word.is_null w)) && not (Word.poisoned w) then
-            consider (Word.target w))
-        obj.Heap_obj.fields;
-      drain ()
-  in
-  drain ();
+  (match drain with
+  | Some f ->
+    (* Parallel path: hand the marked seed set to the external drain
+       (the [Lp_par] engine, in practice — this module cannot depend on
+       it) and let it run the closure with identical semantics. *)
+    let seed = Array.make (Work_queue.length queue) 0 in
+    let rec fill i =
+      match Work_queue.pop queue with
+      | None -> ()
+      | Some id ->
+        seed.(i) <- id;
+        fill (i + 1)
+    in
+    fill 0;
+    f ~queue:seed ~slots_scanned
+  | None ->
+    let rec loop () =
+      match Work_queue.pop queue with
+      | None -> ()
+      | Some id ->
+        let obj = Store.get store id in
+        Array.iter
+          (fun w ->
+            incr slots_scanned;
+            if (not (Word.is_null w)) && not (Word.poisoned w) then
+              consider (Word.target w))
+          obj.Heap_obj.fields;
+        loop ()
+    in
+    loop ());
   (* Sweep the nursery: promote survivors, free the rest. *)
   let dead = ref [] in
   let promoted_objects = ref 0 and promoted_bytes = ref 0 in

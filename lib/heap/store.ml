@@ -137,4 +137,11 @@ let iter_live t f =
     match t.slots.(i) with Some obj -> f obj | None -> ()
   done
 
+let slot_count t = t.next_id - 1
+
+let iter_live_range t ~lo ~hi f =
+  for i = lo to hi - 1 do
+    match t.slots.(i) with Some obj -> f obj | None -> ()
+  done
+
 let total_allocated_bytes t = t.total_allocated

@@ -109,5 +109,14 @@ val free : t -> Heap_obj.t -> unit
 val iter_live : t -> (Heap_obj.t -> unit) -> unit
 (** Iterates over every live object in allocation-slot order. *)
 
+val slot_count : t -> int
+(** Number of allocation slots ever used; the exclusive upper bound of
+    the slot-index ranges accepted by {!iter_live_range}. *)
+
+val iter_live_range : t -> lo:int -> hi:int -> (Heap_obj.t -> unit) -> unit
+(** [iter_live_range t ~lo ~hi f] is {!iter_live} restricted to slot
+    indices [lo <= i < hi]; disjoint ranges visit disjoint objects, which
+    is what the parallel sweep segments rely on. *)
+
 val total_allocated_bytes : t -> int
 (** Cumulative bytes ever allocated; monotone, for statistics. *)

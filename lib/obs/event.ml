@@ -24,6 +24,9 @@ type t =
   | Disk_restore of { id : int; ok : bool }
   | Image_capture of { id : int; bytes : int }
   | Image_drop of { id : int }
+  | Par_phase_begin of { gc : int; phase : string; worker : int }
+  | Par_phase_end of { gc : int; phase : string; worker : int; work : int }
+  | Packet_recovered of { gc : int; packet : int }
 
 type stamped = { seq : int; at : int; ev : t }
 
@@ -48,12 +51,15 @@ let type_name = function
   | Disk_restore _ -> "disk_restore"
   | Image_capture _ -> "image_capture"
   | Image_drop _ -> "image_drop"
+  | Par_phase_begin _ -> "par_phase_begin"
+  | Par_phase_end _ -> "par_phase_end"
+  | Packet_recovered _ -> "packet_recovered"
 
 (* Span events open (`B`) and close (`E`) a nested duration in the
    Chrome trace; everything else is instantaneous. *)
 let span = function
-  | Gc_begin _ | Phase_begin _ | Minor_begin _ -> `Begin
-  | Gc_end _ | Phase_end _ | Minor_end _ -> `End
+  | Gc_begin _ | Phase_begin _ | Minor_begin _ | Par_phase_begin _ -> `Begin
+  | Gc_end _ | Phase_end _ | Minor_end _ | Par_phase_end _ -> `End
   | _ -> `Instant
 
 (* The label shared by a span's begin and end events; the nesting
@@ -63,4 +69,7 @@ let span_label = function
   | Phase_begin { gc; phase } | Phase_end { gc; phase; _ } ->
     Printf.sprintf "gc#%d/%s" gc phase
   | Minor_begin { n } | Minor_end { n; _ } -> Printf.sprintf "minor#%d" n
+  | Par_phase_begin { gc; phase; worker } | Par_phase_end { gc; phase; worker; _ }
+    ->
+    Printf.sprintf "gc#%d/%s/w%d" gc phase worker
   | ev -> type_name ev

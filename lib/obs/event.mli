@@ -49,6 +49,15 @@ type t =
   | Image_capture of { id : int; bytes : int }
       (** swap image of a dying object written before the sweep *)
   | Image_drop of { id : int }
+  | Par_phase_begin of { gc : int; phase : string; worker : int }
+      (** one parallel worker's share of a collection phase; emitted by
+          the coordinator at the merge, so pairs are adjacent and the
+          work figures are schedule-independent *)
+  | Par_phase_end of { gc : int; phase : string; worker : int; work : int }
+      (** [work]: fields scanned (mark / stale closure) or slots swept *)
+  | Packet_recovered of { gc : int; packet : int }
+      (** a mark packet's discovery buffer failed seal verification and
+          was recovered by a pure re-scan (chaos-injected corruption) *)
 
 type stamped = { seq : int; at : int; ev : t }
 (** [seq] is a per-sink sequence number (total order even between events
@@ -63,4 +72,5 @@ val span : t -> [ `Begin | `End | `Instant ]
 
 val span_label : t -> string
 (** The label shared by a span's begin and end events (["gc#3"],
-    ["gc#3/mark"], ["minor#7"]); begin/end pairs carry equal labels. *)
+    ["gc#3/mark"], ["gc#3/mark/w2"], ["minor#7"]); begin/end pairs carry
+    equal labels. *)

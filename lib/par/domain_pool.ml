@@ -1,0 +1,137 @@
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable generation : int;
+  mutable remaining : int;
+  mutable stop : bool;
+  mutable failure : exn option;
+  mutable handles : unit Domain.t list;
+  mutable alive : bool;
+}
+
+(* Global registry: a pool whose owner forgot [shutdown] would leave
+   worker domains parked on [work_ready] forever and hang process exit
+   (the runtime joins domains at exit). The at_exit hook is the safety
+   net; tests assert [active_count] returns to zero so the net is never
+   actually load-bearing. *)
+let registry_mutex = Mutex.create ()
+let registry : t list ref = ref []
+let exit_hook = ref false
+
+let rec register t =
+  Mutex.lock registry_mutex;
+  registry := t :: !registry;
+  if not !exit_hook then begin
+    exit_hook := true;
+    at_exit (fun () ->
+        let pools = Mutex.protect registry_mutex (fun () -> !registry) in
+        List.iter (fun p -> try shutdown_unregistered p with _ -> ()) pools)
+  end;
+  Mutex.unlock registry_mutex
+
+and unregister t =
+  Mutex.protect registry_mutex (fun () ->
+      registry := List.filter (fun p -> p != t) !registry)
+
+(* Joining without removing from the registry; used by the at_exit hook
+   which already holds a snapshot of the registry. *)
+and shutdown_unregistered t =
+  if t.alive then begin
+    t.alive <- false;
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.handles;
+    t.handles <- []
+  end
+
+let active_count () = Mutex.protect registry_mutex (fun () -> List.length !registry)
+
+let worker_loop t w =
+  let rec loop last_gen =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = last_gen do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      let gen = t.generation in
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      (try match job with Some f -> f w | None -> ()
+       with e ->
+         Mutex.lock t.mutex;
+         if t.failure = None then t.failure <- Some e;
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex;
+      loop gen
+    end
+  in
+  loop 0
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      remaining = 0;
+      stop = false;
+      failure = None;
+      handles = [];
+      alive = true;
+    }
+  in
+  t.handles <-
+    List.init (domains - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1)));
+  register t;
+  t
+
+let domains t = t.domains
+
+let run t job =
+  if not t.alive then invalid_arg "Domain_pool.run: pool is shut down";
+  if t.domains = 1 then job 0
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some job;
+    t.failure <- None;
+    t.remaining <- t.domains - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (* The calling domain is worker 0 — it always participates, so a
+       1-core host still makes progress and a 4-domain pool only parks
+       3 domains. *)
+    let own_failure = (try job 0; None with e -> Some e) in
+    Mutex.lock t.mutex;
+    while t.remaining > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    let worker_failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match own_failure, worker_failure with
+    | Some e, _ -> raise e
+    | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let shutdown t =
+  if t.alive then begin
+    shutdown_unregistered t;
+    unregister t
+  end

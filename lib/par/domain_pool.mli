@@ -1,0 +1,34 @@
+(** A reusable pool of worker domains for stop-the-world collection.
+
+    MMTk spawns its collector threads once at VM boot and parks them
+    between collections; this pool mirrors that shape with OCaml 5
+    domains. [create ~domains] spawns [domains - 1] worker domains (the
+    calling domain participates as worker 0), [run] hands every worker
+    the same job and blocks until all of them return, and [shutdown]
+    joins the workers. Pools are registered globally so a forgotten
+    [shutdown] cannot hang process exit: an [at_exit] hook stops any
+    pool still alive. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawns [domains - 1] worker domains. [domains] must be at least 1;
+    a 1-domain pool spawns nothing and [run] degenerates to a direct
+    call. Raises [Invalid_argument] otherwise. *)
+
+val domains : t -> int
+(** Total worker count, including the calling domain (worker 0). *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t job] executes [job w] on every worker [w] in
+    [0 .. domains - 1] — worker 0 on the calling domain — and returns
+    once all have finished. If any worker raises, the pool finishes the
+    round and the exception is re-raised on the calling domain.
+    Raises [Invalid_argument] if the pool has been shut down. *)
+
+val shutdown : t -> unit
+(** Stops and joins the worker domains. Idempotent. *)
+
+val active_count : unit -> int
+(** Number of pools created and not yet shut down — the test suite
+    asserts this returns to zero, i.e. no leaked domains. *)

@@ -23,6 +23,11 @@ type t = {
   nursery_limit : int option;
   remset : Remset.t;
   fault : Lp_fault.Fault_plan.t option;
+  (* Parallel collection (Config.gc_domains > 1): the pool is spawned
+     once here and reused by every collection until [shutdown]. *)
+  pool : Lp_par.Domain_pool.t option;
+  engine : Lp_par.Par_engine.t option;
+  mutable gc_pause_ns : int;  (* wall time inside full collections *)
   mutable corruptions_injected : int;
   mutable minor_collections : int;
   mutable cycles : int;
@@ -90,16 +95,29 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
                  Swap_image.tear image ~keep:(Bytes.length image / 2)
                | Lp_fault.Fault_plan.Refuse_alloc | Lp_fault.Fault_plan.Disk_failure
                | Lp_fault.Fault_plan.Corrupt_word | Lp_fault.Fault_plan.Kill_thread
+               | Lp_fault.Fault_plan.Corrupt_mark_packet
+               | Lp_fault.Fault_plan.Steal_race
                  -> image)
              image
              (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Swap)))
   | None -> ());
+  let pool, engine =
+    if config.Lp_core.Config.gc_domains > 1 then begin
+      let pool =
+        Lp_par.Domain_pool.create ~domains:config.Lp_core.Config.gc_domains
+      in
+      (Some pool, Some (Lp_par.Par_engine.create pool))
+    end
+    else (None, None)
+  in
+  let controller = Lp_core.Controller.create ~metrics config registry in
+  Lp_core.Controller.set_engine controller engine;
   {
     registry;
     store;
     roots;
     stats = Gc_stats.create ();
-    controller = Lp_core.Controller.create ~metrics config registry;
+    controller;
     cost;
     charge_barriers;
     swap;
@@ -111,6 +129,9 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
     nursery_limit = nursery_bytes;
     remset = Remset.create ();
     fault;
+    pool;
+    engine;
+    gc_pause_ns = 0;
     corruptions_injected = 0;
     minor_collections = 0;
     cycles = 0;
@@ -163,6 +184,21 @@ let trace_events t =
 
 let resurrection_enabled t = t.resurrection
 let charge_barriers t = t.charge_barriers
+
+let gc_domains t =
+  (Lp_core.Controller.config t.controller).Lp_core.Config.gc_domains
+
+let par_engine t = t.engine
+
+let gc_pause_ns t = t.gc_pause_ns
+
+(* Joins the collector domains. Idempotent; the VM remains usable
+   afterwards only at gc_domains = 1 semantics would require re-spawning,
+   so callers shut down when they are done with the VM. *)
+let shutdown t =
+  match t.pool with
+  | Some pool -> Lp_par.Domain_pool.shutdown pool
+  | None -> ()
 let remset t = t.remset
 let fault_plan t = t.fault
 let corruptions_injected t = t.corruptions_injected
@@ -205,9 +241,17 @@ let remember_write t ~src ~field ~tgt =
 
 let run_minor_gc t =
   t.minor_collections <- t.minor_collections + 1;
+  let drain =
+    match t.engine with
+    | Some e ->
+      Some
+        (fun ~queue ~slots_scanned ->
+          Lp_par.Par_engine.minor_drain e t.store ~queue ~slots_scanned)
+    | None -> None
+  in
   let r =
-    Minor_collector.collect ?events:t.sink ~number:t.minor_collections t.store
-      t.roots ~remset:t.remset
+    Minor_collector.collect ?events:t.sink ~number:t.minor_collections ?drain
+      t.store t.roots ~remset:t.remset
   in
   let minor_cost =
     (r.Minor_collector.slots_scanned * t.cost.Cost.gc_minor_slot)
@@ -325,6 +369,21 @@ let retain_images t =
   Diskswap.retain_images t.swap ~keep:(Hashtbl.mem keep)
 
 let collect_once t =
+  (* Mark-site faults are drawn once per full collection whether or not
+     the parallel engine is present, so a plan's fault stream (and thus
+     every later draw) is identical at every gc_domains setting. *)
+  (match t.fault with
+  | Some plan ->
+    List.iter
+      (fun f ->
+        match (f, t.engine) with
+        | Lp_fault.Fault_plan.Corrupt_mark_packet, Some e ->
+          Lp_par.Par_engine.arm_corrupt_packet e
+        | Lp_fault.Fault_plan.Steal_race, Some e ->
+          Lp_par.Par_engine.arm_steal_race e
+        | _, _ -> ())
+      (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Mark)
+  | None -> ());
   let doomed = ref [] in
   let on_poison, before_sweep =
     if t.resurrection then
@@ -404,8 +463,12 @@ let run_gc t =
              Lp_core.State_kind.to_string (Lp_core.Controller.state t.controller);
          })
   | None -> ());
+  let pause_start = Unix.gettimeofday () in
   collect_once t;
   if t.offload then run_disk_phase t t.swap;
+  t.gc_pause_ns <-
+    t.gc_pause_ns
+    + int_of_float ((Unix.gettimeofday () -. pause_start) *. 1e9);
   let gc_cost =
     Cost.gc_cost t.cost ~before ~after:t.stats
     + (Roots.root_count t.roots * t.cost.Cost.gc_root)

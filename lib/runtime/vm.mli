@@ -76,6 +76,38 @@ val charge_barriers : t -> bool
 val remset : t -> Remset.t
 val fault_plan : t -> Lp_fault.Fault_plan.t option
 
+(** {1 Parallel collection}
+
+    With [Config.gc_domains > 1] the VM spawns a {!Lp_par.Domain_pool}
+    at {!create} and routes every full-heap mark, stale closure and
+    sweep — and the minor-collection drain loop — through the
+    {!Lp_par.Par_engine}. The engine is deterministic by construction:
+    heap state, counters, prune decisions, reclaimed bytes and the
+    simulated clock are identical to the sequential collector at any
+    domain count. Traces match event-for-event too, except that the
+    engine adds its own worker-span events and that word-level mark
+    events within a collection follow traversal order (sequential DFS
+    vs the engine's BFS rounds) — same set, different interleaving. At
+    [gc_domains = 1] (the default) no pool exists and the sequential
+    code paths run untouched. *)
+
+val gc_domains : t -> int
+(** The configured domain count (1 = sequential collector). *)
+
+val par_engine : t -> Lp_par.Par_engine.t option
+(** The parallel tracing engine, present iff [gc_domains > 1]. *)
+
+val gc_pause_ns : t -> int
+(** Cumulative wall-clock nanoseconds spent inside full-heap collections
+    (mark through sweep, plus the disk phase). Wall time, not simulated
+    cycles — used by the parallel-GC benchmark only; traces never record
+    it. *)
+
+val shutdown : t -> unit
+(** Joins the collector domains (no-op at [gc_domains = 1]; idempotent).
+    Call when done with a parallel VM — leaked domains keep the process
+    alive. *)
+
 (** {1 Observability}
 
     The metrics registry is always on — the controller, the swap store
