@@ -723,6 +723,201 @@ let run_parallel_gc_bench () =
   if not deterministic then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Pause-time sweep: the same leak workloads collected by all three
+   tracing engines, with the VM's per-pause samples (one per collection
+   for the monolithic engines; one per mark slice plus the remainder
+   for the incremental engine) aggregated into max / mean / a log10
+   histogram. Reclamation outcomes must match across engines (the
+   determinism contract — hard gate), and the incremental engine's
+   biggest slice must respect its object budget; that bound is counted
+   in objects, not nanoseconds, so the gate cannot be flaked by a busy
+   host. The wall-clock comparison (incremental max pause vs
+   sequential) is recorded in the JSON for the honest picture. *)
+
+let pause_slice_budget = 64
+let pause_gate_tolerance = 1.25
+
+let pause_engines =
+  [
+    ("seq", Lp_core.Config.Sequential);
+    ("par2", Lp_core.Config.Parallel 2);
+    ( Printf.sprintf "inc%d" pause_slice_budget,
+      Lp_core.Config.Incremental );
+  ]
+
+let pause_workloads =
+  [ Lp_workloads.List_leak.workload; Lp_workloads.Swap_leak.workload ]
+
+(* log10 buckets in microseconds: <1us, <10us, <100us, <1ms, <10ms, >=10ms *)
+let pause_bucket_labels =
+  [ "<1us"; "<10us"; "<100us"; "<1ms"; "<10ms"; ">=10ms" ]
+
+let pause_histogram samples =
+  let h = Array.make (List.length pause_bucket_labels) 0 in
+  List.iter
+    (fun ns ->
+      let b =
+        if ns < 1_000 then 0
+        else if ns < 10_000 then 1
+        else if ns < 100_000 then 2
+        else if ns < 1_000_000 then 3
+        else if ns < 10_000_000 then 4
+        else 5
+      in
+      h.(b) <- h.(b) + 1)
+    samples;
+  h
+
+type pause_case = {
+  pc_workload : string;
+  pc_engine : string;
+  pc_gc_count : int;
+  pc_bytes_reclaimed : int;
+  pc_samples : int;
+  pc_max_ns : int;
+  pc_mean_ns : float;
+  pc_max_slice_work : int;
+  pc_histogram : int array;
+}
+
+let run_pause_case w (name, engine) =
+  let captured = ref None in
+  let r =
+    Lp_harness.Driver.run
+      ~config:
+        (Lp_core.Config.make ~gc_engine:engine
+           ~gc_slice_budget:pause_slice_budget ())
+      ~max_iterations:5_000
+      ~prepare_vm:(fun vm -> captured := Some vm)
+      w
+  in
+  let vm = match !captured with Some vm -> vm | None -> assert false in
+  let samples = Lp_runtime.Vm.pause_samples_ns vm in
+  let n = List.length samples in
+  {
+    pc_workload = r.Lp_harness.Driver.workload;
+    pc_engine = name;
+    pc_gc_count = r.Lp_harness.Driver.gc_count;
+    pc_bytes_reclaimed = r.Lp_harness.Driver.bytes_reclaimed;
+    pc_samples = n;
+    pc_max_ns = Lp_runtime.Vm.max_pause_ns vm;
+    pc_mean_ns =
+      (if n = 0 then 0.0
+       else float_of_int (List.fold_left ( + ) 0 samples) /. float_of_int n);
+    pc_max_slice_work = Lp_runtime.Vm.max_slice_work vm;
+    pc_histogram = pause_histogram samples;
+  }
+
+let run_pause_bench () =
+  Lp_harness.Render.header "GC pause profile"
+    "per-pause wall-clock samples under seq / par2 / inc engines; results \
+     in BENCH_pauses.json";
+  let cases =
+    List.concat_map
+      (fun w -> List.map (run_pause_case w) pause_engines)
+      pause_workloads
+  in
+  let base c =
+    List.find
+      (fun b -> b.pc_workload = c.pc_workload && b.pc_engine = "seq")
+      cases
+  in
+  let deterministic =
+    List.for_all
+      (fun c ->
+        let b = base c in
+        c.pc_gc_count = b.pc_gc_count
+        && c.pc_bytes_reclaimed = b.pc_bytes_reclaimed)
+      cases
+  in
+  let slice_cap =
+    int_of_float (float_of_int pause_slice_budget *. pause_gate_tolerance)
+  in
+  let slice_violations =
+    List.filter (fun c -> c.pc_max_slice_work > slice_cap) cases
+  in
+  let inc_beats_seq =
+    List.filter
+      (fun c ->
+        c.pc_engine <> "seq" && c.pc_max_slice_work > 0
+        && c.pc_max_ns < (base c).pc_max_ns)
+      cases
+  in
+  let case_json c =
+    Printf.sprintf
+      {|    { "workload": %S, "engine": %S, "collections": %d,
+      "bytes_reclaimed": %d, "pause_samples": %d, "max_pause_ns": %d,
+      "mean_pause_ns": %.0f, "max_slice_work": %d,
+      "histogram": [%s] }|}
+      c.pc_workload c.pc_engine c.pc_gc_count c.pc_bytes_reclaimed c.pc_samples
+      c.pc_max_ns c.pc_mean_ns c.pc_max_slice_work
+      (String.concat ", "
+         (Array.to_list (Array.map string_of_int c.pc_histogram)))
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "gc_pauses",
+  "slice_budget": %d,
+  "slice_gate_tolerance": %.2f,
+  "histogram_buckets": [%s],
+  "deterministic_across_engines": %b,
+  "incremental_max_pause_below_sequential_on": [%s],
+  "cases": [
+%s
+  ]
+}
+|}
+      pause_slice_budget pause_gate_tolerance
+      (String.concat ", "
+         (List.map (Printf.sprintf "%S") pause_bucket_labels))
+      deterministic
+      (String.concat ", "
+         (List.map (fun c -> Printf.sprintf "%S" c.pc_workload) inc_beats_seq))
+      (String.concat ",\n" (List.map case_json cases))
+  in
+  let path = out_path "BENCH_pauses.json" in
+  write_file path json;
+  (* root copy, like BENCH_resurrection.json *)
+  write_file "BENCH_pauses.json" json;
+  Lp_harness.Render.table
+    ~columns:
+      [ "workload"; "engine"; "gcs"; "pauses"; "max pause ms"; "mean pause ms";
+        "max slice objs" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           [
+             c.pc_workload;
+             c.pc_engine;
+             string_of_int c.pc_gc_count;
+             string_of_int c.pc_samples;
+             Printf.sprintf "%.3f" (float_of_int c.pc_max_ns /. 1e6);
+             Printf.sprintf "%.3f" (c.pc_mean_ns /. 1e6);
+             string_of_int c.pc_max_slice_work;
+           ])
+         cases);
+  Printf.printf
+    "outputs %s across engines; incremental max pause below sequential on: %s\n"
+    (if deterministic then "IDENTICAL" else "DIVERGED (engine bug!)")
+    (match inc_beats_seq with
+    | [] -> "none"
+    | l -> String.concat ", " (List.map (fun c -> c.pc_workload) l));
+  Printf.printf "wrote %s (and root copy BENCH_pauses.json)\n" path;
+  if not deterministic then exit 1;
+  if slice_violations <> [] then begin
+    List.iter
+      (fun c ->
+        Printf.eprintf
+          "pause-gate: FAIL — %s/%s max slice scanned %d objects, over the \
+           budget %d x %.2f = %d\n"
+          c.pc_workload c.pc_engine c.pc_max_slice_work pause_slice_budget
+          pause_gate_tolerance slice_cap)
+      slice_violations;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments = Lp_harness.Experiments.all @ Lp_harness.Ablations.all
 
@@ -737,7 +932,11 @@ let list_experiments () =
     "Same measurement; exit 1 if overhead exceeds the 3% budget";
   Printf.printf "%-13s %s\n" "gc-parallel"
     "Parallel-GC speedup sweep at 1/2/4 domains (writes \
-     bench/out/BENCH_parallel_gc.json; exit 1 if outputs diverge)"
+     bench/out/BENCH_parallel_gc.json; exit 1 if outputs diverge)";
+  Printf.printf "%-13s %s\n" "gc-pauses"
+    "Pause profile under seq/par2/inc engines (writes \
+     bench/out/BENCH_pauses.json; exit 1 if outputs diverge or an \
+     incremental slice busts its budget)"
 
 let run_experiment id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -748,6 +947,7 @@ let run_experiment id =
     else if id = "obs" then run_obs_overhead_bench ~gate:false ()
     else if id = "obs-gate" then run_obs_overhead_bench ~gate:true ()
     else if id = "gc-parallel" then run_parallel_gc_bench ()
+    else if id = "gc-pauses" then run_pause_bench ()
     else begin
       Printf.eprintf "unknown experiment %S; try --list\n" id;
       exit 1
@@ -772,6 +972,7 @@ let () =
     run_microbenches ();
     run_resurrection_bench ();
     run_obs_overhead_bench ~gate:false ();
-    run_parallel_gc_bench ()
+    run_parallel_gc_bench ();
+    run_pause_bench ()
   | [ "--list" ] -> list_experiments ()
   | ids -> List.iter run_experiment ids

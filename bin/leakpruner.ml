@@ -62,23 +62,60 @@ let policy_conv =
   in
   Arg.conv (parse, Lp_core.Policy.pp)
 
-(* Shared by run, trace and chaos: collections use the parallel tracing
-   engine with this many domains (1 = the sequential collector; outputs
-   are identical either way by the engine's determinism contract). *)
+(* Shared by run, trace and chaos: which tracing engine drives full
+   collections. All engines produce identical prune decisions, counters
+   and heap state by the determinism contract — only the pause profile
+   (and, for par, the wall-clock mark time) differs. *)
+let gc_engine_arg =
+  Arg.(value
+       & opt (some (enum [ ("seq", `Seq); ("par", `Par); ("inc", `Inc) ])) None
+       & info [ "gc-engine" ] ~docv:"ENGINE"
+           ~doc:"Tracing engine for stop-the-world collections: $(b,seq) \
+                 (the sequential collector; the default), $(b,par) (the \
+                 deterministic parallel engine; size it with --gc-domains), \
+                 or $(b,inc) (the pause-bounded incremental marker; bound \
+                 it with --gc-slice-budget). Reclamation outcomes are \
+                 identical across engines.")
+
 let gc_domains_arg =
   Arg.(value & opt int 1
        & info [ "gc-domains" ] ~docv:"N"
-           ~doc:"Collector domains for stop-the-world collections (1-64). \
-                 1 (the default) runs the sequential collector; more run \
-                 the deterministic parallel tracing engine, whose prune \
-                 decisions, counters and heap state are identical at \
-                 every domain count.")
+           ~doc:"Collector domains for the parallel engine (2-64; implies \
+                 --gc-engine par). 1, the default, is neutral and leaves \
+                 the engine selection alone.")
 
-let check_gc_domains n =
-  if n < 1 || n > 64 then begin
+let gc_slice_budget_arg =
+  Arg.(value & opt int 256
+       & info [ "gc-slice-budget" ] ~docv:"N"
+           ~doc:"Maximum objects one incremental mark slice scans before \
+                 yielding (--gc-engine inc only; default 256).")
+
+(* CLI-level reconciliation of the engine flag with the legacy
+   --gc-domains alias: par without an explicit domain count gets a
+   sensible default, seq/inc with a domain count is a contradiction. *)
+let resolve_cli_engine gc_engine gc_domains gc_slice_budget =
+  if gc_domains < 1 || gc_domains > 64 then begin
     Printf.eprintf "leakpruner: --gc-domains must be in [1, 64]\n";
     exit 2
-  end
+  end;
+  if gc_slice_budget < 1 then begin
+    Printf.eprintf "leakpruner: --gc-slice-budget must be >= 1\n";
+    exit 2
+  end;
+  match (gc_engine, gc_domains) with
+  | None, 1 -> None
+  | None, n -> Some (Lp_core.Config.Parallel n)
+  | Some `Seq, 1 -> Some Lp_core.Config.Sequential
+  | Some `Inc, 1 -> Some Lp_core.Config.Incremental
+  | Some `Par, 1 -> Some (Lp_core.Config.Parallel 2)
+  | Some `Par, n -> Some (Lp_core.Config.Parallel n)
+  | Some ((`Seq | `Inc) as e), n ->
+    Printf.eprintf
+      "leakpruner: --gc-engine %s conflicts with --gc-domains %d (the alias \
+       implies par)\n"
+      (match e with `Seq -> "seq" | `Inc -> "inc")
+      n;
+    exit 2
 
 let run_cmd =
   let doc = "Run a workload under a leak-pruning configuration." in
@@ -105,8 +142,9 @@ let run_cmd =
          & info [ "prune-at-exhaustion" ]
              ~doc:"Use the paper's option (1): wait until the heap is 100% full before the first prune (Figure 11). Default is option (2), pruning right after a SELECT collection.")
   in
-  let run name policy heap cap trace exhaustion gc_domains =
-    check_gc_domains gc_domains;
+  let run name policy heap cap trace exhaustion gc_engine gc_domains
+      gc_slice_budget =
+    let gc_engine = resolve_cli_engine gc_engine gc_domains gc_slice_budget in
     match find_workload name with
     | None ->
       Printf.eprintf "unknown workload %S; see `leakpruner list`\n" name;
@@ -118,7 +156,7 @@ let run_cmd =
           ~prune_trigger:
             (if exhaustion then Lp_core.Config.On_exhaustion
              else Lp_core.Config.On_select_gc)
-          ?report ~gc_domains ()
+          ?report ?gc_engine ~gc_slice_budget ()
       in
       let r = Lp_harness.Driver.run ~config ?heap_bytes:heap ~max_iterations:cap w in
       Printf.printf "workload:     %s\n" r.Lp_harness.Driver.workload;
@@ -141,7 +179,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ workload_arg $ policy_arg $ heap_arg $ cap_arg $ trace_arg
-          $ exhaustion_arg $ gc_domains_arg)
+          $ exhaustion_arg $ gc_engine_arg $ gc_domains_arg
+          $ gc_slice_budget_arg)
 
 let interp_cmd =
   let doc = "Assemble and interpret a bytecode file on the simulated VM (with leak pruning)." in
@@ -244,14 +283,15 @@ let trace_cmd =
                    bundled workloads under their default caps drop nothing, \
                    which the prune audit cross-check relies on.")
   in
-  let run name policy heap cap format out buffer gc_domains =
-    check_gc_domains gc_domains;
+  let run name policy heap cap format out buffer gc_engine gc_domains
+      gc_slice_budget =
+    let gc_engine = resolve_cli_engine gc_engine gc_domains gc_slice_budget in
     match find_workload name with
     | None ->
       Printf.eprintf "unknown workload %S; see `leakpruner list`\n" name;
       exit 1
     | Some w ->
-      let config = Lp_core.Config.make ~policy ~gc_domains () in
+      let config = Lp_core.Config.make ~policy ?gc_engine ~gc_slice_budget () in
       let captured = ref None in
       let r =
         Lp_harness.Driver.run ~config ?heap_bytes:heap ~max_iterations:cap
@@ -346,7 +386,8 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ workload_arg $ policy_arg $ heap_arg $ cap_arg
-          $ format_arg $ out_arg $ buffer_arg $ gc_domains_arg)
+          $ format_arg $ out_arg $ buffer_arg $ gc_engine_arg $ gc_domains_arg
+          $ gc_slice_budget_arg)
 
 let chaos_cmd =
   let doc =
@@ -385,11 +426,11 @@ let chaos_cmd =
      re-run traced, exported as a Chrome trace. Reruns are exact (the
      run is a deterministic function of seed and cap, and tracing never
      changes behaviour), so the trace shows the actual failure. *)
-  let write_failure_trace ~faults ~gc_domains ~steps ~seed dir =
+  let write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~steps ~seed dir =
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
     let r =
-      Lp_harness.Chaos.run_one ~faults ~gc_domains ~steps ~trace_capacity:65_536
-        ~seed ()
+      Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~steps
+        ~trace_capacity:65_536 ~seed ()
     in
     let file = Filename.concat dir (Printf.sprintf "chaos_seed_%d.trace.json" seed) in
     let oc = open_out file in
@@ -420,33 +461,43 @@ let chaos_cmd =
       | Lp_harness.Chaos.Survived -> ""
       | o -> "  (" ^ Lp_harness.Chaos.outcome_to_string o ^ ")")
   in
-  let run seeds steps no_faults seed quiet trace_dir gc_domains =
+  let run seeds steps no_faults seed quiet trace_dir gc_engine_flag gc_domains
+      gc_slice_budget =
     if seeds < 0 || steps < 0 then begin
       Printf.eprintf "leakpruner: chaos: --seeds and --steps must be non-negative\n";
       exit 2
     end;
-    check_gc_domains gc_domains;
+    let gc_engine = resolve_cli_engine gc_engine_flag gc_domains gc_slice_budget in
     let faults = not no_faults in
     match seed with
     | Some seed ->
-      let r = Lp_harness.Chaos.run_one ~faults ~gc_domains ~steps ~seed () in
+      let r =
+        Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~steps
+          ~seed ()
+      in
       print_report r;
-      (match Lp_harness.Chaos.run_one ~faults ~gc_domains ~steps ~seed () with
+      (match
+         Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~steps
+           ~seed ()
+       with
       | r' when r' = r -> ()
       | _ -> Printf.printf "WARNING: seed %d did not reproduce identically\n" seed);
       if faults then
         print_endline
           (Lp_fault.Fault_plan.describe (Lp_fault.Fault_plan.random ~seed ()));
       if Lp_harness.Chaos.failed r then begin
-        let shrunk = Lp_harness.Chaos.shrink ~faults ~gc_domains ~steps ~seed () in
+        let shrunk =
+          Lp_harness.Chaos.shrink ~faults ?gc_engine ~gc_slice_budget ~steps
+            ~seed ()
+        in
         (match shrunk with
         | Some n -> Printf.printf "minimal reproduction: %d step(s)\n" n
         | None -> ());
         (match trace_dir with
         | Some dir ->
-          (* replays run at the failing domain count, so the trace shows
-             the parallel engine's rounds when that is where it failed *)
-          write_failure_trace ~faults ~gc_domains
+          (* replays run under the failing engine selection, so the trace
+             shows that engine's rounds when that is where it failed *)
+          write_failure_trace ~faults ~gc_engine ~gc_slice_budget
             ~steps:(match shrunk with Some n -> n | None -> steps)
             ~seed dir
         | None -> ());
@@ -455,7 +506,8 @@ let chaos_cmd =
     | None ->
       let failures = ref 0 in
       let reports =
-        Lp_harness.Chaos.run_seeds ~faults ~gc_domains ~steps ~seeds
+        Lp_harness.Chaos.run_seeds ~faults ?gc_engine ~gc_slice_budget ~steps
+          ~seeds
           ~progress:(fun r ->
             if Lp_harness.Chaos.failed r then incr failures;
             if (not quiet) || Lp_harness.Chaos.failed r then print_report r)
@@ -477,7 +529,8 @@ let chaos_cmd =
           if Lp_harness.Chaos.failed r then begin
             let seed = r.Lp_harness.Chaos.seed in
             let shrunk =
-              Lp_harness.Chaos.shrink ~faults ~gc_domains ~steps ~seed ()
+              Lp_harness.Chaos.shrink ~faults ?gc_engine ~gc_slice_budget ~steps
+                ~seed ()
             in
             (match shrunk with
             | Some n ->
@@ -485,7 +538,7 @@ let chaos_cmd =
             | None -> ());
             match trace_dir with
             | Some dir ->
-              write_failure_trace ~faults ~gc_domains
+              write_failure_trace ~faults ~gc_engine ~gc_slice_budget
                 ~steps:(match shrunk with Some n -> n | None -> steps)
                 ~seed dir
             | None -> ()
@@ -495,7 +548,7 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ seeds_arg $ steps_arg $ no_faults_arg $ seed_arg $ quiet_arg
-          $ trace_dir_arg $ gc_domains_arg)
+          $ trace_dir_arg $ gc_engine_arg $ gc_domains_arg $ gc_slice_budget_arg)
 
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures (see bench/main.exe --list)." in

@@ -1,5 +1,12 @@
 type prune_trigger = On_select_gc | On_exhaustion
 
+type gc_engine = Sequential | Parallel of int | Incremental
+
+let gc_engine_to_string = function
+  | Sequential -> "seq"
+  | Parallel n -> Printf.sprintf "par%d" n
+  | Incremental -> "inc"
+
 type t = {
   policy : Policy.t;
   observe_threshold : float;
@@ -18,7 +25,8 @@ type t = {
   safe_mode_threshold : int option;
   safe_mode_collections : int;
   resurrection_alloc_attempts : int;
-  gc_domains : int;
+  gc_engine : gc_engine;
+  gc_slice_budget : int;
 }
 
 let default =
@@ -40,8 +48,26 @@ let default =
     safe_mode_threshold = Some 4;
     safe_mode_collections = 8;
     resurrection_alloc_attempts = 4;
-    gc_domains = 1;
+    gc_engine = Sequential;
+    gc_slice_budget = 256;
   }
+
+(* [gc_domains] survives as an alias for the engine selection it used to
+   imply: 1 is the sequential engine, [n > 1] the parallel engine on
+   [n] domains. Passing both spellings is allowed only when they agree
+   ([gc_domains = 1] agrees with everything — it is the neutral
+   default). *)
+let resolve_engine ?gc_engine ?gc_domains () =
+  match (gc_engine, gc_domains) with
+  | None, None | None, Some 1 -> Ok default.gc_engine
+  | None, Some n -> Ok (Parallel n)
+  | Some e, None | Some e, Some 1 -> Ok e
+  | Some (Parallel m), Some n when m = n -> Ok (Parallel m)
+  | Some e, Some n ->
+    Error
+      (Printf.sprintf
+         "gc_engine %s conflicts with gc_domains %d (the alias implies par%d)"
+         (gc_engine_to_string e) n n)
 
 let make ?(policy = default.policy) ?(observe_threshold = default.observe_threshold)
     ?(nearly_full_threshold = default.nearly_full_threshold)
@@ -57,7 +83,12 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     ?(safe_mode_threshold = default.safe_mode_threshold)
     ?(safe_mode_collections = default.safe_mode_collections)
     ?(resurrection_alloc_attempts = default.resurrection_alloc_attempts)
-    ?(gc_domains = default.gc_domains) () =
+    ?gc_engine ?gc_domains ?(gc_slice_budget = default.gc_slice_budget) () =
+  let gc_engine =
+    match resolve_engine ?gc_engine ?gc_domains () with
+    | Ok e -> e
+    | Error msg -> invalid_arg ("Config.make: " ^ msg)
+  in
   {
     policy;
     observe_threshold;
@@ -76,8 +107,11 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     safe_mode_threshold;
     safe_mode_collections;
     resurrection_alloc_attempts;
-    gc_domains;
+    gc_engine;
+    gc_slice_budget;
   }
+
+let gc_domains t = match t.gc_engine with Parallel n -> n | Sequential | Incremental -> 1
 
 let validate t =
   if t.observe_threshold <= 0.0 || t.observe_threshold >= 1.0 then
@@ -102,6 +136,7 @@ let validate t =
     Error "safe_mode_collections must be >= 1"
   else if t.resurrection_alloc_attempts < 0 then
     Error "resurrection_alloc_attempts must be >= 0"
-  else if t.gc_domains < 1 || t.gc_domains > 64 then
-    Error "gc_domains must be in [1, 64]"
+  else if (match t.gc_engine with Parallel n -> n < 2 || n > 64 | _ -> false)
+  then Error "gc_engine: parallel domain count must be in [2, 64]"
+  else if t.gc_slice_budget < 1 then Error "gc_slice_budget must be >= 1"
   else Ok t

@@ -9,6 +9,28 @@
 
 type prune_trigger = On_select_gc | On_exhaustion
 
+type gc_engine =
+  | Sequential
+      (** the original single-slice DFS collector, bit-for-bit *)
+  | Parallel of int
+      (** full collections route through the [Lp_par] engine on a pool
+          of that many domains (the calling domain included); range
+          [2, 64] *)
+  | Incremental
+      (** the pause-bounded marker: the in-use closure runs in slices of
+          at most [gc_slice_budget] objects. Reclamation outcomes are
+          identical to [Sequential] by construction *)
+
+val gc_engine_to_string : gc_engine -> string
+(** ["seq"], ["par<n>"], ["inc"]. *)
+
+val resolve_engine :
+  ?gc_engine:gc_engine -> ?gc_domains:int -> unit -> (gc_engine, string) result
+(** Resolves the engine selection against the legacy [gc_domains] alias
+    (1 implies [Sequential], [n > 1] implies [Parallel n]). [Error]
+    when both are given and disagree; [gc_domains = 1] is neutral and
+    agrees with everything. *)
+
 type t = {
   policy : Policy.t;
   observe_threshold : float;  (** default 0.5 *)
@@ -61,13 +83,15 @@ type t = {
       (** collections the barrier-level resurrection path may trigger
           while re-allocating a pruned object's replacement before the
           recovery fails with [Reallocation_exhausted]; default 4 *)
-  gc_domains : int;
-      (** collector domains for stop-the-world tracing and sweeping.
-          1 (the default) runs the original sequential collector,
-          bit-for-bit; [n > 1] routes full collections through the
-          [Lp_par] engine on a pool of [n] domains (the calling domain
-          included). Reclamation outcomes are identical at every value
-          by construction. Range [1, 64]. *)
+  gc_engine : gc_engine;
+      (** which tracing engine drives full-heap collections; default
+          [Sequential]. Reclamation outcomes are identical across
+          engines by construction — only scheduling (and therefore the
+          pause profile) differs. *)
+  gc_slice_budget : int;
+      (** maximum objects one incremental mark slice may scan before
+          yielding (the [Incremental] engine's pause bound); ignored by
+          the other engines. Default 256; must be [>= 1]. *)
 }
 
 val default : t
@@ -90,9 +114,18 @@ val make :
   ?safe_mode_threshold:int option ->
   ?safe_mode_collections:int ->
   ?resurrection_alloc_attempts:int ->
+  ?gc_engine:gc_engine ->
   ?gc_domains:int ->
+  ?gc_slice_budget:int ->
   unit ->
   t
+(** [gc_domains] is kept as a legacy alias for the engine selection
+    ({!resolve_engine}); passing it together with an inconsistent
+    [gc_engine] raises [Invalid_argument]. *)
+
+val gc_domains : t -> int
+(** The collector domain count the engine selection implies
+    ([Parallel n] gives [n]; everything else 1). *)
 
 val validate : t -> (t, string) result
 (** Checks threshold ordering and ranges. *)

@@ -16,8 +16,8 @@ type t = {
   mutable epoch_mispredictions : int;  (* since the last PRUNE collection *)
   metrics : Lp_obs.Metrics.t;
   mutable sink : Lp_obs.Sink.t option;
-  mutable engine : Lp_par.Par_engine.t option;
-      (* parallel tracing engine; [None] = original sequential path *)
+  engine : Trace_engine.t;
+      (* the one tracing engine every phase dispatches through *)
   mutable mark_wall_ns : int;  (* wall time spent in mark phases *)
   (* Interned once so the per-collection updates are field writes. *)
   c_mispredictions : Lp_obs.Metrics.counter;
@@ -26,12 +26,15 @@ type t = {
   c_prune_bytes : Lp_obs.Metrics.counter;
 }
 
-let create ?metrics config registry =
+let create ?metrics ?engine config registry =
   match Config.validate config with
   | Error msg -> invalid_arg ("Controller.create: " ^ msg)
   | Ok config ->
     let metrics =
       match metrics with Some m -> m | None -> Lp_obs.Metrics.create ()
+    in
+    let engine =
+      match engine with Some e -> e | None -> Trace_engine.sequential ()
     in
     {
       config;
@@ -49,7 +52,7 @@ let create ?metrics config registry =
       epoch_mispredictions = 0;
       metrics;
       sink = None;
-      engine = None;
+      engine;
       mark_wall_ns = 0;
       c_mispredictions = Lp_obs.Metrics.counter metrics "controller.mispredictions";
       c_prune_decisions = Lp_obs.Metrics.counter metrics "prune.decisions";
@@ -60,8 +63,6 @@ let create ?metrics config registry =
 let set_sink t sink = t.sink <- sink
 
 let sink t = t.sink
-
-let set_engine t engine = t.engine <- engine
 
 let engine t = t.engine
 
@@ -201,40 +202,23 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
   let poisoned_before = stats.Gc_stats.references_poisoned in
   (* Every branch funnels its in-use closure through [mark] so the phase
      span and its work figure (fields scanned) are attributed uniformly.
-     The parallel engine, when installed, produces the same marked set,
-     counters and deferred edges as [Collector.mark] at every domain
-     count; [edge_note]/[apply_note] carry the Individual_refs byte
-     accounting, which the engine must split into a pure worker part and
-     a coordinator part. *)
+     Every engine produces the same marked set, counters and deferred
+     edges as the sequential collector; [edge_note]/[apply_note] carry
+     the Individual_refs byte accounting in the split form all engines
+     accept (the parallel one needs the halves apart: pure worker
+     evaluation, coordinator application). *)
   let mark ?edge_note ?apply_note config =
     phase_begin t "mark";
     let before = stats.Gc_stats.fields_scanned in
     let t0 = Unix.gettimeofday () in
     let r =
-      match t.engine with
-      | Some e ->
-        Lp_par.Par_engine.mark e ~gc:t.gc_count ?edge_note ?apply_note store
-          roots ~stats ~config
-      | None -> Collector.mark store roots ~stats ~config
+      t.engine.Trace_engine.mark ~gc:t.gc_count ?edge_note ?apply_note store
+        roots ~stats ~config
     in
     t.mark_wall_ns <-
       t.mark_wall_ns + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
     phase_end t "mark" (stats.Gc_stats.fields_scanned - before);
     r
-  in
-  (* Stale closures claim shared sub-structures first-come-first-served,
-     so candidate order affects which edge type the claimed bytes are
-     attributed to. Both engines process candidates in canonical
-     (source id, field) order — a total order on edges — so SELECT
-     outcomes do not depend on traversal strategy or domain count. *)
-  let canonical_candidates deferred =
-    List.sort
-      (fun (a : Collector.edge) (b : Collector.edge) ->
-        match compare a.Collector.src.Heap_obj.id b.Collector.src.Heap_obj.id
-        with
-        | 0 -> compare a.Collector.field b.Collector.field
-        | c -> c)
-      deferred
   in
   let select_winner () =
     phase_begin t "selection";
@@ -277,70 +261,50 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
     in
     phase_begin t "stale_closure";
     let claimed_before = stats.Gc_stats.stale_closure_objects in
-    (match t.engine with
-    | Some e -> Lp_par.Par_engine.begin_stale e
-    | None -> ());
+    t.engine.Trace_engine.begin_stale ();
     List.iter
       (fun (edge : Collector.edge) ->
         let bytes =
-          match t.engine with
-          | Some e ->
-            Lp_par.Par_engine.stale_closure e ~gc:t.gc_count ?events:t.sink
-              store ~stats ~set_untouched_bits:true ~stale_tick_gc:tick edge
-          | None ->
-            Collector.stale_closure ?events:t.sink store ~stats
-              ~set_untouched_bits:true ~stale_tick_gc:tick edge
+          t.engine.Trace_engine.stale_closure ~gc:t.gc_count ?events:t.sink
+            store ~stats ~set_untouched_bits:true ~stale_tick_gc:tick edge
         in
         if bytes > 0 then
           Edge_table.add_bytes t.table
             ~src:edge.Collector.src.Heap_obj.class_id
             ~tgt:edge.Collector.tgt.Heap_obj.class_id bytes)
-      (canonical_candidates deferred);
-    (match t.engine with
-    | Some e -> Lp_par.Par_engine.end_stale e ~gc:t.gc_count ~events:t.sink
-    | None -> ());
+      (Trace_common.canonical_candidates deferred);
+    t.engine.Trace_engine.end_stale ~gc:t.gc_count ~events:t.sink;
     phase_end t "stale_closure"
       (stats.Gc_stats.stale_closure_objects - claimed_before);
     select_winner ()
   | State_kind.Select, Policy.Individual_refs ->
-    (* The sequential filter is impure (it adds bytes to the edge table
-       as a side effect of filtering), which workers must not do. The
-       parallel path splits it: workers evaluate the pure qualifying
-       predicate into buffered notes, and the coordinator applies them
-       in packet order at the merge — same totals, same table. *)
-    (match t.engine with
-    | None ->
-      let filter = Selection.select_filter_individual t.config t.table in
-      ignore
-        (mark
-           {
-             Collector.set_untouched_bits = true;
-             stale_tick_gc = tick;
-             edge_filter = Some filter;
-             on_poison = None;
-             events = t.sink;
-           })
-    | Some _ ->
-      let edge_note (edge : Collector.edge) =
-        if Selection.stale_qualifies t.config t.table edge then
-          Some
-            ( edge.Collector.src.Heap_obj.class_id,
-              edge.Collector.tgt.Heap_obj.class_id,
-              edge.Collector.tgt.Heap_obj.size_bytes )
-        else None
-      in
-      let apply_note (src, tgt, bytes) =
-        Edge_table.add_bytes t.table ~src ~tgt bytes
-      in
-      ignore
-        (mark ~edge_note ~apply_note
-           {
-             Collector.set_untouched_bits = true;
-             stale_tick_gc = tick;
-             edge_filter = None;
-             on_poison = None;
-             events = t.sink;
-           }));
+    (* Byte attribution is impure (it adds to the edge table), which
+       parallel workers must not do, so it travels in split form for
+       every engine: a pure qualifying predicate evaluated per edge
+       ([edge_note]) and a table write the engine applies in canonical
+       scan order ([apply_note]). The sequential and incremental
+       engines apply each note at its scan point — exactly where the
+       old impure filter wrote — so totals and table are unchanged. *)
+    let edge_note (edge : Collector.edge) =
+      if Selection.stale_qualifies t.config t.table edge then
+        Some
+          ( edge.Collector.src.Heap_obj.class_id,
+            edge.Collector.tgt.Heap_obj.class_id,
+            edge.Collector.tgt.Heap_obj.size_bytes )
+      else None
+    in
+    let apply_note (src, tgt, bytes) =
+      Edge_table.add_bytes t.table ~src ~tgt bytes
+    in
+    ignore
+      (mark ~edge_note ~apply_note
+         {
+           Collector.set_untouched_bits = true;
+           stale_tick_gc = tick;
+           edge_filter = None;
+           on_poison = None;
+           events = t.sink;
+         });
     select_winner ()
   | State_kind.Select, Policy.Most_stale ->
     ignore
@@ -422,9 +386,7 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
   let freed_before = stats.Gc_stats.bytes_reclaimed in
   phase_begin t "sweep";
   let swept_before = stats.Gc_stats.objects_swept in
-  (match t.engine with
-  | Some e -> Lp_par.Par_engine.sweep e ~gc:t.gc_count ?events:t.sink store ~stats
-  | None -> Collector.sweep store ~stats);
+  t.engine.Trace_engine.sweep ~gc:t.gc_count ?events:t.sink store ~stats;
   phase_end t "sweep" (stats.Gc_stats.objects_swept - swept_before);
   let freed = stats.Gc_stats.bytes_reclaimed - freed_before in
   (* A prune that neither poisons nor frees is unproductive; enough of

@@ -22,13 +22,24 @@ open Lp_heap
 
 type t
 
-val create : ?metrics:Lp_obs.Metrics.t -> Config.t -> Class_registry.t -> t
+val create :
+  ?metrics:Lp_obs.Metrics.t ->
+  ?engine:Trace_engine.t ->
+  Config.t ->
+  Class_registry.t ->
+  t
 (** @raise Invalid_argument when the configuration fails
     {!Config.validate}. [metrics] is the registry the controller
     publishes its counters into ([controller.mispredictions],
     [prune.decisions], [prune.refs_poisoned], [prune.bytes_reclaimed]);
     a private registry is created when omitted, so standalone
-    controllers keep working unchanged. *)
+    controllers keep working unchanged. [engine] is the tracing engine
+    every full-heap collection dispatches through
+    ({!Lp_heap.Trace_engine}); when omitted the controller runs
+    {!Lp_heap.Trace_engine.sequential}, the original collector
+    bit-for-bit. The marked set, the prune decisions, every [Gc_stats]
+    counter and the reclaimed bytes are identical across engines by
+    construction — only scheduling differs. *)
 
 val set_sink : t -> Lp_obs.Sink.t option -> unit
 (** Attaches (or detaches) the event sink. With a sink attached, each
@@ -41,16 +52,8 @@ val set_sink : t -> Lp_obs.Sink.t option -> unit
 
 val sink : t -> Lp_obs.Sink.t option
 
-val set_engine : t -> Lp_par.Par_engine.t option -> unit
-(** Installs (or removes) the parallel tracing engine. With an engine
-    installed, full collections route the in-use closure, the stale
-    closures and the sweep through {!Lp_par.Par_engine}; the marked
-    set, the prune decisions, every [Gc_stats] counter and the
-    reclaimed bytes are identical to the sequential path by
-    construction. [None] (the default) runs the original sequential
-    collector, bit-for-bit. *)
-
-val engine : t -> Lp_par.Par_engine.t option
+val engine : t -> Trace_engine.t
+(** The tracing engine this controller dispatches through. *)
 
 val mark_wall_ns : t -> int
 (** Cumulative wall-clock nanoseconds spent in mark phases (both

@@ -45,8 +45,8 @@ exception Check_failed of string
 
 let default_steps = 300
 
-let run_one ?(faults = true) ?(gc_domains = 1) ?(steps = default_steps)
-    ?trace_capacity ~seed () =
+let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
+    ?(steps = default_steps) ?trace_capacity ~seed () =
   let rng = Random.State.make [| 0xC4A05; seed |] in
   (* The VM shape is drawn from the seed too, so a seed sweep covers
      small and large heaps, generational and whole-heap collection, and
@@ -64,11 +64,13 @@ let run_one ?(faults = true) ?(gc_domains = 1) ?(steps = default_steps)
      paper's prune-means-gone semantics in the sweep. *)
   let resurrection = Random.State.int rng 4 > 0 in
   let plan = if faults then Some (Lp_fault.Fault_plan.random ~seed ()) else None in
-  (* [Config.make ()] is [Config.default], so at gc_domains = 1 this is
-     the exact VM every chaos run always built. *)
+  (* [Config.make ()] is [Config.default], so with no engine selection
+     this is the exact VM every chaos run always built. Both spellings
+     pass through so callers can use either; [Config.resolve_engine]
+     reconciles them (gc_domains = 1, the default here, is neutral). *)
   let vm =
     Lp_runtime.Vm.create
-      ~config:(Lp_core.Config.make ~gc_domains ())
+      ~config:(Lp_core.Config.make ?gc_engine ~gc_domains ?gc_slice_budget ())
       ?disk ~resurrection ?nursery_bytes ?fault:plan ~heap_bytes ()
   in
   (match trace_capacity with
@@ -315,8 +317,12 @@ let run_one ?(faults = true) ?(gc_domains = 1) ?(steps = default_steps)
       | None -> 0);
   }
 
-let shrink ?faults ?gc_domains ?(steps = default_steps) ~seed () =
-  let failing m = failed (run_one ?faults ?gc_domains ~steps:m ~seed ()) in
+let shrink ?faults ?gc_engine ?gc_domains ?gc_slice_budget
+    ?(steps = default_steps) ~seed () =
+  let failing m =
+    failed
+      (run_one ?faults ?gc_engine ?gc_domains ?gc_slice_budget ~steps:m ~seed ())
+  in
   if not (failing steps) then None
   else begin
     (* smallest failing cap: failure at cap [m] means the first failing
@@ -330,8 +336,12 @@ let shrink ?faults ?gc_domains ?(steps = default_steps) ~seed () =
     Some !hi
   end
 
-let run_seeds ?faults ?gc_domains ?steps ?progress ~seeds () =
+let run_seeds ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?steps ?progress
+    ~seeds () =
   List.init seeds (fun i ->
-      let r = run_one ?faults ?gc_domains ?steps ~seed:(i + 1) () in
+      let r =
+        run_one ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?steps
+          ~seed:(i + 1) ()
+      in
       (match progress with Some f -> f r | None -> ());
       r)

@@ -66,7 +66,9 @@ val outcome_to_string : outcome -> string
 
 val run_one :
   ?faults:bool ->
+  ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
+  ?gc_slice_budget:int ->
   ?steps:int ->
   ?trace_capacity:int ->
   seed:int ->
@@ -74,31 +76,42 @@ val run_one :
   report
 (** One deterministic chaos run. [faults] (default [true]) attaches the
     fault plan [Lp_fault.Fault_plan.random ~seed]; [false] runs the same
-    workload fault-free. [gc_domains] (default 1) sets
-    [Config.gc_domains]: the VM collects with the parallel tracing
-    engine, which reproduces the sequential collector's decisions,
-    counters, heap state and clock exactly — so every scalar report
-    field must be independent of [gc_domains], and the trace must match
-    up to the engine's own worker events and the traversal-order
+    workload fault-free. [gc_engine] selects the tracing engine behind
+    the VM's full collections ([gc_domains] survives as the legacy
+    alias, reconciled by {!Lp_core.Config.resolve_engine};
+    [gc_slice_budget] bounds the incremental engine's slices). Every
+    engine reproduces the sequential collector's decisions, counters,
+    heap state and clock exactly — so every scalar report field must be
+    independent of the engine selection, and the trace must match up to
+    the parallel engine's own worker events and the traversal-order
     interleaving of word-level mark events, which is exactly what the
-    differential determinism test asserts. The collector domains are
-    joined before the report is built. [steps] caps the workload (default 300). The VM shape (heap
-    size, generational mode, disk baseline, resurrection) is itself
-    drawn from the seed, so a sweep covers all configurations.
-    [trace_capacity] attaches an event sink of that capacity before the
-    first step; the log lands in {!report.trace}. Tracing never changes
-    a run's behaviour — only its observation. *)
+    differential determinism test asserts. The engine is shut down
+    before the report is built. [steps] caps the workload (default
+    300). The VM shape (heap size, generational mode, disk baseline,
+    resurrection) is itself drawn from the seed, so a sweep covers all
+    configurations. [trace_capacity] attaches an event sink of that
+    capacity before the first step; the log lands in {!report.trace}.
+    Tracing never changes a run's behaviour — only its observation. *)
 
 val shrink :
-  ?faults:bool -> ?gc_domains:int -> ?steps:int -> seed:int -> unit -> int option
+  ?faults:bool ->
+  ?gc_engine:Lp_core.Config.gc_engine ->
+  ?gc_domains:int ->
+  ?gc_slice_budget:int ->
+  ?steps:int ->
+  seed:int ->
+  unit ->
+  int option
 (** The smallest step cap at which [seed] still fails ([Violation] or
-    [Crash]) at the given domain count; [None] if it does not fail at
-    [steps]. Binary search is sound because a capped run is a prefix of
-    the full run, so failure at cap [m] is monotone in [m]. *)
+    [Crash]) under the given engine selection; [None] if it does not
+    fail at [steps]. Binary search is sound because a capped run is a
+    prefix of the full run, so failure at cap [m] is monotone in [m]. *)
 
 val run_seeds :
   ?faults:bool ->
+  ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
+  ?gc_slice_budget:int ->
   ?steps:int ->
   ?progress:(report -> unit) ->
   seeds:int ->

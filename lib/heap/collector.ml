@@ -1,8 +1,17 @@
-type edge = { src : Heap_obj.t; field : int; tgt : Heap_obj.t }
+(* The engine-independent scan, tick batching and quarantine live in
+   Trace_common; this module composes them into the sequential
+   (single-slice DFS) phases and re-exports the shared vocabulary under
+   its historical names. *)
 
-type edge_action = Trace | Defer | Poison
+type edge = Trace_common.edge = {
+  src : Heap_obj.t;
+  field : int;
+  tgt : Heap_obj.t;
+}
 
-type mark_config = {
+type edge_action = Trace_common.edge_action = Trace | Defer | Poison
+
+type mark_config = Trace_common.mark_config = {
   set_untouched_bits : bool;
   stale_tick_gc : int option;
   edge_filter : (edge -> edge_action) option;
@@ -10,141 +19,47 @@ type mark_config = {
   events : Lp_obs.Sink.t option;
 }
 
-let base_config =
-  {
-    set_untouched_bits = false;
-    stale_tick_gc = None;
-    edge_filter = None;
-    on_poison = None;
-    events = None;
-  }
+let base_config = Trace_common.base_config
 
-let tick stats gc obj =
-  match gc with
-  | None -> ()
-  | Some gc_number ->
-    stats.Gc_stats.stale_tick_scans <- stats.Gc_stats.stale_tick_scans + 1;
-    if Stale_counter.tick_object ~gc_number obj then
-      stats.Gc_stats.stale_ticks <- stats.Gc_stats.stale_ticks + 1
+let tick = Trace_common.tick
+
+let quarantine = Trace_common.quarantine
 
 let mark_object stats ?(stale_tick_gc = None) (obj : Heap_obj.t) =
   obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
   stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
   tick stats stale_tick_gc obj
 
-(* A non-poisoned reference word whose target is not live is corrupt
-   (fault injection, or a collector bug). Crashing inside a collection
-   would take the whole VM down, so the word is quarantined instead:
-   poisoned like a pruned reference, turning any later program access
-   into a structured error. *)
-let quarantine ?(events = None) stats fields i =
-  (match events with
-  | Some sink ->
-    Lp_obs.Sink.emit sink
-      (Lp_obs.Event.Quarantine { target = Word.target fields.(i) })
-  | None -> ());
-  fields.(i) <- Word.poison fields.(i);
-  stats.Gc_stats.words_quarantined <- stats.Gc_stats.words_quarantined + 1
-
-(* Scans the fields of [obj], maintaining untouched bits, applying the edge
-   filter, and pushing newly marked targets. Deferred edges are appended to
-   [deferred] (in reverse discovery order; [mark] reverses at the end).
-
-   Staleness ticks for objects marked here are accumulated in [to_tick]
-   and applied only after the whole closure finishes: the edge filter
-   reads target staleness, so ticking mid-traversal would make filter
-   decisions depend on visit order (DFS here, BFS rounds in the parallel
-   engine). Deferral keeps every filter evaluation against the
-   mark-start staleness; the final counters are unchanged because a tick
-   depends only on the object's own counter and the collection number. *)
-let scan_object store stats ~config ~to_tick queue deferred (obj : Heap_obj.t) =
-  let fields = obj.Heap_obj.fields in
-  for i = 0 to Array.length fields - 1 do
-    let w = fields.(i) in
-    if not (Word.is_null w) then begin
-      stats.Gc_stats.fields_scanned <- stats.Gc_stats.fields_scanned + 1;
-      if not (Word.poisoned w) then begin
-        let w =
-          if config.set_untouched_bits && not (Word.untouched w) then begin
-            let w' = Word.set_untouched w in
-            fields.(i) <- w';
-            stats.Gc_stats.untouched_bits_set <-
-              stats.Gc_stats.untouched_bits_set + 1;
-            w'
-          end
-          else w
-        in
-        match Store.get_opt store (Word.target w) with
-        | None -> quarantine ~events:config.events stats fields i
-        | Some tgt -> (
-          let action =
-            match config.edge_filter with
-            | None -> Trace
-            | Some filter -> filter { src = obj; field = i; tgt }
-          in
-          match action with
-          | Trace ->
-            if not (Header.marked tgt.Heap_obj.header) then begin
-              tgt.Heap_obj.header <- Header.set_marked tgt.Heap_obj.header;
-              stats.Gc_stats.objects_marked <-
-                stats.Gc_stats.objects_marked + 1;
-              if config.stale_tick_gc <> None then to_tick := tgt :: !to_tick;
-              Work_queue.push queue tgt.Heap_obj.id
-            end
-          | Defer ->
-            stats.Gc_stats.candidates_enqueued <-
-              stats.Gc_stats.candidates_enqueued + 1;
-            deferred := { src = obj; field = i; tgt } :: !deferred
-          | Poison ->
-            (* the hook sees the edge while the target's subtree is still
-               intact, so it can capture a swap image before the sweep *)
-            (match config.on_poison with Some f -> f { src = obj; field = i; tgt } | None -> ());
-            (match config.events with
-            | Some sink ->
-              Lp_obs.Sink.emit sink
-                (Lp_obs.Event.Edge_poisoned
-                   {
-                     src_class = obj.Heap_obj.class_id;
-                     field = i;
-                     target = tgt.Heap_obj.id;
-                   })
-            | None -> ());
-            fields.(i) <- Word.poison w;
-            stats.Gc_stats.references_poisoned <-
-              stats.Gc_stats.references_poisoned + 1)
-      end
-    end
-  done
-
-let drain store stats ~config ~to_tick queue deferred =
-  let rec loop () =
+let mark ?edge_note ?apply_note store roots ~stats ~config =
+  let queue = Work_queue.create () in
+  let deferred = ref [] in
+  let batch = Trace_common.tick_batch () in
+  let note = Trace_common.note_fn ?edge_note ?apply_note () in
+  let on_trace (obj : Heap_obj.t) =
+    obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
+    stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
+    Trace_common.defer_tick batch ~config obj;
+    Work_queue.push queue obj.Heap_obj.id
+  in
+  Roots.iter roots (fun id ->
+      let obj = Store.get store id in
+      if not (Header.marked obj.Heap_obj.header) then on_trace obj);
+  let rec drain () =
     match Work_queue.pop queue with
     | None -> ()
     | Some id ->
-      scan_object store stats ~config ~to_tick queue deferred
+      Trace_common.scan_object store stats ~config ~note ~on_trace ~deferred
         (Store.get store id);
-      loop ()
+      drain ()
   in
-  loop ()
-
-let mark store roots ~stats ~config =
-  let queue = Work_queue.create () in
-  let deferred = ref [] in
-  let to_tick = ref [] in
-  Roots.iter roots (fun id ->
-      let obj = Store.get store id in
-      if not (Header.marked obj.Heap_obj.header) then begin
-        obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
-        stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
-        if config.stale_tick_gc <> None then to_tick := obj :: !to_tick;
-        Work_queue.push queue obj.Heap_obj.id
-      end);
-  drain store stats ~config ~to_tick queue deferred;
-  List.iter (tick stats config.stale_tick_gc) (List.rev !to_tick);
+  drain ();
+  Trace_common.flush_ticks stats config.stale_tick_gc batch;
   List.rev !deferred
 
 (* The stale closure traces everything (no filter), but additionally sets
-   the stale-mark diagnostic bit and counts claimed bytes. *)
+   the stale-mark diagnostic bit and counts claimed bytes. Unlike the
+   in-use closure its ticks are applied at each claim: no filter runs
+   here, so there is no staleness read to keep order-independent. *)
 let stale_closure ?events store ~stats ~set_untouched_bits ~stale_tick_gc
     (e : edge) =
   let tgt = e.tgt in
@@ -172,32 +87,16 @@ let stale_closure ?events store ~stats ~set_untouched_bits ~stale_tick_gc
       Work_queue.push queue obj.Heap_obj.id
     in
     claim tgt;
-    let rec loop () =
+    let deferred = ref [] in
+    let rec drain () =
       match Work_queue.pop queue with
       | None -> ()
       | Some id ->
-        let obj = Store.get store id in
-        let fields = obj.Heap_obj.fields in
-        for i = 0 to Array.length fields - 1 do
-          let w = fields.(i) in
-          if not (Word.is_null w) then begin
-            stats.Gc_stats.fields_scanned <- stats.Gc_stats.fields_scanned + 1;
-            if not (Word.poisoned w) then begin
-              if config.set_untouched_bits && not (Word.untouched w) then begin
-                fields.(i) <- Word.set_untouched w;
-                stats.Gc_stats.untouched_bits_set <-
-                  stats.Gc_stats.untouched_bits_set + 1
-              end;
-              match Store.get_opt store (Word.target fields.(i)) with
-              | None -> quarantine ~events:config.events stats fields i
-              | Some child ->
-                if not (Header.marked child.Heap_obj.header) then claim child
-            end
-          end
-        done;
-        loop ()
+        Trace_common.scan_object store stats ~config ~note:None ~on_trace:claim
+          ~deferred (Store.get store id);
+        drain ()
     in
-    loop ();
+    drain ();
     !bytes
   end
 

@@ -1,9 +1,11 @@
-(** Stop-the-world tracing collector primitives.
+(** Sequential stop-the-world tracing collector primitives.
 
     The paper piggybacks leak pruning on MMTk's parallel mark-sweep
     collector by splitting the usual transitive closure into an {e in-use}
     closure and a {e stale} closure (Section 4.2). This module provides
-    the phases; the [Lp_core] library composes them per collection mode:
+    the sequential (single-slice DFS) phases on top of the shared scan in
+    {!Trace_common}; the [Lp_core] library composes them per collection
+    mode through a {!Trace_engine}:
 
     - base/observe collection: [mark] with no filter, then
       [resurrect_finalizables], then [sweep];
@@ -15,18 +17,24 @@
 
     The closures are iterative over an explicit {!Work_queue}, mirroring
     the shared-pool structure of the paper's parallel collector while
-    remaining deterministic. *)
+    remaining deterministic. The edge vocabulary below is re-exported
+    from {!Trace_common} (the types are equal), so filters written
+    against either module interoperate. *)
 
-type edge = { src : Heap_obj.t; field : int; tgt : Heap_obj.t }
+type edge = Trace_common.edge = {
+  src : Heap_obj.t;
+  field : int;
+  tgt : Heap_obj.t;
+}
 (** A heap reference under examination: [src.fields.(field)] refers to
     [tgt]. *)
 
-type edge_action =
+type edge_action = Trace_common.edge_action =
   | Trace  (** follow the reference normally *)
   | Defer  (** add to the candidate queue; do not trace now (SELECT) *)
   | Poison  (** invalidate the reference and do not trace it (PRUNE) *)
 
-type mark_config = {
+type mark_config = Trace_common.mark_config = {
   set_untouched_bits : bool;
       (** set bit 0 of every scanned object-to-object reference so the
           read barrier can detect first use after this collection; enabled
@@ -36,11 +44,8 @@ type mark_config = {
           increment to each object marked during the closure — ticking
           piggybacks on tracing, as in the paper, so only live objects
           pay for it. The ticks are applied in one batch after the
-          closure finishes rather than at each mark: the edge filter
-          reads target staleness, and batch application keeps its
-          decisions a function of the mark-start heap alone, independent
-          of traversal order (sequential DFS vs the parallel engine's
-          BFS rounds) *)
+          closure finishes rather than at each mark; see
+          {!Trace_common.tick_batch} for the invariant *)
   edge_filter : (edge -> edge_action) option;
       (** [None] traces everything (base collection) *)
   on_poison : (edge -> unit) option;
@@ -61,7 +66,7 @@ val base_config : mark_config
 val mark_object : Gc_stats.t -> ?stale_tick_gc:int option -> Heap_obj.t -> unit
 (** Sets the mark bit, counts the object, and applies the staleness
     tick immediately when [stale_tick_gc] is [Some _]. The closures in
-    this module and the parallel engine defer their ticks instead (see
+    this module and the other engines defer their ticks instead (see
     {!mark_config.stale_tick_gc}); this entry point is for callers
     marking outside a filtered closure. *)
 
@@ -69,7 +74,13 @@ val tick : Gc_stats.t -> int option -> Heap_obj.t -> unit
 (** The bare staleness tick (no marking); see {!mark_object}. *)
 
 val mark :
-  Store.t -> Roots.t -> stats:Gc_stats.t -> config:mark_config -> edge list
+  ?edge_note:(edge -> (int * int * int) option) ->
+  ?apply_note:(int * int * int -> unit) ->
+  Store.t ->
+  Roots.t ->
+  stats:Gc_stats.t ->
+  config:mark_config ->
+  edge list
 (** Runs the in-use transitive closure from the roots. Marks every object
     reached through [Trace] edges, applies [Poison] in place, and returns
     the [Defer]red edges in discovery order (the candidate queue).
@@ -77,7 +88,11 @@ val mark :
     non-poisoned word whose target is not live (a corrupt reference) is
     {e quarantined} — poisoned in place and counted in
     [Gc_stats.words_quarantined] — rather than crashing the collection;
-    the phases below apply the same rule. *)
+    the phases below apply the same rule. [edge_note] is evaluated
+    against every live scanned edge and [apply_note] applied immediately
+    for every [Some] note — the Individual_refs byte accounting, split
+    so the same call shape works on engines (parallel) that must keep
+    the evaluation pure and apply at a merge point. *)
 
 val stale_closure :
   ?events:Lp_obs.Sink.t ->

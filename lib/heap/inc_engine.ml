@@ -1,0 +1,143 @@
+(* The pause-bounded incremental marking engine.
+
+   Identical to the sequential engine in every reclamation outcome, by
+   construction: it runs the exact same DFS over the exact same
+   Work_queue with the exact same Trace_common.scan_object, merely
+   yielding every [slice_budget] scanned objects. Traversal order, the
+   deferred-candidate order, the end-of-phase tick batch and every
+   Gc_stats counter are therefore bit-identical to Collector.mark — the
+   differential oracle enforces this at multiple budgets. Only the
+   pause profile changes: each slice is recorded as its own pause
+   sample, so max pause is bounded by the budget instead of by heap
+   size.
+
+   Between slices a real mutator could run; reference-slot stores made
+   while marking is in progress are logged through [note_mutation]
+   (Remset-backed, deduplicated) and the logged slots are re-scanned at
+   the next slice boundary, exactly like remembered-set roots. This VM
+   is stop-the-world, so the log is provably empty during collections —
+   the replay machinery is exercised directly by tests and is what
+   would make genuinely concurrent slices sound. *)
+
+type t = {
+  slice_budget : int;
+  log : Remset.t;  (* slots mutated while a mark is in progress *)
+  mutable marking : bool;
+  mutable pauses : int list;  (* reverse order; drained by take_pauses *)
+  mutable max_slice : int;  (* most objects scanned in one slice, ever *)
+  mutable slices : int;  (* slices run, all collections *)
+  mutable replays : int;  (* logged slots re-scanned, all collections *)
+}
+
+let create ~slice_budget () =
+  if slice_budget < 1 then invalid_arg "Inc_engine.create: slice_budget < 1";
+  {
+    slice_budget;
+    log = Remset.create ();
+    marking = false;
+    pauses = [];
+    max_slice = 0;
+    slices = 0;
+    replays = 0;
+  }
+
+let slice_budget t = t.slice_budget
+
+let slices t = t.slices
+
+let replays t = t.replays
+
+let log_mutation t ~src_id ~field = Remset.add t.log ~src_id ~field
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let mark t ~gc:_ ?edge_note ?apply_note store roots ~stats
+    ~(config : Trace_common.mark_config) =
+  t.marking <- true;
+  let queue = Work_queue.create () in
+  let deferred = ref [] in
+  let batch = Trace_common.tick_batch () in
+  let note = Trace_common.note_fn ?edge_note ?apply_note () in
+  let on_trace (obj : Heap_obj.t) =
+    obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
+    stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
+    Trace_common.defer_tick batch ~config obj;
+    Work_queue.push queue obj.Heap_obj.id
+  in
+  (* Replays the mutation log against the current mark state: a slot of
+     a marked (already-scanned or queued) source is re-scanned with the
+     very scan the closure uses, so a target hidden by a mid-mark write
+     is discovered all the same. Unmarked sources need nothing — their
+     slots will be scanned when (if) the source is reached. *)
+  let replay_log () =
+    if Remset.cardinality t.log > 0 then begin
+      Remset.iter t.log (fun ~src_id ~field ->
+          match Store.get_opt store src_id with
+          | Some src when Header.marked src.Heap_obj.header ->
+            t.replays <- t.replays + 1;
+            Trace_common.scan_field store stats ~config ~note ~on_trace
+              ~deferred src field
+          | Some _ | None -> ());
+      Remset.clear t.log
+    end
+  in
+  Roots.iter roots (fun id ->
+      let obj = Store.get store id in
+      if not (Header.marked obj.Heap_obj.header) then on_trace obj);
+  let slice_start = ref (now_ns ()) in
+  let rec run_slices () =
+    let work = ref 0 in
+    let rec step () =
+      if !work < t.slice_budget then
+        match Work_queue.pop queue with
+        | None -> ()
+        | Some id ->
+          Trace_common.scan_object store stats ~config ~note ~on_trace
+            ~deferred (Store.get store id);
+          incr work;
+          step ()
+    in
+    step ();
+    (* Slice boundary: record the pause sample, then surface anything
+       the mutator hid while we were away. The replay can grow the
+       queue, so the emptiness check comes after it. *)
+    t.slices <- t.slices + 1;
+    if !work > t.max_slice then t.max_slice <- !work;
+    let now = now_ns () in
+    t.pauses <- (now - !slice_start) :: t.pauses;
+    slice_start := now;
+    replay_log ();
+    if Work_queue.length queue > 0 then run_slices ()
+  in
+  run_slices ();
+  Trace_common.flush_ticks stats config.stale_tick_gc batch;
+  t.marking <- false;
+  List.rev !deferred
+
+let engine t =
+  {
+    Trace_engine.name = Printf.sprintf "inc%d" t.slice_budget;
+    mark =
+      (fun ~gc ?edge_note ?apply_note store roots ~stats ~config ->
+        mark t ~gc ?edge_note ?apply_note store roots ~stats ~config);
+    begin_stale = (fun () -> ());
+    stale_closure =
+      (fun ~gc:_ ?events store ~stats ~set_untouched_bits ~stale_tick_gc e ->
+        Collector.stale_closure ?events store ~stats ~set_untouched_bits
+          ~stale_tick_gc e);
+    end_stale = (fun ~gc:_ ~events:_ -> ());
+    sweep = (fun ~gc:_ ?events:_ store ~stats -> Collector.sweep store ~stats);
+    minor_drain = None;
+    note_mutation =
+      Some
+        (fun ~src ~field ->
+          if t.marking then
+            log_mutation t ~src_id:src.Heap_obj.id ~field);
+    take_pauses =
+      (fun () ->
+        let p = List.rev t.pauses in
+        t.pauses <- [];
+        p);
+    max_slice_work = (fun () -> t.max_slice);
+    shutdown = (fun () -> ());
+  }

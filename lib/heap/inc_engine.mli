@@ -1,0 +1,42 @@
+(** Pause-bounded incremental marking engine.
+
+    Runs the in-use closure in budgeted slices: the same DFS, work
+    queue and {!Trace_common.scan_object} as the sequential collector,
+    yielding every [slice_budget] scanned objects. Marked set, deferred
+    candidate order, staleness ticks and every {!Gc_stats} counter are
+    bit-identical to {!Collector.mark} by construction — only the pause
+    profile changes. Each slice lands as its own pause sample in
+    {!Trace_engine.t.take_pauses}, and no slice ever scans more than
+    [slice_budget] objects ({!Trace_engine.t.max_slice_work} proves it).
+
+    Mutations performed while a mark is in progress are reported through
+    the engine's [note_mutation] hook, logged in a deduplicated
+    {!Remset}, and replayed — the mutated slot re-scanned against the
+    current mark state — at the next slice boundary. Collections in
+    this VM are stop-the-world, so the log stays empty in real runs
+    (the differential oracle relies on that); the machinery is the
+    piece that would make genuinely concurrent slices sound, and tests
+    drive it directly via {!log_mutation}. *)
+
+type t
+
+val create : slice_budget:int -> unit -> t
+(** [slice_budget] is the maximum number of objects one mark slice may
+    scan ([>= 1]; [Invalid_argument] otherwise). *)
+
+val engine : t -> Trace_engine.t
+(** The {!Trace_engine} view: incremental mark, sequential stale
+    closure and sweep, write logging armed while marking. *)
+
+val slice_budget : t -> int
+
+val slices : t -> int
+(** Mark slices run so far, across all collections. *)
+
+val replays : t -> int
+(** Logged mutation slots re-scanned at slice boundaries so far. *)
+
+val log_mutation : t -> src_id:int -> field:int -> unit
+(** Appends a slot to the mutation log directly (deduplicated), as the
+    [note_mutation] hook does while marking; exposed so tests can
+    exercise the slice-boundary replay without a concurrent mutator. *)

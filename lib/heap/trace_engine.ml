@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  mark :
+    gc:int ->
+    ?edge_note:(Trace_common.edge -> (int * int * int) option) ->
+    ?apply_note:(int * int * int -> unit) ->
+    Store.t ->
+    Roots.t ->
+    stats:Gc_stats.t ->
+    config:Trace_common.mark_config ->
+    Trace_common.edge list;
+  begin_stale : unit -> unit;
+  stale_closure :
+    gc:int ->
+    ?events:Lp_obs.Sink.t ->
+    Store.t ->
+    stats:Gc_stats.t ->
+    set_untouched_bits:bool ->
+    stale_tick_gc:int option ->
+    Trace_common.edge ->
+    int;
+  end_stale : gc:int -> events:Lp_obs.Sink.t option -> unit;
+  sweep : gc:int -> ?events:Lp_obs.Sink.t -> Store.t -> stats:Gc_stats.t -> unit;
+  minor_drain :
+    (Store.t -> queue:int array -> slots_scanned:int ref -> unit) option;
+  note_mutation : (src:Heap_obj.t -> field:int -> unit) option;
+  take_pauses : unit -> int list;
+  max_slice_work : unit -> int;
+  shutdown : unit -> unit;
+}
+
+let sequential () =
+  {
+    name = "seq";
+    mark =
+      (fun ~gc:_ ?edge_note ?apply_note store roots ~stats ~config ->
+        Collector.mark ?edge_note ?apply_note store roots ~stats ~config);
+    begin_stale = (fun () -> ());
+    stale_closure =
+      (fun ~gc:_ ?events store ~stats ~set_untouched_bits ~stale_tick_gc e ->
+        Collector.stale_closure ?events store ~stats ~set_untouched_bits
+          ~stale_tick_gc e);
+    end_stale = (fun ~gc:_ ~events:_ -> ());
+    sweep = (fun ~gc:_ ?events:_ store ~stats -> Collector.sweep store ~stats);
+    minor_drain = None;
+    note_mutation = None;
+    take_pauses = (fun () -> []);
+    max_slice_work = (fun () -> 0);
+    shutdown = (fun () -> ());
+  }
+
+let note_mutation t ~src ~field =
+  match t.note_mutation with None -> () | Some f -> f ~src ~field

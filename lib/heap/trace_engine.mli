@@ -1,0 +1,84 @@
+(** The first-class tracing-engine seam.
+
+    A [Trace_engine.t] bundles every phase the controller drives during
+    a full-heap collection — in-use mark, stale closure, sweep — plus
+    the runtime hooks an engine may provide (minor-collection drain,
+    mark-time write logging, pause reporting, shutdown). The controller
+    holds exactly one engine value and dispatches through these closures
+    only; it never knows which engine is installed.
+
+    Three engines implement the contract:
+
+    - {!sequential} (here) — the single-slice DFS of {!Collector};
+    - [Lp_par.Par_engine.engine] — BSP packet-sharded parallel marking
+      on a domain pool;
+    - {!Inc_engine.engine} — the same DFS as the sequential engine, run
+      in budgeted slices so max pause shrinks.
+
+    Every engine is deterministic by construction: marked set, prune
+    decisions, counters and reclaimed totals are identical across
+    engines for the same program and seed (the differential oracle in
+    the test suite enforces this). Only scheduling — and therefore wall
+    time — differs. *)
+
+type t = {
+  name : string;  (** display label: ["seq"], ["par4"], ["inc64"], ... *)
+  mark :
+    gc:int ->
+    ?edge_note:(Trace_common.edge -> (int * int * int) option) ->
+    ?apply_note:(int * int * int -> unit) ->
+    Store.t ->
+    Roots.t ->
+    stats:Gc_stats.t ->
+    config:Trace_common.mark_config ->
+    Trace_common.edge list;
+      (** The in-use closure: same contract as {!Collector.mark}.
+          [edge_note] must be pure; an engine may evaluate it anywhere
+          but must invoke [apply_note] for the resulting notes in
+          canonical scan order. *)
+  begin_stale : unit -> unit;
+      (** Called once before a SELECT collection's stale-closure loop. *)
+  stale_closure :
+    gc:int ->
+    ?events:Lp_obs.Sink.t ->
+    Store.t ->
+    stats:Gc_stats.t ->
+    set_untouched_bits:bool ->
+    stale_tick_gc:int option ->
+    Trace_common.edge ->
+    int;
+      (** Same contract as {!Collector.stale_closure}. *)
+  end_stale : gc:int -> events:Lp_obs.Sink.t option -> unit;
+      (** Called once after the stale-closure loop (worker-span flush in
+          the parallel engine; no-op elsewhere). *)
+  sweep : gc:int -> ?events:Lp_obs.Sink.t -> Store.t -> stats:Gc_stats.t -> unit;
+      (** Same contract as {!Collector.sweep}, including the descending
+          free order that keeps id recycling identical. *)
+  minor_drain :
+    (Store.t -> queue:int array -> slots_scanned:int ref -> unit) option;
+      (** When present, the minor collector hands its marked seed set to
+          this drain instead of running its own loop. *)
+  note_mutation : (src:Heap_obj.t -> field:int -> unit) option;
+      (** When present, the mutator write barrier reports every
+          reference-slot store here. The incremental engine logs slots
+          mutated while a mark is in progress and replays them at slice
+          boundaries; collections in this VM are stop-the-world, so the
+          log stays empty in practice and the replay machinery is the
+          safety net that would make genuinely concurrent slices sound. *)
+  take_pauses : unit -> int list;
+      (** Drains the engine's recorded pause slices (wall nanoseconds,
+          oldest first) since the last call. Whole-pause engines return
+          [[]]; the VM then accounts the full collection as one pause. *)
+  max_slice_work : unit -> int;
+      (** Largest number of objects scanned in a single mark slice so
+          far (0 for non-incremental engines) — the deterministic
+          quantity the pause-bench budget gate checks. *)
+  shutdown : unit -> unit;
+      (** Releases engine resources (joins the domain pool); idempotent. *)
+}
+
+val sequential : unit -> t
+(** The sequential engine: thin closures over {!Collector}. *)
+
+val note_mutation : t -> src:Heap_obj.t -> field:int -> unit
+(** Convenience dispatcher for the optional write hook. *)

@@ -232,12 +232,11 @@ let verify_seal (p : packet) =
   !s = p.seal
 
 (* What the coordinator does with a marked-and-merged discovered id.
-   In-use claims accumulate their staleness ticks instead of applying
-   them: [mark] ticks the whole batch after the closure finishes,
-   matching the sequential collector's end-of-phase tick so the edge
-   filter always evaluates against mark-start staleness. *)
+   In-use claims defer their staleness ticks into the shared
+   [Trace_common.tick_batch]; [mark] flushes it after the closure
+   finishes, same end-of-phase batching as every other engine. *)
 type claim_mode =
-  | Claim_mark of Heap_obj.t list ref  (* deferred mark-phase ticks *)
+  | Claim_mark of Trace_common.tick_batch  (* deferred mark-phase ticks *)
   | Claim_stale of int ref  (* stale closure: stale bit + byte count *)
 
 (* Merges one round's packets in index order: validates (and if needed
@@ -331,11 +330,10 @@ let merge_round t store ~gc ~(config : Collector.mark_config) ~apply_note
         let obj = Store.get store id in
         if not (Header.marked obj.Heap_obj.header) then begin
           (match claim with
-          | Claim_mark to_tick ->
+          | Claim_mark batch ->
             obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
             stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
-            if config.Collector.stale_tick_gc <> None then
-              to_tick := obj :: !to_tick
+            Trace_common.defer_tick batch ~config obj
           | Claim_stale bytes ->
             obj.Heap_obj.header <-
               Header.set_stale_marked (Header.set_marked obj.Heap_obj.header);
@@ -394,23 +392,20 @@ let run_closure t store ~gc ~config ~edge_note ~apply_note ~stats ~claim
 let mark t ~gc ?edge_note ?apply_note store roots ~stats ~config =
   Array.fill t.work_shards 0 (Array.length t.work_shards) 0;
   let frontier = buf_make 256 in
-  let to_tick = ref [] in
+  let batch = Trace_common.tick_batch () in
   Roots.iter roots (fun id ->
       let obj = Store.get store id in
       if not (Header.marked obj.Heap_obj.header) then begin
         obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
         stats.Gc_stats.objects_marked <- stats.Gc_stats.objects_marked + 1;
-        if config.Collector.stale_tick_gc <> None then
-          to_tick := obj :: !to_tick;
+        Trace_common.defer_tick batch ~config obj;
         buf_push frontier obj.Heap_obj.id
       end);
   let deferred = ref [] in
   run_closure t store ~gc ~config ~edge_note ~apply_note ~stats
-    ~claim:(Claim_mark to_tick) ~deferred_acc:deferred ~shards:t.work_shards
+    ~claim:(Claim_mark batch) ~deferred_acc:deferred ~shards:t.work_shards
     frontier;
-  List.iter
-    (Collector.tick stats config.Collector.stale_tick_gc)
-    (List.rev !to_tick);
+  Trace_common.flush_ticks stats config.Collector.stale_tick_gc batch;
   emit_worker_spans ~gc ~phase:"mark" ~events:config.Collector.events
     t.work_shards;
   List.rev !deferred
@@ -560,3 +555,28 @@ let minor_drain t store ~queue ~slots_scanned =
     frontier := !next;
     next := tmp
   done
+
+(* --- the Trace_engine view ----------------------------------------- *)
+
+let engine t =
+  {
+    Trace_engine.name = Printf.sprintf "par%d" (domains t);
+    mark =
+      (fun ~gc ?edge_note ?apply_note store roots ~stats ~config ->
+        mark t ~gc ?edge_note ?apply_note store roots ~stats ~config);
+    begin_stale = (fun () -> begin_stale t);
+    stale_closure =
+      (fun ~gc ?events store ~stats ~set_untouched_bits ~stale_tick_gc e ->
+        stale_closure t ~gc ?events store ~stats ~set_untouched_bits
+          ~stale_tick_gc e);
+    end_stale = (fun ~gc ~events -> end_stale t ~gc ~events);
+    sweep = (fun ~gc ?events store ~stats -> sweep t ~gc ?events store ~stats);
+    minor_drain =
+      Some
+        (fun store ~queue ~slots_scanned ->
+          minor_drain t store ~queue ~slots_scanned);
+    note_mutation = None;
+    take_pauses = (fun () -> []);
+    max_slice_work = (fun () -> 0);
+    shutdown = (fun () -> Domain_pool.shutdown t.pool);
+  }

@@ -123,3 +123,8 @@ val pooled_rounds : t -> int
 val packet_recoveries : t -> int
 
 val steal_races : t -> int
+
+val engine : t -> Lp_heap.Trace_engine.t
+(** The {!Lp_heap.Trace_engine} view of this engine: parallel mark,
+    stale closure, sweep and minor drain; [shutdown] joins the
+    underlying domain pool (idempotent). *)

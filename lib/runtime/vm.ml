@@ -23,11 +23,14 @@ type t = {
   nursery_limit : int option;
   remset : Remset.t;
   fault : Lp_fault.Fault_plan.t option;
-  (* Parallel collection (Config.gc_domains > 1): the pool is spawned
-     once here and reused by every collection until [shutdown]. *)
-  pool : Lp_par.Domain_pool.t option;
-  engine : Lp_par.Par_engine.t option;
+  (* The tracing engine behind every full collection
+     (Config.gc_engine); constructed once here and reused until
+     [shutdown]. [par] keeps the concrete parallel engine around for
+     fault arming and introspection when that engine is selected. *)
+  engine : Trace_engine.t;
+  par : Lp_par.Par_engine.t option;
   mutable gc_pause_ns : int;  (* wall time inside full collections *)
+  mutable pause_samples_ns : int list;  (* reverse order *)
   mutable corruptions_injected : int;
   mutable minor_collections : int;
   mutable cycles : int;
@@ -101,17 +104,20 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
              image
              (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Swap)))
   | None -> ());
-  let pool, engine =
-    if config.Lp_core.Config.gc_domains > 1 then begin
-      let pool =
-        Lp_par.Domain_pool.create ~domains:config.Lp_core.Config.gc_domains
+  let engine, par =
+    match config.Lp_core.Config.gc_engine with
+    | Lp_core.Config.Sequential -> (Trace_engine.sequential (), None)
+    | Lp_core.Config.Parallel domains ->
+      let pool = Lp_par.Domain_pool.create ~domains in
+      let pe = Lp_par.Par_engine.create pool in
+      (Lp_par.Par_engine.engine pe, Some pe)
+    | Lp_core.Config.Incremental ->
+      let ie =
+        Inc_engine.create ~slice_budget:config.Lp_core.Config.gc_slice_budget ()
       in
-      (Some pool, Some (Lp_par.Par_engine.create pool))
-    end
-    else (None, None)
+      (Inc_engine.engine ie, None)
   in
-  let controller = Lp_core.Controller.create ~metrics config registry in
-  Lp_core.Controller.set_engine controller engine;
+  let controller = Lp_core.Controller.create ~metrics ~engine config registry in
   {
     registry;
     store;
@@ -129,9 +135,10 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
     nursery_limit = nursery_bytes;
     remset = Remset.create ();
     fault;
-    pool;
     engine;
+    par;
     gc_pause_ns = 0;
+    pause_samples_ns = [];
     corruptions_injected = 0;
     minor_collections = 0;
     cycles = 0;
@@ -185,20 +192,26 @@ let trace_events t =
 let resurrection_enabled t = t.resurrection
 let charge_barriers t = t.charge_barriers
 
-let gc_domains t =
-  (Lp_core.Controller.config t.controller).Lp_core.Config.gc_domains
+let gc_engine t =
+  (Lp_core.Controller.config t.controller).Lp_core.Config.gc_engine
 
-let par_engine t = t.engine
+let gc_domains t =
+  Lp_core.Config.gc_domains (Lp_core.Controller.config t.controller)
+
+let par_engine t = t.par
 
 let gc_pause_ns t = t.gc_pause_ns
 
-(* Joins the collector domains. Idempotent; the VM remains usable
-   afterwards only at gc_domains = 1 semantics would require re-spawning,
-   so callers shut down when they are done with the VM. *)
-let shutdown t =
-  match t.pool with
-  | Some pool -> Lp_par.Domain_pool.shutdown pool
-  | None -> ()
+let pause_samples_ns t = List.rev t.pause_samples_ns
+
+let max_pause_ns t = List.fold_left max 0 t.pause_samples_ns
+
+let max_slice_work t = t.engine.Trace_engine.max_slice_work ()
+
+(* Releases whatever the engine holds (the parallel engine joins its
+   collector domains; the others hold nothing). Idempotent; callers
+   shut down when they are done with the VM. *)
+let shutdown t = t.engine.Trace_engine.shutdown ()
 let remset t = t.remset
 let fault_plan t = t.fault
 let corruptions_injected t = t.corruptions_injected
@@ -229,6 +242,14 @@ let minor_gc_count t = t.minor_collections
 
 let generational t = t.nursery_limit <> None
 
+(* GC write barrier half for engines that mark incrementally: while a
+   mark phase is live, every reference store is logged so the engine can
+   re-scan the mutated slot at the next slice boundary. Engines that
+   mark atomically publish no hook, and outside a mark phase the
+   incremental engine's hook is a flag test — either way this is one
+   branch on the mutator's write path. *)
+let log_gc_write t ~src ~field = Trace_engine.note_mutation t.engine ~src ~field
+
 let remember_write t ~src ~field ~tgt =
   if
     t.nursery_limit <> None
@@ -242,12 +263,7 @@ let remember_write t ~src ~field ~tgt =
 let run_minor_gc t =
   t.minor_collections <- t.minor_collections + 1;
   let drain =
-    match t.engine with
-    | Some e ->
-      Some
-        (fun ~queue ~slots_scanned ->
-          Lp_par.Par_engine.minor_drain e t.store ~queue ~slots_scanned)
-    | None -> None
+    Option.map (fun f -> f t.store) t.engine.Trace_engine.minor_drain
   in
   let r =
     Minor_collector.collect ?events:t.sink ~number:t.minor_collections ?drain
@@ -376,7 +392,7 @@ let collect_once t =
   | Some plan ->
     List.iter
       (fun f ->
-        match (f, t.engine) with
+        match (f, t.par) with
         | Lp_fault.Fault_plan.Corrupt_mark_packet, Some e ->
           Lp_par.Par_engine.arm_corrupt_packet e
         | Lp_fault.Fault_plan.Steal_race, Some e ->
@@ -466,9 +482,22 @@ let run_gc t =
   let pause_start = Unix.gettimeofday () in
   collect_once t;
   if t.offload then run_disk_phase t t.swap;
-  t.gc_pause_ns <-
-    t.gc_pause_ns
-    + int_of_float ((Unix.gettimeofday () -. pause_start) *. 1e9);
+  let total_ns =
+    int_of_float ((Unix.gettimeofday () -. pause_start) *. 1e9)
+  in
+  t.gc_pause_ns <- t.gc_pause_ns + total_ns;
+  (* Pause samples: an engine that slices its mark phase reports one
+     sample per slice; whatever the collection spent outside those
+     slices (stale closures, sweep, disk) is one remainder sample. A
+     monolithic engine contributes the whole collection as one sample. *)
+  let samples =
+    match t.engine.Trace_engine.take_pauses () with
+    | [] -> [ total_ns ]
+    | slices ->
+      let in_slices = List.fold_left ( + ) 0 slices in
+      slices @ [ max 0 (total_ns - in_slices) ]
+  in
+  t.pause_samples_ns <- List.rev_append samples t.pause_samples_ns;
   let gc_cost =
     Cost.gc_cost t.cost ~before ~after:t.stats
     + (Roots.root_count t.roots * t.cost.Cost.gc_root)

@@ -76,37 +76,62 @@ val charge_barriers : t -> bool
 val remset : t -> Remset.t
 val fault_plan : t -> Lp_fault.Fault_plan.t option
 
-(** {1 Parallel collection}
+(** {1 Tracing engines}
 
-    With [Config.gc_domains > 1] the VM spawns a {!Lp_par.Domain_pool}
-    at {!create} and routes every full-heap mark, stale closure and
-    sweep — and the minor-collection drain loop — through the
-    {!Lp_par.Par_engine}. The engine is deterministic by construction:
-    heap state, counters, prune decisions, reclaimed bytes and the
-    simulated clock are identical to the sequential collector at any
-    domain count. Traces match event-for-event too, except that the
-    engine adds its own worker-span events and that word-level mark
-    events within a collection follow traversal order (sequential DFS
-    vs the engine's BFS rounds) — same set, different interleaving. At
-    [gc_domains = 1] (the default) no pool exists and the sequential
-    code paths run untouched. *)
+    [Config.gc_engine] selects the {!Lp_heap.Trace_engine} behind every
+    full-heap collection, constructed once at {!create}:
+
+    - [Sequential] (default): the original single-slice DFS collector.
+    - [Parallel n]: spawns a {!Lp_par.Domain_pool} and routes mark,
+      stale closures, sweep — and the minor-collection drain loop —
+      through the {!Lp_par.Par_engine}.
+    - [Incremental]: the {!Lp_heap.Inc_engine} runs the in-use closure
+      in slices of at most [Config.gc_slice_budget] objects, logging
+      mutator writes that land during a mark phase and replaying them
+      at slice boundaries.
+
+    Every engine is deterministic by construction: heap state,
+    counters, prune decisions, reclaimed bytes and the simulated clock
+    are identical to the sequential collector. Traces match
+    event-for-event too, except that the parallel engine adds its own
+    worker-span events and that word-level mark events within a
+    collection follow traversal order — same set, different
+    interleaving. Only the wall-clock pause profile differs. *)
+
+val gc_engine : t -> Lp_core.Config.gc_engine
 
 val gc_domains : t -> int
-(** The configured domain count (1 = sequential collector). *)
+(** The collector domain count the engine selection implies
+    (1 unless [Parallel n]). *)
 
 val par_engine : t -> Lp_par.Par_engine.t option
-(** The parallel tracing engine, present iff [gc_domains > 1]. *)
+(** The concrete parallel engine, present iff [gc_engine = Parallel n]
+    (fault arming and introspection). *)
 
 val gc_pause_ns : t -> int
 (** Cumulative wall-clock nanoseconds spent inside full-heap collections
     (mark through sweep, plus the disk phase). Wall time, not simulated
-    cycles — used by the parallel-GC benchmark only; traces never record
-    it. *)
+    cycles — used by the GC benchmarks only; traces never record it. *)
+
+val pause_samples_ns : t -> int list
+(** Individual wall-clock pause samples, oldest first. A monolithic
+    engine contributes one sample per full collection; the incremental
+    engine contributes one sample per mark slice plus one remainder
+    sample (the rest of the collection) — so the max over this list is
+    the quantity the pause-time benchmark gates on. *)
+
+val max_pause_ns : t -> int
+(** [List.fold_left max 0 (pause_samples_ns t)]. *)
+
+val max_slice_work : t -> int
+(** The largest number of objects any single incremental mark slice has
+    scanned (0 for the other engines) — the deterministic counterpart of
+    {!max_pause_ns}, bounded by [Config.gc_slice_budget]. *)
 
 val shutdown : t -> unit
-(** Joins the collector domains (no-op at [gc_domains = 1]; idempotent).
-    Call when done with a parallel VM — leaked domains keep the process
-    alive. *)
+(** Releases whatever the engine holds — the parallel engine joins its
+    collector domains (leaked domains keep the process alive); the
+    other engines hold nothing. Idempotent. *)
 
 (** {1 Observability}
 
@@ -215,6 +240,12 @@ val generational : t -> bool
 val remember_write : t -> src:Heap_obj.t -> field:int -> tgt:Heap_obj.t -> unit
 (** Generational write barrier: records a mature-to-nursery reference
     slot in the remembered set (no-op otherwise). Called by {!Mutator}. *)
+
+val log_gc_write : t -> src:Heap_obj.t -> field:int -> unit
+(** GC write barrier half for incrementally-marking engines: logs the
+    slot for replay at the next slice boundary while a mark phase is
+    live, and costs one branch otherwise. Called by {!Mutator} on every
+    reference store. *)
 
 val set_gc_listener : t -> (gc_record -> unit) option -> unit
 (** Invoked after every collection; used by the harness to record the

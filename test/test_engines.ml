@@ -1,0 +1,245 @@
+(* Trace_engine conformance: the same SELECT-shaped and PRUNE-shaped
+   collections, driven through the engine record alone, must leave every
+   engine's heap in the same state — same claimed bytes, same survivors,
+   same poisoned words, same recycled identifiers, same counters. The
+   suite instantiates one scenario per engine (sequential, parallel on 2
+   domains, incremental at an 8-object slice budget) and compares the
+   full summaries against the sequential baseline, plus the incremental
+   engine's own machinery: slicing under a tiny budget and the
+   mutation-log replay that would make concurrent slices sound. *)
+
+open Lp_heap
+
+let factories =
+  [
+    ("seq", fun () -> Trace_engine.sequential ());
+    ( "par2",
+      fun () ->
+        Lp_par.Par_engine.engine
+          (Lp_par.Par_engine.create (Lp_par.Domain_pool.create ~domains:2)) );
+    ("inc8", fun () -> Inc_engine.engine (Inc_engine.create ~slice_budget:8 ()));
+  ]
+
+let build_store () = Store.create ~limit_bytes:1_000_000
+
+let alloc store ~n_fields =
+  Store.alloc store ~class_id:0 ~n_fields ~scalar_bytes:0 ~finalizable:false
+
+let link (src : Heap_obj.t) i (tgt : Heap_obj.t) =
+  src.Heap_obj.fields.(i) <- Word.of_id tgt.Heap_obj.id
+
+let live_ids store =
+  let ids = ref [] in
+  Store.iter_live store (fun o -> ids := o.Heap_obj.id :: !ids);
+  List.rev !ids
+
+(* One full engine workout. Graph: root a -> b -> c is the doomed
+   chain, a -> d stays in use, e is plain garbage. A SELECT-shaped
+   collection defers a->b and claims {b, c}; a PRUNE-shaped collection
+   poisons a->b and sweeps the chain; then two allocations exercise
+   identifier recycling over the freed slots. Returns everything
+   observable so the caller can compare engines structurally. *)
+let run_scenario make =
+  let e = make () in
+  let store = build_store () in
+  let roots = Roots.create () in
+  let stats = Gc_stats.create () in
+  let a = alloc store ~n_fields:2 in
+  let b = alloc store ~n_fields:1 in
+  let c = alloc store ~n_fields:0 in
+  let d = alloc store ~n_fields:0 in
+  ignore (alloc store ~n_fields:0);
+  Roots.add_static_root roots a.Heap_obj.id;
+  link a 0 b;
+  link b 0 c;
+  link a 1 d;
+  let defer_b (edge : Collector.edge) =
+    if edge.Collector.tgt.Heap_obj.id = b.Heap_obj.id then Collector.Defer
+    else Collector.Trace
+  in
+  let deferred =
+    e.Trace_engine.mark ~gc:1 store roots ~stats
+      ~config:
+        {
+          Collector.set_untouched_bits = true;
+          stale_tick_gc = Some 1;
+          edge_filter = Some defer_b;
+          on_poison = None;
+          events = None;
+        }
+  in
+  let candidates = Trace_common.canonical_candidates deferred in
+  e.Trace_engine.begin_stale ();
+  let claimed =
+    List.fold_left
+      (fun acc edge ->
+        acc
+        + e.Trace_engine.stale_closure ~gc:1 store ~stats
+            ~set_untouched_bits:true ~stale_tick_gc:(Some 1) edge)
+      0 candidates
+  in
+  e.Trace_engine.end_stale ~gc:1 ~events:None;
+  e.Trace_engine.sweep ~gc:1 store ~stats;
+  let live_after_select = live_ids store in
+  let poisoned = ref [] in
+  let poison_b (edge : Collector.edge) =
+    if edge.Collector.tgt.Heap_obj.id = b.Heap_obj.id then Collector.Poison
+    else Collector.Trace
+  in
+  ignore
+    (e.Trace_engine.mark ~gc:2 store roots ~stats
+       ~config:
+         {
+           Collector.set_untouched_bits = false;
+           stale_tick_gc = None;
+           edge_filter = Some poison_b;
+           on_poison =
+             Some
+               (fun (edge : Collector.edge) ->
+                 poisoned :=
+                   (edge.Collector.src.Heap_obj.id, edge.Collector.field)
+                   :: !poisoned);
+           events = None;
+         });
+  e.Trace_engine.sweep ~gc:2 store ~stats;
+  let live_after_prune = live_ids store in
+  let word_poisoned = Word.poisoned a.Heap_obj.fields.(0) in
+  let n1 = alloc store ~n_fields:0 in
+  let n2 = alloc store ~n_fields:0 in
+  e.Trace_engine.shutdown ();
+  ( (List.length candidates, claimed, live_after_select),
+    (!poisoned, word_poisoned, live_after_prune),
+    (n1.Heap_obj.id, n2.Heap_obj.id),
+    Gc_stats.copy stats )
+
+let test_conformance () =
+  let summaries = List.map (fun (n, f) -> (n, run_scenario f)) factories in
+  let _, baseline = List.hd summaries in
+  let (candidates, claimed, after_select), (poisoned, word_poisoned, _), _, _ =
+    baseline
+  in
+  (* absolute checks on the sequential baseline, so the cross-engine
+     equality below cannot vacuously pass on a broken scenario *)
+  Alcotest.(check int) "one deferred candidate" 1 candidates;
+  Alcotest.(check int) "select swept only the plain garbage" 4
+    (List.length after_select);
+  Alcotest.(check bool) "claimed bytes positive" true (claimed > 0);
+  Alcotest.(check (list (pair int int))) "prune poisoned exactly a.0"
+    [ (1, 0) ] poisoned;
+  Alcotest.(check bool) "the pruned word carries the poison bit" true
+    word_poisoned;
+  List.iter
+    (fun (name, summary) ->
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "%s: claimed bytes, survivors, poisoned words, recycled ids and \
+            counters all match seq"
+           name)
+        true
+        (summary = baseline))
+    (List.tl summaries);
+  Alcotest.(check int) "no leaked domains" 0 (Lp_par.Domain_pool.active_count ())
+
+(* A one-object budget must slice a multi-object heap many times, never
+   scan more than one object per slice, and still mark exactly what the
+   sequential engine marks. *)
+let test_inc_slicing_respects_budget () =
+  let inc = Inc_engine.create ~slice_budget:1 () in
+  let e = Inc_engine.engine inc in
+  let store = build_store () in
+  let roots = Roots.create () in
+  let stats = Gc_stats.create () in
+  let root = alloc store ~n_fields:10 in
+  Roots.add_static_root roots root.Heap_obj.id;
+  for i = 0 to 9 do
+    link root i (alloc store ~n_fields:0)
+  done;
+  ignore
+    (e.Trace_engine.mark ~gc:1 store roots ~stats
+       ~config:Collector.base_config);
+  e.Trace_engine.sweep ~gc:1 store ~stats;
+  Alcotest.(check int) "all 11 objects marked" 11 stats.Gc_stats.objects_marked;
+  Alcotest.(check int) "max slice work bounded by the budget" 1
+    (e.Trace_engine.max_slice_work ());
+  Alcotest.(check bool) "at least 11 slices ran" true (Inc_engine.slices inc >= 11);
+  let pauses = e.Trace_engine.take_pauses () in
+  Alcotest.(check int) "one pause sample per slice"
+    (Inc_engine.slices inc) (List.length pauses);
+  Alcotest.(check (list int)) "take_pauses drains" [] (e.Trace_engine.take_pauses ())
+
+(* The mutation-log replay: a write that lands in an already-scanned
+   slot mid-mark would hide its target from a naive incremental marker.
+   The scenario plays the mutator from inside an edge filter — when the
+   scan reaches r.1 (r.0, earlier in scan order, is already behind the
+   wavefront), it stores a hidden object into r.0 and logs the slot.
+   The next slice boundary must replay the log and mark the hidden
+   object, or the sweep would reclaim a live object. *)
+let test_inc_mutation_replay () =
+  let inc = Inc_engine.create ~slice_budget:1 () in
+  let e = Inc_engine.engine inc in
+  let store = build_store () in
+  let roots = Roots.create () in
+  let stats = Gc_stats.create () in
+  let r = alloc store ~n_fields:2 in
+  let b = alloc store ~n_fields:0 in
+  let hidden = alloc store ~n_fields:0 in
+  Roots.add_static_root roots r.Heap_obj.id;
+  link r 1 b;
+  (* r.0 stays null until the "mutator" writes [hidden] into it *)
+  let mutator_fired = ref false in
+  let filter (edge : Collector.edge) =
+    if edge.Collector.field = 1 && not !mutator_fired then begin
+      mutator_fired := true;
+      link r 0 hidden;
+      Inc_engine.log_mutation inc ~src_id:r.Heap_obj.id ~field:0
+    end;
+    Collector.Trace
+  in
+  ignore
+    (e.Trace_engine.mark ~gc:1 store roots ~stats
+       ~config:
+         {
+           Collector.set_untouched_bits = false;
+           stale_tick_gc = None;
+           edge_filter = Some filter;
+           on_poison = None;
+           events = None;
+         });
+  e.Trace_engine.sweep ~gc:1 store ~stats;
+  Alcotest.(check bool) "the mid-mark write actually happened" true !mutator_fired;
+  Alcotest.(check bool) "replay rescanned the logged slot" true
+    (Inc_engine.replays inc > 0);
+  Alcotest.(check bool) "the hidden object survived the sweep" true
+    (Store.mem store hidden.Heap_obj.id);
+  Alcotest.(check int) "nothing else was lost either" 3 (Store.object_count store)
+
+(* note_mutation only logs while a mark is in flight: a quiescent-time
+   write must not leave a stale log entry behind for the next mark. *)
+let test_inc_log_gated_on_marking () =
+  let inc = Inc_engine.create ~slice_budget:4 () in
+  let e = Inc_engine.engine inc in
+  let store = build_store () in
+  let roots = Roots.create () in
+  let stats = Gc_stats.create () in
+  let r = alloc store ~n_fields:1 in
+  Roots.add_static_root roots r.Heap_obj.id;
+  Trace_engine.note_mutation e ~src:r ~field:0;
+  ignore
+    (e.Trace_engine.mark ~gc:1 store roots ~stats
+       ~config:Collector.base_config);
+  Alcotest.(check int) "quiescent write never replayed" 0 (Inc_engine.replays inc)
+
+let suite =
+  ( "engines",
+    [
+      Alcotest.test_case
+        "conformance: seq, par2 and inc8 agree on closure, sweep, poison and \
+         id recycling"
+        `Quick test_conformance;
+      Alcotest.test_case "incremental: slice budget bounds every slice" `Quick
+        test_inc_slicing_respects_budget;
+      Alcotest.test_case "incremental: mutation log replay finds hidden objects"
+        `Quick test_inc_mutation_replay;
+      Alcotest.test_case "incremental: mutation log gated on marking" `Quick
+        test_inc_log_gated_on_marking;
+    ] )

@@ -20,6 +20,7 @@ let () =
       Test_resurrection.suite;
       Test_fault.suite;
       Test_parallel.suite;
+      Test_engines.suite;
       Test_degradation.suite;
       Test_generational.suite;
       Test_diagnostics.suite;

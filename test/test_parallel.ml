@@ -221,26 +221,34 @@ let test_differential_oracle () =
     let run gc_domains =
       Lp_harness.Chaos.run_one ~gc_domains ~trace_capacity:65_536 ~seed ()
     in
+    let run_inc budget =
+      Lp_harness.Chaos.run_one ~gc_engine:Lp_core.Config.Incremental
+        ~gc_slice_budget:budget ~trace_capacity:65_536 ~seed ()
+    in
     let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+    (* the incremental engine at two budgets — one small enough that
+       every collection slices many times, one near the default *)
+    let i8 = run_inc 8 and i128 = run_inc 128 in
     Alcotest.(check int)
-      (Printf.sprintf "seed %d: ring complete at every domain count" seed)
+      (Printf.sprintf "seed %d: ring complete under every engine" seed)
       0
       (r1.Lp_harness.Chaos.trace_dropped + r2.Lp_harness.Chaos.trace_dropped
-      + r4.Lp_harness.Chaos.trace_dropped);
+      + r4.Lp_harness.Chaos.trace_dropped + i8.Lp_harness.Chaos.trace_dropped
+      + i128.Lp_harness.Chaos.trace_dropped);
     List.iter
-      (fun (domains, r) ->
+      (fun (engine, r) ->
         if signature r <> signature r1 then
-          mismatches := (seed, domains) :: !mismatches;
+          mismatches := (seed, engine) :: !mismatches;
         if prune_decisions r <> prune_decisions r1 then
-          mismatches := (seed, domains) :: !mismatches;
+          mismatches := (seed, engine) :: !mismatches;
         if reclaimed_total r <> reclaimed_total r1 then
-          mismatches := (seed, domains) :: !mismatches)
-      [ (2, r2); (4, r4) ]
+          mismatches := (seed, engine) :: !mismatches)
+      [ ("par2", r2); ("par4", r4); ("inc8", i8); ("inc128", i128) ]
   done;
-  Alcotest.(check (list (pair int int)))
+  Alcotest.(check (list (pair int string)))
     (Printf.sprintf
-       "%d seeds x {1,2,4} domains: identical reports, prune logs and \
-        reclaimed totals"
+       "%d seeds x {seq, par2, par4, inc8, inc128}: identical reports, prune \
+        logs and reclaimed totals"
        differential_seeds)
     [] (List.rev !mismatches);
   Alcotest.(check int) "sweep leaked no domains" 0
@@ -256,6 +264,7 @@ let suite =
         `Quick test_wide_heap_equivalence;
       Alcotest.test_case "pool shutdown joins domains, idempotent" `Quick
         test_pool_shutdown_idempotent;
-      Alcotest.test_case "differential chaos oracle at 1/2/4 domains" `Slow
+      Alcotest.test_case
+        "differential chaos oracle: seq vs par{2,4} vs inc{8,128}" `Slow
         test_differential_oracle;
     ] )
