@@ -12,6 +12,10 @@
      main.exe obs          measure the cost of the disabled observability
                            hooks (writes bench/out/BENCH_obs_overhead.json)
      main.exe obs-gate     same measurement; exit 1 if overhead > 3%
+     main.exe fleet        run the multi-tenant fleet chaos scenario
+                           (writes bench/out/BENCH_fleet.json, plus a
+                           root copy; exit 1 if any tenant sees a
+                           verifier failure or crash)
      main.exe --list       list experiment ids
 
    JSON results land under bench/out/; BENCH_resurrection.json is also
@@ -918,6 +922,154 @@ let run_pause_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fleet scenario: a small multi-tenant fleet under chaos — one tenant
+   pinned SAFE, seeded kills and disk-pressure windows — reporting
+   per-tenant and aggregate throughput, pause percentiles, restart
+   counts and shed rate.  The gate is the fleet's isolation contract:
+   zero verifier failures and zero crashes across every tenant, or the
+   bench exits 1. *)
+
+let run_fleet_bench () =
+  let seed = 11 and rounds = 80 and tenants = 4 in
+  let specs =
+    List.init tenants (fun id ->
+        {
+          Lp_fleet.Tenant.id;
+          name = Printf.sprintf "tenant-%d" id;
+          workload = Lp_workloads.List_leak.workload;
+          heap_bytes = 20_000;
+          quota_bytes = 20_000;
+          rate_per_mille = 2_000;
+          policy = Lp_core.Policy.Default;
+          force_safe = id = 1;
+          resurrection = true;
+        })
+  in
+  let options =
+    { (Lp_fleet.Fleet.default_options ~seed ~rounds ()) with
+      Lp_fleet.Fleet.chaos = true;
+      chaos_events = 4
+    }
+  in
+  let t0 = Sys.time () in
+  let report = Lp_fleet.Fleet.run options specs in
+  let cpu_s = Sys.time () -. t0 in
+  let shed (t : Lp_fleet.Fleet.tenant_report) =
+    t.Lp_fleet.Fleet.shed_queue + t.Lp_fleet.Fleet.shed_deadline
+    + t.Lp_fleet.Fleet.shed_retries + t.Lp_fleet.Fleet.shed_retired
+  in
+  let rate num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
+  let tenant_json (t : Lp_fleet.Fleet.tenant_report) =
+    let timing =
+      List.find
+        (fun (ti : Lp_fleet.Fleet.timing) ->
+          ti.Lp_fleet.Fleet.t_tenant = t.Lp_fleet.Fleet.tenant)
+        report.Lp_fleet.Fleet.timings
+    in
+    Printf.sprintf
+      {|    {
+      "tenant": %d,
+      "arrived": %d,
+      "served": %d,
+      "throughput_per_round": %.3f,
+      "shed": %d,
+      "shed_rate": %.4f,
+      "restarts": %d,
+      "kills": %d,
+      "crashes": %d,
+      "bytes_reclaimed": %d,
+      "references_poisoned": %d,
+      "verifier_checks": %d,
+      "verifier_failures": %d,
+      "admission_denials": %d,
+      "pause_count": %d,
+      "pause_p50_ns": %d,
+      "pause_p99_ns": %d,
+      "pause_max_ns": %d
+    }|}
+      t.Lp_fleet.Fleet.tenant t.Lp_fleet.Fleet.arrived t.Lp_fleet.Fleet.served
+      (rate t.Lp_fleet.Fleet.served rounds)
+      (shed t)
+      (rate (shed t) t.Lp_fleet.Fleet.arrived)
+      t.Lp_fleet.Fleet.restarts t.Lp_fleet.Fleet.kills t.Lp_fleet.Fleet.crashes
+      t.Lp_fleet.Fleet.bytes_reclaimed t.Lp_fleet.Fleet.references_poisoned
+      t.Lp_fleet.Fleet.verifier_checks t.Lp_fleet.Fleet.verifier_failures
+      t.Lp_fleet.Fleet.admission_denials timing.Lp_fleet.Fleet.pause_count
+      timing.Lp_fleet.Fleet.pause_p50_ns timing.Lp_fleet.Fleet.pause_p99_ns
+      timing.Lp_fleet.Fleet.pause_max_ns
+  in
+  let sum f =
+    List.fold_left (fun acc t -> acc + f t) 0 report.Lp_fleet.Fleet.tenant_reports
+  in
+  let arrived = sum (fun t -> t.Lp_fleet.Fleet.arrived) in
+  let served = sum (fun t -> t.Lp_fleet.Fleet.served) in
+  let shed_total = sum shed in
+  let restarts = sum (fun t -> t.Lp_fleet.Fleet.restarts) in
+  let verifier_failures = sum (fun t -> t.Lp_fleet.Fleet.verifier_failures) in
+  let crashes = sum (fun t -> t.Lp_fleet.Fleet.crashes) in
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "fleet",
+  "seed": %d,
+  "rounds": %d,
+  "tenants": %d,
+  "chaos": true,
+  "faults_fired": %d,
+  "per_tenant": [
+%s
+  ],
+  "aggregate": {
+    "arrived": %d,
+    "served": %d,
+    "throughput_per_round": %.3f,
+    "shed": %d,
+    "shed_rate": %.4f,
+    "restarts": %d,
+    "verifier_failures": %d,
+    "crashes": %d,
+    "backend_used_bytes": %d,
+    "backend_denials": %d
+  },
+  "cpu_seconds": %.3f
+}
+|}
+      seed rounds tenants report.Lp_fleet.Fleet.faults_fired
+      (String.concat ",\n"
+         (List.map tenant_json report.Lp_fleet.Fleet.tenant_reports))
+      arrived served (rate served rounds) shed_total (rate shed_total arrived)
+      restarts verifier_failures crashes
+      report.Lp_fleet.Fleet.backend_used_bytes
+      report.Lp_fleet.Fleet.backend_denials cpu_s
+  in
+  let path = out_path "BENCH_fleet.json" in
+  write_file path json;
+  (* root copy, like BENCH_resurrection.json *)
+  write_file "BENCH_fleet.json" json;
+  Lp_harness.Render.table
+    ~columns:[ "metric"; "value" ]
+    ~rows:
+      [
+        [ "tenants"; string_of_int tenants ];
+        [ "rounds"; string_of_int rounds ];
+        [ "faults fired"; string_of_int report.Lp_fleet.Fleet.faults_fired ];
+        [ "requests served"; string_of_int served ];
+        [ "aggregate throughput/round"; Printf.sprintf "%.3f" (rate served rounds) ];
+        [ "shed rate"; Printf.sprintf "%.4f" (rate shed_total arrived) ];
+        [ "tenant restarts"; string_of_int restarts ];
+        [ "verifier failures"; string_of_int verifier_failures ];
+        [ "crashes"; string_of_int crashes ];
+      ];
+  Printf.printf "wrote %s (and root copy BENCH_fleet.json)\n" path;
+  if verifier_failures > 0 || crashes > 0 then begin
+    Printf.eprintf
+      "FLEET GATE FAILED: %d verifier failure(s), %d crash(es) — isolation \
+       contract broken\n"
+      verifier_failures crashes;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments = Lp_harness.Experiments.all @ Lp_harness.Ablations.all
 
@@ -936,7 +1088,10 @@ let list_experiments () =
   Printf.printf "%-13s %s\n" "gc-pauses"
     "Pause profile under seq/par2/inc engines (writes \
      bench/out/BENCH_pauses.json; exit 1 if outputs diverge or an \
-     incremental slice busts its budget)"
+     incremental slice busts its budget)";
+  Printf.printf "%-13s %s\n" "fleet"
+    "Multi-tenant fleet under chaos (writes bench/out/BENCH_fleet.json; \
+     exit 1 on any verifier failure or crash)"
 
 let run_experiment id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -948,6 +1103,7 @@ let run_experiment id =
     else if id = "obs-gate" then run_obs_overhead_bench ~gate:true ()
     else if id = "gc-parallel" then run_parallel_gc_bench ()
     else if id = "gc-pauses" then run_pause_bench ()
+    else if id = "fleet" then run_fleet_bench ()
     else begin
       Printf.eprintf "unknown experiment %S; try --list\n" id;
       exit 1
@@ -973,6 +1129,7 @@ let () =
     run_resurrection_bench ();
     run_obs_overhead_bench ~gate:false ();
     run_parallel_gc_bench ();
-    run_pause_bench ()
+    run_pause_bench ();
+    run_fleet_bench ()
   | [ "--list" ] -> list_experiments ()
   | ids -> List.iter run_experiment ids

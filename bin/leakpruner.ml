@@ -550,6 +550,247 @@ let chaos_cmd =
     Term.(const run $ seeds_arg $ steps_arg $ no_faults_arg $ seed_arg $ quiet_arg
           $ trace_dir_arg $ gc_engine_arg $ gc_domains_arg $ gc_slice_budget_arg)
 
+let serve_cmd =
+  let doc =
+    "Run a multi-tenant fleet: N tenant VMs over one shared swap backend, \
+     round-robin scheduled with open-loop arrivals, admission control with \
+     bounded retry/backoff, per-tenant SAFE isolation and restart-on-fault \
+     containment. With --seeds, sweep a fleet-chaos plan over seeds 1..N \
+     and write a Chrome trace for every failing seed."
+  in
+  let tenants_arg =
+    Arg.(value & opt int 4
+         & info [ "tenants"; "n" ] ~docv:"N" ~doc:"Fleet size (tenant ids 0..N-1).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 60
+         & info [ "rounds" ] ~docv:"N"
+             ~doc:"Scheduler rounds — the fleet's logical time unit.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Traffic and chaos seed (single-run mode).")
+  in
+  let workload_arg =
+    Arg.(value & opt string "ListLeak"
+         & info [ "workload"; "w" ] ~docv:"WORKLOAD"
+             ~doc:"Workload every tenant runs (see `leakpruner list`).")
+  in
+  let heap_arg =
+    Arg.(value & opt int 20_000
+         & info [ "heap" ] ~docv:"BYTES" ~doc:"Per-tenant heap size.")
+  in
+  let quota_arg =
+    Arg.(value & opt int 20_000
+         & info [ "quota" ] ~docv:"BYTES"
+             ~doc:"Per-tenant shared-disk quota (offload admission bound).")
+  in
+  let capacity_arg =
+    Arg.(value & opt (some int) None
+         & info [ "disk-capacity" ] ~docv:"BYTES"
+             ~doc:"Shared backend capacity. Default is effectively unbounded \
+                   — tenants are then coupled only by faults, never by the \
+                   backend conjunct, which is what the isolation oracle \
+                   assumes.")
+  in
+  let rate_arg =
+    Arg.(value & opt int 2_000
+         & info [ "rate" ] ~docv:"PER_MILLE"
+             ~doc:"Arrival rate per tenant, requests per 1000 rounds \
+                   (2000 = 2 requests/round).")
+  in
+  let force_safe_arg =
+    Arg.(value & opt (list int) []
+         & info [ "force-safe" ] ~docv:"IDS"
+             ~doc:"Comma-separated tenant ids pinned in SAFE state (pruning \
+                   moratorium) for their whole life.")
+  in
+  let kill_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ r; t ] -> (
+        match (int_of_string_opt r, int_of_string_opt t) with
+        | Some r, Some t -> Ok (r, t)
+        | _ -> Error (`Msg (Printf.sprintf "bad kill %S (want ROUND:TENANT)" s)))
+      | _ -> Error (`Msg (Printf.sprintf "bad kill %S (want ROUND:TENANT)" s))
+    in
+    Arg.conv (parse, fun ppf (r, t) -> Format.fprintf ppf "%d:%d" r t)
+  in
+  let kill_arg =
+    Arg.(value & opt_all kill_conv []
+         & info [ "kill" ] ~docv:"ROUND:TENANT"
+             ~doc:"Kill (and restart) tenant TENANT at round ROUND; \
+                   repeatable. Applied on top of any chaos plan.")
+  in
+  let chaos_arg =
+    Arg.(value & flag
+         & info [ "chaos" ]
+             ~doc:"Schedule a seeded fleet fault plan (tenant kills and \
+                   shared-disk pressure windows) on top of the run.")
+  in
+  let sweep_arg =
+    Arg.(value & opt (some int) None
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:"Sweep mode: run the fleet once per seed in 1..N and \
+                   report pass/fail per seed (--seed is ignored).")
+  in
+  let trace_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:"For every failing run, write the fleet event log as a \
+                   Chrome trace_event file (chrome://tracing / Perfetto) \
+                   into DIR.")
+  in
+  let retry_cap_arg =
+    Arg.(value & opt int Lp_core.Config.default.Lp_core.Config.admission_retry_cap
+         & info [ "admission-retry-cap" ] ~docv:"N"
+             ~doc:"How many times one queued request may be refused offload \
+                   admission before its backlog is shed.")
+  in
+  let backoff_base_arg =
+    Arg.(value & opt int Lp_core.Config.default.Lp_core.Config.admission_backoff_base
+         & info [ "backoff-base" ] ~docv:"ROUNDS"
+             ~doc:"First admission backoff, in scheduler rounds; doubles per \
+                   consecutive denial.")
+  in
+  let backoff_ceiling_arg =
+    Arg.(value & opt int
+           Lp_core.Config.default.Lp_core.Config.admission_backoff_ceiling
+         & info [ "backoff-ceiling" ] ~docv:"ROUNDS"
+             ~doc:"Exponential backoff saturates here.")
+  in
+  let deadline_arg =
+    Arg.(value & opt int Lp_core.Config.default.Lp_core.Config.offload_deadline
+         & info [ "offload-deadline" ] ~docv:"ROUNDS"
+             ~doc:"Queued requests older than this many rounds time out and \
+                   are shed.")
+  in
+  let write_fleet_trace dir seed (report : Lp_fleet.Fleet.report) =
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let file =
+      Filename.concat dir (Printf.sprintf "fleet_seed_%d.trace.json" seed)
+    in
+    let oc = open_out file in
+    output_string oc
+      (Lp_obs.Export.to_chrome_trace
+         ~dropped:report.Lp_fleet.Fleet.events_dropped
+         report.Lp_fleet.Fleet.events);
+    close_out oc;
+    Printf.printf "seed %d fleet trace written to %s (%d event(s), %d dropped)\n"
+      seed file
+      (List.length report.Lp_fleet.Fleet.events)
+      report.Lp_fleet.Fleet.events_dropped
+  in
+  let run tenants rounds seed workload heap quota capacity rate force_safe
+      kills chaos sweep trace_dir retry_cap backoff_base backoff_ceiling
+      deadline =
+    if tenants < 1 then begin
+      Printf.eprintf "leakpruner: serve: --tenants must be >= 1\n";
+      exit 2
+    end;
+    if rounds < 1 then begin
+      Printf.eprintf "leakpruner: serve: --rounds must be >= 1\n";
+      exit 2
+    end;
+    let w =
+      match find_workload workload with
+      | Some w -> w
+      | None ->
+        Printf.eprintf "unknown workload %S; see `leakpruner list`\n" workload;
+        exit 1
+    in
+    let admission =
+      Lp_core.Config.make ~admission_retry_cap:retry_cap
+        ~admission_backoff_base:backoff_base
+        ~admission_backoff_ceiling:backoff_ceiling ~offload_deadline:deadline
+        ()
+    in
+    (match Lp_core.Config.validate admission with
+    | Ok _ -> ()
+    | Error msg ->
+      Printf.eprintf "leakpruner: serve: invalid admission config: %s\n" msg;
+      exit 2);
+    let specs =
+      List.init tenants (fun id ->
+          {
+            Lp_fleet.Tenant.id;
+            name = Printf.sprintf "tenant-%d" id;
+            workload = w;
+            heap_bytes = heap;
+            quota_bytes = quota;
+            rate_per_mille = rate;
+            policy = Lp_core.Policy.Default;
+            force_safe = List.mem id force_safe;
+            resurrection = true;
+          })
+    in
+    let options seed =
+      let base = Lp_fleet.Fleet.default_options ~seed ~rounds () in
+      {
+        base with
+        Lp_fleet.Fleet.requests_per_round = max 1 (rate / 1000);
+        admission;
+        capacity_bytes =
+          (match capacity with
+          | Some c -> c
+          | None -> base.Lp_fleet.Fleet.capacity_bytes);
+        chaos;
+        kills;
+      }
+    in
+    match sweep with
+    | None ->
+      let report = Lp_fleet.Fleet.run (options seed) specs in
+      print_string (Lp_fleet.Fleet.render report);
+      if Lp_fleet.Fleet.failed report then begin
+        (match trace_dir with
+        | Some dir -> write_fleet_trace dir seed report
+        | None -> ());
+        Printf.eprintf "leakpruner: serve: fleet FAILED (verifier failure or crash)\n";
+        exit 1
+      end
+    | Some n ->
+      let failures = ref 0 in
+      for seed = 1 to n do
+        let report = Lp_fleet.Fleet.run (options seed) specs in
+        let failed = Lp_fleet.Fleet.failed report in
+        (* the sweep's second oracle: a re-run must reproduce exactly *)
+        let reproduced =
+          Lp_fleet.Fleet.deterministic_view report
+          = Lp_fleet.Fleet.deterministic_view
+              (Lp_fleet.Fleet.run (options seed) specs)
+        in
+        let restarts =
+          List.fold_left
+            (fun acc (t : Lp_fleet.Fleet.tenant_report) ->
+              acc + t.Lp_fleet.Fleet.restarts)
+            0 report.Lp_fleet.Fleet.tenant_reports
+        in
+        Printf.printf "seed %4d: %-14s %2d fault(s), %2d restart(s), %d denial(s)%s\n"
+          seed
+          (if failed then "FAILED"
+           else if not reproduced then "NONDETERMINISTIC"
+           else "pass")
+          report.Lp_fleet.Fleet.faults_fired restarts
+          report.Lp_fleet.Fleet.backend_denials
+          (if failed || not reproduced then "  <-- " else "");
+        if failed || not reproduced then begin
+          incr failures;
+          match trace_dir with
+          | Some dir -> write_fleet_trace dir seed report
+          | None -> ()
+        end
+      done;
+      Printf.printf "%d seed(s): %d failure(s)\n" n !failures;
+      if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ tenants_arg $ rounds_arg $ seed_arg $ workload_arg
+          $ heap_arg $ quota_arg $ capacity_arg $ rate_arg $ force_safe_arg
+          $ kill_arg $ chaos_arg $ sweep_arg $ trace_dir_arg $ retry_cap_arg
+          $ backoff_base_arg $ backoff_ceiling_arg $ deadline_arg)
+
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures (see bench/main.exe --list)." in
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
@@ -572,4 +813,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; interp_cmd; trace_cmd; chaos_cmd; experiment_cmd ]))
+          [ list_cmd; run_cmd; interp_cmd; trace_cmd; chaos_cmd; serve_cmd;
+            experiment_cmd ]))

@@ -27,6 +27,10 @@ type t = {
   resurrection_alloc_attempts : int;
   gc_engine : gc_engine;
   gc_slice_budget : int;
+  admission_retry_cap : int;
+  admission_backoff_base : int;
+  admission_backoff_ceiling : int;
+  offload_deadline : int;
 }
 
 let default =
@@ -50,6 +54,10 @@ let default =
     resurrection_alloc_attempts = 4;
     gc_engine = Sequential;
     gc_slice_budget = 256;
+    admission_retry_cap = 3;
+    admission_backoff_base = 1;
+    admission_backoff_ceiling = 16;
+    offload_deadline = 64;
   }
 
 (* [gc_domains] survives as an alias for the engine selection it used to
@@ -83,7 +91,11 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     ?(safe_mode_threshold = default.safe_mode_threshold)
     ?(safe_mode_collections = default.safe_mode_collections)
     ?(resurrection_alloc_attempts = default.resurrection_alloc_attempts)
-    ?gc_engine ?gc_domains ?(gc_slice_budget = default.gc_slice_budget) () =
+    ?gc_engine ?gc_domains ?(gc_slice_budget = default.gc_slice_budget)
+    ?(admission_retry_cap = default.admission_retry_cap)
+    ?(admission_backoff_base = default.admission_backoff_base)
+    ?(admission_backoff_ceiling = default.admission_backoff_ceiling)
+    ?(offload_deadline = default.offload_deadline) () =
   let gc_engine =
     match resolve_engine ?gc_engine ?gc_domains () with
     | Ok e -> e
@@ -109,6 +121,10 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     resurrection_alloc_attempts;
     gc_engine;
     gc_slice_budget;
+    admission_retry_cap;
+    admission_backoff_base;
+    admission_backoff_ceiling;
+    offload_deadline;
   }
 
 let gc_domains t = match t.gc_engine with Parallel n -> n | Sequential | Incremental -> 1
@@ -139,4 +155,10 @@ let validate t =
   else if (match t.gc_engine with Parallel n -> n < 2 || n > 64 | _ -> false)
   then Error "gc_engine: parallel domain count must be in [2, 64]"
   else if t.gc_slice_budget < 1 then Error "gc_slice_budget must be >= 1"
+  else if t.admission_retry_cap < 0 then Error "admission_retry_cap must be >= 0"
+  else if t.admission_backoff_base < 1 then
+    Error "admission_backoff_base must be >= 1"
+  else if t.admission_backoff_ceiling < t.admission_backoff_base then
+    Error "admission_backoff_ceiling must be >= admission_backoff_base"
+  else if t.offload_deadline < 1 then Error "offload_deadline must be >= 1"
   else Ok t

@@ -92,6 +92,20 @@ type t = {
       (** maximum objects one incremental mark slice may scan before
           yielding (the [Incremental] engine's pause bound); ignored by
           the other engines. Default 256; must be [>= 1]. *)
+  admission_retry_cap : int;
+      (** fleet admission control: how many times one queued request may
+          be re-offered to a tenant under disk backpressure before the
+          scheduler sheds it; default 3 *)
+  admission_backoff_base : int;
+      (** first admission backoff, in scheduler rounds (the fleet's
+          logical time unit); each consecutive denial doubles it;
+          default 1 *)
+  admission_backoff_ceiling : int;
+      (** exponential backoff saturates at this many rounds; must be at
+          least [admission_backoff_base]; default 16 *)
+  offload_deadline : int;
+      (** scheduler rounds a queued request may wait (across backoffs)
+          before the deadline timeout sheds it; default 64 *)
 }
 
 val default : t
@@ -117,6 +131,10 @@ val make :
   ?gc_engine:gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?admission_retry_cap:int ->
+  ?admission_backoff_base:int ->
+  ?admission_backoff_ceiling:int ->
+  ?offload_deadline:int ->
   unit ->
   t
 (** [gc_domains] is kept as a legacy alias for the engine selection

@@ -79,6 +79,22 @@ let label = function
 
 let is_structured e = label e <> None
 
+(* Stable short tags for the fleet's per-tenant containment: when a
+   structured error escapes a tenant VM, the scheduler quarantines and
+   restarts that tenant and stamps the restart event with this reason.
+   [Internal_error] unwraps to its cause, so a failed barrier-level
+   recovery restarts as "resurrection", not the generic "internal". *)
+let rec tenant_restart_reason = function
+  | Out_of_memory _ -> Some "oom"
+  | Internal_error { cause = Resurrection_failed _ as cause; _ } ->
+    tenant_restart_reason cause
+  | Internal_error _ -> Some "pruned-access"
+  | Disk_exhausted _ -> Some "disk-exhausted"
+  | Heap_corruption _ -> Some "heap-corruption"
+  | Out_of_disk _ -> Some "out-of-disk"
+  | Resurrection_failed _ -> Some "resurrection"
+  | _ -> None
+
 let is_recoverable = function
   | Internal_error _ | Heap_corruption _ -> true
   | Out_of_memory _ | Disk_exhausted _ | Out_of_disk _ | Resurrection_failed _

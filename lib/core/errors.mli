@@ -111,6 +111,14 @@ val label : exn -> string option
 val is_structured : exn -> bool
 (** Whether the exception belongs to the runtime's error taxonomy. *)
 
+val tenant_restart_reason : exn -> string option
+(** The stable short tag the fleet scheduler stamps into a
+    [Tenant_restarted] event when this error escapes a tenant VM and the
+    tenant is quarantined and restarted (["oom"], ["disk-exhausted"],
+    ["heap-corruption"], ...). [Internal_error] carrying a
+    [Resurrection_failed] cause reports ["resurrection"]; [None] for
+    exceptions outside the taxonomy (those restart as ["crash"]). *)
+
 val is_recoverable : exn -> bool
 (** Whether a program that catches this error can meaningfully continue
     running on the same VM. [Internal_error] (only the pruned structure

@@ -1,4 +1,4 @@
-type site = Alloc | Disk | Step | Swap | Mark
+type site = Alloc | Disk | Step | Swap | Mark | Fleet
 
 type fault =
   | Refuse_alloc
@@ -9,6 +9,8 @@ type fault =
   | Torn_write
   | Corrupt_mark_packet
   | Steal_race
+  | Kill_tenant
+  | Disk_pressure
 
 type event = { site : site; fault : fault; at : int; repeat : bool }
 
@@ -19,6 +21,7 @@ type t = {
   mutable step_visits : int;
   mutable swap_visits : int;
   mutable mark_visits : int;
+  mutable fleet_visits : int;
   mutable fired_log : (site * int * fault) list;  (* reverse order *)
 }
 
@@ -33,6 +36,7 @@ let make events =
     step_visits = 0;
     swap_visits = 0;
     mark_visits = 0;
+    fleet_visits = 0;
     fired_log = [];
   }
 
@@ -58,6 +62,21 @@ let random ?(events = 4) ~seed () =
   in
   make (List.init events (fun _ -> one ()))
 
+(* Fleet-level chaos: tenant kills and shared-disk-pressure windows,
+   scheduled against the [Fleet] site (checked once per scheduler
+   round). A separate generator — not folded into [random] — so the
+   plans behind the existing single-VM chaos seeds stay byte-identical
+   and every historical failing seed still reproduces. *)
+let random_fleet ?(events = 3) ~rounds ~seed () =
+  let rng = Random.State.make [| 0xF1EE7; seed |] in
+  let one () =
+    let at = 1 + Random.State.int rng (max 1 rounds) in
+    match Random.State.int rng 3 with
+    | 0 | 1 -> { site = Fleet; fault = Kill_tenant; at; repeat = false }
+    | _ -> { site = Fleet; fault = Disk_pressure; at; repeat = false }
+  in
+  make (List.init events (fun _ -> one ()))
+
 let events t = t.events
 
 let visits t = function
@@ -66,6 +85,7 @@ let visits t = function
   | Step -> t.step_visits
   | Swap -> t.swap_visits
   | Mark -> t.mark_visits
+  | Fleet -> t.fleet_visits
 
 let check t site =
   let n =
@@ -85,6 +105,9 @@ let check t site =
     | Mark ->
       t.mark_visits <- t.mark_visits + 1;
       t.mark_visits
+    | Fleet ->
+      t.fleet_visits <- t.fleet_visits + 1;
+      t.fleet_visits
   in
   let due =
     List.filter_map
@@ -106,6 +129,7 @@ let site_to_string = function
   | Step -> "step"
   | Swap -> "swap"
   | Mark -> "mark"
+  | Fleet -> "fleet"
 
 let fault_to_string = function
   | Refuse_alloc -> "refuse-alloc"
@@ -116,6 +140,8 @@ let fault_to_string = function
   | Torn_write -> "torn-write"
   | Corrupt_mark_packet -> "corrupt-mark-packet"
   | Steal_race -> "steal-race"
+  | Kill_tenant -> "kill-tenant"
+  | Disk_pressure -> "disk-pressure"
 
 let describe t =
   match t.events with

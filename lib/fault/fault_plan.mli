@@ -24,6 +24,10 @@ type site =
           site once per collection regardless of [Config.gc_domains],
           so fault streams stay aligned across domain counts — at 1
           domain the parallel faults are structurally no-ops *)
+  | Fleet
+      (** every fleet scheduler round (the multi-tenant serve loop);
+          owned by [Lp_fleet.Fleet], which applies the tenant-kill and
+          shared-disk-pressure faults *)
 
 type fault =
   | Refuse_alloc
@@ -52,6 +56,14 @@ type fault =
       (** the next multi-packet mark round hands packets out in reverse
           order, simulating a work-stealing scheduling race; merging by
           packet index makes it output-neutral by construction *)
+  | Kill_tenant
+      (** one tenant VM dies mid-round, as if its process was OOM-killed:
+          no clean teardown of its heap, only the crash-consistent swap
+          recovery pass runs before the scheduler restarts it *)
+  | Disk_pressure
+      (** the shared disk backend's free space vanishes for a window of
+          scheduler rounds: every tenant's offload admissions are denied
+          until the pressure lifts, exercising fleet-wide backpressure *)
 
 type event = {
   site : site;
@@ -73,6 +85,12 @@ val random : ?events:int -> seed:int -> unit -> t
 (** A reproducible plan of [events] (default 4) faults drawn from a
     generator seeded with [seed]. The same seed always yields the same
     plan. *)
+
+val random_fleet : ?events:int -> rounds:int -> seed:int -> unit -> t
+(** A reproducible fleet-level plan of [events] (default 3)
+    [Kill_tenant] / [Disk_pressure] faults scheduled within the first
+    [rounds] visits to the [Fleet] site. Kept separate from {!random} so
+    the single-VM chaos seed space is untouched. *)
 
 val events : t -> event list
 

@@ -1,0 +1,430 @@
+(* The multi-tenant scheduler: owns N tenant VM lifecycles and drives
+   them round-robin with open-loop traffic over one shared disk
+   backend. A scheduler *round* is the fleet's logical time unit — every
+   admission constant in [Lp_core.Config] (retry cap, backoff base and
+   ceiling, offload deadline) is denominated in rounds. *)
+
+type tenant_report = {
+  tenant : int;
+  name : string;
+  workload : string;
+  arrived : int;
+  served : int;
+  recovered : int;
+  shed_queue : int;
+  shed_deadline : int;
+  shed_retries : int;
+  shed_retired : int;
+  restarts : int;
+  kills : int;
+  crashes : int;
+  gc_count : int;
+  bytes_reclaimed : int;
+  references_poisoned : int;
+  resurrections : int;
+  safe_entries : int;
+  verifier_checks : int;
+  verifier_failures : int;
+  pruned_edge_types : (string * string) list;
+  quota_bytes : int;
+  disk_bytes_final : int;
+  admission_denials : int;
+  images_valid : int;
+  images_corrupt : int;
+}
+
+type timing = {
+  t_tenant : int;
+  pause_count : int;
+  pause_p50_ns : int;
+  pause_p99_ns : int;
+  pause_max_ns : int;
+}
+
+type report = {
+  seed : int;
+  rounds : int;
+  tenant_reports : tenant_report list;  (* in tenant-id order *)
+  faults_fired : int;
+  backend_capacity : int;
+  backend_used_bytes : int;
+  backend_denials : int;
+  metrics : Lp_obs.Metrics.snapshot;
+      (* fleet-aggregate merge of every incarnation's registry; contains
+         wall-clock pause histograms, so it is NOT part of the
+         deterministic view *)
+  timings : timing list;
+  events : Lp_obs.Event.stamped list;
+  events_dropped : int;
+}
+
+type options = {
+  seed : int;
+  rounds : int;
+  requests_per_round : int;
+  queue_limit : int;
+  admission : Lp_core.Config.t;
+  capacity_bytes : int;
+  chaos : bool;
+  chaos_events : int;
+  kills : (int * int) list;  (* explicit (round, tenant id) kill schedule *)
+  pressure_rounds : int;
+  trace_capacity : int;
+}
+
+let default_options ~seed ~rounds () =
+  {
+    seed;
+    rounds;
+    requests_per_round = 2;
+    queue_limit = 16;
+    admission = Lp_core.Config.default;
+    capacity_bytes = max_int / 2;
+    chaos = false;
+    chaos_events = 3;
+    kills = [];
+    pressure_rounds = 8;
+    trace_capacity = 4096;
+  }
+
+type request = { enqueued : int }
+
+(* Per-tenant scheduler state the tenant itself must not know about:
+   the queue, shed counters and the admission-control machine. *)
+type slot = {
+  tenant : Tenant.t;
+  traffic : Traffic.t;
+  queue : request Queue.t;
+  mutable arrived : int;
+  mutable shed_queue : int;
+  mutable shed_deadline : int;
+  mutable shed_retries : int;
+  mutable shed_retired : int;
+  mutable backoff_until : int;
+  mutable backoff_level : int;
+  mutable pressure_retries : int;
+  mutable last_denials : int;
+  mutable quarantined_until : int;
+}
+
+let run opts specs =
+  if specs = [] then invalid_arg "Fleet.run: at least one tenant required";
+  let specs =
+    List.sort (fun (a : Tenant.spec) b -> compare a.Tenant.id b.Tenant.id) specs
+  in
+  let rec check_unique = function
+    | (a : Tenant.spec) :: (b : Tenant.spec) :: _ when a.Tenant.id = b.Tenant.id
+      ->
+      invalid_arg "Fleet.run: duplicate tenant id"
+    | _ :: rest -> check_unique rest
+    | [] -> ()
+  in
+  check_unique specs;
+  (match Lp_core.Config.validate opts.admission with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Fleet.run: " ^ msg));
+  let cfg = opts.admission in
+  let retry_cap = cfg.Lp_core.Config.admission_retry_cap in
+  let backoff_base = cfg.Lp_core.Config.admission_backoff_base in
+  let backoff_ceiling = cfg.Lp_core.Config.admission_backoff_ceiling in
+  let deadline = cfg.Lp_core.Config.offload_deadline in
+  let backend = Lp_runtime.Diskswap.create_backend ~capacity_bytes:opts.capacity_bytes in
+  let round = ref 0 in
+  let sink =
+    Lp_obs.Sink.create ~capacity:opts.trace_capacity ~clock:(fun () -> !round) ()
+  in
+  let plan =
+    if opts.chaos then
+      Lp_fault.Fault_plan.random_fleet ~events:opts.chaos_events
+        ~rounds:opts.rounds ~seed:opts.seed ()
+    else Lp_fault.Fault_plan.none
+  in
+  let slots =
+    Array.of_list
+      (List.map
+         (fun (s : Tenant.spec) ->
+           {
+             tenant = Tenant.create ~backend s;
+             traffic =
+               Traffic.create ~seed:opts.seed ~tenant:s.Tenant.id
+                 ~rate_per_mille:s.Tenant.rate_per_mille;
+             queue = Queue.create ();
+             arrived = 0;
+             shed_queue = 0;
+             shed_deadline = 0;
+             shed_retries = 0;
+             shed_retired = 0;
+             backoff_until = 0;
+             backoff_level = 0;
+             pressure_retries = 0;
+             last_denials = 0;
+             quarantined_until = 0;
+           })
+         specs)
+  in
+  let n = Array.length slots in
+  let tenant_id slot = (Tenant.spec slot.tenant).Tenant.id in
+  let shed slot reason =
+    (match reason with
+    | "queue-full" -> slot.shed_queue <- slot.shed_queue + 1
+    | "deadline" -> slot.shed_deadline <- slot.shed_deadline + 1
+    | "retries" -> slot.shed_retries <- slot.shed_retries + 1
+    | _ -> slot.shed_retired <- slot.shed_retired + 1);
+    Lp_obs.Sink.emit sink
+      (Lp_obs.Event.Request_shed
+         { tenant = tenant_id slot; round = !round; reason })
+  in
+  let restart slot ~reason ~killed =
+    ignore (Tenant.restart slot.tenant ~killed);
+    Lp_obs.Sink.emit sink
+      (Lp_obs.Event.Tenant_restarted
+         {
+           tenant = tenant_id slot;
+           round = !round;
+           reason;
+           restarts = Tenant.restarts slot.tenant;
+         });
+    (* quarantined for the rest of this round; the fresh VM serves again
+       next round, and its admission machine starts clean *)
+    slot.quarantined_until <- !round + 1;
+    slot.backoff_until <- 0;
+    slot.backoff_level <- 0;
+    slot.pressure_retries <- 0;
+    slot.last_denials <- 0
+  in
+  let kill slot =
+    Lp_obs.Sink.emit sink
+      (Lp_obs.Event.Tenant_killed { tenant = tenant_id slot; round = !round });
+    restart slot ~reason:"kill" ~killed:true
+  in
+  let saved_capacity = ref None in
+  let pressure_until = ref 0 in
+  let close_pressure () =
+    match !saved_capacity with
+    | None -> ()
+    | Some cap ->
+      Lp_runtime.Diskswap.set_backend_capacity backend cap;
+      saved_capacity := None;
+      Lp_obs.Sink.emit sink
+        (Lp_obs.Event.Fleet_pressure { capacity_bytes = cap; active = false })
+  in
+  for r = 1 to opts.rounds do
+    round := r;
+    if !saved_capacity <> None && r >= !pressure_until then close_pressure ();
+    (* Fleet chaos: the plan's [Fleet] site is visited exactly once per
+       round, so fault timing is in rounds too. *)
+    let faults = Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Fleet in
+    List.iter
+      (fun f ->
+        match (f : Lp_fault.Fault_plan.fault) with
+        | Lp_fault.Fault_plan.Kill_tenant ->
+          (* deterministic victim: rotate by round so repeated kills
+             spread over the fleet *)
+          kill slots.((r - 1) mod n)
+        | Lp_fault.Fault_plan.Disk_pressure ->
+          pressure_until := r + opts.pressure_rounds;
+          if !saved_capacity = None then begin
+            let cap = Lp_runtime.Diskswap.backend_capacity backend in
+            let used = Lp_runtime.Diskswap.backend_used_bytes backend in
+            saved_capacity := Some cap;
+            Lp_runtime.Diskswap.set_backend_capacity backend used;
+            Lp_obs.Sink.emit sink
+              (Lp_obs.Event.Fleet_pressure
+                 { capacity_bytes = used; active = true })
+          end
+        | _ -> ())
+      faults;
+    List.iter
+      (fun (kr, kt) ->
+        if kr = r then
+          Array.iter (fun slot -> if tenant_id slot = kt then kill slot) slots)
+      opts.kills;
+    Array.iter
+      (fun slot ->
+        (* 1. Arrivals — drawn every round, served or not. *)
+        let a = Traffic.arrivals slot.traffic in
+        for _ = 1 to a do
+          slot.arrived <- slot.arrived + 1;
+          if Queue.length slot.queue >= opts.queue_limit then
+            shed slot "queue-full"
+          else Queue.add { enqueued = r } slot.queue
+        done;
+        (* 2. Deadline aging — requests stuck behind backpressure (or a
+           quarantine) longer than [offload_deadline] rounds time out. *)
+        while
+          (not (Queue.is_empty slot.queue))
+          && r - (Queue.peek slot.queue).enqueued > deadline
+        do
+          ignore (Queue.pop slot.queue);
+          shed slot "deadline"
+        done;
+        (* 3. Serve, unless quarantined (this round) or backing off. *)
+        if slot.quarantined_until <= r && slot.backoff_until <= r then begin
+          let fatal = ref None in
+          let served = ref 0 in
+          while
+            !fatal = None
+            && !served < opts.requests_per_round
+            && not (Queue.is_empty slot.queue)
+          do
+            ignore (Queue.pop slot.queue);
+            match Tenant.serve_one slot.tenant with
+            | `Ok | `Recovered -> incr served
+            | `Fatal reason ->
+              (* the in-flight request dies with the VM *)
+              shed slot "retired";
+              fatal := Some reason
+          done;
+          match !fatal with
+          | Some reason -> restart slot ~reason ~killed:false
+          | None ->
+            (* 4. Admission control: poll this tenant's own denial
+               counter (never the backend's — a neighbour's pressure
+               must not slow this tenant down). Denials during the
+               round mean the disk refused its offloads: back off
+               exponentially, and past the retry cap shed the backlog
+               rather than letting it rot. *)
+            let d = Tenant.admission_denials slot.tenant in
+            if d > slot.last_denials then begin
+              slot.last_denials <- d;
+              slot.pressure_retries <- slot.pressure_retries + 1;
+              if slot.pressure_retries > retry_cap then begin
+                while not (Queue.is_empty slot.queue) do
+                  ignore (Queue.pop slot.queue);
+                  shed slot "retries"
+                done;
+                slot.pressure_retries <- 0;
+                slot.backoff_level <- 0
+              end
+              else begin
+                let b =
+                  min backoff_ceiling
+                    (backoff_base * (1 lsl min slot.backoff_level 20))
+                in
+                slot.backoff_until <- r + b;
+                slot.backoff_level <- slot.backoff_level + 1
+              end
+            end
+            else begin
+              slot.pressure_retries <- 0;
+              slot.backoff_level <- 0
+            end
+        end)
+      slots
+  done;
+  round := opts.rounds + 1;
+  close_pressure ();
+  let tenant_reports =
+    Array.to_list
+      (Array.map
+         (fun slot ->
+           let s = Tenant.finish slot.tenant in
+           let sp = Tenant.spec slot.tenant in
+           {
+             tenant = sp.Tenant.id;
+             name = sp.Tenant.name;
+             workload = sp.Tenant.workload.Lp_workloads.Workload.name;
+             arrived = slot.arrived;
+             served = s.Tenant.served;
+             recovered = s.Tenant.recovered;
+             shed_queue = slot.shed_queue;
+             shed_deadline = slot.shed_deadline;
+             shed_retries = slot.shed_retries;
+             shed_retired = slot.shed_retired;
+             restarts = s.Tenant.restarts;
+             kills = s.Tenant.kills;
+             crashes = s.Tenant.crashes;
+             gc_count = s.Tenant.gc_count;
+             bytes_reclaimed = s.Tenant.bytes_reclaimed;
+             references_poisoned = s.Tenant.references_poisoned;
+             resurrections = s.Tenant.resurrections;
+             safe_entries = s.Tenant.safe_entries;
+             verifier_checks = s.Tenant.verifier_checks;
+             verifier_failures = s.Tenant.verifier_failures;
+             pruned_edge_types = s.Tenant.pruned_edge_types;
+             quota_bytes = sp.Tenant.quota_bytes;
+             disk_bytes_final = s.Tenant.disk_bytes_final;
+             admission_denials = s.Tenant.admission_denials;
+             images_valid = s.Tenant.images_valid;
+             images_corrupt = s.Tenant.images_corrupt;
+           })
+         slots)
+  in
+  let timings =
+    Array.to_list
+      (Array.map
+         (fun slot ->
+           let samples = Tenant.pause_samples slot.tenant in
+           {
+             t_tenant = tenant_id slot;
+             pause_count = List.length samples;
+             pause_p50_ns = Lp_obs.Aggregate.percentile samples ~p:50.;
+             pause_p99_ns = Lp_obs.Aggregate.percentile samples ~p:99.;
+             pause_max_ns = Lp_obs.Aggregate.percentile samples ~p:100.;
+           })
+         slots)
+  in
+  let metrics =
+    Lp_obs.Aggregate.merge
+      (List.concat_map
+         (fun slot -> Tenant.metrics_snapshots slot.tenant)
+         (Array.to_list slots))
+  in
+  {
+    seed = opts.seed;
+    rounds = opts.rounds;
+    tenant_reports;
+    faults_fired = Lp_fault.Fault_plan.fired_count plan;
+    backend_capacity = Lp_runtime.Diskswap.backend_capacity backend;
+    backend_used_bytes = Lp_runtime.Diskswap.backend_used_bytes backend;
+    backend_denials = Lp_runtime.Diskswap.backend_denials backend;
+    metrics;
+    timings;
+    events = Lp_obs.Sink.events sink;
+    events_dropped = Lp_obs.Sink.dropped sink;
+  }
+
+let failed (r : report) =
+  List.exists
+    (fun t -> t.verifier_failures > 0 || t.crashes > 0)
+    r.tenant_reports
+
+(* The deterministic view: everything except wall-clock timings and the
+   merged metrics (whose pause histograms carry wall time). Two runs
+   with the same seed, specs and schedule must render identically. *)
+let render_tenant (t : tenant_report) =
+  Printf.sprintf
+    "tenant %d %s (%s): arrived=%d served=%d recovered=%d \
+     shed=[queue:%d deadline:%d retries:%d retired:%d] restarts=%d \
+     (kills:%d crashes:%d) gc=%d reclaimed=%dB poisoned=%d resurrected=%d \
+     safe=%d verifier=%d/%d pruned=[%s] disk=%d/%dB denials=%d \
+     recovery=[valid:%d corrupt:%d]"
+    t.tenant t.name t.workload t.arrived t.served t.recovered t.shed_queue
+    t.shed_deadline t.shed_retries t.shed_retired t.restarts t.kills t.crashes
+    t.gc_count t.bytes_reclaimed t.references_poisoned t.resurrections
+    t.safe_entries t.verifier_failures t.verifier_checks
+    (String.concat ", "
+       (List.map (fun (a, b) -> a ^ "->" ^ b) t.pruned_edge_types))
+    t.disk_bytes_final t.quota_bytes t.admission_denials t.images_valid
+    t.images_corrupt
+
+let deterministic_view (r : report) =
+  String.concat "\n"
+    (Printf.sprintf "fleet seed=%d rounds=%d faults=%d backend_used=%d denials=%d"
+       r.seed r.rounds r.faults_fired r.backend_used_bytes r.backend_denials
+    :: List.map render_tenant r.tenant_reports)
+
+let render (r : report) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (deterministic_view r);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun t ->
+      Buffer.add_string b
+        (Printf.sprintf "tenant %d pauses: n=%d p50=%dns p99=%dns max=%dns\n"
+           t.t_tenant t.pause_count t.pause_p50_ns t.pause_p99_ns t.pause_max_ns))
+    r.timings;
+  Buffer.add_string b
+    (Printf.sprintf "events=%d dropped=%d\n" (List.length r.events)
+       r.events_dropped);
+  Buffer.contents b

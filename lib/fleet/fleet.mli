@@ -1,0 +1,124 @@
+(** The multi-tenant fleet scheduler.
+
+    [run] owns N tenant VM lifecycles and drives them with a fixed
+    round-robin schedule (tenant-id order) for a fixed number of
+    {e rounds} — the fleet's logical time unit. Each round, per tenant:
+    open-loop arrivals are enqueued (overflow past [queue_limit] is
+    shed), queued requests older than [Config.offload_deadline] rounds
+    time out, and — unless the tenant is quarantined or backing off — up
+    to [requests_per_round] requests are served. Offload-admission
+    denials from the tenant's own swap store drive bounded retry with
+    exponential backoff ([Config.admission_retry_cap], [_backoff_base],
+    [_backoff_ceiling]); past the cap the backlog is shed.
+
+    {b Isolation.} A tenant's traffic is a function of [(seed, id)]
+    alone; its backpressure signal is its {e own} denial counter, never
+    the backend's; and shared-disk admission only couples tenants when
+    the backend capacity conjunct binds. With capacity headroom, a
+    healthy tenant's report is bit-identical whether or not faulty
+    neighbours exist — the isolation oracle the tests enforce across
+    seeds.
+
+    {b Containment.} Any [`Fatal] serve outcome (typed error, verifier
+    failure, crash) restarts only that tenant: counters harvested,
+    domains joined, swap store recovered (crediting the backend), fresh
+    VM booted; a [Tenant_restarted] event records the reason. Fleet
+    chaos ([Fault_plan.Fleet] site) adds [Kill_tenant] and
+    [Disk_pressure] faults on top. *)
+
+type tenant_report = {
+  tenant : int;
+  name : string;
+  workload : string;
+  arrived : int;
+  served : int;
+  recovered : int;
+  shed_queue : int;
+  shed_deadline : int;
+  shed_retries : int;
+  shed_retired : int;
+  restarts : int;
+  kills : int;
+  crashes : int;
+  gc_count : int;
+  bytes_reclaimed : int;
+  references_poisoned : int;
+  resurrections : int;
+  safe_entries : int;
+  verifier_checks : int;
+  verifier_failures : int;
+  pruned_edge_types : (string * string) list;
+  quota_bytes : int;
+  disk_bytes_final : int;
+  admission_denials : int;
+  images_valid : int;
+  images_corrupt : int;
+}
+(** Fully deterministic (no wall-clock fields): structural equality
+    between two runs' reports is the isolation/determinism oracle. *)
+
+type timing = {
+  t_tenant : int;
+  pause_count : int;
+  pause_p50_ns : int;
+  pause_p99_ns : int;
+  pause_max_ns : int;
+}
+(** Wall-clock pause percentiles; never part of determinism compares. *)
+
+type report = {
+  seed : int;
+  rounds : int;
+  tenant_reports : tenant_report list;  (** in tenant-id order *)
+  faults_fired : int;
+  backend_capacity : int;
+  backend_used_bytes : int;
+  backend_denials : int;
+  metrics : Lp_obs.Metrics.snapshot;
+      (** fleet-aggregate merge of every incarnation's registry (carries
+          wall-clock histograms — not deterministic) *)
+  timings : timing list;
+  events : Lp_obs.Event.stamped list;
+      (** the fleet sink's log ([Tenant_killed], [Tenant_restarted],
+          [Request_shed], [Fleet_pressure]), stamped with the round *)
+  events_dropped : int;
+}
+
+type options = {
+  seed : int;
+  rounds : int;
+  requests_per_round : int;  (** serve capacity per tenant per round *)
+  queue_limit : int;
+  admission : Lp_core.Config.t;
+      (** source of the admission constants; validated by [run] *)
+  capacity_bytes : int;  (** shared backend size *)
+  chaos : bool;  (** schedule a [Fault_plan.random_fleet] plan *)
+  chaos_events : int;
+  kills : (int * int) list;
+      (** explicit (round, tenant id) kill schedule, applied whether or
+          not [chaos] is on — the isolation tests' scripted faults *)
+  pressure_rounds : int;  (** length of a [Disk_pressure] window *)
+  trace_capacity : int;
+}
+
+val default_options : seed:int -> rounds:int -> unit -> options
+(** 2 requests/round, queue of 16, [Config.default] admission constants,
+    effectively-unbounded backend, no chaos, no kills, 8-round pressure
+    windows. *)
+
+val run : options -> Tenant.spec list -> report
+(** @raise Invalid_argument on an empty fleet, duplicate tenant ids, or
+    an admission config that fails [Config.validate]. *)
+
+val failed : report -> bool
+(** True when any tenant saw a verifier failure or a crash (restarts
+    from {e typed} errors are expected operation, not failure). *)
+
+val deterministic_view : report -> string
+(** Renders exactly the deterministic fields; two runs with equal seed,
+    specs and schedule must produce equal strings (the oracle used by
+    tests and the chaos sweep). *)
+
+val render : report -> string
+(** [deterministic_view] plus pause timings and event counts, for the
+    CLI. *)

@@ -1,0 +1,216 @@
+open Lp_runtime
+
+type spec = {
+  id : int;
+  name : string;
+  workload : Lp_workloads.Workload.t;
+  heap_bytes : int;
+  quota_bytes : int;
+  rate_per_mille : int;
+  policy : Lp_core.Policy.t;
+  force_safe : bool;
+  resurrection : bool;
+}
+
+exception Verifier_failed of string
+
+type stats = {
+  served : int;
+  recovered : int;
+  restarts : int;
+  kills : int;
+  crashes : int;
+  gc_count : int;
+  bytes_reclaimed : int;
+  references_poisoned : int;
+  resurrections : int;
+  safe_entries : int;
+  verifier_checks : int;
+  verifier_failures : int;
+  pruned_edge_types : (string * string) list;
+  disk_bytes_final : int;
+  admission_denials : int;
+  images_valid : int;
+  images_corrupt : int;
+}
+
+type t = {
+  spec : spec;
+  backend : Diskswap.backend;
+  mutable vm : Vm.t;
+  mutable iterate : unit -> unit;
+  mutable served : int;
+  mutable recovered : int;
+  mutable restarts : int;
+  mutable kills : int;
+  mutable crashes : int;
+  mutable verifier_checks : int;
+  mutable verifier_failures : int;
+  (* Accumulators harvested from each VM incarnation when it dies (and
+     from the last one at [finish]); the per-VM counters reset with
+     every restart, these never do. *)
+  mutable acc_gc_count : int;
+  mutable acc_bytes_reclaimed : int;
+  mutable acc_references_poisoned : int;
+  mutable acc_resurrections : int;
+  mutable acc_safe_entries : int;
+  mutable acc_denials : int;
+  mutable acc_pruned : (string * string) list;
+  mutable acc_pause_samples : int list;
+  mutable acc_snapshots : Lp_obs.Metrics.snapshot list;
+  mutable images_valid : int;
+  mutable images_corrupt : int;
+  mutable finished : bool;
+}
+
+let spec t = t.spec
+
+let new_vm (s : spec) backend =
+  let config =
+    Lp_core.Config.make ~policy:s.policy
+      ?force_state:(if s.force_safe then Some Lp_core.State_kind.Safe else None)
+      ()
+  in
+  Vm.create ~config
+    ~disk:(Diskswap.default_config ~disk_limit_bytes:s.quota_bytes)
+    ~swap_backend:backend ~resurrection:s.resurrection
+    ~heap_bytes:s.heap_bytes ()
+
+(* The strict verifier runs after every collection of every tenant; a
+   failure is fatal for the tenant (never for the fleet). The listener
+   is attached before [prepare] runs so even setup-time collections are
+   verified. *)
+let install t =
+  let vm = t.vm in
+  Vm.set_gc_listener vm
+    (Some
+       (fun _ ->
+         t.verifier_checks <- t.verifier_checks + 1;
+         match Diagnostics.heap_check ~strict:true vm with
+         | Ok () -> ()
+         | Error msg ->
+           t.verifier_failures <- t.verifier_failures + 1;
+           raise (Verifier_failed msg)));
+  t.iterate <- t.spec.workload.Lp_workloads.Workload.prepare vm
+
+let create ~backend spec =
+  let t =
+    {
+      spec;
+      backend;
+      vm = new_vm spec backend;
+      iterate = (fun () -> ());
+      served = 0;
+      recovered = 0;
+      restarts = 0;
+      kills = 0;
+      crashes = 0;
+      verifier_checks = 0;
+      verifier_failures = 0;
+      acc_gc_count = 0;
+      acc_bytes_reclaimed = 0;
+      acc_references_poisoned = 0;
+      acc_resurrections = 0;
+      acc_safe_entries = 0;
+      acc_denials = 0;
+      acc_pruned = [];
+      acc_pause_samples = [];
+      acc_snapshots = [];
+      images_valid = 0;
+      images_corrupt = 0;
+      finished = false;
+    }
+  in
+  install t;
+  t
+
+let harvest t =
+  let vm = t.vm in
+  let st = Vm.stats vm in
+  t.acc_gc_count <- t.acc_gc_count + Vm.gc_count vm;
+  t.acc_bytes_reclaimed <-
+    t.acc_bytes_reclaimed + st.Lp_heap.Gc_stats.bytes_reclaimed;
+  t.acc_references_poisoned <-
+    t.acc_references_poisoned + st.Lp_heap.Gc_stats.references_poisoned;
+  t.acc_resurrections <- t.acc_resurrections + st.Lp_heap.Gc_stats.resurrections;
+  let ctl = Vm.controller vm in
+  t.acc_safe_entries <- t.acc_safe_entries + Lp_core.Controller.safe_entries ctl;
+  t.acc_denials <- t.acc_denials + Diskswap.admission_denials (Vm.swap vm);
+  let reg = Vm.registry vm in
+  let named (a, b) =
+    (Lp_heap.Class_registry.name reg a, Lp_heap.Class_registry.name reg b)
+  in
+  t.acc_pruned <-
+    t.acc_pruned @ List.map named (Lp_core.Controller.pruned_edge_types ctl);
+  t.acc_pause_samples <- t.acc_pause_samples @ Vm.pause_samples_ns vm;
+  t.acc_snapshots <- t.acc_snapshots @ [ Vm.metrics_snapshot vm ]
+
+let serve_one t =
+  match t.iterate () with
+  | () ->
+    t.served <- t.served + 1;
+    `Ok
+  | exception Verifier_failed _ -> `Fatal "verifier"
+  | exception e when Lp_core.Errors.is_recoverable e ->
+    (* pruned-access and quarantined-corruption errors: the request
+       failed but the tenant lives, exactly like Chaos's recovery net *)
+    t.served <- t.served + 1;
+    t.recovered <- t.recovered + 1;
+    `Recovered
+  | exception e when Lp_core.Errors.is_structured e ->
+    `Fatal
+      (Option.value (Lp_core.Errors.tenant_restart_reason e) ~default:"error")
+  | exception _ ->
+    t.crashes <- t.crashes + 1;
+    `Fatal "crash"
+
+let admission_denials t = Diskswap.admission_denials (Vm.swap t.vm)
+
+let restarts t = t.restarts
+
+(* A restart is the tenant's whole error-containment story: harvest the
+   dying VM's counters, join its collector domains, run the
+   crash-consistent recovery pass over its swap store (auditing image
+   checksums and crediting every byte back to the shared backend), then
+   boot a fresh VM over the same quota. *)
+let restart t ~killed =
+  harvest t;
+  Vm.shutdown t.vm;
+  let recovery = Diskswap.recover (Vm.swap t.vm) in
+  t.images_valid <- t.images_valid + recovery.Diskswap.images_valid;
+  t.images_corrupt <- t.images_corrupt + recovery.Diskswap.images_corrupt;
+  t.restarts <- t.restarts + 1;
+  if killed then t.kills <- t.kills + 1;
+  t.vm <- new_vm t.spec t.backend;
+  install t;
+  recovery
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    harvest t;
+    Vm.shutdown t.vm
+  end;
+  {
+    served = t.served;
+    recovered = t.recovered;
+    restarts = t.restarts;
+    kills = t.kills;
+    crashes = t.crashes;
+    gc_count = t.acc_gc_count;
+    bytes_reclaimed = t.acc_bytes_reclaimed;
+    references_poisoned = t.acc_references_poisoned;
+    resurrections = t.acc_resurrections;
+    safe_entries = t.acc_safe_entries;
+    verifier_checks = t.verifier_checks;
+    verifier_failures = t.verifier_failures;
+    pruned_edge_types = t.acc_pruned;
+    disk_bytes_final = Diskswap.disk_bytes (Vm.swap t.vm);
+    admission_denials = t.acc_denials;
+    images_valid = t.images_valid;
+    images_corrupt = t.images_corrupt;
+  }
+
+let pause_samples t = t.acc_pause_samples
+
+let metrics_snapshots t = t.acc_snapshots

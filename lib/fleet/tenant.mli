@@ -1,0 +1,94 @@
+(** One tenant: a VM lifecycle the fleet scheduler owns.
+
+    A tenant is a {e specification} (workload, heap size, disk quota,
+    policy) plus whichever VM incarnation is currently serving it. The
+    scheduler serves requests through {!serve_one}; when one comes back
+    [`Fatal] the tenant is restarted — counters harvested, domains
+    joined, swap store put through its crash-consistent recovery pass,
+    fresh VM booted over the same quota — and the fleet carries on. All
+    cumulative statistics survive restarts; per-VM counters are folded
+    into the accumulators each time an incarnation dies. *)
+
+type spec = {
+  id : int;  (** stable identity: orders scheduling, seeds traffic *)
+  name : string;
+  workload : Lp_workloads.Workload.t;
+  heap_bytes : int;
+  quota_bytes : int;  (** shared-disk quota ([Diskswap] admission bound) *)
+  rate_per_mille : int;  (** arrival rate, requests per 1000 rounds *)
+  policy : Lp_core.Policy.t;
+  force_safe : bool;
+      (** pin the controller in SAFE state (pruning moratorium) for the
+          tenant's whole life — the isolation experiments' "faulty
+          neighbour" that can never reclaim *)
+  resurrection : bool;
+}
+
+exception Verifier_failed of string
+(** Raised out of the per-collection strict heap verifier; always fatal
+    for the tenant (reason ["verifier"]), never for the fleet. *)
+
+type stats = {
+  served : int;
+  recovered : int;  (** requests that hit a recoverable error *)
+  restarts : int;
+  kills : int;  (** restarts caused by an injected [Kill_tenant] *)
+  crashes : int;  (** restarts caused by a non-taxonomy exception *)
+  gc_count : int;
+  bytes_reclaimed : int;
+  references_poisoned : int;
+  resurrections : int;
+  safe_entries : int;
+  verifier_checks : int;
+  verifier_failures : int;
+  pruned_edge_types : (string * string) list;
+  disk_bytes_final : int;
+  admission_denials : int;  (** cumulative across incarnations *)
+  images_valid : int;  (** recovery-pass CRC audits, summed *)
+  images_corrupt : int;
+}
+(** Everything here is a deterministic function of (specs, seed,
+    schedule) — no wall-clock values; pause timings live separately in
+    {!pause_samples}. *)
+
+type t
+
+val create : backend:Lp_runtime.Diskswap.backend -> spec -> t
+(** Boots the first VM incarnation: quota-limited swap store attached to
+    [backend], strict-verifier collection listener installed before the
+    workload's [prepare] runs. *)
+
+val spec : t -> spec
+
+val serve_one : t -> [ `Ok | `Recovered | `Fatal of string ]
+(** Runs one request (one workload iteration). [`Recovered]: the
+    request failed with a recoverable error, the tenant lives (both are
+    counted as served). [`Fatal reason] leaves the tenant unusable until
+    {!restart}; [reason] is {!Lp_core.Errors.tenant_restart_reason}'s
+    tag, or ["verifier"] / ["crash"]. *)
+
+val restart : t -> killed:bool -> Lp_runtime.Diskswap.recovery
+(** Error containment: harvest the dying VM, shut it down, run
+    {!Lp_runtime.Diskswap.recover} over its swap store (crediting the
+    shared backend), boot a fresh VM. [killed] marks an injected
+    [Kill_tenant] (counted separately from organic restarts). *)
+
+val restarts : t -> int
+
+val admission_denials : t -> int
+(** The {e current} incarnation's offload-admission denials — the
+    scheduler's per-round backpressure signal (resets to 0 at restart,
+    matching the fresh swap store). *)
+
+val finish : t -> stats
+(** Final harvest plus shutdown (idempotent); the swap store is {e not}
+    recovered, so [disk_bytes_final] reports the tenant's real final
+    footprint. *)
+
+val pause_samples : t -> int list
+(** Wall-clock collection pauses across all incarnations (valid after
+    {!finish}); excluded from every determinism comparison. *)
+
+val metrics_snapshots : t -> Lp_obs.Metrics.snapshot list
+(** One snapshot per dead incarnation (plus the final one after
+    {!finish}), for {!Lp_obs.Aggregate.merge}. *)

@@ -73,6 +73,10 @@ let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
       ~config:(Lp_core.Config.make ?gc_engine ~gc_domains ?gc_slice_budget ())
       ?disk ~resurrection ?nursery_bytes ?fault:plan ~heap_bytes ()
   in
+  (* [with_vm]: even though the outcome net below catches everything the
+     body can raise, teardown must not depend on that — a sweep over
+     hundreds of seeds cannot afford one leaked domain. *)
+  Lifecycle.with_vm vm @@ fun vm ->
   (match trace_capacity with
   | Some capacity -> ignore (Lp_runtime.Vm.enable_trace ~capacity vm)
   | None -> ());
@@ -259,8 +263,10 @@ let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
           | Lp_fault.Fault_plan.Refuse_alloc | Lp_fault.Fault_plan.Disk_failure
           | Lp_fault.Fault_plan.Corrupt_image | Lp_fault.Fault_plan.Torn_write
           | Lp_fault.Fault_plan.Corrupt_mark_packet
-          | Lp_fault.Fault_plan.Steal_race ->
-            (* owned by the store / disk / swap / mark trigger points *)
+          | Lp_fault.Fault_plan.Steal_race
+          | Lp_fault.Fault_plan.Kill_tenant
+          | Lp_fault.Fault_plan.Disk_pressure ->
+            (* owned by the store / disk / swap / mark / fleet triggers *)
             ())
         (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Step)
   in

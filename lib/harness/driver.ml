@@ -45,6 +45,10 @@ let run ?(policy = Lp_core.Policy.Default) ?config ?heap_bytes
   let vm =
     Lp_runtime.Vm.create ~config ~charge_barriers ?cost ?disk ~heap_bytes ()
   in
+  (* Under [Lifecycle.with_vm] so the collector domains are joined even
+     when an exception the handler below doesn't recognize (e.g.
+     [Heap_corruption]) escapes the iterate loop. *)
+  Lifecycle.with_vm vm @@ fun vm ->
   (* Runs before the workload's own [prepare] so a trace attached here
      observes the workload's setup allocations too. *)
   (match prepare_vm with Some f -> f vm | None -> ());

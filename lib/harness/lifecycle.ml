@@ -1,0 +1,10 @@
+(* The single place VM teardown is guaranteed. Harnesses used to call
+   [Vm.shutdown] manually after their error-handling, which silently
+   skipped the join whenever an exception escaped the handler's pattern
+   (e.g. [Heap_corruption] out of [Driver.run]) — leaking the parallel
+   engine's collector domains for the rest of the process. *)
+
+let with_vm vm f =
+  Fun.protect
+    ~finally:(fun () -> Lp_runtime.Vm.shutdown vm)
+    (fun () -> f vm)

@@ -1,0 +1,14 @@
+(** Guaranteed VM teardown for harnesses.
+
+    [Vm.shutdown] joins the parallel engine's collector domains; a
+    harness that skips it on an error path leaks domains for the rest of
+    the process ([Lp_par.Domain_pool.active_count] never returns to
+    zero, and a seed sweep accumulates them). Every harness that owns a
+    VM's lifetime runs its body under {!with_vm} so teardown happens on
+    {e every} exit path, not just the anticipated errors. *)
+
+val with_vm : Lp_runtime.Vm.t -> (Lp_runtime.Vm.t -> 'a) -> 'a
+(** [with_vm vm f] runs [f vm] and calls [Lp_runtime.Vm.shutdown vm]
+    when [f] returns {e or raises} ([Fun.protect] semantics). Shutdown
+    is idempotent, so [f] may also shut the VM down early itself — e.g.
+    to join domains before reading final statistics. *)

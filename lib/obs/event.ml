@@ -27,6 +27,15 @@ type t =
   | Par_phase_begin of { gc : int; phase : string; worker : int }
   | Par_phase_end of { gc : int; phase : string; worker : int; work : int }
   | Packet_recovered of { gc : int; packet : int }
+  | Tenant_killed of { tenant : int; round : int }
+  | Tenant_restarted of {
+      tenant : int;
+      round : int;
+      reason : string;
+      restarts : int;
+    }
+  | Request_shed of { tenant : int; round : int; reason : string }
+  | Fleet_pressure of { capacity_bytes : int; active : bool }
 
 type stamped = { seq : int; at : int; ev : t }
 
@@ -54,6 +63,10 @@ let type_name = function
   | Par_phase_begin _ -> "par_phase_begin"
   | Par_phase_end _ -> "par_phase_end"
   | Packet_recovered _ -> "packet_recovered"
+  | Tenant_killed _ -> "tenant_killed"
+  | Tenant_restarted _ -> "tenant_restarted"
+  | Request_shed _ -> "request_shed"
+  | Fleet_pressure _ -> "fleet_pressure"
 
 (* Span events open (`B`) and close (`E`) a nested duration in the
    Chrome trace; everything else is instantaneous. *)

@@ -58,6 +58,28 @@ type t =
   | Packet_recovered of { gc : int; packet : int }
       (** a mark packet's discovery buffer failed seal verification and
           was recovered by a pure re-scan (chaos-injected corruption) *)
+  | Tenant_killed of { tenant : int; round : int }
+      (** fleet chaos killed this tenant's VM mid-round (no clean
+          teardown; only swap recovery runs before the restart) *)
+  | Tenant_restarted of {
+      tenant : int;
+      round : int;
+      reason : string;
+      restarts : int;
+    }
+      (** the scheduler quarantined a tenant after a typed error (or a
+          kill) and brought a fresh VM up over the recovered swap store;
+          [reason] is {!Lp_core.Errors.tenant_restart_reason}'s tag (or
+          ["kill"] / ["crash"] / ["verifier"]), [restarts] the tenant's
+          cumulative restart count *)
+  | Request_shed of { tenant : int; round : int; reason : string }
+      (** admission control dropped a queued request (["queue-full"],
+          ["deadline"], ["retries"], or ["retired"]) instead of letting
+          tenant backpressure error the fleet *)
+  | Fleet_pressure of { capacity_bytes : int; active : bool }
+      (** a shared-disk-pressure window opened ([active = true], with
+          the clamped capacity) or closed ([active = false], capacity
+          restored) *)
 
 type stamped = { seq : int; at : int; ev : t }
 (** [seq] is a per-sink sequence number (total order even between events

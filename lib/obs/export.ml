@@ -57,6 +57,13 @@ let fields ~cls (ev : Event.t) =
   | Event.Par_phase_end { gc; phase; worker; work } ->
     [ i "gc" gc; s "phase" phase; i "worker" worker; i "work" work ]
   | Event.Packet_recovered { gc; packet } -> [ i "gc" gc; i "packet" packet ]
+  | Event.Tenant_killed { tenant; round } -> [ i "tenant" tenant; i "round" round ]
+  | Event.Tenant_restarted { tenant; round; reason; restarts } ->
+    [ i "tenant" tenant; i "round" round; s "reason" reason; i "restarts" restarts ]
+  | Event.Request_shed { tenant; round; reason } ->
+    [ i "tenant" tenant; i "round" round; s "reason" reason ]
+  | Event.Fleet_pressure { capacity_bytes; active } ->
+    [ i "capacity_bytes" capacity_bytes; b "active" active ]
 
 let members l =
   String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) l)

@@ -14,6 +14,29 @@ let default_config ~disk_limit_bytes =
    read back. *)
 type entry = { bytes : int; payload : bytes }
 
+(* A shared disk shared by several swap stores (one per tenant). Byte
+   accounting is kept by the stores themselves — every total update also
+   moves [used_bytes] by the same delta — so the backend never needs to
+   know which tenants exist. *)
+type backend = {
+  mutable capacity_bytes : int;
+  mutable used_bytes : int;
+  mutable denials : int;  (* cumulative admission denials, all tenants *)
+}
+
+let create_backend ~capacity_bytes =
+  if capacity_bytes < 0 then
+    invalid_arg "Diskswap.create_backend: capacity must be >= 0";
+  { capacity_bytes; used_bytes = 0; denials = 0 }
+
+let backend_capacity b = b.capacity_bytes
+
+let backend_used_bytes b = b.used_bytes
+
+let backend_denials b = b.denials
+
+let set_backend_capacity b capacity = b.capacity_bytes <- capacity
+
 type t = {
   config : config;
   resident : (int, entry) Hashtbl.t;  (* object id -> offloaded payload *)
@@ -21,12 +44,15 @@ type t = {
   forwards : (int, int) Hashtbl.t;  (* pruned id -> resurrected id *)
   mutable resident_total : int;
   mutable image_total : int;
+  backend : backend option;
+  mutable denied : int;  (* this store's admission denials *)
   (* The disk.* totals live in the metrics registry; the accessors below
      read them back, so the registry is the single source of truth. *)
   c_swap_outs : Lp_obs.Metrics.counter;
   c_swap_ins : Lp_obs.Metrics.counter;
   c_image_writes : Lp_obs.Metrics.counter;
   c_image_drops : Lp_obs.Metrics.counter;
+  c_admission_denied : Lp_obs.Metrics.counter;
   g_resident_bytes : Lp_obs.Metrics.gauge;
   g_image_bytes : Lp_obs.Metrics.gauge;
   mutable sink : Lp_obs.Sink.t option;
@@ -36,7 +62,7 @@ type t = {
 
 exception Out_of_disk = Lp_core.Errors.Out_of_disk
 
-let create ?metrics config =
+let create ?metrics ?backend config =
   let metrics =
     match metrics with Some m -> m | None -> Lp_obs.Metrics.create ()
   in
@@ -47,10 +73,13 @@ let create ?metrics config =
     forwards = Hashtbl.create 64;
     resident_total = 0;
     image_total = 0;
+    backend;
+    denied = 0;
     c_swap_outs = Lp_obs.Metrics.counter metrics "disk.swap_outs";
     c_swap_ins = Lp_obs.Metrics.counter metrics "disk.swap_ins";
     c_image_writes = Lp_obs.Metrics.counter metrics "disk.image_writes";
     c_image_drops = Lp_obs.Metrics.counter metrics "disk.image_drops";
+    c_admission_denied = Lp_obs.Metrics.counter metrics "disk.admission_denied";
     g_resident_bytes = Lp_obs.Metrics.gauge metrics "disk.resident_bytes";
     g_image_bytes = Lp_obs.Metrics.gauge metrics "disk.image_bytes";
     sink = None;
@@ -64,11 +93,22 @@ let set_fault_hook t f = t.fault <- f
 
 let set_image_fault_hook t f = t.image_fault <- f
 
+(* Every byte-total update flows through these two setters, so charging
+   the shared backend here covers offloads, swap-ins, reconciliation,
+   image writes/drops and recovery alike — the backend's [used_bytes] is
+   the sum of the attached stores' footprints by construction. *)
+let charge_backend t delta =
+  match t.backend with
+  | Some b -> b.used_bytes <- b.used_bytes + delta
+  | None -> ()
+
 let set_resident_total t total =
+  charge_backend t (total - t.resident_total);
   t.resident_total <- total;
   Lp_obs.Metrics.set_gauge t.g_resident_bytes total
 
 let set_image_total t total =
+  charge_backend t (total - t.image_total);
   t.image_total <- total;
   Lp_obs.Metrics.set_gauge t.g_image_bytes total
 
@@ -219,10 +259,70 @@ let after_gc ?(allow_offload = true) t store =
           | c -> c)
         !candidates
     in
-    List.iter (offload_one t store) candidates
+    List.iter
+      (fun (obj : Heap_obj.t) ->
+        match t.backend with
+        | None -> offload_one t store obj
+        | Some b ->
+          (* Shared-disk admission: an offload is admitted only when it
+             fits both this tenant's quota ([disk_limit_bytes]) and the
+             backend's remaining capacity. A denial is bookkeeping, not
+             an error — the object simply stays in memory, and sustained
+             denials surface to the fleet as backpressure. *)
+          let bytes = obj.Heap_obj.size_bytes in
+          if
+            disk_bytes t + bytes <= t.config.disk_limit_bytes
+            && b.used_bytes + bytes <= b.capacity_bytes
+          then offload_one t store obj
+          else begin
+            t.denied <- t.denied + 1;
+            b.denials <- b.denials + 1;
+            Lp_obs.Metrics.incr t.c_admission_denied
+          end)
+      candidates
   end;
   Store.set_swapped_out_bytes store t.resident_total;
   if disk_bytes t > t.config.disk_limit_bytes then raise (out_of_disk t)
+
+let admission_denials t = t.denied
+
+let quota_bytes t = t.config.disk_limit_bytes
+
+type recovery = {
+  images_valid : int;
+  images_corrupt : int;
+  payloads_dropped : int;
+  bytes_released : int;
+}
+
+(* Crash-consistent recovery pass for a tenant restart: audit every
+   prune image against its CRC (distinguishing clean images from at-rest
+   corruption), then release the whole store — a fresh VM has no
+   poisoned words referencing the old images and no swapped-out credit,
+   so keeping any of it would leak shared-disk bytes forever. Releasing
+   through the total setters credits the backend, closing the byte
+   accounting across the restart. *)
+let recover t =
+  let images_valid = ref 0 and images_corrupt = ref 0 in
+  Hashtbl.iter
+    (fun _ image ->
+      match Swap_image.decode image with
+      | Ok _ -> incr images_valid
+      | Error _ -> incr images_corrupt)
+    t.images;
+  let payloads_dropped = Hashtbl.length t.resident in
+  let bytes_released = disk_bytes t in
+  Hashtbl.reset t.resident;
+  Hashtbl.reset t.images;
+  Hashtbl.reset t.forwards;
+  set_resident_total t 0;
+  set_image_total t 0;
+  {
+    images_valid = !images_valid;
+    images_corrupt = !images_corrupt;
+    payloads_dropped;
+    bytes_released;
+  }
 
 let retrieve t store (obj : Heap_obj.t) =
   match Hashtbl.find_opt t.resident obj.Heap_obj.id with

@@ -34,6 +34,9 @@
 
 type config = {
   disk_limit_bytes : int;
+      (** standalone: hard limit. With a {!backend} attached: this
+          store's {e quota} — offloads that would exceed it are denied
+          admission rather than written *)
   offload_stale_threshold : int;  (** default 2: "highly stale" *)
   offload_occupancy : float;  (** offload when live/limit exceeds this; default 0.9 *)
 }
@@ -42,6 +45,39 @@ val default_config : disk_limit_bytes:int -> config
 
 type t
 
+(** {1 Shared backend (fleet mode)}
+
+    A [backend] models one physical disk shared by several swap stores
+    (one per tenant). Every byte a store adds or releases also moves the
+    backend's [used_bytes] by the same delta, so the backend's footprint
+    is the sum of its tenants' footprints by construction. Offload
+    {e admission} is gated on both the store's own quota
+    ([disk_limit_bytes]) and the backend's remaining capacity; a denied
+    offload is not an error — the object stays in memory and the denial
+    is counted, surfacing to the fleet scheduler as backpressure. Prune
+    images are {e not} admission-gated (they record prune decisions
+    already taken); an image push past the quota still raises
+    {!Out_of_disk} from {!after_gc} exactly as in standalone mode. *)
+
+type backend
+
+val create_backend : capacity_bytes:int -> backend
+(** @raise Invalid_argument when [capacity_bytes < 0]. *)
+
+val backend_capacity : backend -> int
+
+val backend_used_bytes : backend -> int
+(** Bytes currently held by all attached stores (payloads + images). *)
+
+val backend_denials : backend -> int
+(** Cumulative admission denials across all attached stores; the fleet
+    scheduler polls the delta per round as its backpressure signal. *)
+
+val set_backend_capacity : backend -> int -> unit
+(** Resizes the shared disk; shrinking below [used_bytes] does not evict
+    anything, it only makes every subsequent admission fail until space
+    frees up (this is how the fleet's disk-pressure fault is applied). *)
+
 exception Out_of_disk of { resident_bytes : int; limit_bytes : int }
 (** Alias, not a lookalike: the implementation rebinds
     [Lp_core.Errors.Out_of_disk] ([exception Out_of_disk = ...]), so
@@ -49,13 +85,15 @@ exception Out_of_disk of { resident_bytes : int; limit_bytes : int }
     constructor and a handler for one always matches the other; the
     compiler rejects any drift between the two declarations. *)
 
-val create : ?metrics:Lp_obs.Metrics.t -> config -> t
+val create : ?metrics:Lp_obs.Metrics.t -> ?backend:backend -> config -> t
 (** [metrics] is the registry the swap store publishes into: counters
     [disk.swap_outs], [disk.swap_ins], [disk.image_writes],
-    [disk.image_drops] and gauges [disk.resident_bytes],
-    [disk.image_bytes] — the registry is the single source of truth; the
-    accessors below read it back. A private registry is created when
-    omitted. *)
+    [disk.image_drops], [disk.admission_denied] and gauges
+    [disk.resident_bytes], [disk.image_bytes] — the registry is the
+    single source of truth; the accessors below read it back. A private
+    registry is created when omitted. [backend] attaches the store to a
+    shared disk (see the section above); without it the store behaves
+    exactly as before — no admission control, hard limit only. *)
 
 val set_sink : t -> Lp_obs.Sink.t option -> unit
 (** Attaches the event sink: offloads, restores (with validation
@@ -105,6 +143,28 @@ val after_gc : ?allow_offload:bool -> t -> Lp_heap.Store.t -> unit
     the VM retries after an [Out_of_disk].
     @raise Out_of_disk when the disk limit is exceeded (or an injected
     fault fires, see {!set_fault_hook}). *)
+
+val admission_denials : t -> int
+(** This store's cumulative admission denials (always [0] without a
+    backend). *)
+
+val quota_bytes : t -> int
+(** The configured [disk_limit_bytes] (the tenant quota in fleet mode). *)
+
+type recovery = {
+  images_valid : int;  (** prune images whose CRC check passed *)
+  images_corrupt : int;  (** images that failed decode (at-rest rot) *)
+  payloads_dropped : int;  (** offload payloads released *)
+  bytes_released : int;  (** total disk bytes credited back *)
+}
+
+val recover : t -> recovery
+(** Crash-consistent recovery pass, run when a tenant VM is restarted
+    over this store: audits every prune image against its checksum
+    (reporting valid vs. corrupt), then releases {e all} disk state —
+    payloads, images and the forwarding table — crediting any attached
+    backend. A fresh VM holds no references into the old store, so
+    anything kept would be a permanent shared-disk leak. *)
 
 val retrieve :
   t ->

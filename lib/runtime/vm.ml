@@ -47,8 +47,8 @@ type t = {
 }
 
 let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
-    ?(charge_barriers = true) ?disk ?(resurrection = false) ?nursery_bytes
-    ?fault ~heap_bytes () =
+    ?(charge_barriers = true) ?disk ?swap_backend ?(resurrection = false)
+    ?nursery_bytes ?fault ~heap_bytes () =
   (match nursery_bytes with
   | Some n when n <= 0 || n >= heap_bytes ->
     invalid_arg "Vm.create: nursery_bytes must be in (0, heap_bytes)"
@@ -63,7 +63,7 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
      limit, bounds it). *)
   let offload = disk <> None in
   let swap =
-    Diskswap.create ~metrics
+    Diskswap.create ~metrics ?backend:swap_backend
       (match disk with
       | Some config -> config
       | None -> Diskswap.default_config ~disk_limit_bytes:max_int)
@@ -100,6 +100,8 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
                | Lp_fault.Fault_plan.Corrupt_word | Lp_fault.Fault_plan.Kill_thread
                | Lp_fault.Fault_plan.Corrupt_mark_packet
                | Lp_fault.Fault_plan.Steal_race
+               | Lp_fault.Fault_plan.Kill_tenant
+               | Lp_fault.Fault_plan.Disk_pressure
                  -> image)
              image
              (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Swap)))

@@ -28,6 +28,7 @@ val create :
   ?cost:Cost.t ->
   ?charge_barriers:bool ->
   ?disk:Diskswap.config ->
+  ?swap_backend:Diskswap.backend ->
   ?resurrection:bool ->
   ?nursery_bytes:int ->
   ?fault:Lp_fault.Fault_plan.t ->
@@ -49,9 +50,12 @@ val create :
     resurrection subsystem: PRUNE collections serialize doomed objects
     into checksummed swap images, and the read barrier restores a
     pruned target from its image on access instead of raising — see
-    {!try_resurrect}. Defaults: paper-default pruning config, default
-    costs, barriers charged, no disk baseline, no resurrection,
-    non-generational, no faults. *)
+    {!try_resurrect}. [swap_backend] attaches the VM's swap store to a
+    shared disk backend (fleet mode): [disk.disk_limit_bytes] becomes
+    the tenant's quota and offloads are admission-gated — see
+    {!Diskswap.create_backend}. Defaults: paper-default pruning config,
+    default costs, barriers charged, no disk baseline, no shared
+    backend, no resurrection, non-generational, no faults. *)
 
 (** {1 Components} *)
 

@@ -239,6 +239,115 @@ let test_combined_pruning_and_disk () =
   Alcotest.(check bool) "survived 400 x 52B in a 2KB heap" true
     ((Vm.stats vm).Gc_stats.references_poisoned > 0)
 
+(* ---- Shared-backend quota accounting (fleet mode) ---- *)
+
+(* A bare store of [objs] equally-sized, maximally-stale objects, so
+   every one is an offload candidate and the admission math is exact. *)
+let direct_store ~objs =
+  let reg = Class_registry.create () in
+  let cid = Class_registry.register reg "Q" in
+  let store = Store.create ~limit_bytes:1_000_000 in
+  let size = ref 0 in
+  for _i = 1 to objs do
+    let o =
+      Store.alloc store ~class_id:cid ~n_fields:0 ~scalar_bytes:64
+        ~finalizable:false
+    in
+    Heap_obj.set_stale o Lp_heap.Header.max_stale;
+    size := o.Heap_obj.size_bytes
+  done;
+  (* the occupancy test reads live bytes, which only a sweep records *)
+  Store.set_live_bytes store (Store.used_bytes store);
+  (store, !size)
+
+let eager_config ~quota =
+  { (Diskswap.default_config ~disk_limit_bytes:quota) with
+    Diskswap.offload_occupancy = 0.0;
+    offload_stale_threshold = 1
+  }
+
+let test_quota_exactly_exhausted () =
+  let store, size = direct_store ~objs:4 in
+  let backend = Diskswap.create_backend ~capacity_bytes:max_int in
+  (* quota holds exactly two objects: <= admits the boundary write *)
+  let d = Diskswap.create ~backend (eager_config ~quota:(2 * size)) in
+  Diskswap.after_gc d store;
+  Alcotest.(check int) "quota filled to the byte" (2 * size)
+    (Diskswap.disk_bytes d);
+  Alcotest.(check int) "the other candidates were denied" 2
+    (Diskswap.admission_denials d);
+  Alcotest.(check int) "backend charged exactly the quota" (2 * size)
+    (Diskswap.backend_used_bytes backend)
+
+let test_quota_freed_by_retrieve_readmits () =
+  let store, size = direct_store ~objs:3 in
+  let backend = Diskswap.create_backend ~capacity_bytes:max_int in
+  let d = Diskswap.create ~backend (eager_config ~quota:(2 * size)) in
+  Diskswap.after_gc d store;
+  Alcotest.(check int) "one denial at full quota" 1
+    (Diskswap.admission_denials d);
+  (* fault one object back in: quota space frees, the next pass admits
+     the previously denied candidate *)
+  let resident = ref None in
+  Store.iter_live store (fun o ->
+      if !resident = None && Diskswap.is_resident d o.Heap_obj.id then
+        resident := Some o);
+  (match Diskswap.retrieve d store (Option.get !resident) with
+  | `Swapped_in -> ()
+  | _ -> Alcotest.fail "expected a clean swap-in");
+  Diskswap.after_gc d store;
+  Alcotest.(check int) "quota full again" (2 * size) (Diskswap.disk_bytes d);
+  Alcotest.(check int) "backend follows" (2 * size)
+    (Diskswap.backend_used_bytes backend)
+
+let test_quota_freed_by_retain_images () =
+  let backend = Diskswap.create_backend ~capacity_bytes:max_int in
+  let d = Diskswap.create ~backend (eager_config ~quota:10_000) in
+  Diskswap.store_image d ~id:1 (Bytes.create 400);
+  Diskswap.store_image d ~id:2 (Bytes.create 300);
+  Alcotest.(check int) "backend charged for images" 700
+    (Diskswap.backend_used_bytes backend);
+  Diskswap.retain_images d ~keep:(fun id -> id = 2);
+  Alcotest.(check int) "retention credited the backend" 300
+    (Diskswap.backend_used_bytes backend);
+  Diskswap.retain_images d ~keep:(fun _ -> false);
+  Alcotest.(check int) "all image bytes released" 0
+    (Diskswap.backend_used_bytes backend)
+
+(* Two tenants race admission for the backend's last bytes, on the
+   deterministic schedule the fleet uses (tenant-id order): the store
+   served first wins, the loser's denial is counted on both the store
+   and the backend. *)
+let test_two_tenants_race_last_bytes () =
+  let store_a, size = direct_store ~objs:2 in
+  let store_b, _ = direct_store ~objs:2 in
+  let backend = Diskswap.create_backend ~capacity_bytes:(3 * size) in
+  let a = Diskswap.create ~backend (eager_config ~quota:(2 * size)) in
+  let b = Diskswap.create ~backend (eager_config ~quota:(2 * size)) in
+  Diskswap.after_gc a store_a;
+  Diskswap.after_gc b store_b;
+  Alcotest.(check int) "first tenant offloads its whole quota" (2 * size)
+    (Diskswap.disk_bytes a);
+  Alcotest.(check int) "second tenant got only the last slot" size
+    (Diskswap.disk_bytes b);
+  Alcotest.(check int) "no denials for the winner" 0
+    (Diskswap.admission_denials a);
+  Alcotest.(check int) "one denial for the loser" 1
+    (Diskswap.admission_denials b);
+  Alcotest.(check int) "backend saw exactly that denial" 1
+    (Diskswap.backend_denials backend);
+  Alcotest.(check int) "backend is full" (3 * size)
+    (Diskswap.backend_used_bytes backend);
+  (* crash-consistent recovery of the winner frees its share *)
+  let recovery = Diskswap.recover a in
+  Alcotest.(check int) "recovery released the winner's bytes" (2 * size)
+    recovery.Diskswap.bytes_released;
+  Alcotest.(check int) "backend credited" size
+    (Diskswap.backend_used_bytes backend);
+  Diskswap.after_gc b store_b;
+  Alcotest.(check int) "loser's denied candidate now admitted" (2 * size)
+    (Diskswap.disk_bytes b)
+
 let suite =
   ( "diskswap",
     [
@@ -253,4 +362,12 @@ let suite =
       Alcotest.test_case "residency under faults" `Quick
         test_residency_non_negative_under_faults;
       Alcotest.test_case "combined pruning + disk" `Quick test_combined_pruning_and_disk;
+      Alcotest.test_case "quota exactly exhausted" `Quick
+        test_quota_exactly_exhausted;
+      Alcotest.test_case "quota freed by retrieve readmits" `Quick
+        test_quota_freed_by_retrieve_readmits;
+      Alcotest.test_case "quota freed by retain_images" `Quick
+        test_quota_freed_by_retain_images;
+      Alcotest.test_case "two tenants race the last bytes" `Quick
+        test_two_tenants_race_last_bytes;
     ] )

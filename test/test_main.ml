@@ -26,6 +26,7 @@ let () =
       Test_diagnostics.suite;
       Test_cyclic.suite;
       Test_harness.suite;
+      Test_fleet.suite;
       Test_jheap.suite;
       Test_jit.suite;
       Test_interp.suite;
