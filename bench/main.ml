@@ -1070,6 +1070,174 @@ let run_fleet_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Restart scenario: warm (checkpoint-restoring) versus cold restarts,
+   25 seeds.  One PhasedCache tenant is killed at mid-run; the warm
+   fleet restores the controller brain from its last checkpoint, the
+   cold baseline (warm_restart_limit = 0) relearns from scratch.  The
+   oracle: both runs clean, the warm restart actually takes the warm
+   path and reaches readiness, and the warm run ends with *strictly*
+   fewer mispredictions than the cold one — the learning burst is paid
+   once, not twice.  Any violation exits 1. *)
+
+let run_restart_bench () =
+  let seeds = 25 and rounds = 60 and kill_round = 30 in
+  let spec =
+    {
+      Lp_fleet.Tenant.id = 0;
+      name = "tenant-0";
+      workload = Lp_workloads.Phased_cache.workload;
+      heap_bytes = 14_000;
+      quota_bytes = 14_000;
+      rate_per_mille = 2_200;
+      policy = Lp_core.Policy.Default;
+      force_safe = false;
+      resurrection = true;
+    }
+  in
+  (* trip bar 1000 permille: the breaker (strict inequality) can never
+     trip on a 1-tenant fleet, so time-to-ready measures quarantine plus
+     the readiness probe, not a storm cooldown *)
+  let admission ~warm =
+    if warm then Lp_core.Config.make ~storm_trip_permille:1000 ()
+    else Lp_core.Config.make ~warm_restart_limit:0 ~storm_trip_permille:1000 ()
+  in
+  let run ~warm seed =
+    let options =
+      { (Lp_fleet.Fleet.default_options ~seed ~rounds ()) with
+        Lp_fleet.Fleet.requests_per_round = 2;
+        admission = admission ~warm;
+        kills = [ (kill_round, 0) ]
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = Lp_fleet.Fleet.run options [ spec ] in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (report, List.hd report.Lp_fleet.Fleet.tenant_reports, wall_s)
+  in
+  let ready_round (report : Lp_fleet.Fleet.report) =
+    List.fold_left
+      (fun acc (s : Lp_obs.Event.stamped) ->
+        match s.Lp_obs.Event.ev with
+        | Lp_obs.Event.Tenant_ready { round; _ }
+          when round > kill_round && acc = None ->
+          Some round
+        | _ -> acc)
+      None report.Lp_fleet.Fleet.events
+  in
+  let violations = ref [] in
+  let violate seed fmt =
+    Printf.ksprintf
+      (fun msg -> violations := Printf.sprintf "seed %d: %s" seed msg :: !violations)
+      fmt
+  in
+  let rows = ref [] in
+  for seed = 1 to seeds do
+    let warm_report, w, warm_wall = run ~warm:true seed in
+    let cold_report, c, cold_wall = run ~warm:false seed in
+    if Lp_fleet.Fleet.failed warm_report then
+      violate seed "warm run failed (verifier failure or crash)";
+    if Lp_fleet.Fleet.failed cold_report then
+      violate seed "cold run failed (verifier failure or crash)";
+    if w.Lp_fleet.Fleet.warm_restarts < 1 then
+      violate seed "no warm restart happened (warm=%d cold=%d fallbacks=%d)"
+        w.Lp_fleet.Fleet.warm_restarts w.Lp_fleet.Fleet.cold_restarts
+        w.Lp_fleet.Fleet.checkpoint_fallbacks;
+    let warm_ready = ready_round warm_report in
+    let cold_ready = ready_round cold_report in
+    if warm_ready = None then violate seed "warm tenant never became ready";
+    if cold_ready = None then violate seed "cold tenant never became ready";
+    if w.Lp_fleet.Fleet.mispredictions >= c.Lp_fleet.Fleet.mispredictions then
+      violate seed
+        "warm mispredictions %d not strictly below cold %d — the restored \
+         brain bought nothing"
+        w.Lp_fleet.Fleet.mispredictions c.Lp_fleet.Fleet.mispredictions;
+    let ttr = function Some r -> r - kill_round | None -> -1 in
+    rows :=
+      ( seed,
+        w.Lp_fleet.Fleet.mispredictions,
+        c.Lp_fleet.Fleet.mispredictions,
+        ttr warm_ready,
+        ttr cold_ready,
+        warm_wall,
+        cold_wall )
+      :: !rows
+  done;
+  let rows = List.rev !rows in
+  let mean f =
+    List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. float_of_int seeds
+  in
+  let mean_warm_mis = mean (fun (_, w, _, _, _, _, _) -> float_of_int w) in
+  let mean_cold_mis = mean (fun (_, _, c, _, _, _, _) -> float_of_int c) in
+  let mean_warm_ttr = mean (fun (_, _, _, t, _, _, _) -> float_of_int t) in
+  let mean_cold_ttr = mean (fun (_, _, _, _, t, _, _) -> float_of_int t) in
+  let mean_warm_wall = mean (fun (_, _, _, _, _, ws, _) -> ws) in
+  let mean_cold_wall = mean (fun (_, _, _, _, _, _, cs) -> cs) in
+  let seed_json (seed, wm, cm, wt, ct, ws, cs) =
+    Printf.sprintf
+      {|    { "seed": %d, "warm_mispredictions": %d, "cold_mispredictions": %d, "warm_rounds_to_ready": %d, "cold_rounds_to_ready": %d, "warm_wall_s": %.6f, "cold_wall_s": %.6f }|}
+      seed wm cm wt ct ws cs
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "restart",
+  "workload": "PhasedCache",
+  "seeds": %d,
+  "rounds": %d,
+  "kill_round": %d,
+  "per_seed": [
+%s
+  ],
+  "aggregate": {
+    "mean_warm_mispredictions": %.2f,
+    "mean_cold_mispredictions": %.2f,
+    "mean_warm_rounds_to_ready": %.2f,
+    "mean_cold_rounds_to_ready": %.2f,
+    "mean_warm_wall_s": %.6f,
+    "mean_cold_wall_s": %.6f
+  },
+  "violations": [%s]
+}
+|}
+      seeds rounds kill_round
+      (String.concat ",\n" (List.map seed_json rows))
+      mean_warm_mis mean_cold_mis mean_warm_ttr mean_cold_ttr mean_warm_wall
+      mean_cold_wall
+      (String.concat ", "
+         (List.map (fun v -> Printf.sprintf "%S" v) (List.rev !violations)))
+  in
+  let path = out_path "BENCH_restart.json" in
+  write_file path json;
+  write_file "BENCH_restart.json" json;
+  Lp_harness.Render.table
+    ~columns:[ "metric"; "warm"; "cold" ]
+    ~rows:
+      [
+        [
+          "mean mispredictions";
+          Printf.sprintf "%.2f" mean_warm_mis;
+          Printf.sprintf "%.2f" mean_cold_mis;
+        ];
+        [
+          "mean rounds to ready";
+          Printf.sprintf "%.2f" mean_warm_ttr;
+          Printf.sprintf "%.2f" mean_cold_ttr;
+        ];
+        [
+          "mean run wall (s)";
+          Printf.sprintf "%.4f" mean_warm_wall;
+          Printf.sprintf "%.4f" mean_cold_wall;
+        ];
+      ];
+  Printf.printf "wrote %s (and root copy BENCH_restart.json)\n" path;
+  if !violations <> [] then begin
+    Printf.eprintf "RESTART GATE FAILED (%d violation(s)):\n"
+      (List.length !violations);
+    List.iter (Printf.eprintf "  %s\n") (List.rev !violations);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments = Lp_harness.Experiments.all @ Lp_harness.Ablations.all
 
@@ -1091,7 +1259,11 @@ let list_experiments () =
      incremental slice busts its budget)";
   Printf.printf "%-13s %s\n" "fleet"
     "Multi-tenant fleet under chaos (writes bench/out/BENCH_fleet.json; \
-     exit 1 on any verifier failure or crash)"
+     exit 1 on any verifier failure or crash)";
+  Printf.printf "%-13s %s\n" "restart"
+    "Warm vs cold restart cost over 25 seeds (writes \
+     bench/out/BENCH_restart.json; exit 1 unless every warm run beats \
+     its cold baseline)"
 
 let run_experiment id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -1104,6 +1276,7 @@ let run_experiment id =
     else if id = "gc-parallel" then run_parallel_gc_bench ()
     else if id = "gc-pauses" then run_pause_bench ()
     else if id = "fleet" then run_fleet_bench ()
+    else if id = "restart" then run_restart_bench ()
     else begin
       Printf.eprintf "unknown experiment %S; try --list\n" id;
       exit 1
@@ -1130,6 +1303,7 @@ let () =
     run_obs_overhead_bench ~gate:false ();
     run_parallel_gc_bench ();
     run_pause_bench ();
-    run_fleet_bench ()
+    run_fleet_bench ();
+    run_restart_bench ()
   | [ "--list" ] -> list_experiments ()
   | ids -> List.iter run_experiment ids

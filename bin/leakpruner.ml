@@ -22,6 +22,7 @@ let workloads =
       Mckoi.workload;
       Dual_leak.workload;
       Delaunay.workload;
+      Phased_cache.workload;
     ]
   @ List.map Lp_workloads.Dacapo.workload_of_spec Lp_workloads.Dacapo.suite
 
@@ -666,6 +667,68 @@ let serve_cmd =
              ~doc:"Queued requests older than this many rounds time out and \
                    are shed.")
   in
+  let storm_flag_arg =
+    Arg.(value & flag
+         & info [ "storm" ]
+             ~doc:"Schedule a seeded crash-storm fault plan (correlated \
+                   tenant kill storms and torn checkpoint writes) on top of \
+                   the run; composes with --chaos.")
+  in
+  let quarantine_arg =
+    Arg.(value & opt int Lp_core.Config.default.Lp_core.Config.quarantine_rounds
+         & info [ "quarantine-rounds" ] ~docv:"ROUNDS"
+             ~doc:"Rounds a restarted tenant sits out before its readiness \
+                   probe runs.")
+  in
+  let extended_quarantine_arg =
+    Arg.(value & opt int
+           Lp_core.Config.default.Lp_core.Config.extended_quarantine_rounds
+         & info [ "extended-quarantine" ] ~docv:"ROUNDS"
+             ~doc:"Quarantine applied by the supervisor's extended rung \
+                   (must be >= --quarantine-rounds).")
+  in
+  let checkpoint_rounds_arg =
+    Arg.(value & opt int Lp_core.Config.default.Lp_core.Config.checkpoint_rounds
+         & info [ "checkpoint-rounds" ] ~docv:"ROUNDS"
+             ~doc:"Cadence of controller-brain checkpoints per tenant.")
+  in
+  let warm_limit_arg =
+    Arg.(value & opt int Lp_core.Config.default.Lp_core.Config.warm_restart_limit
+         & info [ "warm-limit" ] ~docv:"N"
+             ~doc:"Restarts within the supervisor window that still take the \
+                   warm (checkpoint-restoring) path; 0 disables warm \
+                   restarts.")
+  in
+  let cold_limit_arg =
+    Arg.(value & opt int Lp_core.Config.default.Lp_core.Config.cold_restart_limit
+         & info [ "cold-limit" ] ~docv:"N"
+             ~doc:"Restarts within the window that still get a plain cold \
+                   boot before the ladder escalates to extended quarantine.")
+  in
+  let retire_limit_arg =
+    Arg.(value & opt int Lp_core.Config.default.Lp_core.Config.retire_limit
+         & info [ "retire-limit" ] ~docv:"N"
+             ~doc:"Restarts within the window beyond which the tenant is \
+                   permanently retired.")
+  in
+  let storm_window_arg =
+    Arg.(value & opt int Lp_core.Config.default.Lp_core.Config.storm_window_rounds
+         & info [ "storm-window" ] ~docv:"ROUNDS"
+             ~doc:"Sliding window of the fleet crash-storm breaker.")
+  in
+  let storm_trip_arg =
+    Arg.(value & opt int Lp_core.Config.default.Lp_core.Config.storm_trip_permille
+         & info [ "storm-trip-permille" ] ~docv:"PERMILLE"
+             ~doc:"The breaker trips when the share of distinct restarted \
+                   tenants strictly exceeds this, in per-mille of the fleet.")
+  in
+  let storm_cooldown_arg =
+    Arg.(value & opt int
+           Lp_core.Config.default.Lp_core.Config.storm_cooldown_rounds
+         & info [ "storm-cooldown" ] ~docv:"ROUNDS"
+             ~doc:"Minimum rounds the tripped breaker pauses serving before \
+                   health probes may close it.")
+  in
   let write_fleet_trace dir seed (report : Lp_fleet.Fleet.report) =
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
     let file =
@@ -684,7 +747,9 @@ let serve_cmd =
   in
   let run tenants rounds seed workload heap quota capacity rate force_safe
       kills chaos sweep trace_dir retry_cap backoff_base backoff_ceiling
-      deadline =
+      deadline storm quarantine extended_quarantine checkpoint_rounds
+      warm_limit cold_limit retire_limit storm_window storm_trip storm_cooldown
+      =
     if tenants < 1 then begin
       Printf.eprintf "leakpruner: serve: --tenants must be >= 1\n";
       exit 2
@@ -704,7 +769,12 @@ let serve_cmd =
       Lp_core.Config.make ~admission_retry_cap:retry_cap
         ~admission_backoff_base:backoff_base
         ~admission_backoff_ceiling:backoff_ceiling ~offload_deadline:deadline
-        ()
+        ~quarantine_rounds:quarantine
+        ~extended_quarantine_rounds:extended_quarantine
+        ~checkpoint_rounds ~warm_restart_limit:warm_limit
+        ~cold_restart_limit:cold_limit ~retire_limit
+        ~storm_window_rounds:storm_window ~storm_trip_permille:storm_trip
+        ~storm_cooldown_rounds:storm_cooldown ()
     in
     (match Lp_core.Config.validate admission with
     | Ok _ -> ()
@@ -736,6 +806,7 @@ let serve_cmd =
           | Some c -> c
           | None -> base.Lp_fleet.Fleet.capacity_bytes);
         chaos;
+        storm;
         kills;
       }
     in
@@ -789,7 +860,11 @@ let serve_cmd =
     Term.(const run $ tenants_arg $ rounds_arg $ seed_arg $ workload_arg
           $ heap_arg $ quota_arg $ capacity_arg $ rate_arg $ force_safe_arg
           $ kill_arg $ chaos_arg $ sweep_arg $ trace_dir_arg $ retry_cap_arg
-          $ backoff_base_arg $ backoff_ceiling_arg $ deadline_arg)
+          $ backoff_base_arg $ backoff_ceiling_arg $ deadline_arg
+          $ storm_flag_arg $ quarantine_arg $ extended_quarantine_arg
+          $ checkpoint_rounds_arg $ warm_limit_arg $ cold_limit_arg
+          $ retire_limit_arg $ storm_window_arg $ storm_trip_arg
+          $ storm_cooldown_arg)
 
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures (see bench/main.exe --list)." in

@@ -31,6 +31,16 @@ type t = {
   admission_backoff_base : int;
   admission_backoff_ceiling : int;
   offload_deadline : int;
+  quarantine_rounds : int;
+  extended_quarantine_rounds : int;
+  checkpoint_rounds : int;
+  supervisor_window_rounds : int;
+  warm_restart_limit : int;
+  cold_restart_limit : int;
+  retire_limit : int;
+  storm_window_rounds : int;
+  storm_trip_permille : int;
+  storm_cooldown_rounds : int;
 }
 
 let default =
@@ -58,6 +68,16 @@ let default =
     admission_backoff_base = 1;
     admission_backoff_ceiling = 16;
     offload_deadline = 64;
+    quarantine_rounds = 1;
+    extended_quarantine_rounds = 4;
+    checkpoint_rounds = 8;
+    supervisor_window_rounds = 16;
+    warm_restart_limit = 2;
+    cold_restart_limit = 4;
+    retire_limit = 6;
+    storm_window_rounds = 8;
+    storm_trip_permille = 500;
+    storm_cooldown_rounds = 4;
   }
 
 (* [gc_domains] survives as an alias for the engine selection it used to
@@ -95,7 +115,17 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     ?(admission_retry_cap = default.admission_retry_cap)
     ?(admission_backoff_base = default.admission_backoff_base)
     ?(admission_backoff_ceiling = default.admission_backoff_ceiling)
-    ?(offload_deadline = default.offload_deadline) () =
+    ?(offload_deadline = default.offload_deadline)
+    ?(quarantine_rounds = default.quarantine_rounds)
+    ?(extended_quarantine_rounds = default.extended_quarantine_rounds)
+    ?(checkpoint_rounds = default.checkpoint_rounds)
+    ?(supervisor_window_rounds = default.supervisor_window_rounds)
+    ?(warm_restart_limit = default.warm_restart_limit)
+    ?(cold_restart_limit = default.cold_restart_limit)
+    ?(retire_limit = default.retire_limit)
+    ?(storm_window_rounds = default.storm_window_rounds)
+    ?(storm_trip_permille = default.storm_trip_permille)
+    ?(storm_cooldown_rounds = default.storm_cooldown_rounds) () =
   let gc_engine =
     match resolve_engine ?gc_engine ?gc_domains () with
     | Ok e -> e
@@ -125,6 +155,16 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     admission_backoff_base;
     admission_backoff_ceiling;
     offload_deadline;
+    quarantine_rounds;
+    extended_quarantine_rounds;
+    checkpoint_rounds;
+    supervisor_window_rounds;
+    warm_restart_limit;
+    cold_restart_limit;
+    retire_limit;
+    storm_window_rounds;
+    storm_trip_permille;
+    storm_cooldown_rounds;
   }
 
 let gc_domains t = match t.gc_engine with Parallel n -> n | Sequential | Incremental -> 1
@@ -161,4 +201,20 @@ let validate t =
   else if t.admission_backoff_ceiling < t.admission_backoff_base then
     Error "admission_backoff_ceiling must be >= admission_backoff_base"
   else if t.offload_deadline < 1 then Error "offload_deadline must be >= 1"
+  else if t.quarantine_rounds < 1 then Error "quarantine_rounds must be >= 1"
+  else if t.extended_quarantine_rounds < t.quarantine_rounds then
+    Error "extended_quarantine_rounds must be >= quarantine_rounds"
+  else if t.checkpoint_rounds < 1 then Error "checkpoint_rounds must be >= 1"
+  else if t.supervisor_window_rounds < 1 then
+    Error "supervisor_window_rounds must be >= 1"
+  else if t.warm_restart_limit < 0 then Error "warm_restart_limit must be >= 0"
+  else if t.cold_restart_limit < t.warm_restart_limit then
+    Error "cold_restart_limit must be >= warm_restart_limit"
+  else if t.retire_limit < t.cold_restart_limit then
+    Error "retire_limit must be >= cold_restart_limit"
+  else if t.storm_window_rounds < 1 then Error "storm_window_rounds must be >= 1"
+  else if t.storm_trip_permille < 1 || t.storm_trip_permille > 1000 then
+    Error "storm_trip_permille must be in [1, 1000]"
+  else if t.storm_cooldown_rounds < 1 then
+    Error "storm_cooldown_rounds must be >= 1"
   else Ok t

@@ -106,6 +106,39 @@ type t = {
   offload_deadline : int;
       (** scheduler rounds a queued request may wait (across backoffs)
           before the deadline timeout sheds it; default 64 *)
+  quarantine_rounds : int;
+      (** scheduler rounds a restarted tenant sits out before the
+          readiness probe may re-admit it; default 1 (the previously
+          hardcoded fleet behaviour) *)
+  extended_quarantine_rounds : int;
+      (** quarantine applied by the supervisor's extended-quarantine
+          ladder rung; must be at least [quarantine_rounds]; default 4 *)
+  checkpoint_rounds : int;
+      (** rounds between controller-brain checkpoints of each tenant;
+          default 8 *)
+  supervisor_window_rounds : int;
+      (** sliding window over which the per-tenant supervisor counts
+          restarts when climbing the escalation ladder; default 16 *)
+  warm_restart_limit : int;
+      (** restarts within the window that still get the warm
+          (checkpoint-restoring) path; 0 disables warm restarts;
+          default 2 *)
+  cold_restart_limit : int;
+      (** restarts within the window that still get a plain cold boot
+          before the ladder moves to extended quarantine; default 4 *)
+  retire_limit : int;
+      (** restarts within the window beyond which the tenant is retired
+          permanently; default 6 *)
+  storm_window_rounds : int;
+      (** sliding window over which the fleet breaker counts distinct
+          restarted tenants; default 8 *)
+  storm_trip_permille : int;
+      (** the breaker trips when strictly more than this fraction (in
+          per-mille) of tenants restarted within the window; range
+          [1, 1000]; default 500 *)
+  storm_cooldown_rounds : int;
+      (** rounds the tripped breaker pauses fleet-wide serving before
+          health probes may close it again; default 4 *)
 }
 
 val default : t
@@ -135,6 +168,16 @@ val make :
   ?admission_backoff_base:int ->
   ?admission_backoff_ceiling:int ->
   ?offload_deadline:int ->
+  ?quarantine_rounds:int ->
+  ?extended_quarantine_rounds:int ->
+  ?checkpoint_rounds:int ->
+  ?supervisor_window_rounds:int ->
+  ?warm_restart_limit:int ->
+  ?cold_restart_limit:int ->
+  ?retire_limit:int ->
+  ?storm_window_rounds:int ->
+  ?storm_trip_permille:int ->
+  ?storm_cooldown_rounds:int ->
   unit ->
   t
 (** [gc_domains] is kept as a legacy alias for the engine selection

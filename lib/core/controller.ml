@@ -425,6 +425,116 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
     | Some s -> Lp_obs.Sink.emit s (Lp_obs.Event.Safe_exit { forced = false })
     | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Controller "brain" export/import — the state a supervision
+   checkpoint persists across a warm restart. Classes travel by NAME:
+   registry ids are assigned in registration order and a fresh
+   incarnation re-registers its classes itself, so ids are only
+   meaningful within one VM. *)
+
+type brain = {
+  brain_classes : string list;
+  brain_gc_count : int;
+  brain_mispredictions : int;
+  brain_epoch_mispredictions : int;
+  brain_unproductive_cycles : int;
+  brain_machine : State_machine.snapshot;
+  brain_edges : (string * string * int) list;
+  brain_pruned_types : (string * string) list;
+}
+
+let export_brain t =
+  let edges = ref [] in
+  Edge_table.iter t.table (fun ~src ~tgt ~max_stale_use ~bytes_used:_ ->
+      if max_stale_use > 0 then
+        edges :=
+          ( Class_registry.name t.registry src,
+            Class_registry.name t.registry tgt,
+            max_stale_use )
+          :: !edges);
+  {
+    (* the full id-ordered class table: warm-retained swap images embed
+       raw class ids, so the next incarnation must reproduce this exact
+       name -> id mapping before any of them can resurrect correctly *)
+    brain_classes =
+      List.init (Class_registry.count t.registry)
+        (Class_registry.name t.registry);
+    brain_gc_count = t.gc_count;
+    brain_mispredictions = t.mispredictions;
+    brain_epoch_mispredictions = t.epoch_mispredictions;
+    brain_unproductive_cycles = t.unproductive_cycles;
+    brain_machine = State_machine.snapshot t.machine;
+    (* slot order depends on hash placement; sort so the same table
+       always exports the same byte stream *)
+    brain_edges = List.sort compare !edges;
+    brain_pruned_types =
+      List.map
+        (fun (src, tgt) ->
+          (Class_registry.name t.registry src, Class_registry.name t.registry tgt))
+        (pruned_edge_types t);
+  }
+
+(* All-or-nothing: the brain's class table must re-register at the
+   exact ids it was exported with (swap images reference classes by raw
+   id), and every edge class name must then resolve, before anything is
+   written — so a failed import leaves the controller exactly as it
+   was. Classes the new incarnation has already registered (VM
+   built-ins, workload [prepare]) were registered in the same order by
+   the previous incarnation, so their ids line up; any divergence is a
+   checkpoint/incarnation mismatch reported as an error. *)
+let import_brain t brain =
+  let rec check_classes i = function
+    | [] -> Ok ()
+    | name :: rest ->
+      let id = Class_registry.register t.registry name in
+      if id = i then check_classes (i + 1) rest
+      else
+        Error
+          (Printf.sprintf "class %S maps to id %d, checkpoint expects %d" name
+             id i)
+  in
+  let resolve name =
+    match Class_registry.find t.registry name with
+    | Some id -> Ok id
+    | None -> Error (Printf.sprintf "unknown class %S in checkpoint" name)
+  in
+  let rec resolve_edges acc = function
+    | [] -> Ok (List.rev acc)
+    | (src, tgt, max_stale_use) :: rest -> (
+      match (resolve src, resolve tgt) with
+      | Ok src, Ok tgt -> resolve_edges ((src, tgt, max_stale_use) :: acc) rest
+      | (Error _ as e), _ | _, (Error _ as e) ->
+        (match e with Error msg -> Error msg | Ok _ -> assert false))
+  in
+  let rec resolve_pairs acc = function
+    | [] -> Ok (List.rev acc)
+    | (src, tgt) :: rest -> (
+      match (resolve src, resolve tgt) with
+      | Ok src, Ok tgt -> resolve_pairs ((src, tgt) :: acc) rest
+      | (Error _ as e), _ | _, (Error _ as e) ->
+        (match e with Error msg -> Error msg | Ok _ -> assert false))
+  in
+  (* classes must be (re-)registered before edges can resolve *)
+  match check_classes 0 brain.brain_classes with
+  | Error msg -> Error msg
+  | Ok () ->
+  match
+    (resolve_edges [] brain.brain_edges, resolve_pairs [] brain.brain_pruned_types)
+  with
+  | Error msg, _ | _, Error msg -> Error msg
+  | Ok edges, Ok pruned ->
+    t.gc_count <- brain.brain_gc_count;
+    t.mispredictions <- brain.brain_mispredictions;
+    t.epoch_mispredictions <- brain.brain_epoch_mispredictions;
+    t.unproductive_cycles <- brain.brain_unproductive_cycles;
+    List.iter
+      (fun (src, tgt, max_stale_use) ->
+        Edge_table.load_entry t.table ~src ~tgt ~max_stale_use ~bytes_used:0)
+      edges;
+    t.pruned_types <- List.rev pruned;
+    State_machine.restore t.machine brain.brain_machine;
+    Ok ()
+
 let on_allocation_failure t store ~requested =
   let oom () =
     (* Once pruning has engaged, the error thrown is the recorded

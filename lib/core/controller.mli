@@ -163,3 +163,42 @@ val safe_entries : t -> int
 val safe_exits_forced : t -> int
 (** SAFE moratoria cut short by allocation exhaustion (pressure
     override). *)
+
+type brain = {
+  brain_classes : string list;
+      (** the full class table in id order: warm-retained swap images
+          embed raw {!Lp_heap.Class_registry.id}s, so the importing
+          incarnation must reproduce this exact name → id mapping *)
+  brain_gc_count : int;
+  brain_mispredictions : int;
+  brain_epoch_mispredictions : int;
+  brain_unproductive_cycles : int;
+  brain_machine : State_machine.snapshot;
+  brain_edges : (string * string * int) list;
+      (** [(src_class, tgt_class, maxstaleuse)] for every entry with a
+          non-zero [maxstaleuse], sorted by class-name pair *)
+  brain_pruned_types : (string * string) list;
+      (** distinct pruned edge types in first-pruned order *)
+}
+(** Everything the controller has {e learned} — the state a supervision
+    checkpoint persists so a warm-restarted tenant keeps its pruning
+    knowledge. Edge classes travel by name; [brain_classes] pins the
+    name → id mapping so retained swap images (which reference classes
+    by raw id) stay meaningful across the restart. Byte attribution
+    ([bytesused]) is per-epoch scratch and deliberately absent. *)
+
+val export_brain : t -> brain
+(** Deterministic: the same controller state always exports the same
+    value (edge entries are sorted, not in hash-slot order). *)
+
+val import_brain : t -> brain -> (unit, string) result
+(** Restores an exported brain into a freshly created controller.
+    First re-registers [brain_classes] in id order — names the new
+    incarnation already registered (VM built-ins, workload setup) must
+    land on the same ids, or the import fails. All-or-nothing for
+    controller state: any [Error] (id mismatch or unresolvable edge
+    class) leaves the controller untouched and the caller falls back to
+    a cold boot. On [Ok] restores counters, the edge table's
+    [maxstaleuse] entries, the pruned-type list and the state machine
+    ({!State_machine.restore}); the metrics registry is not touched —
+    counters are per-incarnation. *)

@@ -66,6 +66,14 @@ let protect t ~src ~tgt ~min_stale_use =
   if min_stale_use > t.max_stale_uses.(i) then
     t.max_stale_uses.(i) <- min_stale_use
 
+(* Checkpoint import: install an entry wholesale. Unlike [protect] this
+   also lowers [maxstaleuse] — the checkpoint is authoritative for the
+   incarnation being restored. *)
+let load_entry t ~src ~tgt ~max_stale_use ~bytes_used =
+  let i = find_or_add t ~src ~tgt in
+  t.max_stale_uses.(i) <- max_stale_use;
+  t.bytes_useds.(i) <- bytes_used
+
 let max_stale_use t ~src ~tgt =
   match probe t ~src ~tgt with `Found i -> t.max_stale_uses.(i) | `Empty _ -> 0
 

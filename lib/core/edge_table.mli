@@ -52,6 +52,17 @@ val protect :
     proves the edge type was pruned wrongly; protecting it keeps the
     same references from qualifying for selection again. *)
 
+val load_entry :
+  t ->
+  src:Lp_heap.Class_registry.id ->
+  tgt:Lp_heap.Class_registry.id ->
+  max_stale_use:int ->
+  bytes_used:int ->
+  unit
+(** Checkpoint import: set the entry's [maxstaleuse] and [bytesused]
+    outright (creating it if absent). Unlike {!protect} this may lower
+    [maxstaleuse] — a restored checkpoint is authoritative. *)
+
 val add_bytes :
   t -> src:Lp_heap.Class_registry.id -> tgt:Lp_heap.Class_registry.id -> int -> unit
 (** SELECT-state attribution: add claimed bytes to the entry's

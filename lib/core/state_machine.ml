@@ -110,3 +110,43 @@ let after_gc t ~occupancy =
         else goto t State_kind.Observe)
 
 let transitions t = List.rev t.history
+
+type snapshot = {
+  snap_state : State_kind.t;
+  snap_pruned_once : bool;
+  snap_gc_seen : int;
+  snap_safe_remaining : int;
+  snap_safe_entries : int;
+  snap_safe_exits_forced : int;
+}
+
+let snapshot t =
+  {
+    snap_state = t.state;
+    snap_pruned_once = t.pruned_once;
+    snap_gc_seen = t.gc_seen;
+    snap_safe_remaining = max 0 (t.safe_until - t.gc_seen);
+    snap_safe_entries = t.safe_entries;
+    snap_safe_exits_forced = t.safe_exits_forced;
+  }
+
+(* Warm-restart restore. A snapshot taken in [Prune] resumes in [Select]:
+   the selected reference set died with the old incarnation, so the
+   machine re-selects instead of running a no-op prune collection. The
+   restore transition goes through [goto] so it lands in the history. *)
+let restore t snap =
+  t.pruned_once <- snap.snap_pruned_once;
+  t.exhaustion_noted <- false;
+  t.gc_seen <- snap.snap_gc_seen;
+  t.safe_entries <- snap.snap_safe_entries;
+  t.safe_exits_forced <- snap.snap_safe_exits_forced;
+  t.safe_until <- snap.snap_gc_seen + snap.snap_safe_remaining;
+  match t.config.Config.force_state with
+  | Some _ -> ()
+  | None ->
+    let state =
+      match snap.snap_state with
+      | State_kind.Prune -> State_kind.Select
+      | s -> s
+    in
+    goto t state

@@ -63,3 +63,24 @@ val transitions : t -> (int * State_kind.t) list
 (** History of state changes as [(collection_number, new_state)] pairs in
     chronological order, for reports; collection numbers count calls to
     {!after_gc}. *)
+
+type snapshot = {
+  snap_state : State_kind.t;
+  snap_pruned_once : bool;
+  snap_gc_seen : int;
+  snap_safe_remaining : int;
+      (** SAFE collections left to serve at snapshot time (0 outside a
+          moratorium) *)
+  snap_safe_entries : int;
+  snap_safe_exits_forced : int;
+}
+(** The machine state a controller checkpoint persists. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Warm-restart restore: counters and state are set from the snapshot
+    (a pending SAFE moratorium resumes with its remaining collections).
+    A snapshot taken in [Prune] resumes in [Select] — the selected
+    reference died with the old incarnation. A forced state
+    ([Config.force_state]) keeps its pin; only the counters restore. *)

@@ -11,6 +11,8 @@ type fault =
   | Steal_race
   | Kill_tenant
   | Disk_pressure
+  | Kill_storm
+  | Torn_checkpoint
 
 type event = { site : site; fault : fault; at : int; repeat : bool }
 
@@ -74,6 +76,20 @@ let random_fleet ?(events = 3) ~rounds ~seed () =
     match Random.State.int rng 3 with
     | 0 | 1 -> { site = Fleet; fault = Kill_tenant; at; repeat = false }
     | _ -> { site = Fleet; fault = Disk_pressure; at; repeat = false }
+  in
+  make (List.init events (fun _ -> one ()))
+
+(* Crash-storm chaos: correlated multi-tenant kills and torn controller
+   checkpoints. A third generator with its own seed tag, again so the
+   [random] and [random_fleet] streams behind historical seeds stay
+   byte-identical. *)
+let random_storm ?(events = 4) ~rounds ~seed () =
+  let rng = Random.State.make [| 0x570F12; seed |] in
+  let one () =
+    let at = 1 + Random.State.int rng (max 1 rounds) in
+    match Random.State.int rng 3 with
+    | 0 | 1 -> { site = Fleet; fault = Kill_storm; at; repeat = false }
+    | _ -> { site = Fleet; fault = Torn_checkpoint; at; repeat = false }
   in
   make (List.init events (fun _ -> one ()))
 
@@ -142,6 +158,8 @@ let fault_to_string = function
   | Steal_race -> "steal-race"
   | Kill_tenant -> "kill-tenant"
   | Disk_pressure -> "disk-pressure"
+  | Kill_storm -> "kill-storm"
+  | Torn_checkpoint -> "torn-checkpoint"
 
 let describe t =
   match t.events with

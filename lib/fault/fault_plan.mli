@@ -64,6 +64,15 @@ type fault =
       (** the shared disk backend's free space vanishes for a window of
           scheduler rounds: every tenant's offload admissions are denied
           until the pressure lifts, exercising fleet-wide backpressure *)
+  | Kill_storm
+      (** a correlated crash: a majority of the fleet's tenants die in
+          the same scheduler round, as if one host event took out their
+          processes together — the load the crash-storm breaker exists
+          to contain *)
+  | Torn_checkpoint
+      (** the next controller-brain checkpoint write is damaged (torn
+          short or bit-flipped), so a later warm restart must detect it
+          and fall back to a cold boot *)
 
 type event = {
   site : site;
@@ -91,6 +100,13 @@ val random_fleet : ?events:int -> rounds:int -> seed:int -> unit -> t
     [Kill_tenant] / [Disk_pressure] faults scheduled within the first
     [rounds] visits to the [Fleet] site. Kept separate from {!random} so
     the single-VM chaos seed space is untouched. *)
+
+val random_storm : ?events:int -> rounds:int -> seed:int -> unit -> t
+(** A reproducible crash-storm plan of [events] (default 4)
+    [Kill_storm] / [Torn_checkpoint] faults scheduled within the first
+    [rounds] visits to the [Fleet] site. A third seed space, disjoint
+    from {!random} and {!random_fleet}, so every historical chaos seed
+    still reproduces byte-identically. *)
 
 val events : t -> event list
 

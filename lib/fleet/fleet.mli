@@ -19,12 +19,27 @@
     neighbours exist — the isolation oracle the tests enforce across
     seeds.
 
-    {b Containment.} Any [`Fatal] serve outcome (typed error, verifier
-    failure, crash) restarts only that tenant: counters harvested,
-    domains joined, swap store recovered (crediting the backend), fresh
-    VM booted; a [Tenant_restarted] event records the reason. Fleet
-    chaos ([Fault_plan.Fleet] site) adds [Kill_tenant] and
-    [Disk_pressure] faults on top. *)
+    {b Containment and supervision.} Any [`Fatal] serve outcome (typed
+    error, verifier failure, crash) restarts only that tenant. Each
+    tenant has a supervisor ({!Lp_super.Supervisor}) that counts its
+    restarts in a sliding window and climbs an escalation ladder: warm
+    (checkpoint-restoring) restarts first, then cold boots, then cold
+    with extended quarantine, then permanent retirement. Every
+    [Config.checkpoint_rounds] rounds each ready tenant's controller
+    brain is framed ({!Lp_super.Checkpoint}) and stored; a warm restart
+    restores it (falling back cold — with a [Checkpoint_fallback] event
+    — on any torn/corrupt/unimportable frame). A restarted tenant only
+    re-admits traffic after passing a readiness probe (verifier pass +
+    one unbilled request), recorded as [Tenant_ready].
+
+    {b Crash storms.} A fleet-level breaker ({!Lp_super.Breaker}) counts
+    distinct restarted tenants per window; past [storm_trip_permille] it
+    trips ([Breaker_tripped]) and pauses all serving (and checkpointing)
+    for at least [storm_cooldown_rounds], re-opening only after every
+    live tenant passes a verifier health probe ([Breaker_reset]). Fleet
+    chaos ([Fault_plan.Fleet] site) injects [Kill_tenant] /
+    [Disk_pressure] ([chaos]) and [Kill_storm] / [Torn_checkpoint]
+    ([storm]) faults on top. *)
 
 type tenant_report = {
   tenant : int;
@@ -38,13 +53,20 @@ type tenant_report = {
   shed_retries : int;
   shed_retired : int;
   restarts : int;
+  warm_restarts : int;  (** restarts that completed the warm path *)
+  cold_restarts : int;  (** cold boots, including warm-path fallbacks *)
+  checkpoint_fallbacks : int;
+      (** warm restarts demoted to cold: missing, torn, corrupt or
+          unimportable checkpoint frames *)
   kills : int;
   crashes : int;
+  retired : bool;  (** permanently removed by the escalation ladder *)
   gc_count : int;
   bytes_reclaimed : int;
   references_poisoned : int;
   resurrections : int;
   safe_entries : int;
+  mispredictions : int;
   verifier_checks : int;
   verifier_failures : int;
   pruned_edge_types : (string * string) list;
@@ -71,6 +93,7 @@ type report = {
   rounds : int;
   tenant_reports : tenant_report list;  (** in tenant-id order *)
   faults_fired : int;
+  breaker_trips : int;  (** crash-storm breaker activations *)
   backend_capacity : int;
   backend_used_bytes : int;
   backend_denials : int;
@@ -80,7 +103,10 @@ type report = {
   timings : timing list;
   events : Lp_obs.Event.stamped list;
       (** the fleet sink's log ([Tenant_killed], [Tenant_restarted],
-          [Request_shed], [Fleet_pressure]), stamped with the round *)
+          [Request_shed], [Fleet_pressure], plus the supervision events:
+          [Checkpoint_saved] / [_restored] / [_fallback],
+          [Restart_escalated], [Tenant_ready], [Tenant_retired],
+          [Breaker_tripped] / [Breaker_reset]), stamped with the round *)
   events_dropped : int;
 }
 
@@ -90,10 +116,14 @@ type options = {
   requests_per_round : int;  (** serve capacity per tenant per round *)
   queue_limit : int;
   admission : Lp_core.Config.t;
-      (** source of the admission constants; validated by [run] *)
+      (** source of the admission {e and} supervision constants;
+          validated by [run] *)
   capacity_bytes : int;  (** shared backend size *)
   chaos : bool;  (** schedule a [Fault_plan.random_fleet] plan *)
   chaos_events : int;
+  storm : bool;
+      (** schedule a [Fault_plan.random_storm] plan ([Kill_storm] /
+          [Torn_checkpoint]) on top of (or instead of) [chaos] *)
   kills : (int * int) list;
       (** explicit (round, tenant id) kill schedule, applied whether or
           not [chaos] is on — the isolation tests' scripted faults *)
@@ -103,8 +133,8 @@ type options = {
 
 val default_options : seed:int -> rounds:int -> unit -> options
 (** 2 requests/round, queue of 16, [Config.default] admission constants,
-    effectively-unbounded backend, no chaos, no kills, 8-round pressure
-    windows. *)
+    effectively-unbounded backend, no chaos, no storm, no kills, 8-round
+    pressure windows. *)
 
 val run : options -> Tenant.spec list -> report
 (** @raise Invalid_argument on an empty fleet, duplicate tenant ids, or

@@ -265,7 +265,9 @@ let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
           | Lp_fault.Fault_plan.Corrupt_mark_packet
           | Lp_fault.Fault_plan.Steal_race
           | Lp_fault.Fault_plan.Kill_tenant
-          | Lp_fault.Fault_plan.Disk_pressure ->
+          | Lp_fault.Fault_plan.Disk_pressure
+          | Lp_fault.Fault_plan.Kill_storm
+          | Lp_fault.Fault_plan.Torn_checkpoint ->
             (* owned by the store / disk / swap / mark / fleet triggers *)
             ())
         (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Step)

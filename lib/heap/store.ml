@@ -16,11 +16,12 @@ type t = {
   mutable alloc_fault : (unit -> bool) option;
 }
 
-let create ~limit_bytes =
+let create_at ~first_id ~limit_bytes =
   if limit_bytes <= 0 then invalid_arg "Store.create";
+  if first_id < 1 then invalid_arg "Store.create_at: first_id must be >= 1";
   {
-    slots = Array.make 1024 None;
-    next_id = 1;
+    slots = Array.make (max 1024 first_id) None;
+    next_id = first_id;
     free_ids = Queue.create ();
     limit = limit_bytes;
     used = 0;
@@ -31,6 +32,8 @@ let create ~limit_bytes =
     nursery = 0;
     alloc_fault = None;
   }
+
+let create ~limit_bytes = create_at ~first_id:1 ~limit_bytes
 
 let set_alloc_fault t f = t.alloc_fault <- f
 

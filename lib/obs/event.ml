@@ -36,6 +36,14 @@ type t =
     }
   | Request_shed of { tenant : int; round : int; reason : string }
   | Fleet_pressure of { capacity_bytes : int; active : bool }
+  | Checkpoint_saved of { tenant : int; round : int; bytes : int }
+  | Checkpoint_restored of { tenant : int; round : int; edges : int }
+  | Checkpoint_fallback of { tenant : int; round : int; reason : string }
+  | Restart_escalated of { tenant : int; round : int; level : string }
+  | Tenant_ready of { tenant : int; round : int }
+  | Tenant_retired of { tenant : int; round : int; restarts : int }
+  | Breaker_tripped of { round : int; restarted : int; tenants : int }
+  | Breaker_reset of { round : int }
 
 type stamped = { seq : int; at : int; ev : t }
 
@@ -67,6 +75,14 @@ let type_name = function
   | Tenant_restarted _ -> "tenant_restarted"
   | Request_shed _ -> "request_shed"
   | Fleet_pressure _ -> "fleet_pressure"
+  | Checkpoint_saved _ -> "checkpoint_saved"
+  | Checkpoint_restored _ -> "checkpoint_restored"
+  | Checkpoint_fallback _ -> "checkpoint_fallback"
+  | Restart_escalated _ -> "restart_escalated"
+  | Tenant_ready _ -> "tenant_ready"
+  | Tenant_retired _ -> "tenant_retired"
+  | Breaker_tripped _ -> "breaker_tripped"
+  | Breaker_reset _ -> "breaker_reset"
 
 (* Span events open (`B`) and close (`E`) a nested duration in the
    Chrome trace; everything else is instantaneous. *)

@@ -80,6 +80,33 @@ type t =
       (** a shared-disk-pressure window opened ([active = true], with
           the clamped capacity) or closed ([active = false], capacity
           restored) *)
+  | Checkpoint_saved of { tenant : int; round : int; bytes : int }
+      (** the supervisor captured this tenant's controller brain into a
+          [bytes]-byte CRC-framed checkpoint *)
+  | Checkpoint_restored of { tenant : int; round : int; edges : int }
+      (** a warm restart imported the stored checkpoint ([edges]
+          protected edge-table entries) into the fresh VM's controller *)
+  | Checkpoint_fallback of { tenant : int; round : int; reason : string }
+      (** the warm path was abandoned for a cold boot: no checkpoint
+          stored, a torn/corrupt/unsupported frame, or a failed import
+          ([reason] carries the typed decode/import error tag) *)
+  | Restart_escalated of { tenant : int; round : int; level : string }
+      (** the per-tenant supervisor's ladder decision for this restart:
+          ["warm"], ["cold"], ["cold-extended"] or ["retire"] *)
+  | Tenant_ready of { tenant : int; round : int }
+      (** the post-restart readiness probe (verifier pass + one
+          successful serve) re-admitted the tenant to the scheduler *)
+  | Tenant_retired of { tenant : int; round : int; restarts : int }
+      (** the ladder's terminal rung: the tenant crossed
+          [Config.retire_limit] restarts within the supervisor window
+          and is permanently removed from the fleet *)
+  | Breaker_tripped of { round : int; restarted : int; tenants : int }
+      (** the crash-storm breaker saw [restarted] distinct tenants (of
+          [tenants]) restart within [Config.storm_window_rounds] and
+          paused fleet-wide serving *)
+  | Breaker_reset of { round : int }
+      (** the cooldown elapsed and every surviving tenant passed its
+          health probe; serving resumes *)
 
 type stamped = { seq : int; at : int; ev : t }
 (** [seq] is a per-sink sequence number (total order even between events

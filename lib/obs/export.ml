@@ -64,6 +64,20 @@ let fields ~cls (ev : Event.t) =
     [ i "tenant" tenant; i "round" round; s "reason" reason ]
   | Event.Fleet_pressure { capacity_bytes; active } ->
     [ i "capacity_bytes" capacity_bytes; b "active" active ]
+  | Event.Checkpoint_saved { tenant; round; bytes } ->
+    [ i "tenant" tenant; i "round" round; i "bytes" bytes ]
+  | Event.Checkpoint_restored { tenant; round; edges } ->
+    [ i "tenant" tenant; i "round" round; i "edges" edges ]
+  | Event.Checkpoint_fallback { tenant; round; reason } ->
+    [ i "tenant" tenant; i "round" round; s "reason" reason ]
+  | Event.Restart_escalated { tenant; round; level } ->
+    [ i "tenant" tenant; i "round" round; s "level" level ]
+  | Event.Tenant_ready { tenant; round } -> [ i "tenant" tenant; i "round" round ]
+  | Event.Tenant_retired { tenant; round; restarts } ->
+    [ i "tenant" tenant; i "round" round; i "restarts" restarts ]
+  | Event.Breaker_tripped { round; restarted; tenants } ->
+    [ i "round" round; i "restarted" restarted; i "tenants" tenants ]
+  | Event.Breaker_reset { round } -> [ i "round" round ]
 
 let members l =
   String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) l)

@@ -166,6 +166,25 @@ val recover : t -> recovery
     backend. A fresh VM holds no references into the old store, so
     anything kept would be a permanent shared-disk leak. *)
 
+val recover_warm : t -> recovery
+(** The warm-restart variant: the same CRC audit, but CRC-valid prune
+    images and the forwarding table {e survive} into the next
+    incarnation (only corrupt images are dropped, through the normal
+    drop path, so [image_drops] and events stay honest). Offload
+    payloads are always released — they back heap objects that died
+    with the VM. [bytes_released] counts what was actually credited
+    back. Retained images that the new incarnation never references are
+    released later by the normal post-sweep retention pass, so nothing
+    leaks either way. *)
+
+val rebind_metrics : t -> Lp_obs.Metrics.t -> unit
+(** Re-interns the store's [disk.*] counters and gauges in a fresh
+    incarnation's registry (counters restart at zero — the old
+    incarnation's totals were harvested with its own registry snapshot)
+    and re-seeds the byte gauges from the surviving totals. Called by
+    the VM when it adopts an existing store via [Vm.create
+    ~swap_store]. *)
+
 val retrieve :
   t ->
   Lp_heap.Store.t ->

@@ -16,6 +16,7 @@ type t = {
   charge_barriers : bool;
   swap : Diskswap.t;
   offload : bool;  (* user configured the disk-offload baseline *)
+  warm_boot : bool;  (* adopted a previous incarnation's swap store *)
   resurrection : bool;
   finalizers : (int, Heap_obj.t -> unit) Hashtbl.t;
   statics_objects : (string, Heap_obj.t) Hashtbl.t;
@@ -47,26 +48,39 @@ type t = {
 }
 
 let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
-    ?(charge_barriers = true) ?disk ?swap_backend ?(resurrection = false)
-    ?nursery_bytes ?fault ~heap_bytes () =
+    ?(charge_barriers = true) ?disk ?swap_backend ?swap_store
+    ?(resurrection = false) ?nursery_bytes ?fault ?first_object_id ~heap_bytes
+    () =
   (match nursery_bytes with
   | Some n when n <= 0 || n >= heap_bytes ->
     invalid_arg "Vm.create: nursery_bytes must be in (0, heap_bytes)"
   | Some _ | None -> ());
   let registry = Class_registry.create () in
   let roots = Roots.create () in
-  let store = Store.create ~limit_bytes:heap_bytes in
+  let store =
+    match first_object_id with
+    | Some first_id -> Store.create_at ~first_id ~limit_bytes:heap_bytes
+    | None -> Store.create ~limit_bytes:heap_bytes
+  in
   let metrics = Lp_obs.Metrics.create () in
   (* The VM always owns a swap store: the resurrection subsystem keeps
      prune images there even when the disk-offload baseline is off (in
      which case the "disk" is unbounded — image retention, not a byte
-     limit, bounds it). *)
+     limit, bounds it). A warm restart hands the previous incarnation's
+     store in via [swap_store]; it arrives already recovered
+     ([Diskswap.recover_warm]) and keeps its own config and backend, so
+     [disk]/[swap_backend] only shape the offload flag in that case. *)
   let offload = disk <> None in
   let swap =
-    Diskswap.create ~metrics ?backend:swap_backend
-      (match disk with
-      | Some config -> config
-      | None -> Diskswap.default_config ~disk_limit_bytes:max_int)
+    match swap_store with
+    | Some s ->
+      Diskswap.rebind_metrics s metrics;
+      s
+    | None ->
+      Diskswap.create ~metrics ?backend:swap_backend
+        (match disk with
+        | Some config -> config
+        | None -> Diskswap.default_config ~disk_limit_bytes:max_int)
   in
   (* Thread the fault plan's trigger points through the layers that own
      them: the store consults the Alloc site, the disk the Disk site,
@@ -102,6 +116,8 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
                | Lp_fault.Fault_plan.Steal_race
                | Lp_fault.Fault_plan.Kill_tenant
                | Lp_fault.Fault_plan.Disk_pressure
+               | Lp_fault.Fault_plan.Kill_storm
+               | Lp_fault.Fault_plan.Torn_checkpoint
                  -> image)
              image
              (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Swap)))
@@ -130,6 +146,7 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
     charge_barriers;
     swap;
     offload;
+    warm_boot = swap_store <> None;
     resurrection;
     finalizers = Hashtbl.create 64;
     statics_objects = Hashtbl.create 16;
@@ -192,6 +209,7 @@ let trace_events t =
   match t.sink with Some s -> Lp_obs.Sink.events s | None -> []
 
 let resurrection_enabled t = t.resurrection
+let warm_boot t = t.warm_boot
 let charge_barriers t = t.charge_barriers
 
 let gc_engine t =

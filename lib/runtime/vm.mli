@@ -29,9 +29,11 @@ val create :
   ?charge_barriers:bool ->
   ?disk:Diskswap.config ->
   ?swap_backend:Diskswap.backend ->
+  ?swap_store:Diskswap.t ->
   ?resurrection:bool ->
   ?nursery_bytes:int ->
   ?fault:Lp_fault.Fault_plan.t ->
+  ?first_object_id:int ->
   heap_bytes:int ->
   unit ->
   t
@@ -55,7 +57,17 @@ val create :
     the tenant's quota and offloads are admission-gated — see
     {!Diskswap.create_backend}. Defaults: paper-default pruning config,
     default costs, barriers charged, no disk baseline, no shared
-    backend, no resurrection, non-generational, no faults. *)
+    backend, no resurrection, non-generational, no faults.
+
+    [swap_store] (warm restart) adopts an {e existing} swap store —
+    already passed through {!Diskswap.recover_warm} — instead of
+    creating one; its config and backend attachment are kept as-is
+    ([disk] then only sets the offload flag, [swap_backend] is ignored)
+    and its metrics are re-interned in this VM's registry.
+    [first_object_id] starts the object-identifier space there instead
+    of 1, so fresh allocations cannot collide with ids persisted in the
+    adopted store's retained images — warm restarts pass the dead
+    store's [next_fresh_id]. *)
 
 (** {1 Components} *)
 
@@ -76,6 +88,15 @@ val swap : t -> Diskswap.t
     image retention limits it). *)
 
 val resurrection_enabled : t -> bool
+
+val warm_boot : t -> bool
+(** True when this VM adopted a previous incarnation's swap store
+    ([swap_store] was passed to {!create}) — i.e. it was warm-restarted.
+    Diagnostics invariants that tie controller history to this
+    incarnation's GC statistics (e.g. "pruned edge types imply poisoned
+    references") are relaxed for such VMs: the restored brain
+    legitimately remembers prunes an earlier incarnation performed. *)
+
 val charge_barriers : t -> bool
 val remset : t -> Remset.t
 val fault_plan : t -> Lp_fault.Fault_plan.t option

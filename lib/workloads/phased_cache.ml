@@ -1,0 +1,104 @@
+open Lp_heap
+open Lp_runtime
+
+let cache_entries = 8
+let payload_bytes = 900
+let warm_iterations = 6
+let first_touch = 24
+let touch_period = 12
+let leak_bytes = 300
+let churn_bytes = 4_000
+let churn_chunk = 500
+
+(* statics: field 0 = cache table, field 1 = leak chain head.
+   CacheTable: Object[] of CacheEntry; CacheEntry: fields [payload
+   (String -> char[])]. The cache is built once and dominates the heap;
+   the leak chain grows slowly and is never read.
+
+   Phase 1 (the first [warm_iterations] iterations) walks the cache —
+   down to the char[] — every iteration, so its edge types never record
+   a high maxstaleuse. Then the cache goes silent until [first_touch]:
+   in that gap its staleness saturates while the leak grows the heap
+   into pruning range, so the cache qualifies at *saturated* staleness
+   and is selected over the still-small leak — the misprediction the
+   [first_touch] walk exposes. Resurrection recovers every entry, and
+   each access protects the edge type at saturated-stale + slack, a bar
+   the later maintenance walks (every [touch_period] iterations, fewer
+   GCs apart than the bar) keep the cache below forever. Pruning
+   settles on the leak chain from then on. A warm restart restores that
+   protection from the checkpoint, so the rebuilt cache is never
+   mispruned; a cold boot pays the whole learning burst again. *)
+let prepare vm =
+  let statics = Vm.statics vm ~class_name:"PhasedCache" ~n_fields:2 in
+  Vm.with_frame vm ~n_slots:2 (fun frame ->
+      let table =
+        Vm.alloc vm ~class_name:"PhasedCache$Table" ~n_fields:cache_entries ()
+      in
+      Roots.set_slot frame 0 table.Heap_obj.id;
+      Mutator.write_obj vm statics 0 table;
+      for i = 0 to cache_entries - 1 do
+        let payload = Jheap.alloc_string vm ~chars:payload_bytes in
+        Roots.set_slot frame 1 payload.Heap_obj.id;
+        let entry =
+          Vm.alloc vm ~class_name:"PhasedCache$Entry" ~n_fields:1 ()
+        in
+        Mutator.write_obj vm entry 0 (Vm.deref vm (Roots.get_slot frame 1));
+        let table = Vm.deref vm (Roots.get_slot frame 0) in
+        Mutator.write_obj vm table i entry
+      done);
+  let iteration = ref 0 in
+  let touch_cache () =
+    match Mutator.read vm statics 0 with
+    | None -> ()
+    | Some table ->
+      for i = 0 to cache_entries - 1 do
+        match Mutator.read vm table i with
+        | None -> ()
+        | Some entry -> (
+          match Mutator.read vm entry 0 with
+          | None -> ()
+          | Some payload -> ignore (Mutator.read vm payload 0))
+      done
+  in
+  fun () ->
+    incr iteration;
+    let remaining = ref churn_bytes in
+    while !remaining > 0 do
+      let n = min !remaining churn_chunk in
+      ignore
+        (Vm.alloc vm ~class_name:"PhasedCache$Scratch" ~scalar_bytes:n
+           ~n_fields:0 ());
+      remaining := !remaining - n
+    done;
+    (let remaining = ref leak_bytes in
+     while !remaining > 0 do
+       let n = min !remaining 150 in
+       Vm.with_frame vm ~n_slots:1 (fun frame ->
+           let buf =
+             Vm.alloc vm ~class_name:"PhasedCache$LeakBuf" ~scalar_bytes:n
+               ~n_fields:0 ()
+           in
+           Roots.set_slot frame 0 buf.Heap_obj.id;
+           ignore
+             (Jheap.List_field.push vm ~node_class:"PhasedCache$LeakNode"
+                ~holder:statics ~field:1
+                ~payload:(Some (Vm.deref vm (Roots.get_slot frame 0)))));
+       remaining := !remaining - n
+     done);
+    if
+      !iteration <= warm_iterations
+      || (!iteration >= first_touch && !iteration mod touch_period = 0)
+    then touch_cache ();
+    Vm.work vm 600
+
+let workload =
+  {
+    Workload.name = "PhasedCache";
+    description =
+      "phase change: hot cache goes cold-but-live while a slow leak grows; \
+       first prune mispredicts the cache until protection is learned";
+    category = Workload.Mostly_dead;
+    default_heap_bytes = 14_000;
+    fixed_iterations = None;
+    prepare;
+  }

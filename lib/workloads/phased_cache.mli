@@ -1,0 +1,17 @@
+(** A phase-change workload built to mispredict exactly once per brain.
+
+    A hot cache (touched every iteration) goes silent long enough for
+    its staleness to saturate, then drops to sparse maintenance walks,
+    while a slow genuine leak grows beside it. The first time pruning
+    engages — inside the silent gap — the cache's recorded maxstaleuse
+    still reflects the hot phase, so the SELECT mispredicts the cache;
+    the next maintenance walk resurrects every entry and protects the
+    edge types at a bar the sparse walks never reach again, after which
+    pruning settles on the leak.
+
+    The point is warm-restart measurement: that protection is the
+    checkpointed state whose survival a warm restart buys. A cold boot
+    re-pays the whole misprediction burst; a warm boot doesn't — the
+    strict inequality the restart bench's 25-seed oracle checks. *)
+
+val workload : Workload.t

@@ -27,6 +27,7 @@ let () =
       Test_cyclic.suite;
       Test_harness.suite;
       Test_fleet.suite;
+      Test_super.suite;
       Test_jheap.suite;
       Test_jit.suite;
       Test_interp.suite;

@@ -320,7 +320,24 @@ let test_aggregate_percentile () =
   Alcotest.(check int) "p99 of 5 samples is the max" 50
     (Lp_obs.Aggregate.percentile samples ~p:99.);
   Alcotest.(check int) "p20 nearest rank" 10
-    (Lp_obs.Aggregate.percentile samples ~p:20.)
+    (Lp_obs.Aggregate.percentile samples ~p:20.);
+  (* rank clamps to the first sample: p0 is the minimum, never index -1 *)
+  Alcotest.(check int) "p0 clamps to the minimum" 10
+    (Lp_obs.Aggregate.percentile samples ~p:0.);
+  (* a singleton answers every percentile with its only sample *)
+  Alcotest.(check int) "singleton p99" 7
+    (Lp_obs.Aggregate.percentile [ 7 ] ~p:99.);
+  Alcotest.(check int) "singleton p0" 7 (Lp_obs.Aggregate.percentile [ 7 ] ~p:0.);
+  (* even sample count: nearest-rank p50 is the lower middle *)
+  Alcotest.(check int) "even-count median" 20
+    (Lp_obs.Aggregate.percentile [ 40; 20; 30; 10 ] ~p:50.);
+  (* p99 under and at 100 samples: ceil(0.99 n) only drops below the
+     maximum once a 100th sample exists *)
+  let ascending n = List.init n (fun i -> i + 1) in
+  Alcotest.(check int) "p99 of 99 samples is still the max" 99
+    (Lp_obs.Aggregate.percentile (ascending 99) ~p:99.);
+  Alcotest.(check int) "p99 of 100 samples is the 99th" 99
+    (Lp_obs.Aggregate.percentile (ascending 100) ~p:99.)
 
 let test_aggregate_merge () =
   let snap () =
