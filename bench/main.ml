@@ -943,6 +943,7 @@ let run_fleet_bench () =
           policy = Lp_core.Policy.Default;
           force_safe = id = 1;
           resurrection = true;
+          liveness = Lp_core.Config.Liveness_off;
         })
   in
   let options =
@@ -1092,6 +1093,7 @@ let run_restart_bench () =
       policy = Lp_core.Policy.Default;
       force_safe = false;
       resurrection = true;
+      liveness = Lp_core.Config.Liveness_off;
     }
   in
   (* trip bar 1000 permille: the breaker (strict inequality) can never
@@ -1237,6 +1239,151 @@ let run_restart_bench () =
     exit 1
   end
 
+(* Static-liveness scenario: dynamic-only SELECT versus the
+   access-graph oracle composed with staleness, across the four
+   bytecode-modelled workloads and 25 deterministic iteration-cap
+   variants each (caps stand in for seeds: the workloads are
+   deterministic, so varying the cap varies how much of the phase
+   schedule — and so how many prune decisions — each run sees).  Every
+   run enables resurrection so a misprediction is a recovered, counted
+   event rather than a fatal stop.  The oracle: guided runs are
+   deterministic (each is executed twice and must agree), guided never
+   mispredicts MORE than dynamic-only on any variant, and on at least
+   one PhasedCache or AdaptonHull variant it mispredicts strictly
+   less — those two workloads were built to make dynamic-only SELECT
+   choose a stale-but-live structure.  Any violation exits 1. *)
+
+let run_liveness_bench () =
+  let variants = 25 in
+  let cap seed = 200 + (40 * seed) in
+  let bench_workloads =
+    [
+      Lp_workloads.List_leak.workload;
+      Lp_workloads.Swap_leak.workload;
+      Lp_workloads.Phased_cache.workload;
+      Lp_workloads.Adapton_hull.workload;
+    ]
+  in
+  let run mode w n =
+    let config = Lp_core.Config.make ~liveness_mode:mode () in
+    Lp_harness.Driver.run ~config ~resurrection:true ~max_iterations:n w
+  in
+  let key (r : Lp_harness.Driver.result) =
+    ( r.Lp_harness.Driver.iterations,
+      r.Lp_harness.Driver.gc_count,
+      r.Lp_harness.Driver.mispredictions,
+      r.Lp_harness.Driver.references_poisoned,
+      r.Lp_harness.Driver.bytes_reclaimed,
+      r.Lp_harness.Driver.liveness_vetoes,
+      r.Lp_harness.Driver.liveness_boosts )
+  in
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf (fun msg -> violations := msg :: !violations) fmt
+  in
+  let rows = ref [] in
+  List.iter
+    (fun w ->
+      let name = w.Lp_workloads.Workload.name in
+      let improved = ref false in
+      for seed = 1 to variants do
+        let n = cap seed in
+        let off = run Lp_core.Config.Liveness_off w n in
+        let guide = run Lp_core.Config.Liveness_guide w n in
+        let guide' = run Lp_core.Config.Liveness_guide w n in
+        if key guide <> key guide' then
+          violate "%s cap %d: guided run is not deterministic" name n;
+        let om = off.Lp_harness.Driver.mispredictions in
+        let gm = guide.Lp_harness.Driver.mispredictions in
+        if gm > om then
+          violate "%s cap %d: guided mispredicted %d > dynamic-only %d" name n
+            gm om;
+        if gm < om then improved := true;
+        rows :=
+          ( name,
+            n,
+            om,
+            gm,
+            off.Lp_harness.Driver.iterations,
+            guide.Lp_harness.Driver.iterations,
+            guide.Lp_harness.Driver.liveness_vetoes,
+            guide.Lp_harness.Driver.liveness_boosts )
+          :: !rows
+      done;
+      if
+        (name = "PhasedCache" || name = "AdaptonHull") && not !improved
+      then
+        violate
+          "%s: guided never strictly beat dynamic-only on any variant" name)
+    bench_workloads;
+  let rows = List.rev !rows in
+  let per_workload name =
+    List.filter (fun (n, _, _, _, _, _, _, _) -> n = name) rows
+  in
+  let sum f l = List.fold_left (fun acc r -> acc + f r) 0 l in
+  let row_json (name, n, om, gm, oi, gi, vetoes, boosts) =
+    Printf.sprintf
+      {|    { "workload": "%s", "cap": %d, "off_mispredictions": %d, "guide_mispredictions": %d, "off_iterations": %d, "guide_iterations": %d, "guide_vetoes": %d, "guide_boosts": %d }|}
+      name n om gm oi gi vetoes boosts
+  in
+  let agg_json w =
+    let name = w.Lp_workloads.Workload.name in
+    let l = per_workload name in
+    Printf.sprintf
+      {|    { "workload": "%s", "off_mispredictions": %d, "guide_mispredictions": %d, "guide_vetoes": %d, "guide_boosts": %d }|}
+      name
+      (sum (fun (_, _, om, _, _, _, _, _) -> om) l)
+      (sum (fun (_, _, _, gm, _, _, _, _) -> gm) l)
+      (sum (fun (_, _, _, _, _, _, v, _) -> v) l)
+      (sum (fun (_, _, _, _, _, _, _, b) -> b) l)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "liveness",
+  "variants_per_workload": %d,
+  "per_variant": [
+%s
+  ],
+  "per_workload": [
+%s
+  ],
+  "violations": [%s]
+}
+|}
+      variants
+      (String.concat ",\n" (List.map row_json rows))
+      (String.concat ",\n" (List.map agg_json bench_workloads))
+      (String.concat ", "
+         (List.map (fun v -> Printf.sprintf "%S" v) (List.rev !violations)))
+  in
+  let path = out_path "BENCH_liveness.json" in
+  write_file path json;
+  write_file "BENCH_liveness.json" json;
+  Lp_harness.Render.table
+    ~columns:
+      [ "workload"; "off mispred"; "guide mispred"; "vetoes"; "boosts" ]
+    ~rows:
+      (List.map
+         (fun w ->
+           let name = w.Lp_workloads.Workload.name in
+           let l = per_workload name in
+           [
+             name;
+             string_of_int (sum (fun (_, _, om, _, _, _, _, _) -> om) l);
+             string_of_int (sum (fun (_, _, _, gm, _, _, _, _) -> gm) l);
+             string_of_int (sum (fun (_, _, _, _, _, _, v, _) -> v) l);
+             string_of_int (sum (fun (_, _, _, _, _, _, _, b) -> b) l);
+           ])
+         bench_workloads);
+  Printf.printf "wrote %s (and root copy BENCH_liveness.json)\n" path;
+  if !violations <> [] then begin
+    Printf.eprintf "LIVENESS GATE FAILED (%d violation(s)):\n"
+      (List.length !violations);
+    List.iter (Printf.eprintf "  %s\n") (List.rev !violations);
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let experiments = Lp_harness.Experiments.all @ Lp_harness.Ablations.all
@@ -1264,6 +1411,12 @@ let list_experiments () =
     "Warm vs cold restart cost over 25 seeds (writes \
      bench/out/BENCH_restart.json; exit 1 unless every warm run beats \
      its cold baseline)"
+;
+  Printf.printf "%-13s %s\n" "liveness"
+    "Static liveness oracle vs dynamic-only SELECT over 25 variants of \
+     each bytecode-modelled workload (writes bench/out/BENCH_liveness.json; \
+     exit 1 unless guided is deterministic, never worse, and strictly \
+     better somewhere)"
 
 let run_experiment id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -1277,6 +1430,7 @@ let run_experiment id =
     else if id = "gc-pauses" then run_pause_bench ()
     else if id = "fleet" then run_fleet_bench ()
     else if id = "restart" then run_restart_bench ()
+    else if id = "liveness" then run_liveness_bench ()
     else begin
       Printf.eprintf "unknown experiment %S; try --list\n" id;
       exit 1
@@ -1304,6 +1458,7 @@ let () =
     run_parallel_gc_bench ();
     run_pause_bench ();
     run_fleet_bench ();
-    run_restart_bench ()
+    run_restart_bench ();
+    run_liveness_bench ()
   | [ "--list" ] -> list_experiments ()
   | ids -> List.iter run_experiment ids

@@ -23,6 +23,7 @@ let workloads =
       Dual_leak.workload;
       Delaunay.workload;
       Phased_cache.workload;
+      Adapton_hull.workload;
     ]
   @ List.map Lp_workloads.Dacapo.workload_of_spec Lp_workloads.Dacapo.suite
 
@@ -91,6 +92,23 @@ let gc_slice_budget_arg =
            ~doc:"Maximum objects one incremental mark slice scans before \
                  yielding (--gc-engine inc only; default 256).")
 
+(* Shared by run, trace, chaos and serve: whether the static liveness
+   oracle (access-graph analysis over the workload's bytecode model)
+   feeds SELECT as a prior. Off is the exact pre-oracle behaviour. *)
+let liveness_arg =
+  Arg.(value
+       & opt (enum [ ("off", Lp_core.Config.Liveness_off);
+                     ("guide", Lp_core.Config.Liveness_guide) ])
+           Lp_core.Config.Liveness_off
+       & info [ "liveness" ] ~docv:"MODE"
+           ~doc:"Static liveness oracle: $(b,off) (dynamic staleness only; \
+                 the default, byte-identical to builds without the oracle) \
+                 or $(b,guide) (compose the access-graph analysis of the \
+                 workload's bytecode model with staleness: proven-dead \
+                 fields get a lower selection bar, provably-read fields \
+                 are vetoed however stale they get). Workloads without a \
+                 bytecode model run unguided even under $(b,guide).")
+
 (* CLI-level reconciliation of the engine flag with the legacy
    --gc-domains alias: par without an explicit domain count gets a
    sensible default, seq/inc with a domain count is a contradiction. *)
@@ -144,7 +162,7 @@ let run_cmd =
              ~doc:"Use the paper's option (1): wait until the heap is 100% full before the first prune (Figure 11). Default is option (2), pruning right after a SELECT collection.")
   in
   let run name policy heap cap trace exhaustion gc_engine gc_domains
-      gc_slice_budget =
+      gc_slice_budget liveness =
     let gc_engine = resolve_cli_engine gc_engine gc_domains gc_slice_budget in
     match find_workload name with
     | None ->
@@ -157,7 +175,7 @@ let run_cmd =
           ~prune_trigger:
             (if exhaustion then Lp_core.Config.On_exhaustion
              else Lp_core.Config.On_select_gc)
-          ?report ?gc_engine ~gc_slice_budget ()
+          ?report ?gc_engine ~gc_slice_budget ~liveness_mode:liveness ()
       in
       let r = Lp_harness.Driver.run ~config ?heap_bytes:heap ~max_iterations:cap w in
       Printf.printf "workload:     %s\n" r.Lp_harness.Driver.workload;
@@ -171,6 +189,10 @@ let run_cmd =
         r.Lp_harness.Driver.total_cycles r.Lp_harness.Driver.gc_cycles;
       Printf.printf "poisoned:     %d references\n" r.Lp_harness.Driver.references_poisoned;
       Printf.printf "edge types:   %d in the table\n" r.Lp_harness.Driver.edge_table_entries;
+      if liveness = Lp_core.Config.Liveness_guide then
+        Printf.printf "liveness:     %d veto(es), %d boost(s), %d misprediction(s)\n"
+          r.Lp_harness.Driver.liveness_vetoes r.Lp_harness.Driver.liveness_boosts
+          r.Lp_harness.Driver.mispredictions;
       if r.Lp_harness.Driver.pruned_edge_types <> [] then begin
         Printf.printf "pruned reference types:\n";
         List.iter
@@ -181,7 +203,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ workload_arg $ policy_arg $ heap_arg $ cap_arg $ trace_arg
           $ exhaustion_arg $ gc_engine_arg $ gc_domains_arg
-          $ gc_slice_budget_arg)
+          $ gc_slice_budget_arg $ liveness_arg)
 
 let interp_cmd =
   let doc = "Assemble and interpret a bytecode file on the simulated VM (with leak pruning)." in
@@ -285,14 +307,17 @@ let trace_cmd =
                    which the prune audit cross-check relies on.")
   in
   let run name policy heap cap format out buffer gc_engine gc_domains
-      gc_slice_budget =
+      gc_slice_budget liveness =
     let gc_engine = resolve_cli_engine gc_engine gc_domains gc_slice_budget in
     match find_workload name with
     | None ->
       Printf.eprintf "unknown workload %S; see `leakpruner list`\n" name;
       exit 1
     | Some w ->
-      let config = Lp_core.Config.make ~policy ?gc_engine ~gc_slice_budget () in
+      let config =
+        Lp_core.Config.make ~policy ?gc_engine ~gc_slice_budget
+          ~liveness_mode:liveness ()
+      in
       let captured = ref None in
       let r =
         Lp_harness.Driver.run ~config ?heap_bytes:heap ~max_iterations:cap
@@ -339,7 +364,38 @@ let trace_cmd =
               "prune-decision events sum to %d bytes but prune.bytes_reclaimed \
                is %d"
               sum counter)
-           (sum = counter)
+           (sum = counter);
+         (* liveness prune audit: the trace's veto/boost events and the
+            controller's counters must tell the same story *)
+         if liveness = Lp_core.Config.Liveness_guide then begin
+           let verdicts = ref 0 and vetoes = ref 0 and boosts = ref 0 in
+           List.iter
+             (fun (st : Lp_obs.Event.stamped) ->
+               match st.Lp_obs.Event.ev with
+               | Lp_obs.Event.Liveness_verdict _ -> incr verdicts
+               | Lp_obs.Event.Liveness_veto _ -> incr vetoes
+               | Lp_obs.Event.Liveness_boost _ -> incr boosts
+               | _ -> ())
+             events;
+           let ctl = Lp_runtime.Vm.controller vm in
+           audit
+             (Printf.sprintf
+                "trace has %d liveness veto(es) but the controller counted %d"
+                !vetoes
+                (Lp_core.Controller.liveness_vetoes ctl))
+             (!vetoes = Lp_core.Controller.liveness_vetoes ctl);
+           audit
+             (Printf.sprintf
+                "trace has %d liveness boost(s) but the controller counted %d"
+                !boosts
+                (Lp_core.Controller.liveness_boosts ctl))
+             (!boosts = Lp_core.Controller.liveness_boosts ctl);
+           Printf.eprintf
+             "leakpruner: trace: prune audit: %d liveness verdict(s), %d \
+              veto(es), %d boost(s), %d dead-read(s)\n"
+             !verdicts !vetoes !boosts
+             (Lp_core.Controller.liveness_dead_reads ctl)
+         end
        end
        else
          Printf.eprintf
@@ -388,7 +444,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ workload_arg $ policy_arg $ heap_arg $ cap_arg
           $ format_arg $ out_arg $ buffer_arg $ gc_engine_arg $ gc_domains_arg
-          $ gc_slice_budget_arg)
+          $ gc_slice_budget_arg $ liveness_arg)
 
 let chaos_cmd =
   let doc =
@@ -427,11 +483,12 @@ let chaos_cmd =
      re-run traced, exported as a Chrome trace. Reruns are exact (the
      run is a deterministic function of seed and cap, and tracing never
      changes behaviour), so the trace shows the actual failure. *)
-  let write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~steps ~seed dir =
+  let write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~liveness ~steps
+      ~seed dir =
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
     let r =
-      Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~steps
-        ~trace_capacity:65_536 ~seed ()
+      Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~liveness
+        ~steps ~trace_capacity:65_536 ~seed ()
     in
     let file = Filename.concat dir (Printf.sprintf "chaos_seed_%d.trace.json" seed) in
     let oc = open_out file in
@@ -458,12 +515,17 @@ let chaos_cmd =
       r.Lp_harness.Chaos.faults_fired r.Lp_harness.Chaos.recovered
       r.Lp_harness.Chaos.poisoned r.Lp_harness.Chaos.resurrections
       r.Lp_harness.Chaos.safe_entries
-      (match r.Lp_harness.Chaos.outcome with
+      ((if r.Lp_harness.Chaos.liveness_dead_reads > 0 then
+          Printf.sprintf "  %d DEAD-READ(S)"
+            r.Lp_harness.Chaos.liveness_dead_reads
+        else "")
+      ^
+      match r.Lp_harness.Chaos.outcome with
       | Lp_harness.Chaos.Survived -> ""
       | o -> "  (" ^ Lp_harness.Chaos.outcome_to_string o ^ ")")
   in
   let run seeds steps no_faults seed quiet trace_dir gc_engine_flag gc_domains
-      gc_slice_budget =
+      gc_slice_budget liveness =
     if seeds < 0 || steps < 0 then begin
       Printf.eprintf "leakpruner: chaos: --seeds and --steps must be non-negative\n";
       exit 2
@@ -473,13 +535,13 @@ let chaos_cmd =
     match seed with
     | Some seed ->
       let r =
-        Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~steps
-          ~seed ()
+        Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~liveness
+          ~steps ~seed ()
       in
       print_report r;
       (match
-         Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~steps
-           ~seed ()
+         Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~liveness
+           ~steps ~seed ()
        with
       | r' when r' = r -> ()
       | _ -> Printf.printf "WARNING: seed %d did not reproduce identically\n" seed);
@@ -488,8 +550,8 @@ let chaos_cmd =
           (Lp_fault.Fault_plan.describe (Lp_fault.Fault_plan.random ~seed ()));
       if Lp_harness.Chaos.failed r then begin
         let shrunk =
-          Lp_harness.Chaos.shrink ~faults ?gc_engine ~gc_slice_budget ~steps
-            ~seed ()
+          Lp_harness.Chaos.shrink ~faults ?gc_engine ~gc_slice_budget ~liveness
+            ~steps ~seed ()
         in
         (match shrunk with
         | Some n -> Printf.printf "minimal reproduction: %d step(s)\n" n
@@ -498,20 +560,27 @@ let chaos_cmd =
         | Some dir ->
           (* replays run under the failing engine selection, so the trace
              shows that engine's rounds when that is where it failed *)
-          write_failure_trace ~faults ~gc_engine ~gc_slice_budget
+          write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~liveness
             ~steps:(match shrunk with Some n -> n | None -> steps)
             ~seed dir
         | None -> ());
         exit 1
-      end
+      end;
+      (* a guided run that read a Dead_beyond-0 slot falsified the
+         oracle: report it as a failure even though the heap is fine *)
+      if r.Lp_harness.Chaos.liveness_dead_reads > 0 then exit 1
     | None ->
       let failures = ref 0 in
       let reports =
-        Lp_harness.Chaos.run_seeds ~faults ?gc_engine ~gc_slice_budget ~steps
-          ~seeds
+        Lp_harness.Chaos.run_seeds ~faults ?gc_engine ~gc_slice_budget
+          ~liveness ~steps ~seeds
           ~progress:(fun r ->
-            if Lp_harness.Chaos.failed r then incr failures;
-            if (not quiet) || Lp_harness.Chaos.failed r then print_report r)
+            let bad =
+              Lp_harness.Chaos.failed r
+              || r.Lp_harness.Chaos.liveness_dead_reads > 0
+            in
+            if bad then incr failures;
+            if (not quiet) || bad then print_report r)
           ()
       in
       let count p = List.length (List.filter p reports) in
@@ -530,8 +599,8 @@ let chaos_cmd =
           if Lp_harness.Chaos.failed r then begin
             let seed = r.Lp_harness.Chaos.seed in
             let shrunk =
-              Lp_harness.Chaos.shrink ~faults ?gc_engine ~gc_slice_budget ~steps
-                ~seed ()
+              Lp_harness.Chaos.shrink ~faults ?gc_engine ~gc_slice_budget
+                ~liveness ~steps ~seed ()
             in
             (match shrunk with
             | Some n ->
@@ -540,6 +609,7 @@ let chaos_cmd =
             match trace_dir with
             | Some dir ->
               write_failure_trace ~faults ~gc_engine ~gc_slice_budget
+                ~liveness
                 ~steps:(match shrunk with Some n -> n | None -> steps)
                 ~seed dir
             | None -> ()
@@ -549,7 +619,8 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ seeds_arg $ steps_arg $ no_faults_arg $ seed_arg $ quiet_arg
-          $ trace_dir_arg $ gc_engine_arg $ gc_domains_arg $ gc_slice_budget_arg)
+          $ trace_dir_arg $ gc_engine_arg $ gc_domains_arg $ gc_slice_budget_arg
+          $ liveness_arg)
 
 let serve_cmd =
   let doc =
@@ -749,7 +820,7 @@ let serve_cmd =
       kills chaos sweep trace_dir retry_cap backoff_base backoff_ceiling
       deadline storm quarantine extended_quarantine checkpoint_rounds
       warm_limit cold_limit retire_limit storm_window storm_trip storm_cooldown
-      =
+      liveness =
     if tenants < 1 then begin
       Printf.eprintf "leakpruner: serve: --tenants must be >= 1\n";
       exit 2
@@ -793,6 +864,7 @@ let serve_cmd =
             policy = Lp_core.Policy.Default;
             force_safe = List.mem id force_safe;
             resurrection = true;
+            liveness;
           })
     in
     let options seed =
@@ -864,7 +936,7 @@ let serve_cmd =
           $ storm_flag_arg $ quarantine_arg $ extended_quarantine_arg
           $ checkpoint_rounds_arg $ warm_limit_arg $ cold_limit_arg
           $ retire_limit_arg $ storm_window_arg $ storm_trip_arg
-          $ storm_cooldown_arg)
+          $ storm_cooldown_arg $ liveness_arg)
 
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures (see bench/main.exe --list)." in

@@ -58,6 +58,8 @@ let workload =
     default_heap_bytes = 150_000;
     fixed_iterations = None;
     prepare;
+    bytecode = None;
+    field_map = [];
   }
 
 let () =

@@ -7,6 +7,15 @@ let gc_engine_to_string = function
   | Parallel n -> Printf.sprintf "par%d" n
   | Incremental -> "inc"
 
+(* Whether the static liveness oracle (lp_liveness) participates in
+   SELECT. [Liveness_off] is bit-for-bit the pre-oracle behavior;
+   [Liveness_guide] lets an installed oracle veto or boost candidates. *)
+type liveness_mode = Liveness_off | Liveness_guide
+
+let liveness_mode_to_string = function
+  | Liveness_off -> "off"
+  | Liveness_guide -> "guide"
+
 type t = {
   policy : Policy.t;
   observe_threshold : float;
@@ -41,6 +50,8 @@ type t = {
   storm_window_rounds : int;
   storm_trip_permille : int;
   storm_cooldown_rounds : int;
+  liveness_mode : liveness_mode;
+  liveness_boost : int;
 }
 
 let default =
@@ -78,6 +89,8 @@ let default =
     storm_window_rounds = 8;
     storm_trip_permille = 500;
     storm_cooldown_rounds = 4;
+    liveness_mode = Liveness_off;
+    liveness_boost = 1;
   }
 
 (* [gc_domains] survives as an alias for the engine selection it used to
@@ -125,7 +138,9 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     ?(retire_limit = default.retire_limit)
     ?(storm_window_rounds = default.storm_window_rounds)
     ?(storm_trip_permille = default.storm_trip_permille)
-    ?(storm_cooldown_rounds = default.storm_cooldown_rounds) () =
+    ?(storm_cooldown_rounds = default.storm_cooldown_rounds)
+    ?(liveness_mode = default.liveness_mode)
+    ?(liveness_boost = default.liveness_boost) () =
   let gc_engine =
     match resolve_engine ?gc_engine ?gc_domains () with
     | Ok e -> e
@@ -165,6 +180,8 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     storm_window_rounds;
     storm_trip_permille;
     storm_cooldown_rounds;
+    liveness_mode;
+    liveness_boost;
   }
 
 let gc_domains t = match t.gc_engine with Parallel n -> n | Sequential | Incremental -> 1
@@ -217,4 +234,6 @@ let validate t =
     Error "storm_trip_permille must be in [1, 1000]"
   else if t.storm_cooldown_rounds < 1 then
     Error "storm_cooldown_rounds must be >= 1"
+  else if t.liveness_boost < 0 || t.liveness_boost > 6 then
+    Error "liveness_boost must be in [0, 6]"
   else Ok t

@@ -24,6 +24,18 @@ type gc_engine =
 val gc_engine_to_string : gc_engine -> string
 (** ["seq"], ["par<n>"], ["inc"]. *)
 
+type liveness_mode =
+  | Liveness_off
+      (** the static liveness oracle is ignored; behavior is bit-for-bit
+          the pre-oracle pipeline (default) *)
+  | Liveness_guide
+      (** an installed oracle's verdicts compose with dynamic staleness:
+          proven-live slots are vetoed, proven-dead slots get a SELECT
+          confidence boost *)
+
+val liveness_mode_to_string : liveness_mode -> string
+(** ["off"], ["guide"]. *)
+
 val resolve_engine :
   ?gc_engine:gc_engine -> ?gc_domains:int -> unit -> (gc_engine, string) result
 (** Resolves the engine selection against the legacy [gc_domains] alias
@@ -139,6 +151,14 @@ type t = {
   storm_cooldown_rounds : int;
       (** rounds the tripped breaker pauses fleet-wide serving before
           health probes may close it again; default 4 *)
+  liveness_mode : liveness_mode;
+      (** whether the static liveness oracle participates in SELECT;
+          default [Liveness_off] *)
+  liveness_boost : int;
+      (** how many staleness levels a [Dead_beyond 0] (never-read)
+          verdict lowers the [min_candidate_stale] floor for that edge
+          type — the floor never drops below 1, and the [maxstaleuse]
+          guard still applies; range [0, 6]; default 1 *)
 }
 
 val default : t
@@ -178,6 +198,8 @@ val make :
   ?storm_window_rounds:int ->
   ?storm_trip_permille:int ->
   ?storm_cooldown_rounds:int ->
+  ?liveness_mode:liveness_mode ->
+  ?liveness_boost:int ->
   unit ->
   t
 (** [gc_domains] is kept as a legacy alias for the engine selection

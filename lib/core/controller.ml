@@ -19,6 +19,18 @@ type t = {
   engine : Trace_engine.t;
       (* the one tracing engine every phase dispatches through *)
   mutable mark_wall_ns : int;  (* wall time spent in mark phases *)
+  (* The static liveness oracle, lowered to runtime ids by the harness
+     (lp_core never sees lp_liveness — only the closures). [prior] must
+     be pure: it is evaluated from parallel collector domains. *)
+  mutable prior : (Collector.edge -> Selection.prior) option;
+  mutable prior_dead : (int -> int -> bool) option;
+      (* (class id, field index) the oracle proved never-read — the
+         conformance probe behind [note_field_read] *)
+  mutable c_liveness :
+    (Lp_obs.Metrics.counter * Lp_obs.Metrics.counter * Lp_obs.Metrics.counter)
+    option;
+      (* (vetoes, boosts, dead_reads) — interned only when an oracle is
+         installed so the off-mode metrics registry is untouched *)
   (* Interned once so the per-collection updates are field writes. *)
   c_mispredictions : Lp_obs.Metrics.counter;
   c_prune_decisions : Lp_obs.Metrics.counter;
@@ -54,6 +66,9 @@ let create ?metrics ?engine config registry =
       sink = None;
       engine;
       mark_wall_ns = 0;
+      prior = None;
+      prior_dead = None;
+      c_liveness = None;
       c_mispredictions = Lp_obs.Metrics.counter metrics "controller.mispredictions";
       c_prune_decisions = Lp_obs.Metrics.counter metrics "prune.decisions";
       c_prune_refs = Lp_obs.Metrics.counter metrics "prune.refs_poisoned";
@@ -113,6 +128,91 @@ let safe_exits_forced t = State_machine.safe_exits_forced t.machine
 let mispredictions t = t.mispredictions
 
 let epoch_mispredictions t = t.epoch_mispredictions
+
+(* ------------------------------------------------------------------ *)
+(* Static liveness oracle plumbing. The harness lowers a
+   [Liveness.oracle] onto runtime ids and installs the two closures
+   here; with none installed every path below is the pre-oracle
+   pipeline bit-for-bit. *)
+
+let set_liveness_prior t ~prior ~is_dead =
+  t.prior <- Some prior;
+  t.prior_dead <- Some is_dead;
+  if t.c_liveness = None then
+    t.c_liveness <-
+      Some
+        ( Lp_obs.Metrics.counter t.metrics "liveness.vetoes",
+          Lp_obs.Metrics.counter t.metrics "liveness.boosts",
+          Lp_obs.Metrics.counter t.metrics "liveness.dead_reads" )
+
+let liveness_prior t = t.prior
+
+let liveness_counter_value pick t =
+  match t.c_liveness with
+  | None -> 0
+  | Some c -> Lp_obs.Metrics.counter_value (pick c)
+
+let liveness_vetoes t = liveness_counter_value (fun (v, _, _) -> v) t
+
+let liveness_boosts t = liveness_counter_value (fun (_, b, _) -> b) t
+
+let liveness_dead_reads t = liveness_counter_value (fun (_, _, d) -> d) t
+
+(* Conformance probe, called from the read barrier's cold path: a
+   dynamic read of a slot the analysis called never-read ([Dead_beyond
+   0]) would falsify the oracle, so it is counted where tests can see
+   it. *)
+let note_field_read t ~src ~field =
+  match t.prior_dead with
+  | None -> ()
+  | Some dead ->
+    if dead src.Heap_obj.class_id field then (
+      match t.c_liveness with
+      | Some (_, _, d) -> Lp_obs.Metrics.incr d
+      | None -> ())
+
+(* Audit notes for oracle decisions that change an outcome, carried on
+   the engines' pure-evaluate/canonically-apply note channel (the same
+   one Individual_refs byte accounting uses). Tag -1: a veto suppressed
+   an edge that qualified dynamically. Tag -2: a boost qualified an
+   edge that dynamic staleness alone would not have. The note triple is
+   (src class, field index, tag); byte notes are (src class, tgt class,
+   bytes >= 0), so the sign of the third component dispatches. *)
+let liveness_note t (edge : Collector.edge) =
+  match t.prior with
+  | None -> None
+  | Some p -> (
+    match p edge with
+    | Selection.Neutral -> None
+    | Selection.Veto ->
+      if Selection.stale_qualifies t.config t.table edge then
+        Some (edge.Collector.src.Heap_obj.class_id, edge.Collector.field, -1)
+      else None
+    | Selection.Boost ->
+      if
+        Selection.stale_qualifies ~prior:p t.config t.table edge
+        && not (Selection.stale_qualifies t.config t.table edge)
+      then Some (edge.Collector.src.Heap_obj.class_id, edge.Collector.field, -2)
+      else None)
+
+let apply_liveness_note t (src_class, field, tag) =
+  match t.c_liveness with
+  | None -> ()
+  | Some (v, b, _) ->
+    if tag = -1 then begin
+      Lp_obs.Metrics.incr v;
+      match t.sink with
+      | Some s ->
+        Lp_obs.Sink.emit s (Lp_obs.Event.Liveness_veto { src_class; field })
+      | None -> ()
+    end
+    else if tag = -2 then begin
+      Lp_obs.Metrics.incr b;
+      match t.sink with
+      | Some s ->
+        Lp_obs.Sink.emit s (Lp_obs.Event.Liveness_boost { src_class; field })
+      | None -> ()
+    end
 
 let report t msg = match t.config.Config.report with None -> () | Some f -> f msg
 
@@ -234,6 +334,14 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
   (* The edge type a PRUNE collection acted on, remembered past the
      [t.selected] reset for the decision event after the sweep. *)
   let decision_edge = ref None in
+  (* Oracle audit channel: absent whenever no oracle is installed, so
+     off-mode marks run the exact pre-oracle configuration. *)
+  let lv_edge_note =
+    match t.prior with None -> None | Some _ -> Some (liveness_note t)
+  in
+  let lv_apply_note =
+    match t.prior with None -> None | Some _ -> Some (apply_liveness_note t)
+  in
   (match (st, t.config.Config.policy) with
   | State_kind.Inactive, _ | _, Policy.None_ ->
     ignore (mark { Collector.base_config with Collector.events = t.sink })
@@ -248,9 +356,11 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
            events = t.sink;
          })
   | State_kind.Select, Policy.Default ->
-    let filter = Selection.select_filter_default t.config t.table in
+    let filter =
+      Selection.select_filter_default ?prior:t.prior t.config t.table
+    in
     let deferred =
-      mark
+      mark ?edge_note:lv_edge_note ?apply_note:lv_apply_note
         {
           Collector.set_untouched_bits = true;
           stale_tick_gc = tick;
@@ -286,15 +396,21 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
        engines apply each note at its scan point — exactly where the
        old impure filter wrote — so totals and table are unchanged. *)
     let edge_note (edge : Collector.edge) =
-      if Selection.stale_qualifies t.config t.table edge then
+      if Selection.stale_qualifies ?prior:t.prior t.config t.table edge then
         Some
           ( edge.Collector.src.Heap_obj.class_id,
             edge.Collector.tgt.Heap_obj.class_id,
             edge.Collector.tgt.Heap_obj.size_bytes )
-      else None
+      else
+        (* byte notes take precedence; only a veto that suppressed a
+           dynamically qualifying edge is still worth auditing here *)
+        match liveness_note t edge with
+        | Some (_, _, -1) as veto -> veto
+        | Some _ | None -> None
     in
-    let apply_note (src, tgt, bytes) =
-      Edge_table.add_bytes t.table ~src ~tgt bytes
+    let apply_note ((src, tgt, bytes) as note) =
+      if bytes < 0 then apply_liveness_note t note
+      else Edge_table.add_bytes t.table ~src ~tgt bytes
     in
     ignore
       (mark ~edge_note ~apply_note
@@ -326,11 +442,13 @@ let collect ?on_finalize ?on_poison ?before_sweep t store roots ~stats =
     let filter =
       match t.selected with
       | Some selected ->
-        Some (Selection.prune_filter_edge_type t.config t.table ~selected)
+        Some
+          (Selection.prune_filter_edge_type ?prior:t.prior t.config t.table
+             ~selected)
       | None -> None
     in
     ignore
-      (mark
+      (mark ?edge_note:lv_edge_note ?apply_note:lv_apply_note
          {
            Collector.set_untouched_bits = true;
            stale_tick_gc = tick;

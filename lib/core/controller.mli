@@ -155,6 +155,40 @@ val mispredictions : t -> int
 val epoch_mispredictions : t -> int
 (** Mispredictions counted since the last PRUNE collection. *)
 
+val set_liveness_prior :
+  t ->
+  prior:(Lp_heap.Collector.edge -> Selection.prior) ->
+  is_dead:(int -> int -> bool) ->
+  unit
+(** Install the static liveness oracle, lowered to runtime ids by the
+    harness (this layer never sees [lp_liveness] — only closures).
+    [prior] judges one heap reference and {e must be pure}: it is
+    evaluated from parallel collector domains. [is_dead class_id field]
+    answers whether the analysis proved the slot never-read
+    ([Dead_beyond 0]); the read barrier's cold path probes it via
+    {!note_field_read} so conformance tests can detect a falsified
+    oracle. Installing interns the [liveness.*] counters; with no
+    oracle installed the controller's behavior and metrics registry
+    are bit-for-bit those of the pre-oracle pipeline. *)
+
+val liveness_prior : t -> (Lp_heap.Collector.edge -> Selection.prior) option
+
+val note_field_read : t -> src:Heap_obj.t -> field:int -> unit
+(** Conformance probe (read-barrier cold path): counts a dynamic read
+    of a slot the oracle proved never-read under
+    [liveness.dead_reads]. No-op without an installed oracle. *)
+
+val liveness_vetoes : t -> int
+(** Oracle vetoes that suppressed a dynamically qualifying candidate. *)
+
+val liveness_boosts : t -> int
+(** Oracle boosts that qualified an edge dynamic staleness alone would
+    not have. *)
+
+val liveness_dead_reads : t -> int
+(** Dynamic reads of statically-dead slots (conformance violations of
+    the oracle; 0 on a sound analysis). *)
+
 val in_safe_mode : t -> bool
 
 val safe_entries : t -> int

@@ -5,18 +5,38 @@ open Lp_heap
 let src_is_root (edge : Collector.edge) =
   Header.statics_container edge.Collector.src.Heap_obj.header
 
-let stale_qualifies (config : Config.t) table (edge : Collector.edge) =
-  let stale = Heap_obj.stale edge.Collector.tgt in
-  (not (src_is_root edge))
-  && stale >= config.Config.min_candidate_stale
-  && stale
-     >= Edge_table.max_stale_use table
-          ~src:edge.Collector.src.Heap_obj.class_id
-          ~tgt:edge.Collector.tgt.Heap_obj.class_id
-        + config.Config.stale_slack
+(* The static liveness oracle's per-edge judgement, composed with the
+   dynamic staleness test below. [Veto] and [Boost] come from a
+   [Liveness.resolve]d oracle via the controller; [Neutral] (and an
+   absent prior) is the dynamic-only pipeline unchanged. *)
+type prior = Veto | Boost | Neutral
 
-let select_filter_default config table edge =
-  if stale_qualifies config table edge then Collector.Defer else Collector.Trace
+let stale_qualifies ?prior (config : Config.t) table (edge : Collector.edge) =
+  let judgement =
+    match prior with Some f -> f edge | None -> Neutral
+  in
+  match judgement with
+  | Veto -> false
+  | (Boost | Neutral) as j ->
+    let floor =
+      match j with
+      | Boost -> max 1 (config.Config.min_candidate_stale - config.Config.liveness_boost)
+      | _ -> config.Config.min_candidate_stale
+    in
+    let stale = Heap_obj.stale edge.Collector.tgt in
+    (not (src_is_root edge))
+    && stale >= floor
+    (* the maxstaleuse-plus-slack guard is dynamic protection and wins
+       over any static boost: a recently used edge type stays safe *)
+    && stale
+       >= Edge_table.max_stale_use table
+            ~src:edge.Collector.src.Heap_obj.class_id
+            ~tgt:edge.Collector.tgt.Heap_obj.class_id
+          + config.Config.stale_slack
+
+let select_filter_default ?prior config table edge =
+  if stale_qualifies ?prior config table edge then Collector.Defer
+  else Collector.Trace
 
 let select_filter_individual config table edge =
   if stale_qualifies config table edge then
@@ -26,12 +46,12 @@ let select_filter_individual config table edge =
       edge.Collector.tgt.Heap_obj.size_bytes;
   Collector.Trace
 
-let prune_filter_edge_type config table ~selected (edge : Collector.edge) =
+let prune_filter_edge_type ?prior config table ~selected (edge : Collector.edge) =
   let src_class, tgt_class = selected in
   if
     edge.Collector.src.Heap_obj.class_id = src_class
     && edge.Collector.tgt.Heap_obj.class_id = tgt_class
-    && stale_qualifies config table edge
+    && stale_qualifies ?prior config table edge
   then Collector.Poison
   else Collector.Trace
 

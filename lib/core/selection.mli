@@ -1,13 +1,33 @@
 (** Candidate criteria and edge filters for the SELECT and PRUNE states
     (paper Sections 4.2 and 4.3), for all three prediction policies. *)
 
-val stale_qualifies : Config.t -> Edge_table.t -> Lp_heap.Collector.edge -> bool
+type prior = Veto | Boost | Neutral
+(** The static liveness oracle's judgement on one heap reference,
+    composed with the dynamic staleness test. [Veto]: the analysis
+    proved the program can still traverse the slot — never a candidate,
+    however stale. [Boost]: the analysis proved the slot is never read —
+    the [min_candidate_stale] floor drops by [Config.liveness_boost]
+    (never below 1; the [maxstaleuse]-plus-slack guard still applies).
+    [Neutral]: dynamic staleness alone decides, exactly as without an
+    oracle. *)
+
+val stale_qualifies :
+  ?prior:(Lp_heap.Collector.edge -> prior) ->
+  Config.t ->
+  Edge_table.t ->
+  Lp_heap.Collector.edge ->
+  bool
 (** The paper's candidate test: the target's stale counter is at least
     [min_candidate_stale] (2) {e and} at least [stale_slack] (2) greater
-    than the edge type's [maxstaleuse]. *)
+    than the edge type's [maxstaleuse]. [prior] must be pure — it is
+    evaluated from parallel collector domains. *)
 
 val select_filter_default :
-  Config.t -> Edge_table.t -> Lp_heap.Collector.edge -> Lp_heap.Collector.edge_action
+  ?prior:(Lp_heap.Collector.edge -> prior) ->
+  Config.t ->
+  Edge_table.t ->
+  Lp_heap.Collector.edge ->
+  Lp_heap.Collector.edge_action
 (** Defers qualifying references to the candidate queue. *)
 
 val select_filter_individual :
@@ -20,6 +40,7 @@ val select_filter_individual :
     traces it normally. *)
 
 val prune_filter_edge_type :
+  ?prior:(Lp_heap.Collector.edge -> prior) ->
   Config.t ->
   Edge_table.t ->
   selected:Lp_heap.Class_registry.id * Lp_heap.Class_registry.id ->

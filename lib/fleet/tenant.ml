@@ -10,6 +10,7 @@ type spec = {
   policy : Lp_core.Policy.t;
   force_safe : bool;
   resurrection : bool;
+  liveness : Lp_core.Config.liveness_mode;
 }
 
 exception Verifier_failed of string
@@ -90,7 +91,7 @@ let spec t = t.spec
 
 let new_vm ?swap_store ?first_object_id (s : spec) backend =
   let config =
-    Lp_core.Config.make ~policy:s.policy
+    Lp_core.Config.make ~policy:s.policy ~liveness_mode:s.liveness
       ?force_state:(if s.force_safe then Some Lp_core.State_kind.Safe else None)
       ()
   in
@@ -114,6 +115,13 @@ let install t =
          | Error msg ->
            t.verifier_failures <- t.verifier_failures + 1;
            raise (Verifier_failed msg)));
+  (* the static prior is part of the tenant's VM configuration, so a
+     restart reinstalls it on the fresh VM before prepare runs *)
+  (match (t.spec.liveness, t.spec.workload.Lp_workloads.Workload.bytecode) with
+  | Lp_core.Config.Liveness_guide, Some bytecode ->
+    Liveness_oracle.install vm ~bytecode
+      ~field_map:t.spec.workload.Lp_workloads.Workload.field_map
+  | (Lp_core.Config.Liveness_guide | Lp_core.Config.Liveness_off), _ -> ());
   t.iterate <- t.spec.workload.Lp_workloads.Workload.prepare vm
 
 let set_baselines t =

@@ -31,6 +31,11 @@ type spec = {
           tenant's whole life — the isolation experiments' "faulty
           neighbour" that can never reclaim *)
   resurrection : bool;
+  liveness : Lp_core.Config.liveness_mode;
+      (** [Liveness_guide] installs the static liveness prior on the
+          tenant's controller (when its workload publishes bytecode) —
+          reinstalled on every restart, like the rest of the VM
+          configuration. [Liveness_off] changes nothing. *)
 }
 
 exception Verifier_failed of string

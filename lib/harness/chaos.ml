@@ -15,6 +15,7 @@ type report = {
   poisoned : int;
   resurrections : int;
   safe_entries : int;
+  liveness_dead_reads : int;
   outcome : outcome;
   trace : Lp_obs.Event.stamped list;
       (* the run's event log (empty unless [trace_capacity] was given);
@@ -43,10 +44,59 @@ let classes =
 
 exception Check_failed of string
 
+(* Bytecode model of the chaos program for guided-liveness runs. The
+   churn section threads every chaos class through one Chaos$Pot slot,
+   then writes and reads every field index of that joined value — so
+   each mapped (class, field) slot's content includes all four classes
+   and is read inside a value-flow cycle: [Maybe_live], vetoed however
+   stale the random walk lets it get. The leak append reads the statics
+   chain head (slot 15: [Dead_beyond 1], vetoed but not dead — chaos
+   genuinely reads it) and never loads a Chaos$Leak field, leaving
+   Chaos$Leak.0 [Dead_beyond 0]: the one boosted, provably-dead slot.
+   Statics slots 0–14 are deliberately unmapped — random reads do reach
+   them, so the oracle must stay neutral there. *)
+let liveness_bytecode =
+  let open Lp_jit.Bytecode in
+  let fill cls = [ New_object cls; Store_local 1; Load_local 0; Load_local 1; Put_field "v" ] in
+  let self_write k = [ Load_local 1; Load_local 1; Put_field (string_of_int k) ] in
+  let self_read k = [ Load_local 1; Get_field (string_of_int k); Store_local 1 ] in
+  let range f = List.concat_map f [ 0; 1; 2; 3; 4; 5 ] in
+  let code =
+    [ New_object "Chaos$Pot"; Store_local 0 ]
+    @ List.concat_map fill
+        [ "Chaos$Node"; "Chaos$Pair"; "Chaos$Table"; "Chaos$Blob" ]
+    @ [ Load_local 0; Get_field "v"; Store_local 1 ]
+    @ range self_write
+    @ [ Load_local 0; Get_field "v"; Store_local 1 ]
+    @ range self_read
+    @ [
+        (* leak append: read the chain head, never a Chaos$Leak field *)
+        New_object "Chaos$Leak";
+        Store_local 1;
+        Load_local 1;
+        Get_static "ChaosRoots$Statics.15";
+        Put_field "0";
+        Const 0;
+        Load_local 1;
+        Put_field "ChaosRoots$Statics.15";
+        Return;
+      ]
+  in
+  [ { name = "Chaos.step"; n_locals = 2; code = Array.of_list code } ]
+
+let liveness_field_map =
+  ("ChaosRoots$Statics", "15", [ 15 ])
+  :: ("Chaos$Leak", "0", [ 0 ])
+  :: List.concat_map
+       (fun (name, n_fields, _) ->
+         List.init n_fields (fun i -> (name, string_of_int i, [ i ])))
+       (Array.to_list classes)
+
 let default_steps = 300
 
 let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
-    ?(steps = default_steps) ?trace_capacity ~seed () =
+    ?(liveness = Lp_core.Config.Liveness_off) ?(steps = default_steps)
+    ?trace_capacity ~seed () =
   let rng = Random.State.make [| 0xC4A05; seed |] in
   (* The VM shape is drawn from the seed too, so a seed sweep covers
      small and large heaps, generational and whole-heap collection, and
@@ -70,7 +120,9 @@ let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
      reconciles them (gc_domains = 1, the default here, is neutral). *)
   let vm =
     Lp_runtime.Vm.create
-      ~config:(Lp_core.Config.make ?gc_engine ~gc_domains ?gc_slice_budget ())
+      ~config:
+        (Lp_core.Config.make ?gc_engine ~gc_domains ?gc_slice_budget
+           ~liveness_mode:liveness ())
       ?disk ~resurrection ?nursery_bytes ?fault:plan ~heap_bytes ()
   in
   (* [with_vm]: even though the outcome net below catches everything the
@@ -133,6 +185,13 @@ let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
      must not touch them, or the churn keeps resetting their staleness
      and truncating the chain before pruning can ever select it. *)
   let leak_class = Lp_runtime.Vm.register_class vm "Chaos$Leak" in
+  (* Guided runs install the static prior before the first step; off
+     mode touches nothing, keeping its reports byte-identical. *)
+  (match liveness with
+  | Lp_core.Config.Liveness_guide ->
+    Driver.install_liveness vm ~bytecode:liveness_bytecode
+      ~field_map:liveness_field_map
+  | Lp_core.Config.Liveness_off -> ());
   (* Uniform sampling over the live heap (allocation-slot order is
      deterministic, so so is the sample). *)
   let random_live () =
@@ -317,6 +376,8 @@ let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
     poisoned = (Lp_runtime.Vm.stats vm).Gc_stats.references_poisoned;
     resurrections = (Lp_runtime.Vm.stats vm).Gc_stats.resurrections;
     safe_entries = Lp_core.Controller.safe_entries (Lp_runtime.Vm.controller vm);
+    liveness_dead_reads =
+      Lp_core.Controller.liveness_dead_reads (Lp_runtime.Vm.controller vm);
     outcome;
     trace = Lp_runtime.Vm.trace_events vm;
     trace_dropped =
@@ -325,11 +386,12 @@ let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
       | None -> 0);
   }
 
-let shrink ?faults ?gc_engine ?gc_domains ?gc_slice_budget
+let shrink ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?liveness
     ?(steps = default_steps) ~seed () =
   let failing m =
     failed
-      (run_one ?faults ?gc_engine ?gc_domains ?gc_slice_budget ~steps:m ~seed ())
+      (run_one ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?liveness
+         ~steps:m ~seed ())
   in
   if not (failing steps) then None
   else begin
@@ -344,11 +406,11 @@ let shrink ?faults ?gc_engine ?gc_domains ?gc_slice_budget
     Some !hi
   end
 
-let run_seeds ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?steps ?progress
-    ~seeds () =
+let run_seeds ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?liveness ?steps
+    ?progress ~seeds () =
   List.init seeds (fun i ->
       let r =
-        run_one ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?steps
+        run_one ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?liveness ?steps
           ~seed:(i + 1) ()
       in
       (match progress with Some f -> f r | None -> ());

@@ -49,6 +49,11 @@ type report = {
       (** pruned objects restored from swap images by the read barrier *)
   safe_entries : int;
       (** times the controller entered the SAFE pruning moratorium *)
+  liveness_dead_reads : int;
+      (** mutator reads that contradicted a [Dead_beyond 0] verdict of
+          the static liveness oracle — 0 in off mode (no oracle), and 0
+          in guide mode whenever the oracle is sound for the chaos
+          program, which is what the conformance test asserts *)
   outcome : outcome;
   trace : Lp_obs.Event.stamped list;
       (** the run's event log, oldest first — empty unless
@@ -69,6 +74,7 @@ val run_one :
   ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?liveness:Lp_core.Config.liveness_mode ->
   ?steps:int ->
   ?trace_capacity:int ->
   seed:int ->
@@ -91,13 +97,18 @@ val run_one :
     resurrection) is itself drawn from the seed, so a sweep covers all
     configurations. [trace_capacity] attaches an event sink of that
     capacity before the first step; the log lands in {!report.trace}.
-    Tracing never changes a run's behaviour — only its observation. *)
+    Tracing never changes a run's behaviour — only its observation.
+    [liveness] (default [Liveness_off]) installs the static liveness
+    oracle over a bytecode model of the chaos program before the first
+    step; off mode leaves every report byte-identical to builds without
+    the oracle. *)
 
 val shrink :
   ?faults:bool ->
   ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?liveness:Lp_core.Config.liveness_mode ->
   ?steps:int ->
   seed:int ->
   unit ->
@@ -112,6 +123,7 @@ val run_seeds :
   ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?liveness:Lp_core.Config.liveness_mode ->
   ?steps:int ->
   ?progress:(report -> unit) ->
   seeds:int ->

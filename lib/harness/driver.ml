@@ -18,6 +18,9 @@ type result = {
   edge_table_entries : int;
   references_poisoned : int;
   bytes_reclaimed : int;
+  mispredictions : int;
+  liveness_vetoes : int;
+  liveness_boosts : int;
   reachable_series : (int * int) list;
   iteration_cycles : int array;
 }
@@ -29,9 +32,12 @@ let outcome_to_string = function
   | Pruned_access _ -> "accessed pruned reference"
   | Out_of_disk _ -> "out of disk"
 
+let install_liveness = Lp_runtime.Liveness_oracle.install
+
 let run ?(policy = Lp_core.Policy.Default) ?config ?heap_bytes
     ?(max_iterations = 50_000) ?(charge_barriers = true) ?cost ?disk
-    ?(record_iteration_cycles = false) ?prepare_vm (w : Lp_workloads.Workload.t) =
+    ?resurrection ?(record_iteration_cycles = false) ?prepare_vm
+    (w : Lp_workloads.Workload.t) =
   let config =
     match config with
     | Some c -> c
@@ -43,7 +49,8 @@ let run ?(policy = Lp_core.Policy.Default) ?config ?heap_bytes
     | None -> w.Lp_workloads.Workload.default_heap_bytes
   in
   let vm =
-    Lp_runtime.Vm.create ~config ~charge_barriers ?cost ?disk ~heap_bytes ()
+    Lp_runtime.Vm.create ~config ~charge_barriers ?cost ?disk ?resurrection
+      ~heap_bytes ()
   in
   (* Under [Lifecycle.with_vm] so the collector domains are joined even
      when an exception the handler below doesn't recognize (e.g.
@@ -52,6 +59,12 @@ let run ?(policy = Lp_core.Policy.Default) ?config ?heap_bytes
   (* Runs before the workload's own [prepare] so a trace attached here
      observes the workload's setup allocations too. *)
   (match prepare_vm with Some f -> f vm | None -> ());
+  (match (config.Lp_core.Config.liveness_mode, w.Lp_workloads.Workload.bytecode)
+   with
+  | Lp_core.Config.Liveness_guide, Some bytecode ->
+    install_liveness vm ~bytecode
+      ~field_map:w.Lp_workloads.Workload.field_map
+  | (Lp_core.Config.Liveness_guide | Lp_core.Config.Liveness_off), _ -> ());
   let iteration = ref 0 in
   let series = ref [] in
   Lp_runtime.Vm.set_gc_listener vm
@@ -105,6 +118,9 @@ let run ?(policy = Lp_core.Policy.Default) ?config ?heap_bytes
     references_poisoned =
       (Lp_runtime.Vm.stats vm).Lp_heap.Gc_stats.references_poisoned;
     bytes_reclaimed = (Lp_runtime.Vm.stats vm).Lp_heap.Gc_stats.bytes_reclaimed;
+    mispredictions = Lp_core.Controller.mispredictions controller;
+    liveness_vetoes = Lp_core.Controller.liveness_vetoes controller;
+    liveness_boosts = Lp_core.Controller.liveness_boosts controller;
     reachable_series = List.rev !series;
     iteration_cycles = Array.of_list (List.rev !cycles_log);
   }

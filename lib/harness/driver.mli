@@ -21,6 +21,14 @@ type result = {
   edge_table_entries : int;
   references_poisoned : int;
   bytes_reclaimed : int;
+  mispredictions : int;
+      (** pruned references the program later used and resurrection
+          recovered — the cost a static liveness prior is meant to cut *)
+  liveness_vetoes : int;
+      (** stale-qualified candidates the static oracle overruled *)
+  liveness_boosts : int;
+      (** candidates that qualified only through the oracle's
+          proven-dead staleness-floor cut *)
   reachable_series : (int * int) list;
       (** (iteration, reachable bytes) at the end of each full-heap
           collection — the data of Figures 1 and 9 *)
@@ -31,6 +39,21 @@ type result = {
 
 val outcome_to_string : outcome -> string
 
+val install_liveness :
+  Lp_runtime.Vm.t ->
+  bytecode:Lp_jit.Bytecode.methd list ->
+  field_map:(string * string * int list) list ->
+  unit
+(** Analyze [bytecode] with the static liveness oracle and install the
+    resulting prior on the VM's controller: [Dead_beyond 0] slots are
+    boosted, deeper [Dead_beyond] and [Maybe_live] slots are vetoed,
+    [Unanalyzed] slots stay neutral. Classes named in [field_map] are
+    registered eagerly (sorted) so guide-mode class ids are
+    deterministic, and one [Liveness_verdict] event per analyzed slot is
+    emitted if a sink is already attached. [run] calls this
+    automatically in [Liveness_guide] mode for workloads that publish
+    bytecode; chaos installs its own program through it. *)
+
 val run :
   ?policy:Lp_core.Policy.t ->
   ?config:Lp_core.Config.t ->
@@ -39,6 +62,7 @@ val run :
   ?charge_barriers:bool ->
   ?cost:Lp_runtime.Cost.t ->
   ?disk:Lp_runtime.Diskswap.config ->
+  ?resurrection:bool ->
   ?record_iteration_cycles:bool ->
   ?prepare_vm:(Lp_runtime.Vm.t -> unit) ->
   Lp_workloads.Workload.t ->
@@ -46,9 +70,14 @@ val run :
 (** Defaults: the workload's default heap (≈2× non-leaking live size),
     the paper-default pruning configuration with the given [policy]
     (default [Default]), a cap of 50,000 iterations, barrier cycles
-    charged. An explicit [config] overrides [policy]. [prepare_vm] runs
-    on the freshly created VM before the workload's [prepare] — the
-    hook the trace CLI and tests use to attach an event sink. *)
+    charged, no resurrection. An explicit [config] overrides [policy].
+    [resurrection] is forwarded to [Vm.create] so misprediction
+    experiments can recover mispruned data. [prepare_vm] runs on the
+    freshly created VM before the workload's [prepare] — the hook the
+    trace CLI and tests use to attach an event sink. When the config's
+    [liveness_mode] is [Liveness_guide] and the workload publishes
+    [bytecode], the static oracle is installed (after [prepare_vm], so
+    an attached sink sees the verdict events). *)
 
 val survival_factor : base:result -> result -> float
 (** Iterations relative to the Base run — Table 1's "runs NX longer". *)

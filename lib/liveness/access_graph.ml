@@ -1,0 +1,119 @@
+(* Access graphs in the sense of Khedker/Karkare/Sanyal's heap reference
+   analysis, summarized per (class, field) slot: which slots the program
+   still loads, and which classes each slot can hold. The abstract
+   interpreter ([Liveness]) grows one of these monotonically; the
+   verdict computation walks it as a value-flow graph. *)
+
+module Names = Set.Make (String)
+module SMap = Map.Make (String)
+
+module Key = struct
+  type t = string * string  (* class name, field name *)
+
+  let compare = compare
+end
+
+module Map = Map.Make (Key)
+module Set_ = Set.Make (Key)
+
+(* The value lattice: a set of possible classes, or everything. [Any]
+   only arises from calls into unknown code or loads through untyped
+   receivers — curated workload bytecode never produces it, but the
+   analysis must stay sound when it does. *)
+type aval = Any | Classes of Names.t
+
+let bot = Classes Names.empty
+let of_class c = Classes (Names.singleton c)
+
+let join a b =
+  match (a, b) with
+  | Any, _ | _, Any -> Any
+  | Classes x, Classes y ->
+    if Names.subset y x then a
+    else if Names.subset x y then b
+    else Classes (Names.union x y)
+
+let aval_equal a b =
+  match (a, b) with
+  | Any, Any -> true
+  | Classes x, Classes y -> Names.equal x y
+  | Any, Classes _ | Classes _, Any -> false
+
+let is_bot = function Classes s -> Names.is_empty s | Any -> false
+
+type t = {
+  content : aval Map.t;  (* classes each (class, field) slot may hold *)
+  wild_content : aval SMap.t;
+      (* per field name: values stored through untyped receivers *)
+  reads : Set_.t;  (* slots the program loads somewhere *)
+  wild_reads : Names.t;  (* field names loaded through [Any] receivers *)
+}
+
+let empty =
+  {
+    content = Map.empty;
+    wild_content = SMap.empty;
+    reads = Set_.empty;
+    wild_reads = Names.empty;
+  }
+
+let equal a b =
+  Map.equal aval_equal a.content b.content
+  && SMap.equal aval_equal a.wild_content b.wild_content
+  && Set_.equal a.reads b.reads
+  && Names.equal a.wild_reads b.wild_reads
+
+let add_read g key = { g with reads = Set_.add key g.reads }
+let add_wild_read g field = { g with wild_reads = Names.add field g.wild_reads }
+
+let add_write g key v =
+  if is_bot v then g
+  else
+    let cur = match Map.find_opt key g.content with Some c -> c | None -> bot in
+    let merged = join cur v in
+    if aval_equal cur merged && Map.mem key g.content then g
+    else { g with content = Map.add key merged g.content }
+
+let add_wild_write g field v =
+  if is_bot v then g
+  else
+    let cur =
+      match SMap.find_opt field g.wild_content with Some c -> c | None -> bot
+    in
+    { g with wild_content = SMap.add field (join cur v) g.wild_content }
+
+(* What a load of [key] yields: the slot's recorded content joined with
+   anything stored through untyped receivers under the same field name. *)
+let content_of g ((_, field) as key) =
+  let direct =
+    match Map.find_opt key g.content with Some c -> c | None -> bot
+  in
+  match SMap.find_opt field g.wild_content with
+  | Some wild -> join direct wild
+  | None -> direct
+
+let is_read g ((_, field) as key) =
+  Set_.mem key g.reads || Names.mem field g.wild_reads
+
+let has_wild_reads g = not (Names.is_empty g.wild_reads)
+
+(* The verdict universe: every slot the program mentions, as a canonical
+   (sorted, duplicate-free) list. *)
+let universe g =
+  Set_.elements
+    (Set_.union g.reads
+       (Map.fold (fun k _ acc -> Set_.add k acc) g.content Set_.empty))
+
+let pp_aval ppf = function
+  | Any -> Format.pp_print_string ppf "any"
+  | Classes s ->
+    Format.fprintf ppf "{%s}" (String.concat "," (Names.elements s))
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun ((c, f) as key) ->
+      Format.fprintf ppf "%s.%s: content=%a read=%b@ " c f pp_aval
+        (content_of g key) (is_read g key))
+    (universe g);
+  Format.fprintf ppf "@]"

@@ -44,6 +44,9 @@ type t =
   | Tenant_retired of { tenant : int; round : int; restarts : int }
   | Breaker_tripped of { round : int; restarted : int; tenants : int }
   | Breaker_reset of { round : int }
+  | Liveness_verdict of { src_class : int; field : int; depth : int }
+  | Liveness_veto of { src_class : int; field : int }
+  | Liveness_boost of { src_class : int; field : int }
 
 type stamped = { seq : int; at : int; ev : t }
 
@@ -83,6 +86,9 @@ let type_name = function
   | Tenant_retired _ -> "tenant_retired"
   | Breaker_tripped _ -> "breaker_tripped"
   | Breaker_reset _ -> "breaker_reset"
+  | Liveness_verdict _ -> "liveness_verdict"
+  | Liveness_veto _ -> "liveness_veto"
+  | Liveness_boost _ -> "liveness_boost"
 
 (* Span events open (`B`) and close (`E`) a nested duration in the
    Chrome trace; everything else is instantaneous. *)

@@ -107,6 +107,16 @@ type t =
   | Breaker_reset of { round : int }
       (** the cooldown elapsed and every surviving tenant passed its
           health probe; serving resumes *)
+  | Liveness_verdict of { src_class : int; field : int; depth : int }
+      (** the static liveness oracle's verdict for one (class, field)
+          slot at installation time: [depth >= 0] is [Dead_beyond
+          depth], [depth = -1] is [Maybe_live] *)
+  | Liveness_veto of { src_class : int; field : int }
+      (** the oracle suppressed a dynamically qualifying candidate
+          reference of this slot during SELECT or PRUNE *)
+  | Liveness_boost of { src_class : int; field : int }
+      (** the oracle's never-read verdict qualified a reference that
+          dynamic staleness alone would not have selected *)
 
 type stamped = { seq : int; at : int; ev : t }
 (** [seq] is a per-sink sequence number (total order even between events

@@ -78,6 +78,12 @@ let fields ~cls (ev : Event.t) =
   | Event.Breaker_tripped { round; restarted; tenants } ->
     [ i "round" round; i "restarted" restarted; i "tenants" tenants ]
   | Event.Breaker_reset { round } -> [ i "round" round ]
+  | Event.Liveness_verdict { src_class; field; depth } ->
+    [ s "src_class" (cls src_class); i "field" field; i "depth" depth ]
+  | Event.Liveness_veto { src_class; field } ->
+    [ s "src_class" (cls src_class); i "field" field ]
+  | Event.Liveness_boost { src_class; field } ->
+    [ s "src_class" (cls src_class); i "field" field ]
 
 let members l =
   String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) l)

@@ -50,6 +50,13 @@ let stale_bytes vm =
       if Heap_obj.stale obj >= 2 then bytes := !bytes + obj.Heap_obj.size_bytes);
   !bytes
 
+let misprediction_rate vm =
+  let poisoned = (Vm.stats vm).Gc_stats.references_poisoned in
+  if poisoned = 0 then 0.0
+  else
+    float_of_int (Lp_core.Controller.mispredictions (Vm.controller vm))
+    /. float_of_int poisoned
+
 let top_edges vm ~n =
   let registry = Vm.registry vm in
   let table = Lp_core.Controller.edge_table (Vm.controller vm) in

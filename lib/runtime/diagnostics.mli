@@ -27,6 +27,12 @@ val stale_bytes : Vm.t -> int
 (** Bytes in live objects with staleness >= 2 — the prunable-looking
     share of the heap. *)
 
+val misprediction_rate : Vm.t -> float
+(** Recovered mispredictions per poisoned reference, this VM's whole
+    life: [Controller.mispredictions / references_poisoned], or [0.] if
+    nothing was ever poisoned. The quality figure the liveness-oracle
+    experiments compare across prediction modes. *)
+
 val top_edges :
   Vm.t -> n:int -> (string * string * int * int) list
 (** The [n] edge-table entries with the highest [maxstaleuse]:

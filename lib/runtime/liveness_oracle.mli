@@ -1,0 +1,19 @@
+(** Installs a static liveness prior on a VM's controller.
+
+    The access-graph analysis itself lives in {!Lp_liveness.Liveness};
+    this module is the runtime-side glue that turns its symbolic
+    verdicts into the controller's pure prior closures. *)
+
+val install :
+  Vm.t ->
+  bytecode:Lp_jit.Bytecode.methd list ->
+  field_map:(string * string * int list) list ->
+  unit
+(** Analyze [bytecode] with the static liveness oracle and install the
+    resulting prior on the VM's controller: [Dead_beyond 0] slots are
+    boosted, deeper [Dead_beyond] and [Maybe_live] slots are vetoed,
+    [Unanalyzed] slots stay neutral. Classes named in [field_map] are
+    registered eagerly (sorted) so guide-mode class ids are
+    deterministic, and one [Liveness_verdict] event per analyzed slot is
+    emitted if a sink is already attached — attach the sink first when
+    the verdicts should land in the trace. *)

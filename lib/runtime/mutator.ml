@@ -105,6 +105,9 @@ let read vm (src : Heap_obj.t) i =
       | Some s -> emit_barrier_cold s src i);
       src.Heap_obj.fields.(i) <- Word.clear_untouched w;
       Lp_core.Controller.on_stale_use (Vm.controller vm) ~src ~tgt;
+      (* liveness-oracle conformance probe; a no-op unless an oracle is
+         installed, keeping the 3%-budget fast path untouched *)
+      Lp_core.Controller.note_field_read (Vm.controller vm) ~src ~field:i;
       Heap_obj.set_stale tgt 0
     end;
     (match Vm.disk vm with

@@ -1,0 +1,15 @@
+(** AdaptonHull — an Adapton-style incremental quickhull whose memoized
+    dependency chain is repeatedly torn down and rebuilt (edges churn
+    and resurrect around objects that stay live) while an unread
+    re-evaluation trace log leaks beside it.
+
+    Built as the static liveness oracle's acid test: the demand walk
+    keeps the memo chain {e live} but its schedule lets the chain's
+    staleness saturate, so a dynamic-only SELECT mispredicts the heavy
+    memo chain exactly as PhasedCache's cache is mispredicted. The
+    workload's bytecode model shows the oracle the demand loop — the
+    dependency slot is read inside a value-flow cycle ([Maybe_live]),
+    the result slot one dereference deep ([Dead_beyond 1]) — so guided
+    runs veto the memo edges and prune the trace log directly. *)
+
+val workload : Workload.t

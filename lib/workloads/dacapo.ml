@@ -92,6 +92,8 @@ let workload_of_spec spec =
     default_heap_bytes = 2 * min_heap_bytes spec;
     fixed_iterations = None;
     prepare = prepare spec;
+    bytecode = None;
+    field_map = [];
   }
 
 let spec ~name ?(pool_objects = 2_000) ?(object_fields = 4) ?(scalar_bytes = 32)

@@ -47,4 +47,6 @@ let workload =
     default_heap_bytes = 600_000;
     fixed_iterations = Some iterations;
     prepare;
+    bytecode = None;
+    field_map = [];
   }

@@ -48,4 +48,6 @@ let workload =
     default_heap_bytes = 100_000;
     fixed_iterations = None;
     prepare;
+    bytecode = None;
+    field_map = [];
   }

@@ -129,4 +129,6 @@ let workload =
     default_heap_bytes = 512_000;
     fixed_iterations = None;
     prepare;
+    bytecode = None;
+    field_map = [];
   }

@@ -113,6 +113,8 @@ let workload =
     default_heap_bytes = 600_000;
     fixed_iterations = None;
     prepare = prepare_with ~fixed:false;
+    bytecode = None;
+    field_map = [];
   }
 
 let fixed =
@@ -123,4 +125,6 @@ let fixed =
     default_heap_bytes = 600_000;
     fixed_iterations = None;
     prepare = prepare_with ~fixed:true;
+    bytecode = None;
+    field_map = [];
   }

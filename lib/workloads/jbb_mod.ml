@@ -62,4 +62,6 @@ let workload =
     default_heap_bytes = 1_000_000;
     fixed_iterations = None;
     prepare;
+    bytecode = None;
+    field_map = [];
   }

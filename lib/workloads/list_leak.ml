@@ -21,6 +21,53 @@ let prepare vm =
     done;
     Vm.work vm 400
 
+(* Bytecode model of the iteration for the static liveness oracle: the
+   node chain is written through the static head but no instruction ever
+   loads a node field, so ListLeak$Node.{0,1} come out [Dead_beyond 0]
+   (the prune target, boosted), while the static slot itself — read to
+   link each push — is merely depth-bounded. *)
+let bytecode =
+  let open Lp_jit.Bytecode in
+  [
+    {
+      name = "ListLeak.iterate";
+      n_locals = 3;  (* 0 = counter, 1 = payload, 2 = node *)
+      code =
+        [|
+          (* 0 *) Const nodes_per_iteration;
+          (* 1 *) Store_local 0;
+          (* 2 *) Load_local 0;  (* loop head *)
+          (* 3 *) Jump_if_zero 22;
+          (* 4 *) New_object "ListLeak$Payload";
+          (* 5 *) Store_local 1;
+          (* 6 *) New_object "ListLeak$Node";
+          (* 7 *) Store_local 2;
+          (* 8 *) Load_local 2;
+          (* 9 *) Get_static "ListLeak$Statics.0";
+          (* 10 *) Put_field "0";  (* node.next <- old head *)
+          (* 11 *) Load_local 2;
+          (* 12 *) Load_local 1;
+          (* 13 *) Put_field "1";  (* node.payload <- payload *)
+          (* 14 *) Const 0;
+          (* 15 *) Load_local 2;
+          (* 16 *) Put_field "ListLeak$Statics.0";  (* head <- node *)
+          (* 17 *) Load_local 0;
+          (* 18 *) Const 1;
+          (* 19 *) Sub;
+          (* 20 *) Store_local 0;
+          (* 21 *) Jump 2;
+          (* 22 *) Return;
+        |];
+    };
+  ]
+
+let field_map =
+  [
+    ("ListLeak$Statics", "0", [ 0 ]);
+    ("ListLeak$Node", "0", [ 0 ]);
+    ("ListLeak$Node", "1", [ 1 ]);
+  ]
+
 let workload =
   {
     Workload.name = "ListLeak";
@@ -29,4 +76,6 @@ let workload =
     default_heap_bytes = 100_000;
     fixed_iterations = None;
     prepare;
+    bytecode = Some bytecode;
+    field_map;
   }

@@ -68,4 +68,6 @@ let workload =
     default_heap_bytes = 2_000_000;
     fixed_iterations = None;
     prepare;
+    bytecode = None;
+    field_map = [];
   }

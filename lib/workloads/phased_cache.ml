@@ -91,6 +91,129 @@ let prepare vm =
     then touch_cache ();
     Vm.work vm 600
 
+(* Bytecode model for the static liveness oracle. [touch] dereferences
+   the whole cache path — statics slot 0, the table slots, the entry's
+   payload, the string's char array — so every cache edge is {e read}
+   somewhere in the program and comes out depth-bounded live
+   ([Dead_beyond 1..4]): the oracle vetoes them even at saturated
+   staleness, which is precisely the misprediction this workload was
+   built to provoke. The leak-chain node fields are never loaded
+   ([Dead_beyond 0]) and get the boost instead. *)
+let bytecode =
+  let open Lp_jit.Bytecode in
+  [
+    {
+      name = "PhasedCache.prepare";
+      n_locals = 5;  (* 0 = counter, 1 = table, 2 = chars, 3 = str, 4 = entry *)
+      code =
+        [|
+          (* 0 *) New_object "PhasedCache$Table";
+          (* 1 *) Store_local 1;
+          (* 2 *) Const 0;
+          (* 3 *) Load_local 1;
+          (* 4 *) Put_field "PhasedCache$Statics.0";
+          (* 5 *) Const cache_entries;
+          (* 6 *) Store_local 0;
+          (* 7 *) Load_local 0;  (* loop head *)
+          (* 8 *) Jump_if_zero 30;
+          (* 9 *) New_object "char[]";
+          (* 10 *) Store_local 2;
+          (* 11 *) New_object "java.lang.String";
+          (* 12 *) Store_local 3;
+          (* 13 *) Load_local 3;
+          (* 14 *) Load_local 2;
+          (* 15 *) Put_field "0";  (* str.value <- chars *)
+          (* 16 *) New_object "PhasedCache$Entry";
+          (* 17 *) Store_local 4;
+          (* 18 *) Load_local 4;
+          (* 19 *) Load_local 3;
+          (* 20 *) Put_field "0";  (* entry.payload <- str *)
+          (* 21 *) Load_local 1;
+          (* 22 *) Load_local 0;
+          (* 23 *) Load_local 4;
+          (* 24 *) Array_store;  (* table[i] <- entry *)
+          (* 25 *) Load_local 0;
+          (* 26 *) Const 1;
+          (* 27 *) Sub;
+          (* 28 *) Store_local 0;
+          (* 29 *) Jump 7;
+          (* 30 *) Return;
+        |];
+    };
+    {
+      name = "PhasedCache.touch";
+      n_locals = 3;  (* 0 = counter, 1 = table, 2 = scratch *)
+      code =
+        [|
+          (* 0 *) Get_static "PhasedCache$Statics.0";
+          (* 1 *) Store_local 1;
+          (* 2 *) Const cache_entries;
+          (* 3 *) Store_local 0;
+          (* 4 *) Load_local 0;  (* loop head *)
+          (* 5 *) Jump_if_zero 17;
+          (* 6 *) Load_local 1;
+          (* 7 *) Load_local 0;
+          (* 8 *) Array_load;  (* entry <- table[i] *)
+          (* 9 *) Get_field "0";  (* payload <- entry.0 *)
+          (* 10 *) Get_field "0";  (* chars <- payload.value *)
+          (* 11 *) Store_local 2;
+          (* 12 *) Load_local 0;
+          (* 13 *) Const 1;
+          (* 14 *) Sub;
+          (* 15 *) Store_local 0;
+          (* 16 *) Jump 4;
+          (* 17 *) Return;
+        |];
+    };
+    {
+      name = "PhasedCache.iterate";
+      n_locals = 3;  (* 0 = counter, 1 = leak buffer, 2 = node / scratch *)
+      code =
+        [|
+          (* 0 *) New_object "PhasedCache$Scratch";
+          (* 1 *) Store_local 2;
+          (* 2 *) Const 2;  (* leak pushes per iteration *)
+          (* 3 *) Store_local 0;
+          (* 4 *) Load_local 0;  (* loop head *)
+          (* 5 *) Jump_if_zero 24;
+          (* 6 *) New_object "PhasedCache$LeakBuf";
+          (* 7 *) Store_local 1;
+          (* 8 *) New_object "PhasedCache$LeakNode";
+          (* 9 *) Store_local 2;
+          (* 10 *) Load_local 2;
+          (* 11 *) Get_static "PhasedCache$Statics.1";
+          (* 12 *) Put_field "0";  (* node.next <- old head *)
+          (* 13 *) Load_local 2;
+          (* 14 *) Load_local 1;
+          (* 15 *) Put_field "1";  (* node.payload <- buffer *)
+          (* 16 *) Const 0;
+          (* 17 *) Load_local 2;
+          (* 18 *) Put_field "PhasedCache$Statics.1";  (* head <- node *)
+          (* 19 *) Load_local 0;
+          (* 20 *) Const 1;
+          (* 21 *) Sub;
+          (* 22 *) Store_local 0;
+          (* 23 *) Jump 4;
+          (* 24 *) Const 1;  (* phase schedule decides whether to touch *)
+          (* 25 *) Jump_if_zero 28;
+          (* 26 *) Call ("PhasedCache.touch", 0);
+          (* 27 *) Store_local 2;
+          (* 28 *) Return;
+        |];
+    };
+  ]
+
+let field_map =
+  [
+    ("PhasedCache$Statics", "0", [ 0 ]);
+    ("PhasedCache$Statics", "1", [ 1 ]);
+    ("PhasedCache$Table", "[]", List.init cache_entries (fun i -> i));
+    ("PhasedCache$Entry", "0", [ 0 ]);
+    ("java.lang.String", "0", [ 0 ]);
+    ("PhasedCache$LeakNode", "0", [ 0 ]);
+    ("PhasedCache$LeakNode", "1", [ 1 ]);
+  ]
+
 let workload =
   {
     Workload.name = "PhasedCache";
@@ -101,4 +224,6 @@ let workload =
     default_heap_bytes = 14_000;
     fixed_iterations = None;
     prepare;
+    bytecode = Some bytecode;
+    field_map;
   }

@@ -42,6 +42,65 @@ let prepare vm =
     | None, None -> ());
     Vm.work vm 300
 
+(* Bytecode model for the static liveness oracle. The swap reads both
+   static heads every iteration — exactly the dynamic pattern that keeps
+   the heads' staleness low — but no instruction ever loads a Session
+   field, so SwapLeak$Session.{0,1} are [Dead_beyond 0]: the chains
+   behind the heads are statically dead, and the oracle boosts them. *)
+let bytecode =
+  let open Lp_jit.Bytecode in
+  [
+    {
+      name = "SwapLeak.iterate";
+      n_locals = 4;  (* 0 = counter, 1 = buffer, 2 = session, 3 = swap tmp *)
+      code =
+        [|
+          (* 0 *) New_object "SwapLeak$Scratch";
+          (* 1 *) Store_local 3;
+          (* 2 *) Const sessions_per_iteration;
+          (* 3 *) Store_local 0;
+          (* 4 *) Load_local 0;  (* loop head *)
+          (* 5 *) Jump_if_zero 24;
+          (* 6 *) New_object "SwapLeak$Buffer";
+          (* 7 *) Store_local 1;
+          (* 8 *) New_object "SwapLeak$Session";
+          (* 9 *) Store_local 2;
+          (* 10 *) Load_local 2;
+          (* 11 *) Get_static "SwapLeak$Statics.0";
+          (* 12 *) Put_field "0";  (* session.next <- old front head *)
+          (* 13 *) Load_local 2;
+          (* 14 *) Load_local 1;
+          (* 15 *) Put_field "1";  (* session.payload <- buffer *)
+          (* 16 *) Const 0;
+          (* 17 *) Load_local 2;
+          (* 18 *) Put_field "SwapLeak$Statics.0";  (* front <- session *)
+          (* 19 *) Load_local 0;
+          (* 20 *) Const 1;
+          (* 21 *) Sub;
+          (* 22 *) Store_local 0;
+          (* 23 *) Jump 4;
+          (* swap the two chains between the static fields *)
+          (* 24 *) Get_static "SwapLeak$Statics.0";
+          (* 25 *) Store_local 3;
+          (* 26 *) Const 0;
+          (* 27 *) Get_static "SwapLeak$Statics.1";
+          (* 28 *) Put_field "SwapLeak$Statics.0";
+          (* 29 *) Const 0;
+          (* 30 *) Load_local 3;
+          (* 31 *) Put_field "SwapLeak$Statics.1";
+          (* 32 *) Return;
+        |];
+    };
+  ]
+
+let field_map =
+  [
+    ("SwapLeak$Statics", "0", [ 0 ]);
+    ("SwapLeak$Statics", "1", [ 1 ]);
+    ("SwapLeak$Session", "0", [ 0 ]);
+    ("SwapLeak$Session", "1", [ 1 ]);
+  ]
+
 let workload =
   {
     Workload.name = "SwapLeak";
@@ -50,4 +109,6 @@ let workload =
     default_heap_bytes = 100_000;
     fixed_iterations = None;
     prepare;
+    bytecode = Some bytecode;
+    field_map;
   }

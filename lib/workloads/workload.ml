@@ -15,6 +15,8 @@ type t = {
   default_heap_bytes : int;
   fixed_iterations : int option;
   prepare : Vm.t -> (unit -> unit);
+  bytecode : Lp_jit.Bytecode.methd list option;
+  field_map : (string * string * int list) list;
 }
 
 let pp_category ppf c =

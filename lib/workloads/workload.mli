@@ -28,6 +28,15 @@ type t = {
           (Delaunay); [None] for servers that run until failure or cap *)
   prepare : Vm.t -> (unit -> unit);
       (** builds the long-lived structure, returns the iteration body *)
+  bytecode : Lp_jit.Bytecode.methd list option;
+      (** a bytecode model of the program's heap traffic for the static
+          liveness oracle ([lp_liveness]) to analyze; [None] leaves the
+          oracle silent (every slot [Unanalyzed]) *)
+  field_map : (string * string * int list) list;
+      (** lowers bytecode slots onto the runtime heap: [(class name,
+          bytecode field name, heap field indices)] rows, consumed by
+          [Liveness.resolve]. Class names must match what [prepare]
+          registers (statics containers register as ["X$Statics"]). *)
 }
 
 val pp_category : Format.formatter -> category -> unit

@@ -14,6 +14,7 @@ let spec ?(force_safe = false) ~id () =
     policy = Lp_core.Policy.Default;
     force_safe;
     resurrection = true;
+    liveness = Lp_core.Config.Liveness_off;
   }
 
 let find_tenant report id =

@@ -35,4 +35,5 @@ let () =
       Test_semantics.suite;
       Test_paper_example.suite;
       Test_workloads.suite;
+      Test_liveness.suite;
     ]

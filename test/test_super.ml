@@ -257,6 +257,7 @@ let spec ~id () =
     policy = Lp_core.Policy.Default;
     force_safe = false;
     resurrection = true;
+    liveness = Lp_core.Config.Liveness_off;
   }
 
 (* single-tenant runs: trip bar 1000 permille keeps the (strict) breaker
