@@ -922,6 +922,196 @@ let run_pause_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Pause-SLO autopilot scenario: the same workloads under (a) the
+   static incremental engine at its default 256-object budget and (b)
+   the autopilot chasing a tight 50us p99 target, which pins the
+   budget near the 32-object floor.  Three gates, each exit 1:
+
+   - the autopilot's p99 pause must come in strictly below the static
+     default's on every workload (the controller actually controls);
+   - an autopilot run may contain no Monolithic pause sample — every
+     pause was slice-bounded, i.e. the sliced sweep really removed the
+     monolithic remainder;
+   - two autopilot runs must agree bit-for-bit on reclaimed bytes,
+     collection count and the prune log (budgets are wall-clock-fed
+     but outcome-neutral — the determinism contract under feedback). *)
+
+let slo_target_ns = 50_000
+let slo_iterations = 5_000
+
+let slo_workloads =
+  [ Lp_workloads.List_leak.workload; Lp_workloads.Swap_leak.workload ]
+
+type slo_case = {
+  sc_workload : string;
+  sc_mode : string;  (* "static" | "autopilot" *)
+  sc_gc_count : int;
+  sc_bytes_reclaimed : int;
+  sc_pruned : (string * string) list;
+  sc_samples : int;
+  sc_monolithic : int;
+  sc_p99_ns : int;
+  sc_max_ns : int;
+  sc_adjustments : int;
+  sc_switches : int;
+  sc_final_budget : int;
+}
+
+let slo_p99 samples =
+  match List.sort compare samples with
+  | [] -> 0
+  | sorted ->
+    let n = List.length sorted in
+    List.nth sorted (min (n - 1) (99 * n / 100))
+
+let run_slo_case ~autopilot w =
+  let captured = ref None in
+  let config =
+    if autopilot then Lp_core.Config.make ~pause_slo_p99_ns:slo_target_ns ()
+    else Lp_core.Config.make ~gc_engine:Lp_core.Config.Incremental ()
+  in
+  let r =
+    Lp_harness.Driver.run ~config ~max_iterations:slo_iterations
+      ~prepare_vm:(fun vm -> captured := Some vm)
+      w
+  in
+  let vm = match !captured with Some vm -> vm | None -> assert false in
+  let tagged = Lp_runtime.Vm.pause_samples vm in
+  let ns = List.map snd tagged in
+  let adjustments, switches, final_budget =
+    match Lp_runtime.Vm.autopilot vm with
+    | Some ap ->
+      ( Lp_slo.Autopilot.adjustments ap,
+        Lp_slo.Autopilot.switches ap,
+        Lp_slo.Autopilot.budget ap )
+    | None -> (0, 0, 256)
+  in
+  {
+    sc_workload = r.Lp_harness.Driver.workload;
+    sc_mode = (if autopilot then "autopilot" else "static");
+    sc_gc_count = r.Lp_harness.Driver.gc_count;
+    sc_bytes_reclaimed = r.Lp_harness.Driver.bytes_reclaimed;
+    sc_pruned = r.Lp_harness.Driver.pruned_edge_types;
+    sc_samples = List.length tagged;
+    sc_monolithic =
+      List.length
+        (List.filter
+           (fun (p, _) -> p = Lp_heap.Trace_engine.Monolithic)
+           tagged);
+    sc_p99_ns = slo_p99 ns;
+    sc_max_ns = Lp_runtime.Vm.max_pause_ns vm;
+    sc_adjustments = adjustments;
+    sc_switches = switches;
+    sc_final_budget = final_budget;
+  }
+
+let run_slo_bench () =
+  Lp_harness.Render.header "Pause-SLO autopilot"
+    "feedback-tuned slice budgets vs the static incremental default; \
+     results in BENCH_slo.json";
+  let cases =
+    List.concat_map
+      (fun w ->
+        [ run_slo_case ~autopilot:false w; run_slo_case ~autopilot:true w ])
+      slo_workloads
+  in
+  let static c =
+    List.find
+      (fun b -> b.sc_workload = c.sc_workload && b.sc_mode = "static")
+      cases
+  in
+  let autopilots = List.filter (fun c -> c.sc_mode = "autopilot") cases in
+  let p99_losses =
+    List.filter (fun c -> c.sc_p99_ns >= (static c).sc_p99_ns) autopilots
+  in
+  let monolithic_leaks =
+    List.filter (fun c -> c.sc_monolithic > 0) autopilots
+  in
+  (* determinism under feedback: rerun every autopilot case and compare
+     the reclamation outcome bit for bit (pause timings are excluded —
+     they are wall-clock and may not repeat) *)
+  let reruns = List.map (run_slo_case ~autopilot:true) slo_workloads in
+  let outcome c = (c.sc_workload, c.sc_gc_count, c.sc_bytes_reclaimed, c.sc_pruned) in
+  let nondeterministic =
+    List.exists2 (fun a b -> outcome a <> outcome b) autopilots reruns
+  in
+  let case_json c =
+    Printf.sprintf
+      {|    { "workload": %S, "mode": %S, "collections": %d,
+      "bytes_reclaimed": %d, "pause_samples": %d, "monolithic_samples": %d,
+      "p99_pause_ns": %d, "max_pause_ns": %d, "slo_adjustments": %d,
+      "engine_switches": %d, "final_budget": %d }|}
+      c.sc_workload c.sc_mode c.sc_gc_count c.sc_bytes_reclaimed c.sc_samples
+      c.sc_monolithic c.sc_p99_ns c.sc_max_ns c.sc_adjustments c.sc_switches
+      c.sc_final_budget
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "benchmark": "pause_slo",
+  "target_p99_ns": %d,
+  "autopilot_p99_below_static_everywhere": %b,
+  "monolithic_samples_in_autopilot_runs": %d,
+  "deterministic_under_feedback": %b,
+  "cases": [
+%s
+  ]
+}
+|}
+      slo_target_ns (p99_losses = [])
+      (List.fold_left (fun acc c -> acc + c.sc_monolithic) 0 autopilots)
+      (not nondeterministic)
+      (String.concat ",\n" (List.map case_json cases))
+  in
+  let path = out_path "BENCH_slo.json" in
+  write_file path json;
+  write_file "BENCH_slo.json" json;
+  Lp_harness.Render.table
+    ~columns:
+      [ "workload"; "mode"; "gcs"; "pauses"; "p99 pause ms"; "max pause ms";
+        "retunes"; "budget" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           [
+             c.sc_workload;
+             c.sc_mode;
+             string_of_int c.sc_gc_count;
+             string_of_int c.sc_samples;
+             Printf.sprintf "%.3f" (float_of_int c.sc_p99_ns /. 1e6);
+             Printf.sprintf "%.3f" (float_of_int c.sc_max_ns /. 1e6);
+             string_of_int c.sc_adjustments;
+             string_of_int c.sc_final_budget;
+           ])
+         cases);
+  Printf.printf "wrote %s (and root copy BENCH_slo.json)\n" path;
+  if p99_losses <> [] then begin
+    List.iter
+      (fun c ->
+        Printf.eprintf
+          "slo-gate: FAIL — %s autopilot p99 %dns not below static %dns\n"
+          c.sc_workload c.sc_p99_ns (static c).sc_p99_ns)
+      p99_losses;
+    exit 1
+  end;
+  if monolithic_leaks <> [] then begin
+    List.iter
+      (fun c ->
+        Printf.eprintf
+          "slo-gate: FAIL — %s autopilot run contains %d Monolithic pause \
+           sample(s); every pause must be slice-bounded\n"
+          c.sc_workload c.sc_monolithic)
+      monolithic_leaks;
+    exit 1
+  end;
+  if nondeterministic then begin
+    Printf.eprintf
+      "slo-gate: FAIL — autopilot reruns diverged on reclamation outcome \
+       (budget feedback leaked into collector decisions)\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Fleet scenario: a small multi-tenant fleet under chaos — one tenant
    pinned SAFE, seeded kills and disk-pressure windows — reporting
    per-tenant and aggregate throughput, pause percentiles, restart
@@ -944,6 +1134,7 @@ let run_fleet_bench () =
           force_safe = id = 1;
           resurrection = true;
           liveness = Lp_core.Config.Liveness_off;
+          pause_slo_p99_ns = None;
         })
   in
   let options =
@@ -1094,6 +1285,7 @@ let run_restart_bench () =
       force_safe = false;
       resurrection = true;
       liveness = Lp_core.Config.Liveness_off;
+      pause_slo_p99_ns = None;
     }
   in
   (* trip bar 1000 permille: the breaker (strict inequality) can never
@@ -1404,6 +1596,11 @@ let list_experiments () =
     "Pause profile under seq/par2/inc engines (writes \
      bench/out/BENCH_pauses.json; exit 1 if outputs diverge or an \
      incremental slice busts its budget)";
+  Printf.printf "%-13s %s\n" "slo"
+    "Pause-SLO autopilot vs the static incremental default (writes \
+     bench/out/BENCH_slo.json; exit 1 unless the autopilot's p99 beats \
+     static everywhere, no pause is monolithic, and reruns reclaim \
+     bit-identically)";
   Printf.printf "%-13s %s\n" "fleet"
     "Multi-tenant fleet under chaos (writes bench/out/BENCH_fleet.json; \
      exit 1 on any verifier failure or crash)";
@@ -1428,6 +1625,7 @@ let run_experiment id =
     else if id = "obs-gate" then run_obs_overhead_bench ~gate:true ()
     else if id = "gc-parallel" then run_parallel_gc_bench ()
     else if id = "gc-pauses" then run_pause_bench ()
+    else if id = "slo" then run_slo_bench ()
     else if id = "fleet" then run_fleet_bench ()
     else if id = "restart" then run_restart_bench ()
     else if id = "liveness" then run_liveness_bench ()
@@ -1457,6 +1655,7 @@ let () =
     run_obs_overhead_bench ~gate:false ();
     run_parallel_gc_bench ();
     run_pause_bench ();
+    run_slo_bench ();
     run_fleet_bench ();
     run_restart_bench ();
     run_liveness_bench ()

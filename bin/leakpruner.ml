@@ -70,14 +70,19 @@ let policy_conv =
    (and, for par, the wall-clock mark time) differs. *)
 let gc_engine_arg =
   Arg.(value
-       & opt (some (enum [ ("seq", `Seq); ("par", `Par); ("inc", `Inc) ])) None
+       & opt
+           (some
+              (enum [ ("seq", `Seq); ("par", `Par); ("inc", `Inc); ("bsp", `Bsp) ]))
+           None
        & info [ "gc-engine" ] ~docv:"ENGINE"
            ~doc:"Tracing engine for stop-the-world collections: $(b,seq) \
                  (the sequential collector; the default), $(b,par) (the \
                  deterministic parallel engine; size it with --gc-domains), \
-                 or $(b,inc) (the pause-bounded incremental marker; bound \
-                 it with --gc-slice-budget). Reclamation outcomes are \
-                 identical across engines.")
+                 $(b,inc) (the pause-bounded incremental marker; bound it \
+                 with --gc-slice-budget), or $(b,bsp) (the sliced \
+                 bulk-synchronous parallel engine: par's domains, inc's \
+                 pause bound). Reclamation outcomes are identical across \
+                 engines.")
 
 let gc_domains_arg =
   Arg.(value & opt int 1
@@ -87,10 +92,57 @@ let gc_domains_arg =
                  the engine selection alone.")
 
 let gc_slice_budget_arg =
-  Arg.(value & opt int 256
+  Arg.(value & opt (some int) None
        & info [ "gc-slice-budget" ] ~docv:"N"
-           ~doc:"Maximum objects one incremental mark slice scans before \
-                 yielding (--gc-engine inc only; default 256).")
+           ~doc:"Maximum objects one mark slice scans before yielding, and \
+                 the sweep segment size in slots (the sliced engines, \
+                 --gc-engine inc or bsp, only; default 256). With \
+                 --pause-slo-p99 this is just the initial budget — the \
+                 autopilot retunes it between collections.")
+
+(* Pause targets read like durations: 100us, 2ms, 1s, 500ns, or a bare
+   nanosecond count. *)
+let duration_conv =
+  let parse s =
+    let num, mult =
+      let n = String.length s in
+      let suffix k = if n > k then String.sub s (n - k) k else "" in
+      if suffix 2 = "ns" then (String.sub s 0 (n - 2), 1)
+      else if suffix 2 = "us" then (String.sub s 0 (n - 2), 1_000)
+      else if suffix 2 = "ms" then (String.sub s 0 (n - 2), 1_000_000)
+      else if suffix 1 = "s" then (String.sub s 0 (n - 1), 1_000_000_000)
+      else (s, 1)
+    in
+    match int_of_string_opt num with
+    | Some v when v > 0 -> Ok (v * mult)
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad duration %S (want a positive count with an optional ns, \
+               us, ms or s suffix, e.g. 100us)"
+              s))
+  in
+  Arg.conv (parse, fun ppf ns -> Format.fprintf ppf "%dns" ns)
+
+(* Shared by run, trace, chaos and serve: the pause-SLO autopilot. *)
+let pause_slo_arg =
+  Arg.(value & opt (some duration_conv) None
+       & info [ "pause-slo-p99" ] ~docv:"DURATION"
+           ~doc:"Arm the pause-SLO autopilot with this p99 pause target \
+                 (e.g. $(b,100us)): the slice budget is retuned from \
+                 wall-clock pause feedback between collections, and the \
+                 engine may escalate to bsp for a collection when SELECT \
+                 predicts a large stale closure. Outcome-neutral: \
+                 reclamation stays bit-identical run to run. Needs a sliced \
+                 engine; with no --gc-engine it picks inc.")
+
+let slo_floor_arg =
+  Arg.(value & opt (some int) None
+       & info [ "pause-slo-floor" ] ~docv:"N"
+           ~doc:"Lowest slice budget (in objects) the autopilot may tune \
+                 down to (default 32). The floor keeps slices meaningful \
+                 however slow the host.")
 
 (* Shared by run, trace, chaos and serve: whether the static liveness
    oracle (access-graph analysis over the workload's bytecode model)
@@ -112,29 +164,53 @@ let liveness_arg =
 (* CLI-level reconciliation of the engine flag with the legacy
    --gc-domains alias: par without an explicit domain count gets a
    sensible default, seq/inc with a domain count is a contradiction. *)
-let resolve_cli_engine gc_engine gc_domains gc_slice_budget =
+let resolve_cli_engine ?pause_slo gc_engine gc_domains gc_slice_budget =
   if gc_domains < 1 || gc_domains > 64 then begin
     Printf.eprintf "leakpruner: --gc-domains must be in [1, 64]\n";
     exit 2
   end;
-  if gc_slice_budget < 1 then begin
+  (match gc_slice_budget with
+  | Some b when b < 1 ->
     Printf.eprintf "leakpruner: --gc-slice-budget must be >= 1\n";
     exit 2
-  end;
-  match (gc_engine, gc_domains) with
-  | None, 1 -> None
-  | None, n -> Some (Lp_core.Config.Parallel n)
-  | Some `Seq, 1 -> Some Lp_core.Config.Sequential
-  | Some `Inc, 1 -> Some Lp_core.Config.Incremental
-  | Some `Par, 1 -> Some (Lp_core.Config.Parallel 2)
-  | Some `Par, n -> Some (Lp_core.Config.Parallel n)
-  | Some ((`Seq | `Inc) as e), n ->
+  | _ -> ());
+  (match (gc_engine, gc_slice_budget) with
+  | Some ((`Seq | `Par) as e), Some _ ->
     Printf.eprintf
-      "leakpruner: --gc-engine %s conflicts with --gc-domains %d (the alias \
-       implies par)\n"
-      (match e with `Seq -> "seq" | `Inc -> "inc")
-      n;
+      "leakpruner: --gc-slice-budget only applies to the sliced engines \
+       (--gc-engine inc or bsp): %s pauses for whole collections, so there \
+       is no slice to budget. Drop the flag, or pick a sliced engine.\n"
+      (match e with `Seq -> "seq" | `Par -> "par");
     exit 2
+  | _ -> ());
+  let resolved =
+    match (gc_engine, gc_domains) with
+    | None, 1 -> None
+    | None, n -> Some (Lp_core.Config.Parallel n)
+    | Some `Seq, 1 -> Some Lp_core.Config.Sequential
+    | Some `Inc, 1 -> Some Lp_core.Config.Incremental
+    | Some `Par, 1 -> Some (Lp_core.Config.Parallel 2)
+    | Some `Par, n -> Some (Lp_core.Config.Parallel n)
+    | Some `Bsp, 1 -> Some (Lp_core.Config.Sliced_bsp 2)
+    | Some `Bsp, n -> Some (Lp_core.Config.Sliced_bsp n)
+    | Some ((`Seq | `Inc) as e), n ->
+      Printf.eprintf
+        "leakpruner: --gc-engine %s conflicts with --gc-domains %d (the alias \
+         implies par)\n"
+        (match e with `Seq -> "seq" | `Inc -> "inc")
+        n;
+      exit 2
+  in
+  (match (pause_slo, resolved) with
+  | Some _, Some (Lp_core.Config.Sequential | Lp_core.Config.Parallel _) ->
+    Printf.eprintf
+      "leakpruner: --pause-slo-p99 needs a sliced engine: seq and par pause \
+       for whole collections, so no slice budget can meet a pause target. \
+       Use --gc-engine inc or bsp, or drop --gc-engine (the autopilot then \
+       picks inc).\n";
+    exit 2
+  | _ -> ());
+  resolved
 
 let run_cmd =
   let doc = "Run a workload under a leak-pruning configuration." in
@@ -162,8 +238,10 @@ let run_cmd =
              ~doc:"Use the paper's option (1): wait until the heap is 100% full before the first prune (Figure 11). Default is option (2), pruning right after a SELECT collection.")
   in
   let run name policy heap cap trace exhaustion gc_engine gc_domains
-      gc_slice_budget liveness =
-    let gc_engine = resolve_cli_engine gc_engine gc_domains gc_slice_budget in
+      gc_slice_budget pause_slo slo_floor liveness =
+    let gc_engine =
+      resolve_cli_engine ?pause_slo gc_engine gc_domains gc_slice_budget
+    in
     match find_workload name with
     | None ->
       Printf.eprintf "unknown workload %S; see `leakpruner list`\n" name;
@@ -175,7 +253,8 @@ let run_cmd =
           ~prune_trigger:
             (if exhaustion then Lp_core.Config.On_exhaustion
              else Lp_core.Config.On_select_gc)
-          ?report ?gc_engine ~gc_slice_budget ~liveness_mode:liveness ()
+          ?report ?gc_engine ?gc_slice_budget ?pause_slo_p99_ns:pause_slo
+          ?slo_budget_floor:slo_floor ~liveness_mode:liveness ()
       in
       let r = Lp_harness.Driver.run ~config ?heap_bytes:heap ~max_iterations:cap w in
       Printf.printf "workload:     %s\n" r.Lp_harness.Driver.workload;
@@ -203,7 +282,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ workload_arg $ policy_arg $ heap_arg $ cap_arg $ trace_arg
           $ exhaustion_arg $ gc_engine_arg $ gc_domains_arg
-          $ gc_slice_budget_arg $ liveness_arg)
+          $ gc_slice_budget_arg $ pause_slo_arg $ slo_floor_arg $ liveness_arg)
 
 let interp_cmd =
   let doc = "Assemble and interpret a bytecode file on the simulated VM (with leak pruning)." in
@@ -307,15 +386,18 @@ let trace_cmd =
                    which the prune audit cross-check relies on.")
   in
   let run name policy heap cap format out buffer gc_engine gc_domains
-      gc_slice_budget liveness =
-    let gc_engine = resolve_cli_engine gc_engine gc_domains gc_slice_budget in
+      gc_slice_budget pause_slo slo_floor liveness =
+    let gc_engine =
+      resolve_cli_engine ?pause_slo gc_engine gc_domains gc_slice_budget
+    in
     match find_workload name with
     | None ->
       Printf.eprintf "unknown workload %S; see `leakpruner list`\n" name;
       exit 1
     | Some w ->
       let config =
-        Lp_core.Config.make ~policy ?gc_engine ~gc_slice_budget
+        Lp_core.Config.make ~policy ?gc_engine ?gc_slice_budget
+          ?pause_slo_p99_ns:pause_slo ?slo_budget_floor:slo_floor
           ~liveness_mode:liveness ()
       in
       let captured = ref None in
@@ -444,7 +526,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ workload_arg $ policy_arg $ heap_arg $ cap_arg
           $ format_arg $ out_arg $ buffer_arg $ gc_engine_arg $ gc_domains_arg
-          $ gc_slice_budget_arg $ liveness_arg)
+          $ gc_slice_budget_arg $ pause_slo_arg $ slo_floor_arg $ liveness_arg)
 
 let chaos_cmd =
   let doc =
@@ -483,12 +565,13 @@ let chaos_cmd =
      re-run traced, exported as a Chrome trace. Reruns are exact (the
      run is a deterministic function of seed and cap, and tracing never
      changes behaviour), so the trace shows the actual failure. *)
-  let write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~liveness ~steps
-      ~seed dir =
+  let write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~pause_slo
+      ~liveness ~steps ~seed dir =
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
     let r =
-      Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~liveness
-        ~steps ~trace_capacity:65_536 ~seed ()
+      Lp_harness.Chaos.run_one ~faults ?gc_engine ?gc_slice_budget
+        ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~trace_capacity:65_536
+        ~seed ()
     in
     let file = Filename.concat dir (Printf.sprintf "chaos_seed_%d.trace.json" seed) in
     let oc = open_out file in
@@ -525,23 +608,29 @@ let chaos_cmd =
       | o -> "  (" ^ Lp_harness.Chaos.outcome_to_string o ^ ")")
   in
   let run seeds steps no_faults seed quiet trace_dir gc_engine_flag gc_domains
-      gc_slice_budget liveness =
+      gc_slice_budget pause_slo liveness =
     if seeds < 0 || steps < 0 then begin
       Printf.eprintf "leakpruner: chaos: --seeds and --steps must be non-negative\n";
       exit 2
     end;
-    let gc_engine = resolve_cli_engine gc_engine_flag gc_domains gc_slice_budget in
+    let gc_engine =
+      resolve_cli_engine ?pause_slo gc_engine_flag gc_domains gc_slice_budget
+    in
     let faults = not no_faults in
     match seed with
     | Some seed ->
       let r =
-        Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~liveness
-          ~steps ~seed ()
+        Lp_harness.Chaos.run_one ~faults ?gc_engine ?gc_slice_budget
+          ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~seed ()
       in
       print_report r;
+      (* the reproduce oracle compares untimed state only: with the
+         autopilot armed, a traced run would carry wall-clock Slo_adjust
+         budgets, but these runs are untraced and every scalar field is
+         deterministic by the outcome-neutrality of budgets *)
       (match
-         Lp_harness.Chaos.run_one ~faults ?gc_engine ~gc_slice_budget ~liveness
-           ~steps ~seed ()
+         Lp_harness.Chaos.run_one ~faults ?gc_engine ?gc_slice_budget
+           ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~seed ()
        with
       | r' when r' = r -> ()
       | _ -> Printf.printf "WARNING: seed %d did not reproduce identically\n" seed);
@@ -550,8 +639,8 @@ let chaos_cmd =
           (Lp_fault.Fault_plan.describe (Lp_fault.Fault_plan.random ~seed ()));
       if Lp_harness.Chaos.failed r then begin
         let shrunk =
-          Lp_harness.Chaos.shrink ~faults ?gc_engine ~gc_slice_budget ~liveness
-            ~steps ~seed ()
+          Lp_harness.Chaos.shrink ~faults ?gc_engine ?gc_slice_budget
+            ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~seed ()
         in
         (match shrunk with
         | Some n -> Printf.printf "minimal reproduction: %d step(s)\n" n
@@ -560,7 +649,8 @@ let chaos_cmd =
         | Some dir ->
           (* replays run under the failing engine selection, so the trace
              shows that engine's rounds when that is where it failed *)
-          write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~liveness
+          write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~pause_slo
+            ~liveness
             ~steps:(match shrunk with Some n -> n | None -> steps)
             ~seed dir
         | None -> ());
@@ -572,8 +662,8 @@ let chaos_cmd =
     | None ->
       let failures = ref 0 in
       let reports =
-        Lp_harness.Chaos.run_seeds ~faults ?gc_engine ~gc_slice_budget
-          ~liveness ~steps ~seeds
+        Lp_harness.Chaos.run_seeds ~faults ?gc_engine ?gc_slice_budget
+          ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~seeds
           ~progress:(fun r ->
             let bad =
               Lp_harness.Chaos.failed r
@@ -599,8 +689,8 @@ let chaos_cmd =
           if Lp_harness.Chaos.failed r then begin
             let seed = r.Lp_harness.Chaos.seed in
             let shrunk =
-              Lp_harness.Chaos.shrink ~faults ?gc_engine ~gc_slice_budget
-                ~liveness ~steps ~seed ()
+              Lp_harness.Chaos.shrink ~faults ?gc_engine ?gc_slice_budget
+                ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~seed ()
             in
             (match shrunk with
             | Some n ->
@@ -609,7 +699,7 @@ let chaos_cmd =
             match trace_dir with
             | Some dir ->
               write_failure_trace ~faults ~gc_engine ~gc_slice_budget
-                ~liveness
+                ~pause_slo ~liveness
                 ~steps:(match shrunk with Some n -> n | None -> steps)
                 ~seed dir
             | None -> ()
@@ -620,7 +710,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ seeds_arg $ steps_arg $ no_faults_arg $ seed_arg $ quiet_arg
           $ trace_dir_arg $ gc_engine_arg $ gc_domains_arg $ gc_slice_budget_arg
-          $ liveness_arg)
+          $ pause_slo_arg $ liveness_arg)
 
 let serve_cmd =
   let doc =
@@ -820,7 +910,7 @@ let serve_cmd =
       kills chaos sweep trace_dir retry_cap backoff_base backoff_ceiling
       deadline storm quarantine extended_quarantine checkpoint_rounds
       warm_limit cold_limit retire_limit storm_window storm_trip storm_cooldown
-      liveness =
+      liveness pause_slo =
     if tenants < 1 then begin
       Printf.eprintf "leakpruner: serve: --tenants must be >= 1\n";
       exit 2
@@ -865,6 +955,7 @@ let serve_cmd =
             force_safe = List.mem id force_safe;
             resurrection = true;
             liveness;
+            pause_slo_p99_ns = pause_slo;
           })
     in
     let options seed =
@@ -936,7 +1027,7 @@ let serve_cmd =
           $ storm_flag_arg $ quarantine_arg $ extended_quarantine_arg
           $ checkpoint_rounds_arg $ warm_limit_arg $ cold_limit_arg
           $ retire_limit_arg $ storm_window_arg $ storm_trip_arg
-          $ storm_cooldown_arg $ liveness_arg)
+          $ storm_cooldown_arg $ liveness_arg $ pause_slo_arg)
 
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures (see bench/main.exe --list)." in

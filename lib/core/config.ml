@@ -1,11 +1,12 @@
 type prune_trigger = On_select_gc | On_exhaustion
 
-type gc_engine = Sequential | Parallel of int | Incremental
+type gc_engine = Sequential | Parallel of int | Incremental | Sliced_bsp of int
 
 let gc_engine_to_string = function
   | Sequential -> "seq"
   | Parallel n -> Printf.sprintf "par%d" n
   | Incremental -> "inc"
+  | Sliced_bsp n -> Printf.sprintf "bsp%d" n
 
 (* Whether the static liveness oracle (lp_liveness) participates in
    SELECT. [Liveness_off] is bit-for-bit the pre-oracle behavior;
@@ -52,6 +53,16 @@ type t = {
   storm_cooldown_rounds : int;
   liveness_mode : liveness_mode;
   liveness_boost : int;
+  (* Pause-SLO autopilot (lib/slo). [pause_slo_p99_ns = Some target]
+     arms it: the slice budget is retuned between collections from
+     wall-clock pause feedback, and the engine may be switched per
+     collection between [Incremental] and [Sliced_bsp slo_domains].
+     Budgets never drop below [slo_budget_floor] objects, so the
+     deterministic count-based CI gates keep holding. *)
+  pause_slo_p99_ns : int option;
+  slo_budget_floor : int;
+  slo_domains : int;
+  slo_escalate_permille : int;
 }
 
 let default =
@@ -91,6 +102,10 @@ let default =
     storm_cooldown_rounds = 4;
     liveness_mode = Liveness_off;
     liveness_boost = 1;
+    pause_slo_p99_ns = None;
+    slo_budget_floor = 32;
+    slo_domains = 2;
+    slo_escalate_permille = 125;
   }
 
 (* [gc_domains] survives as an alias for the engine selection it used to
@@ -104,6 +119,7 @@ let resolve_engine ?gc_engine ?gc_domains () =
   | None, Some n -> Ok (Parallel n)
   | Some e, None | Some e, Some 1 -> Ok e
   | Some (Parallel m), Some n when m = n -> Ok (Parallel m)
+  | Some (Sliced_bsp m), Some n when m = n -> Ok (Sliced_bsp m)
   | Some e, Some n ->
     Error
       (Printf.sprintf
@@ -140,11 +156,28 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     ?(storm_trip_permille = default.storm_trip_permille)
     ?(storm_cooldown_rounds = default.storm_cooldown_rounds)
     ?(liveness_mode = default.liveness_mode)
-    ?(liveness_boost = default.liveness_boost) () =
-  let gc_engine =
+    ?(liveness_boost = default.liveness_boost) ?pause_slo_p99_ns
+    ?(slo_budget_floor = default.slo_budget_floor)
+    ?(slo_domains = default.slo_domains)
+    ?(slo_escalate_permille = default.slo_escalate_permille) () =
+  let explicit_engine = gc_engine <> None in
+  let resolved =
     match resolve_engine ?gc_engine ?gc_domains () with
     | Ok e -> e
     | Error msg -> invalid_arg ("Config.make: " ^ msg)
+  in
+  (* An SLO without an explicit engine choice means "let the autopilot
+     drive": start from the incremental engine (already sliced, so the
+     very first collection respects the taxonomy the SLO gate checks).
+     An explicitly chosen monolithic engine survives to [validate],
+     which rejects the combination with an actionable message. *)
+  let gc_engine =
+    if
+      pause_slo_p99_ns <> None
+      && (not explicit_engine)
+      && (gc_domains = None || gc_domains = Some 1)
+    then Incremental
+    else resolved
   in
   {
     policy;
@@ -182,9 +215,16 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     storm_cooldown_rounds;
     liveness_mode;
     liveness_boost;
+    pause_slo_p99_ns;
+    slo_budget_floor;
+    slo_domains;
+    slo_escalate_permille;
   }
 
-let gc_domains t = match t.gc_engine with Parallel n -> n | Sequential | Incremental -> 1
+let gc_domains t =
+  match t.gc_engine with
+  | Parallel n | Sliced_bsp n -> n
+  | Sequential | Incremental -> 1
 
 let validate t =
   if t.observe_threshold <= 0.0 || t.observe_threshold >= 1.0 then
@@ -209,7 +249,10 @@ let validate t =
     Error "safe_mode_collections must be >= 1"
   else if t.resurrection_alloc_attempts < 0 then
     Error "resurrection_alloc_attempts must be >= 0"
-  else if (match t.gc_engine with Parallel n -> n < 2 || n > 64 | _ -> false)
+  else if
+    (match t.gc_engine with
+    | Parallel n | Sliced_bsp n -> n < 2 || n > 64
+    | Sequential | Incremental -> false)
   then Error "gc_engine: parallel domain count must be in [2, 64]"
   else if t.gc_slice_budget < 1 then Error "gc_slice_budget must be >= 1"
   else if t.admission_retry_cap < 0 then Error "admission_retry_cap must be >= 0"
@@ -236,4 +279,21 @@ let validate t =
     Error "storm_cooldown_rounds must be >= 1"
   else if t.liveness_boost < 0 || t.liveness_boost > 6 then
     Error "liveness_boost must be in [0, 6]"
+  else if (match t.pause_slo_p99_ns with Some n -> n < 1 | None -> false) then
+    Error "pause_slo_p99_ns must be >= 1"
+  else if
+    t.pause_slo_p99_ns <> None
+    && (match t.gc_engine with
+       | Sequential | Parallel _ -> true
+       | Incremental | Sliced_bsp _ -> false)
+  then
+    Error
+      "pause_slo_p99_ns requires a sliced engine (inc or bsp): the seq/par \
+       engines pause for whole collections, so no slice budget can hold the \
+       SLO"
+  else if t.slo_budget_floor < 1 then Error "slo_budget_floor must be >= 1"
+  else if t.slo_domains < 2 || t.slo_domains > 64 then
+    Error "slo_domains must be in [2, 64]"
+  else if t.slo_escalate_permille < 1 || t.slo_escalate_permille > 1000 then
+    Error "slo_escalate_permille must be in [1, 1000]"
   else Ok t

@@ -20,9 +20,15 @@ type gc_engine =
       (** the pause-bounded marker: the in-use closure runs in slices of
           at most [gc_slice_budget] objects. Reclamation outcomes are
           identical to [Sequential] by construction *)
+  | Sliced_bsp of int
+      (** the par+inc composition: BSP parallel marking on that many
+          domains (range [2, 64]) with each round's packets merged in
+          bounded groups, so pause slices stay under [gc_slice_budget]
+          objects while the marking itself is parallel. Outcomes are
+          again identical to [Sequential] by construction *)
 
 val gc_engine_to_string : gc_engine -> string
-(** ["seq"], ["par<n>"], ["inc"]. *)
+(** ["seq"], ["par<n>"], ["inc"], ["bsp<n>"]. *)
 
 type liveness_mode =
   | Liveness_off
@@ -101,9 +107,10 @@ type t = {
           engines by construction — only scheduling (and therefore the
           pause profile) differs. *)
   gc_slice_budget : int;
-      (** maximum objects one incremental mark slice may scan before
-          yielding (the [Incremental] engine's pause bound); ignored by
-          the other engines. Default 256; must be [>= 1]. *)
+      (** maximum objects one mark slice may scan before yielding (the
+          [Incremental] and [Sliced_bsp] engines' pause bound, and
+          their sweep segment size in slots); ignored by the monolithic
+          engines. Default 256; must be [>= 1]. *)
   admission_retry_cap : int;
       (** fleet admission control: how many times one queued request may
           be re-offered to a tenant under disk backpressure before the
@@ -159,6 +166,30 @@ type t = {
           verdict lowers the [min_candidate_stale] floor for that edge
           type — the floor never drops below 1, and the [maxstaleuse]
           guard still applies; range [0, 6]; default 1 *)
+  pause_slo_p99_ns : int option;
+      (** the pause SLO: target 99th-percentile pause, in nanoseconds.
+          [Some target] arms the [Lp_slo.Autopilot] — the VM retunes
+          the slice budget between collections from wall-clock pause
+          feedback and may switch engines per collection. Requires a
+          sliced engine ([Incremental] or [Sliced_bsp]); when no engine
+          is chosen explicitly, {!make} defaults it to [Incremental].
+          Outcome-neutral by construction: budgets and engine choice
+          only move slice boundaries. Default [None] (autopilot off) *)
+  slo_budget_floor : int;
+      (** the deterministic object-count floor under the autopilot's
+          nanosecond-denominated budget: a retuned slice budget never
+          drops below this many objects, so the count-based CI gates
+          stay meaningful however slow the host; must be [>= 1];
+          default 32 *)
+  slo_domains : int;
+      (** domains the autopilot's [Sliced_bsp] escalation engine runs
+          on when SELECT predicts a large stale closure; range
+          [2, 64]; default 2 *)
+  slo_escalate_permille : int;
+      (** escalate to [Sliced_bsp] when the last SELECT's predicted
+          stale-closure size exceeds this fraction (in per-mille) of
+          the heap limit — a deterministic signal, so engine switching
+          is reproducible run to run; range [1, 1000]; default 125 *)
 }
 
 val default : t
@@ -200,6 +231,10 @@ val make :
   ?storm_cooldown_rounds:int ->
   ?liveness_mode:liveness_mode ->
   ?liveness_boost:int ->
+  ?pause_slo_p99_ns:int ->
+  ?slo_budget_floor:int ->
+  ?slo_domains:int ->
+  ?slo_escalate_permille:int ->
   unit ->
   t
 (** [gc_domains] is kept as a legacy alias for the engine selection
@@ -208,7 +243,7 @@ val make :
 
 val gc_domains : t -> int
 (** The collector domain count the engine selection implies
-    ([Parallel n] gives [n]; everything else 1). *)
+    ([Parallel n] and [Sliced_bsp n] give [n]; everything else 1). *)
 
 val validate : t -> (t, string) result
 (** Checks threshold ordering and ranges. *)

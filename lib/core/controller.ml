@@ -16,8 +16,9 @@ type t = {
   mutable epoch_mispredictions : int;  (* since the last PRUNE collection *)
   metrics : Lp_obs.Metrics.t;
   mutable sink : Lp_obs.Sink.t option;
-  engine : Trace_engine.t;
-      (* the one tracing engine every phase dispatches through *)
+  mutable engine : Trace_engine.t;
+      (* the one tracing engine every phase dispatches through; swapped
+         only between collections (Vm.switch_engine / the autopilot) *)
   mutable mark_wall_ns : int;  (* wall time spent in mark phases *)
   (* The static liveness oracle, lowered to runtime ids by the harness
      (lp_core never sees lp_liveness — only the closures). [prior] must
@@ -80,6 +81,15 @@ let set_sink t sink = t.sink <- sink
 let sink t = t.sink
 
 let engine t = t.engine
+
+(* Engine swap, legal only at a collection boundary: [collect] reads
+   [t.engine] afresh at every phase of one collection, so installing a
+   new engine between [collect] calls can never split a collection
+   across engines. Outcome-safety is the engines' determinism contract
+   — all of them produce identical reclamation outcomes — which is
+   what makes wall-clock-driven switching (the pause-SLO autopilot)
+   sound. *)
+let set_engine t engine = t.engine <- engine
 
 let mark_wall_ns t = t.mark_wall_ns
 

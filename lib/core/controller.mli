@@ -55,6 +55,14 @@ val sink : t -> Lp_obs.Sink.t option
 val engine : t -> Trace_engine.t
 (** The tracing engine this controller dispatches through. *)
 
+val set_engine : t -> Trace_engine.t -> unit
+(** Installs a new tracing engine. Legal only between collections —
+    {!collect} reads the engine at every phase, so a mid-collection
+    swap would split one collection across engines. Safe at any
+    boundary because every engine produces identical reclamation
+    outcomes (the determinism contract); this is the seam the
+    pause-SLO autopilot switches engines through. *)
+
 val mark_wall_ns : t -> int
 (** Cumulative wall-clock nanoseconds spent in mark phases (both
     engines) — the numerator of the bench's mark-phase throughput. *)

@@ -36,6 +36,12 @@ type spec = {
           tenant's controller (when its workload publishes bytecode) —
           reinstalled on every restart, like the rest of the VM
           configuration. [Liveness_off] changes nothing. *)
+  pause_slo_p99_ns : int option;
+      (** per-tenant pause SLO: [Some target] arms this tenant's
+          pause-SLO autopilot ({!Lp_core.Config.pause_slo_p99_ns}) —
+          re-armed fresh on every restart, like the rest of the VM
+          configuration. Outcome-neutral, so mixed-SLO fleets keep the
+          determinism oracle intact. [None] changes nothing. *)
 }
 
 exception Verifier_failed of string

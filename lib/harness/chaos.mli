@@ -59,7 +59,11 @@ type report = {
       (** the run's event log, oldest first — empty unless
           [trace_capacity] was passed to {!run_one}. Events carry only
           scalars, so reports (trace included) remain structurally
-          comparable, which the reproduce check relies on. *)
+          comparable, which the reproduce check relies on. Exception:
+          with the pause-SLO autopilot armed, a traced run may contain
+          [Slo_adjust] events, whose budgets derive from wall-clock
+          feedback — filter the trace with {!Lp_obs.Event.deterministic}
+          (or run untraced) before comparing two such runs. *)
   trace_dropped : int;
       (** events the ring dropped (0 means [trace] is complete) *)
 }
@@ -74,6 +78,7 @@ val run_one :
   ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?pause_slo_p99_ns:int ->
   ?liveness:Lp_core.Config.liveness_mode ->
   ?steps:int ->
   ?trace_capacity:int ->
@@ -98,6 +103,12 @@ val run_one :
     configurations. [trace_capacity] attaches an event sink of that
     capacity before the first step; the log lands in {!report.trace}.
     Tracing never changes a run's behaviour — only its observation.
+    [pause_slo_p99_ns] arms the pause-SLO autopilot
+    ({!Lp_core.Config.pause_slo_p99_ns}): the slice budget is then
+    retuned from wall-clock feedback between collections — which keeps
+    every scalar report field bit-identical run to run all the same,
+    because budgets are outcome-neutral and the autopilot's engine
+    choice keys off a deterministic signal.
     [liveness] (default [Liveness_off]) installs the static liveness
     oracle over a bytecode model of the chaos program before the first
     step; off mode leaves every report byte-identical to builds without
@@ -108,6 +119,7 @@ val shrink :
   ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?pause_slo_p99_ns:int ->
   ?liveness:Lp_core.Config.liveness_mode ->
   ?steps:int ->
   seed:int ->
@@ -123,6 +135,7 @@ val run_seeds :
   ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?pause_slo_p99_ns:int ->
   ?liveness:Lp_core.Config.liveness_mode ->
   ?steps:int ->
   ?progress:(report -> unit) ->

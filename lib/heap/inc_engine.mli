@@ -1,12 +1,19 @@
-(** Pause-bounded incremental marking engine.
+(** Pause-bounded incremental engine.
 
     Runs the in-use closure in budgeted slices: the same DFS, work
     queue and {!Trace_common.scan_object} as the sequential collector,
-    yielding every [slice_budget] scanned objects. Marked set, deferred
-    candidate order, staleness ticks and every {!Gc_stats} counter are
-    bit-identical to {!Collector.mark} by construction — only the pause
-    profile changes. Each slice lands as its own pause sample in
-    {!Trace_engine.t.take_pauses}, and no slice ever scans more than
+    yielding every [slice_budget] scanned objects. The stale closure is
+    sliced the same way, and the sweep runs through
+    {!Trace_common.sliced_sweep} in segments of [slice_budget] slots —
+    so no phase of a collection pauses for longer than one budgeted
+    slice, and the monolithic sweep remainder that used to dominate
+    this engine's pause profile is gone. Marked set, deferred candidate
+    order, staleness ticks, free order and every {!Gc_stats} counter
+    are bit-identical to the {!Collector} phases by construction — only
+    the pause profile changes. Each slice lands as its own
+    phase-tagged pause sample in {!Trace_engine.t.take_pauses}
+    ([Mark_slice] for mark and stale-closure slices, [Sweep_slice] per
+    sweep segment), and no mark slice ever scans more than
     [slice_budget] objects ({!Trace_engine.t.max_slice_work} proves it).
 
     Mutations performed while a mark is in progress are reported through
@@ -22,13 +29,20 @@ type t
 
 val create : slice_budget:int -> unit -> t
 (** [slice_budget] is the maximum number of objects one mark slice may
-    scan ([>= 1]; [Invalid_argument] otherwise). *)
+    scan, and the sweep segment size in slots ([>= 1];
+    [Invalid_argument] otherwise). *)
 
 val engine : t -> Trace_engine.t
-(** The {!Trace_engine} view: incremental mark, sequential stale
-    closure and sweep, write logging armed while marking. *)
+(** The {!Trace_engine} view: incremental mark, sliced stale closure
+    and sweep, write logging armed while marking. *)
 
 val slice_budget : t -> int
+
+val set_slice_budget : t -> int -> unit
+(** Retunes the budget between collections (the pause-SLO autopilot's
+    actuator). Outcome-neutral by construction — the budget only moves
+    slice boundaries. [Invalid_argument] if the budget is [< 1] or a
+    mark phase is in progress. *)
 
 val slices : t -> int
 (** Mark slices run so far, across all collections. *)

@@ -146,6 +146,41 @@ let canonical_candidates deferred =
       | c -> c)
     deferred
 
+(* The bounded-segment sweep shared by the sliced engines. Segments are
+   walked in DESCENDING slot order and each segment's dead are freed
+   before the next segment is scanned: within a segment the dead list is
+   built by consing during an ascending range walk (so it comes out
+   descending), which makes the overall free order strictly descending —
+   exactly [Collector.sweep]'s order, keeping [Store] free-id recycling
+   identical. Header writes and byte totals are per-object and
+   order-independent, so every other outcome matches too. [on_segment]
+   fires after each segment, where a sliced engine records one
+   [Sweep_slice] pause sample. *)
+let sliced_sweep store ~stats ~seg_slots ~on_segment =
+  let n_slots = Store.slot_count store in
+  let seg = max 1 seg_slots in
+  let n_segs = (n_slots + seg - 1) / seg in
+  let live = ref 0 in
+  for i = n_segs - 1 downto 0 do
+    let lo = i * seg and hi = min n_slots ((i + 1) * seg) in
+    let dead = ref [] in
+    Store.iter_live_range store ~lo ~hi (fun obj ->
+        if Header.marked obj.Heap_obj.header then begin
+          obj.Heap_obj.header <- Header.clear_gc_bits obj.Heap_obj.header;
+          live := !live + obj.Heap_obj.size_bytes
+        end
+        else dead := obj :: !dead);
+    List.iter
+      (fun (obj : Heap_obj.t) ->
+        stats.Gc_stats.objects_swept <- stats.Gc_stats.objects_swept + 1;
+        stats.Gc_stats.bytes_reclaimed <-
+          stats.Gc_stats.bytes_reclaimed + obj.Heap_obj.size_bytes;
+        Store.free store obj)
+      !dead;
+    on_segment ()
+  done;
+  Store.set_live_bytes store !live
+
 (* Combines the split Individual_refs byte-accounting pair into the
    per-edge note hook [scan_field] expects. Engines that evaluate and
    apply at the same point (sequential, incremental) use this; the

@@ -101,6 +101,20 @@ val canonical_candidates : edge list -> edge list
     outcomes independent of traversal strategy, slice budget and domain
     count. *)
 
+val sliced_sweep :
+  Store.t ->
+  stats:Gc_stats.t ->
+  seg_slots:int ->
+  on_segment:(unit -> unit) ->
+  unit
+(** The bounded-segment sweep shared by the sliced engines: the store's
+    slot range is swept in segments of [seg_slots] slots, walked in
+    descending order with each segment's dead freed immediately, which
+    reproduces [Collector.sweep]'s strictly descending free order (and
+    therefore identical free-id recycling) while bounding the work done
+    between [on_segment] callbacks — the points where a sliced engine
+    records one [Sweep_slice] pause sample. *)
+
 val note_fn :
   ?edge_note:(edge -> (int * int * int) option) ->
   ?apply_note:(int * int * int -> unit) ->

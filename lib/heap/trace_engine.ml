@@ -1,3 +1,15 @@
+(* What kind of mutator-visible pause a sample measures. Sliced engines
+   report one [Mark_slice] per bounded mark/stale-closure slice and one
+   [Sweep_slice] per store segment swept; engines that stop the world
+   for the whole collection report nothing, and the VM accounts the
+   entire collection as one [Monolithic] sample. *)
+type pause_phase = Mark_slice | Sweep_slice | Monolithic
+
+let pause_phase_name = function
+  | Mark_slice -> "mark_slice"
+  | Sweep_slice -> "sweep_slice"
+  | Monolithic -> "monolithic"
+
 type t = {
   name : string;
   mark :
@@ -24,7 +36,7 @@ type t = {
   minor_drain :
     (Store.t -> queue:int array -> slots_scanned:int ref -> unit) option;
   note_mutation : (src:Heap_obj.t -> field:int -> unit) option;
-  take_pauses : unit -> int list;
+  take_pauses : unit -> (pause_phase * int) list;
   max_slice_work : unit -> int;
   shutdown : unit -> unit;
 }

@@ -21,6 +21,16 @@
     the test suite enforces this). Only scheduling — and therefore wall
     time — differs. *)
 
+type pause_phase = Mark_slice | Sweep_slice | Monolithic
+(** What kind of mutator-visible pause a sample measures: a bounded
+    mark (or stale-closure) slice, a bounded sweep segment, or a whole
+    stop-the-world collection. Benches and the pause-SLO autopilot
+    dispatch on the tag; before it existed the monolithic sweep
+    remainder was indistinguishable from a slice sample. *)
+
+val pause_phase_name : pause_phase -> string
+(** ["mark_slice"], ["sweep_slice"], ["monolithic"]. *)
+
 type t = {
   name : string;  (** display label: ["seq"], ["par4"], ["inc64"], ... *)
   mark :
@@ -65,10 +75,11 @@ type t = {
           boundaries; collections in this VM are stop-the-world, so the
           log stays empty in practice and the replay machinery is the
           safety net that would make genuinely concurrent slices sound. *)
-  take_pauses : unit -> int list;
-      (** Drains the engine's recorded pause slices (wall nanoseconds,
-          oldest first) since the last call. Whole-pause engines return
-          [[]]; the VM then accounts the full collection as one pause. *)
+  take_pauses : unit -> (pause_phase * int) list;
+      (** Drains the engine's recorded pause slices (phase tag and wall
+          nanoseconds, oldest first) since the last call. Whole-pause
+          engines return [[]]; the VM then accounts the full collection
+          as one [Monolithic] pause. *)
   max_slice_work : unit -> int;
       (** Largest number of objects scanned in a single mark slice so
           far (0 for non-incremental engines) — the deterministic

@@ -47,6 +47,8 @@ type t =
   | Liveness_verdict of { src_class : int; field : int; depth : int }
   | Liveness_veto of { src_class : int; field : int }
   | Liveness_boost of { src_class : int; field : int }
+  | Slo_adjust of { gc : int; budget : int; p99_ns : int }
+  | Engine_switch of { gc : int; from_engine : string; to_engine : string }
 
 type stamped = { seq : int; at : int; ev : t }
 
@@ -89,6 +91,16 @@ let type_name = function
   | Liveness_verdict _ -> "liveness_verdict"
   | Liveness_veto _ -> "liveness_veto"
   | Liveness_boost _ -> "liveness_boost"
+  | Slo_adjust _ -> "slo_adjust"
+  | Engine_switch _ -> "engine_switch"
+
+(* Almost every event is a deterministic function of program, seed and
+   configuration. [Slo_adjust] is the one exception: its budget is
+   derived from wall-clock pause feedback, so two runs of the same
+   program may emit different budgets (reclamation outcomes stay
+   identical — budgets only move slice boundaries). Run-twice trace
+   comparisons filter on this. *)
+let deterministic = function Slo_adjust _ -> false | _ -> true
 
 (* Span events open (`B`) and close (`E`) a nested duration in the
    Chrome trace; everything else is instantaneous. *)

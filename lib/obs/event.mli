@@ -117,6 +117,17 @@ type t =
   | Liveness_boost of { src_class : int; field : int }
       (** the oracle's never-read verdict qualified a reference that
           dynamic staleness alone would not have selected *)
+  | Slo_adjust of { gc : int; budget : int; p99_ns : int }
+      (** the pause-SLO autopilot retuned the slice budget after
+          collection [gc]: [budget] is the new object-count budget,
+          [p99_ns] the observed p99 pause that drove the adjustment.
+          The only {e non-deterministic} event (see {!deterministic}):
+          budgets derive from wall-clock feedback *)
+  | Engine_switch of { gc : int; from_engine : string; to_engine : string }
+      (** the autopilot swapped tracing engines before collection [gc]
+          (engine names as in {!Lp_core.Config.gc_engine_to_string}).
+          Deterministic: escalation keys off SELECT's predicted
+          stale-closure size, not wall time *)
 
 type stamped = { seq : int; at : int; ev : t }
 (** [seq] is a per-sink sequence number (total order even between events
@@ -133,3 +144,9 @@ val span_label : t -> string
 (** The label shared by a span's begin and end events (["gc#3"],
     ["gc#3/mark"], ["gc#3/mark/w2"], ["minor#7"]); begin/end pairs carry
     equal labels. *)
+
+val deterministic : t -> bool
+(** Whether the event is a deterministic function of program, seed and
+    configuration. [false] only for {!Slo_adjust}, whose budget derives
+    from wall-clock pause feedback; run-twice trace comparisons must
+    filter events this predicate rejects. *)

@@ -84,6 +84,10 @@ let fields ~cls (ev : Event.t) =
     [ s "src_class" (cls src_class); i "field" field ]
   | Event.Liveness_boost { src_class; field } ->
     [ s "src_class" (cls src_class); i "field" field ]
+  | Event.Slo_adjust { gc; budget; p99_ns } ->
+    [ i "gc" gc; i "budget" budget; i "p99_ns" p99_ns ]
+  | Event.Engine_switch { gc; from_engine; to_engine } ->
+    [ i "gc" gc; s "from" from_engine; s "to" to_engine ]
 
 let members l =
   String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) l)

@@ -59,10 +59,21 @@ type t = {
   mutable pooled_rounds : int;
   mutable packet_recoveries : int;
   mutable steal_races : int;
+  (* Sliced-BSP mode: when set, each BSP round's packets are executed
+     and merged in groups of at most [slice_budget / packet_size]
+     packets, every group recorded as one bounded pause slice, and the
+     sweep runs through [Trace_common.sliced_sweep]. [None] is the
+     classic whole-round engine. *)
+  mutable slice_budget : int option;
+  mutable pauses : (Trace_engine.pause_phase * int) list;  (* reverse *)
+  mutable max_slice : int;  (* most frontier objects scanned per slice *)
 }
 
-let create ?(packet_size = 32) ?(inline_threshold = 16) pool =
+let create ?(packet_size = 32) ?(inline_threshold = 16) ?slice_budget pool =
   if packet_size < 1 then invalid_arg "Par_engine.create: packet_size < 1";
+  (match slice_budget with
+  | Some b when b < 1 -> invalid_arg "Par_engine.create: slice_budget < 1"
+  | Some _ | None -> ());
   let d = Domain_pool.domains pool in
   {
     pool;
@@ -75,7 +86,26 @@ let create ?(packet_size = 32) ?(inline_threshold = 16) pool =
     pooled_rounds = 0;
     packet_recoveries = 0;
     steal_races = 0;
+    slice_budget;
+    pauses = [];
+    max_slice = 0;
   }
+
+let slice_budget t = t.slice_budget
+
+let set_slice_budget t budget =
+  if budget < 1 then invalid_arg "Par_engine.set_slice_budget: budget < 1";
+  match t.slice_budget with
+  | None ->
+    invalid_arg "Par_engine.set_slice_budget: engine is not in sliced mode"
+  | Some _ -> t.slice_budget <- Some budget
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let record_pause t phase slice_start =
+  let now = now_ns () in
+  t.pauses <- (phase, now - !slice_start) :: t.pauses;
+  slice_start := now
 
 let domains t = Domain_pool.domains t.pool
 
@@ -369,7 +399,22 @@ let attribute_work shards packets =
     packets
 
 (* Drives rounds until the frontier is empty. [frontier] and [next] are
-   swapped between rounds. *)
+   swapped between rounds.
+
+   In sliced-BSP mode a round's packets are executed and merged in
+   groups of at most [slice_budget / packet_size] packets, one pause
+   sample per group. The grouped schedule is outcome-identical to the
+   whole-round schedule: a later group's scan may see mark bits set by
+   an earlier group's merge, but the only consequence is that a target
+   already marked is skipped at scan time instead of at the merge's
+   [not marked] dedup — the surviving discoveries, their packet-index
+   order (and thus the next frontier), every counter (fields_scanned
+   counts non-null fields regardless of marks) and all field writes
+   (packets only touch their own objects' words, and a frontier object
+   belongs to exactly one packet) are unchanged. Seal recovery also
+   stays exact: a group's recovery runs after its own scan and before
+   its own merge, so it recomputes against precisely the mark state the
+   worker saw. *)
 let run_closure t store ~gc ~config ~edge_note ~apply_note ~stats ~claim
     ~deferred_acc ~shards frontier =
   let next = buf_make 64 in
@@ -377,12 +422,35 @@ let run_closure t store ~gc ~config ~edge_note ~apply_note ~stats ~claim
   while !frontier.len > 0 do
     let f = !frontier in
     let packets = make_packets t f.len in
-    execute_round t ~frontier_len:f.len
-      ~scan:(scan_packet store ~config ~edge_note f)
-      packets;
-    attribute_work shards packets;
-    merge_round t store ~gc ~config ~apply_note ~stats ~claim ~deferred_acc f
-      !next packets;
+    (match t.slice_budget with
+    | None ->
+      execute_round t ~frontier_len:f.len
+        ~scan:(scan_packet store ~config ~edge_note f)
+        packets;
+      attribute_work shards packets;
+      merge_round t store ~gc ~config ~apply_note ~stats ~claim ~deferred_acc f
+        !next packets
+    | Some budget ->
+      let group_sz = max 1 (budget / t.packet_size) in
+      let n = Array.length packets in
+      let start = ref 0 in
+      let slice_start = ref (now_ns ()) in
+      while !start < n do
+        let len = min group_sz (n - !start) in
+        let group = Array.sub packets !start len in
+        execute_round t ~frontier_len:f.len
+          ~scan:(scan_packet store ~config ~edge_note f)
+          group;
+        attribute_work shards group;
+        merge_round t store ~gc ~config ~apply_note ~stats ~claim ~deferred_acc
+          f !next group;
+        let scanned =
+          Array.fold_left (fun acc p -> acc + (p.hi - p.lo)) 0 group
+        in
+        if scanned > t.max_slice then t.max_slice <- scanned;
+        record_pause t Trace_engine.Mark_slice slice_start;
+        start := !start + len
+      done);
     f.len <- 0;
     let tmp = !frontier in
     frontier := !next;
@@ -450,7 +518,20 @@ let end_stale t ~gc ~events =
 
 (* --- parallel sweep ------------------------------------------------ *)
 
+let sliced_sweep t store ~stats ~budget =
+  let slice_start = ref (now_ns ()) in
+  Trace_common.sliced_sweep store ~stats ~seg_slots:budget
+    ~on_segment:(fun () ->
+      record_pause t Trace_engine.Sweep_slice slice_start)
+
 let sweep t ~gc ?events store ~stats =
+  match t.slice_budget with
+  (* Sliced mode: the pause bound matters more than sweep parallelism
+     (segments swept on the pool would all land inside one pause), so
+     sweep bounded segments on the coordinator; the shared helper
+     reproduces the sequential free order. *)
+  | Some budget -> sliced_sweep t store ~stats ~budget
+  | None ->
   let n_slots = Store.slot_count store in
   let d = domains t in
   if d = 1 || n_slots < t.inline_threshold then Collector.sweep store ~stats
@@ -560,7 +641,10 @@ let minor_drain t store ~queue ~slots_scanned =
 
 let engine t =
   {
-    Trace_engine.name = Printf.sprintf "par%d" (domains t);
+    Trace_engine.name =
+      (match t.slice_budget with
+      | Some _ -> Printf.sprintf "bsp%d" (domains t)
+      | None -> Printf.sprintf "par%d" (domains t));
     mark =
       (fun ~gc ?edge_note ?apply_note store roots ~stats ~config ->
         mark t ~gc ?edge_note ?apply_note store roots ~stats ~config);
@@ -576,7 +660,11 @@ let engine t =
         (fun store ~queue ~slots_scanned ->
           minor_drain t store ~queue ~slots_scanned);
     note_mutation = None;
-    take_pauses = (fun () -> []);
-    max_slice_work = (fun () -> 0);
+    take_pauses =
+      (fun () ->
+        let p = List.rev t.pauses in
+        t.pauses <- [];
+        p);
+    max_slice_work = (fun () -> t.max_slice);
     shutdown = (fun () -> Domain_pool.shutdown t.pool);
   }

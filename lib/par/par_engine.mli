@@ -34,13 +34,37 @@
 
 type t
 
-val create : ?packet_size:int -> ?inline_threshold:int -> Domain_pool.t -> t
+val create :
+  ?packet_size:int ->
+  ?inline_threshold:int ->
+  ?slice_budget:int ->
+  Domain_pool.t ->
+  t
 (** [packet_size] (default 32) objects per work packet;
     [inline_threshold] (default 16): frontiers smaller than this are
     scanned by the coordinator without waking the pool. Neither affects
-    any collection outcome — only scheduling. *)
+    any collection outcome — only scheduling.
+
+    [slice_budget] switches the engine into sliced-BSP mode (the
+    par+inc composition): each BSP round's packets are executed and
+    merged in groups of at most [slice_budget / packet_size] packets —
+    so no pause slice scans more than ~[slice_budget] frontier objects
+    — and the sweep runs through {!Lp_heap.Trace_common.sliced_sweep}
+    in [slice_budget]-slot segments. Every slice lands as a
+    phase-tagged pause sample in the engine's [take_pauses]. The
+    grouped schedule is outcome-identical to the whole-round schedule
+    (see the argument in the implementation); the differential oracle
+    enforces it. *)
 
 val domains : t -> int
+
+val slice_budget : t -> int option
+(** [Some budget] iff the engine is in sliced-BSP mode. *)
+
+val set_slice_budget : t -> int -> unit
+(** Retunes the slice budget between collections (the pause-SLO
+    autopilot's actuator); outcome-neutral. [Invalid_argument] if the
+    budget is [< 1] or the engine is not in sliced mode. *)
 
 val mark :
   t ->
@@ -127,4 +151,5 @@ val steal_races : t -> int
 val engine : t -> Lp_heap.Trace_engine.t
 (** The {!Lp_heap.Trace_engine} view of this engine: parallel mark,
     stale closure, sweep and minor drain; [shutdown] joins the
-    underlying domain pool (idempotent). *)
+    underlying domain pool (idempotent). Named ["par<d>"], or
+    ["bsp<d>"] in sliced mode. *)

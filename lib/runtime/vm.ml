@@ -25,13 +25,23 @@ type t = {
   remset : Remset.t;
   fault : Lp_fault.Fault_plan.t option;
   (* The tracing engine behind every full collection
-     (Config.gc_engine); constructed once here and reused until
-     [shutdown]. [par] keeps the concrete parallel engine around for
-     fault arming and introspection when that engine is selected. *)
-  engine : Trace_engine.t;
-  par : Lp_par.Par_engine.t option;
+     (Config.gc_engine). Mutable: the pause-SLO autopilot swaps
+     engines between collections ([switch_engine]); [par]/[inc] keep
+     the concrete engine around for fault arming, budget retuning and
+     introspection when that engine is current. [cur_engine] is the
+     Config-level spec of the engine installed right now. *)
+  mutable engine : Trace_engine.t;
+  mutable par : Lp_par.Par_engine.t option;
+  mutable inc : Inc_engine.t option;
+  mutable cur_engine : Lp_core.Config.gc_engine;
+  (* Slice high-water marks of engines already shut down by a switch;
+     [max_slice_work] folds the live engine's figure over this. *)
+  mutable max_slice_seen : int;
+  autopilot : Lp_slo.Autopilot.t option;
   mutable gc_pause_ns : int;  (* wall time inside full collections *)
-  mutable pause_samples_ns : int list;  (* reverse order *)
+  (* phase-tagged wall-clock pause samples, reverse order *)
+  mutable pause_samples : (Trace_engine.pause_phase * int) list;
+  pause_hist : Lp_obs.Metrics.histogram;
   mutable corruptions_injected : int;
   mutable minor_collections : int;
   mutable cycles : int;
@@ -46,6 +56,25 @@ type t = {
   staleness_series : Lp_obs.Metrics.series;
   mutable sink : Lp_obs.Sink.t option;
 }
+
+(* Builds the concrete engine behind a Config-level spec. [budget] is
+   the slice budget the sliced engines start with — the config's
+   [gc_slice_budget] at VM creation, the autopilot's current budget at
+   a switch (the monolithic engines ignore it). *)
+let build_engine ~budget spec =
+  match spec with
+  | Lp_core.Config.Sequential -> (Trace_engine.sequential (), None, None)
+  | Lp_core.Config.Parallel domains ->
+    let pool = Lp_par.Domain_pool.create ~domains in
+    let pe = Lp_par.Par_engine.create pool in
+    (Lp_par.Par_engine.engine pe, Some pe, None)
+  | Lp_core.Config.Incremental ->
+    let ie = Inc_engine.create ~slice_budget:budget () in
+    (Inc_engine.engine ie, None, Some ie)
+  | Lp_core.Config.Sliced_bsp domains ->
+    let pool = Lp_par.Domain_pool.create ~domains in
+    let pe = Lp_par.Par_engine.create ~slice_budget:budget pool in
+    (Lp_par.Par_engine.engine pe, Some pe, None)
 
 let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
     ?(charge_barriers = true) ?disk ?swap_backend ?swap_store
@@ -122,18 +151,18 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
              image
              (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Swap)))
   | None -> ());
-  let engine, par =
-    match config.Lp_core.Config.gc_engine with
-    | Lp_core.Config.Sequential -> (Trace_engine.sequential (), None)
-    | Lp_core.Config.Parallel domains ->
-      let pool = Lp_par.Domain_pool.create ~domains in
-      let pe = Lp_par.Par_engine.create pool in
-      (Lp_par.Par_engine.engine pe, Some pe)
-    | Lp_core.Config.Incremental ->
-      let ie =
-        Inc_engine.create ~slice_budget:config.Lp_core.Config.gc_slice_budget ()
-      in
-      (Inc_engine.engine ie, None)
+  let engine, par, inc = build_engine ~budget:config.Lp_core.Config.gc_slice_budget
+      config.Lp_core.Config.gc_engine in
+  let autopilot =
+    match config.Lp_core.Config.pause_slo_p99_ns with
+    | Some target_p99_ns ->
+      Some
+        (Lp_slo.Autopilot.create ~target_p99_ns
+           ~floor:config.Lp_core.Config.slo_budget_floor
+           ~domains:config.Lp_core.Config.slo_domains
+           ~escalate_permille:config.Lp_core.Config.slo_escalate_permille
+           ~init_budget:config.Lp_core.Config.gc_slice_budget)
+    | None -> None
   in
   let controller = Lp_core.Controller.create ~metrics ~engine config registry in
   {
@@ -156,8 +185,13 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
     fault;
     engine;
     par;
+    inc;
+    cur_engine = config.Lp_core.Config.gc_engine;
+    max_slice_seen = 0;
+    autopilot;
     gc_pause_ns = 0;
-    pause_samples_ns = [];
+    pause_samples = [];
+    pause_hist = Lp_obs.Metrics.histogram metrics "gc.pause_ns";
     corruptions_injected = 0;
     minor_collections = 0;
     cycles = 0;
@@ -212,26 +246,83 @@ let resurrection_enabled t = t.resurrection
 let warm_boot t = t.warm_boot
 let charge_barriers t = t.charge_barriers
 
-let gc_engine t =
-  (Lp_core.Controller.config t.controller).Lp_core.Config.gc_engine
+(* The engine currently installed — the config's engine until the
+   autopilot's first switch. *)
+let gc_engine t = t.cur_engine
 
 let gc_domains t =
-  Lp_core.Config.gc_domains (Lp_core.Controller.config t.controller)
+  match t.cur_engine with
+  | Lp_core.Config.Parallel n | Lp_core.Config.Sliced_bsp n -> n
+  | Lp_core.Config.Sequential | Lp_core.Config.Incremental -> 1
 
 let par_engine t = t.par
 
+let autopilot t = t.autopilot
+
 let gc_pause_ns t = t.gc_pause_ns
 
-let pause_samples_ns t = List.rev t.pause_samples_ns
+let pause_samples t = List.rev t.pause_samples
 
-let max_pause_ns t = List.fold_left max 0 t.pause_samples_ns
+let pause_samples_ns t = List.rev_map snd t.pause_samples
 
-let max_slice_work t = t.engine.Trace_engine.max_slice_work ()
+let max_pause_ns t =
+  List.fold_left (fun acc (_, ns) -> max acc ns) 0 t.pause_samples
 
-(* Releases whatever the engine holds (the parallel engine joins its
+let max_slice_work t =
+  max t.max_slice_seen (t.engine.Trace_engine.max_slice_work ())
+
+(* Releases whatever the engine holds (the parallel engines join their
    collector domains; the others hold nothing). Idempotent; callers
    shut down when they are done with the VM. *)
 let shutdown t = t.engine.Trace_engine.shutdown ()
+
+(* Retunes the live engine's slice budget in place (the autopilot's
+   cheap actuator, when no engine switch is due). No-op on monolithic
+   engines — the autopilot never installs one, but a user-forced
+   sliced engine under SLO keeps working through this same path. *)
+let apply_budget t budget =
+  match (t.inc, t.par) with
+  | Some ie, _ -> Inc_engine.set_slice_budget ie budget
+  | None, Some pe when Lp_par.Par_engine.slice_budget pe <> None ->
+    Lp_par.Par_engine.set_slice_budget pe budget
+  | None, (Some _ | None) -> ()
+
+(* Engine swap at a collection boundary. Safe exactly because every
+   engine produces identical reclamation outcomes (the determinism
+   contract): the next collection's marked set, counters and free
+   order do not depend on which engine ran the previous one. The
+   outgoing engine's deterministic slice high-water mark is folded
+   into [max_slice_seen] before it is shut down, so [max_slice_work]
+   stays a whole-run figure across switches. *)
+let switch_engine t spec =
+  if spec <> t.cur_engine then begin
+    let from_engine = t.engine.Trace_engine.name in
+    t.max_slice_seen <-
+      max t.max_slice_seen (t.engine.Trace_engine.max_slice_work ());
+    t.engine.Trace_engine.shutdown ();
+    let budget =
+      match t.autopilot with
+      | Some ap -> Lp_slo.Autopilot.budget ap
+      | None ->
+        (Lp_core.Controller.config t.controller).Lp_core.Config.gc_slice_budget
+    in
+    let engine, par, inc = build_engine ~budget spec in
+    t.engine <- engine;
+    t.par <- par;
+    t.inc <- inc;
+    t.cur_engine <- spec;
+    Lp_core.Controller.set_engine t.controller engine;
+    match t.sink with
+    | Some s ->
+      Lp_obs.Sink.emit s
+        (Lp_obs.Event.Engine_switch
+           {
+             gc = t.stats.Gc_stats.collections + 1;
+             from_engine;
+             to_engine = engine.Trace_engine.name;
+           })
+    | None -> ()
+  end
 let remset t = t.remset
 let fault_plan t = t.fault
 let corruptions_injected t = t.corruptions_injected
@@ -506,18 +597,26 @@ let run_gc t =
     int_of_float ((Unix.gettimeofday () -. pause_start) *. 1e9)
   in
   t.gc_pause_ns <- t.gc_pause_ns + total_ns;
-  (* Pause samples: an engine that slices its mark phase reports one
-     sample per slice; whatever the collection spent outside those
-     slices (stale closures, sweep, disk) is one remainder sample. A
-     monolithic engine contributes the whole collection as one sample. *)
+  (* Pause samples: a sliced engine reports one phase-tagged sample
+     per slice; whatever the collection spent outside those slices
+     (finalizer scan, phase glue, disk) is folded into the LAST slice
+     rather than reported as a separate sample — so [Monolithic] is
+     reserved for whole-collection pauses from non-sliced engines, and
+     "no Monolithic sample" is exactly the statement that every pause
+     was slice-bounded. A monolithic engine contributes the whole
+     collection as one [Monolithic] sample. *)
   let samples =
     match t.engine.Trace_engine.take_pauses () with
-    | [] -> [ total_ns ]
-    | slices ->
-      let in_slices = List.fold_left ( + ) 0 slices in
-      slices @ [ max 0 (total_ns - in_slices) ]
+    | [] -> [ (Trace_engine.Monolithic, total_ns) ]
+    | slices -> (
+      let in_slices = List.fold_left (fun acc (_, ns) -> acc + ns) 0 slices in
+      let rem = max 0 (total_ns - in_slices) in
+      match List.rev slices with
+      | (ph, last) :: tl -> List.rev ((ph, last + rem) :: tl)
+      | [] -> assert false)
   in
-  t.pause_samples_ns <- List.rev_append samples t.pause_samples_ns;
+  t.pause_samples <- List.rev_append samples t.pause_samples;
+  List.iter (fun (_, ns) -> Lp_obs.Metrics.observe t.pause_hist ns) samples;
   let gc_cost =
     Cost.gc_cost t.cost ~before ~after:t.stats
     + (Roots.root_count t.roots * t.cost.Cost.gc_root)
@@ -548,6 +647,37 @@ let run_gc t =
          })
   | None -> ());
   t.gc_history <- record :: t.gc_history;
+  (* Autopilot step, between collections: feed this collection's
+     tagged samples, get the next collection's budget and engine. The
+     budget plane is wall-clock-fed (non-deterministic, outcome-
+     neutral); the engine plane keys off SELECT's predicted
+     stale-closure bytes, a deterministic signal. *)
+  (match t.autopilot with
+  | Some ap ->
+    let selection_bytes =
+      match Lp_core.Controller.last_selection t.controller with
+      | Some (_, _, bytes) -> bytes
+      | None -> 0
+    in
+    let d =
+      Lp_slo.Autopilot.note_collection ap ~samples ~selection_bytes
+        ~heap_limit:(Store.limit_bytes t.store)
+    in
+    if d.Lp_slo.Autopilot.d_budget_changed then (
+      match t.sink with
+      | Some s ->
+        Lp_obs.Sink.emit s
+          (Lp_obs.Event.Slo_adjust
+             {
+               gc = gc_n;
+               budget = d.Lp_slo.Autopilot.d_budget;
+               p99_ns = d.Lp_slo.Autopilot.d_p99_ns;
+             })
+      | None -> ());
+    if d.Lp_slo.Autopilot.d_engine <> t.cur_engine then
+      switch_engine t d.Lp_slo.Autopilot.d_engine
+    else apply_budget t d.Lp_slo.Autopilot.d_budget
+  | None -> ());
   match t.gc_listener with Some f -> f record | None -> ()
 
 (* The allocation slow path: collect, then keep advancing through the

@@ -104,54 +104,93 @@ val fault_plan : t -> Lp_fault.Fault_plan.t option
 (** {1 Tracing engines}
 
     [Config.gc_engine] selects the {!Lp_heap.Trace_engine} behind every
-    full-heap collection, constructed once at {!create}:
+    full-heap collection, constructed at {!create}:
 
     - [Sequential] (default): the original single-slice DFS collector.
     - [Parallel n]: spawns a {!Lp_par.Domain_pool} and routes mark,
       stale closures, sweep — and the minor-collection drain loop —
       through the {!Lp_par.Par_engine}.
-    - [Incremental]: the {!Lp_heap.Inc_engine} runs the in-use closure
-      in slices of at most [Config.gc_slice_budget] objects, logging
-      mutator writes that land during a mark phase and replaying them
-      at slice boundaries.
+    - [Incremental]: the {!Lp_heap.Inc_engine} runs the in-use and
+      stale closures and the sweep in slices of at most
+      [Config.gc_slice_budget] objects, logging mutator writes that
+      land during a mark phase and replaying them at slice boundaries.
+    - [Sliced_bsp n]: the par+inc composition — BSP parallel marking
+      on [n] domains with each round's packets merged in
+      budget-bounded groups, and a segmented sweep.
 
     Every engine is deterministic by construction: heap state,
     counters, prune decisions, reclaimed bytes and the simulated clock
     are identical to the sequential collector. Traces match
-    event-for-event too, except that the parallel engine adds its own
-    worker-span events and that word-level mark events within a
+    event-for-event too, except that the parallel engines add their
+    own worker-span events and that word-level mark events within a
     collection follow traversal order — same set, different
-    interleaving. Only the wall-clock pause profile differs. *)
+    interleaving. Only the wall-clock pause profile differs.
+
+    The engine is no longer fixed for the VM's lifetime: the pause-SLO
+    autopilot (armed by [Config.pause_slo_p99_ns]) may install a
+    different engine between collections, and {!switch_engine} exposes
+    the same boundary-only swap directly. *)
 
 val gc_engine : t -> Lp_core.Config.gc_engine
+(** The engine {e currently installed} — the config's engine until the
+    first switch. *)
 
 val gc_domains : t -> int
-(** The collector domain count the engine selection implies
-    (1 unless [Parallel n]). *)
+(** The collector domain count the current engine implies
+    (1 unless [Parallel n] or [Sliced_bsp n]). *)
 
 val par_engine : t -> Lp_par.Par_engine.t option
-(** The concrete parallel engine, present iff [gc_engine = Parallel n]
-    (fault arming and introspection). *)
+(** The concrete parallel engine, present iff the current engine is
+    [Parallel n] or [Sliced_bsp n] (fault arming and introspection). *)
+
+val switch_engine : t -> Lp_core.Config.gc_engine -> unit
+(** Installs a different tracing engine. Legal only between
+    collections (never from a GC listener's reentrant collection, only
+    when no collection is running) — and safe at any such boundary
+    because every engine produces identical reclamation outcomes. The
+    outgoing engine is shut down (its slice high-water mark folds into
+    {!max_slice_work}); a sliced replacement starts at the autopilot's
+    current budget when the autopilot is armed, the config's
+    [gc_slice_budget] otherwise. Emits [Engine_switch] when tracing.
+    No-op if the spec equals the current engine. *)
+
+val autopilot : t -> Lp_slo.Autopilot.t option
+(** The pause-SLO autopilot, present iff [Config.pause_slo_p99_ns] was
+    set. After every full collection the VM feeds it the collection's
+    phase-tagged pause samples plus the last SELECT decision's
+    predicted stale-closure bytes, then applies the returned budget
+    (in place, or through {!switch_engine} when the engine decision
+    changed). *)
 
 val gc_pause_ns : t -> int
 (** Cumulative wall-clock nanoseconds spent inside full-heap collections
     (mark through sweep, plus the disk phase). Wall time, not simulated
     cycles — used by the GC benchmarks only; traces never record it. *)
 
+val pause_samples : t -> (Trace_engine.pause_phase * int) list
+(** Individual phase-tagged wall-clock pause samples (nanoseconds),
+    oldest first. A monolithic engine contributes one [Monolithic]
+    sample per full collection. A sliced engine contributes one
+    [Mark_slice] sample per mark/closure slice and one [Sweep_slice]
+    sample per sweep segment; whatever the collection spent outside
+    the slices (finalizer scan, phase glue, disk) is folded into the
+    collection's last slice, so [Monolithic] appears {e only} for
+    non-sliced engines — "no [Monolithic] sample" is exactly the
+    statement that every pause was slice-bounded. Every sample also
+    lands in the [gc.pause_ns] metrics histogram. *)
+
 val pause_samples_ns : t -> int list
-(** Individual wall-clock pause samples, oldest first. A monolithic
-    engine contributes one sample per full collection; the incremental
-    engine contributes one sample per mark slice plus one remainder
-    sample (the rest of the collection) — so the max over this list is
-    the quantity the pause-time benchmark gates on. *)
+(** {!pause_samples} without the tags — the max over this list is the
+    quantity the pause-time benchmark gates on. *)
 
 val max_pause_ns : t -> int
 (** [List.fold_left max 0 (pause_samples_ns t)]. *)
 
 val max_slice_work : t -> int
-(** The largest number of objects any single incremental mark slice has
-    scanned (0 for the other engines) — the deterministic counterpart of
-    {!max_pause_ns}, bounded by [Config.gc_slice_budget]. *)
+(** The largest number of objects any single mark slice has scanned,
+    across every engine this VM has run (0 for purely monolithic
+    engines) — the deterministic counterpart of {!max_pause_ns},
+    bounded by the largest slice budget in effect. *)
 
 val shutdown : t -> unit
 (** Releases whatever the engine holds — the parallel engine joins its

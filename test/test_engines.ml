@@ -163,9 +163,105 @@ let test_inc_slicing_respects_budget () =
     (e.Trace_engine.max_slice_work ());
   Alcotest.(check bool) "at least 11 slices ran" true (Inc_engine.slices inc >= 11);
   let pauses = e.Trace_engine.take_pauses () in
-  Alcotest.(check int) "one pause sample per slice"
-    (Inc_engine.slices inc) (List.length pauses);
-  Alcotest.(check (list int)) "take_pauses drains" [] (e.Trace_engine.take_pauses ())
+  let count ph = List.length (List.filter (fun (p, _) -> p = ph) pauses) in
+  Alcotest.(check int) "one Mark_slice sample per mark slice"
+    (Inc_engine.slices inc)
+    (count Trace_engine.Mark_slice);
+  Alcotest.(check bool) "the sweep contributed tagged segment samples" true
+    (count Trace_engine.Sweep_slice >= 1);
+  Alcotest.(check int) "a sliced engine never reports Monolithic" 0
+    (count Trace_engine.Monolithic);
+  Alcotest.(check int) "take_pauses drains" 0
+    (List.length (e.Trace_engine.take_pauses ()))
+
+(* Mid-run engine switching: the pause-SLO autopilot swaps engines
+   between collections (through Controller.set_engine), which is only
+   sound if a mixed schedule behaves exactly like any fixed engine —
+   the determinism contract, now exercised across a swap seam. Each
+   scenario builds a seeded random graph, runs three collections under
+   a per-collection engine schedule (every collection gets a fresh
+   engine, shut down at the boundary, exactly like Vm.switch_engine),
+   and mutates the surviving graph between collections. The full
+   observable state — live ids, object counts, counters — must match
+   between the seq -> inc -> par schedule and every fixed schedule. *)
+let run_switch_scenario ~seed schedule =
+  let rng = Random.State.make [| seed |] in
+  let store = build_store () in
+  let roots = Roots.create () in
+  let stats = Gc_stats.create () in
+  let n = 20 + Random.State.int rng 20 in
+  let arr =
+    Array.init n (fun _ -> alloc store ~n_fields:(Random.State.int rng 4))
+  in
+  Array.iter
+    (fun (o : Heap_obj.t) ->
+      Array.iteri
+        (fun i _ ->
+          if Random.State.bool rng then
+            link o i arr.(Random.State.int rng n))
+        o.Heap_obj.fields)
+    arr;
+  for _ = 1 to 1 + Random.State.int rng 3 do
+    Roots.add_static_root roots arr.(Random.State.int rng n).Heap_obj.id
+  done;
+  let mutate () =
+    let live = ref [] in
+    Store.iter_live store (fun o -> live := o :: !live);
+    let live = Array.of_list (List.rev !live) in
+    let nl = Array.length live in
+    if nl > 0 then begin
+      for _ = 1 to 5 do
+        let src = live.(Random.State.int rng nl) in
+        let nf = Array.length src.Heap_obj.fields in
+        if nf > 0 then
+          link src (Random.State.int rng nf) live.(Random.State.int rng nl)
+      done;
+      for _ = 1 to 3 do
+        let o = alloc store ~n_fields:(Random.State.int rng 3) in
+        let keep = Random.State.bool rng in
+        let dst = live.(Random.State.int rng nl) in
+        let nf = Array.length dst.Heap_obj.fields in
+        if keep && nf > 0 then link dst (Random.State.int rng nf) o
+      done
+    end
+  in
+  List.mapi
+    (fun i make ->
+      let gc = i + 1 in
+      let e = make () in
+      ignore
+        (e.Trace_engine.mark ~gc store roots ~stats
+           ~config:Collector.base_config);
+      e.Trace_engine.sweep ~gc store ~stats;
+      ignore (e.Trace_engine.take_pauses ());
+      e.Trace_engine.shutdown ();
+      mutate ();
+      (live_ids store, Store.object_count store, Gc_stats.copy stats))
+    schedule
+
+let test_engine_switch_conformance () =
+  let seq () = Trace_engine.sequential () in
+  let par () =
+    Lp_par.Par_engine.engine
+      (Lp_par.Par_engine.create (Lp_par.Domain_pool.create ~domains:2))
+  in
+  let inc () = Inc_engine.engine (Inc_engine.create ~slice_budget:8 ()) in
+  let bsp () =
+    Lp_par.Par_engine.engine
+      (Lp_par.Par_engine.create ~slice_budget:8
+         (Lp_par.Domain_pool.create ~domains:2))
+  in
+  for seed = 1 to 25 do
+    let mixed = run_switch_scenario ~seed [ seq; inc; par ] in
+    List.iter
+      (fun (name, fixed) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: seq->inc->par matches all-%s" seed name)
+          true
+          (run_switch_scenario ~seed [ fixed; fixed; fixed ] = mixed))
+      [ ("seq", seq); ("inc", inc); ("par", par); ("bsp", bsp) ]
+  done;
+  Alcotest.(check int) "no leaked domains" 0 (Lp_par.Domain_pool.active_count ())
 
 (* The mutation-log replay: a write that lands in an already-scanned
    slot mid-mark would hide its target from a naive incremental marker.
@@ -236,6 +332,10 @@ let suite =
         "conformance: seq, par2 and inc8 agree on closure, sweep, poison and \
          id recycling"
         `Quick test_conformance;
+      Alcotest.test_case
+        "conformance: a seq->inc->par mid-run schedule matches every fixed \
+         engine across 25 seeds"
+        `Quick test_engine_switch_conformance;
       Alcotest.test_case "incremental: slice budget bounds every slice" `Quick
         test_inc_slicing_respects_budget;
       Alcotest.test_case "incremental: mutation log replay finds hidden objects"

@@ -15,6 +15,7 @@ let spec ?(force_safe = false) ~id () =
     force_safe;
     resurrection = true;
     liveness = Lp_core.Config.Liveness_off;
+    pause_slo_p99_ns = None;
   }
 
 let find_tenant report id =

@@ -258,6 +258,7 @@ let spec ~id () =
     force_safe = false;
     resurrection = true;
     liveness = Lp_core.Config.Liveness_off;
+    pause_slo_p99_ns = None;
   }
 
 (* single-tenant runs: trip bar 1000 permille keeps the (strict) breaker
