@@ -591,15 +591,28 @@ let run_obs_overhead_bench ~gate () =
     end
 
 (* ------------------------------------------------------------------ *)
-(* Parallel-GC speedup sweep: jbb_mod and swap_leak collected at 1, 2
-   and 4 domains. The engine is deterministic by construction, so the
-   sweep doubles as an equivalence check (collections, reclaimed bytes
-   and fields scanned must match across domain counts) while the
-   wall-clock numbers measure the engine honestly on this host — on a
-   single-core box the extra domains cannot speed marking up, which is
-   why host_cores is part of the record. *)
+(* Parallel-GC speedup sweep: jbb_mod and swap_leak collected over a
+   {1, 2, 4} domains x steal {off, on} matrix. The engine is
+   deterministic by construction, so the sweep doubles as an
+   equivalence check (collections, reclaimed bytes and fields scanned
+   must match across every cell) while the wall-clock numbers measure
+   the engine honestly on this host -- on a single-core box the extra
+   domains cannot speed marking up, which is why host_cores is part of
+   the record and the speedup gate only arms when the host actually
+   has 4 cores.
 
-let parallel_gc_domain_counts = [ 1; 2; 4 ]
+   The coordination gate is count-based and therefore host-independent:
+   pool_dispatches / pooled_rounds is how many times a round paid the
+   full wake-all-domains dispatch. The legacy shared-counter design
+   pays once per round (ratio 1.0); the steal-driven design opens one
+   session per mark closure and runs every round of that closure
+   inside it, so the ratio drops below 1.0 as soon as any closure has
+   two or more pooled rounds. *)
+
+let parallel_gc_schedules =
+  (* (gc_domains, steal) -- domains = 1 is the sequential baseline,
+     where the steal flag is irrelevant. *)
+  [ (1, true); (2, false); (2, true); (4, false); (4, true) ]
 
 let parallel_gc_workloads =
   [ Lp_workloads.Jbb_mod.workload; Lp_workloads.Swap_leak.workload ]
@@ -607,48 +620,58 @@ let parallel_gc_workloads =
 type parallel_gc_case = {
   pg_workload : string;
   pg_domains : int;
+  pg_steal : bool;
   pg_gc_count : int;
   pg_bytes_reclaimed : int;
   pg_fields_scanned : int;
   pg_mark_ns : int;
   pg_pause_ns : int;
   pg_pooled_rounds : int;
+  pg_dispatches : int;
+  pg_steals : int;
 }
 
-let run_parallel_gc_case w gc_domains =
+let run_parallel_gc_case w (gc_domains, gc_steal) =
   let captured = ref None in
   let r =
     Lp_harness.Driver.run
-      ~config:(Lp_core.Config.make ~gc_domains ())
+      ~config:(Lp_core.Config.make ~gc_domains ~gc_steal ())
       ~max_iterations:5_000
       ~prepare_vm:(fun vm -> captured := Some vm)
       w
   in
   let vm = match !captured with Some vm -> vm | None -> assert false in
   let stats = Lp_runtime.Vm.stats vm in
+  let pooled, dispatches, steals =
+    match Lp_runtime.Vm.par_engine vm with
+    | Some e ->
+      ( Lp_par.Par_engine.pooled_rounds e,
+        Lp_par.Par_engine.dispatches e,
+        Lp_par.Par_engine.steals e )
+    | None -> (0, 0, 0)
+  in
   {
     pg_workload = r.Lp_harness.Driver.workload;
     pg_domains = gc_domains;
+    pg_steal = gc_steal;
     pg_gc_count = r.Lp_harness.Driver.gc_count;
     pg_bytes_reclaimed = r.Lp_harness.Driver.bytes_reclaimed;
     pg_fields_scanned = stats.Lp_heap.Gc_stats.fields_scanned;
     pg_mark_ns = Lp_core.Controller.mark_wall_ns (Lp_runtime.Vm.controller vm);
     pg_pause_ns = Lp_runtime.Vm.gc_pause_ns vm;
-    pg_pooled_rounds =
-      (match Lp_runtime.Vm.par_engine vm with
-      | Some e -> Lp_par.Par_engine.pooled_rounds e
-      | None -> 0);
+    pg_pooled_rounds = pooled;
+    pg_dispatches = dispatches;
+    pg_steals = steals;
   }
 
 let run_parallel_gc_bench () =
   Lp_harness.Render.header "Parallel collection"
-    "mark throughput and pause at 1/2/4 collector domains; results in \
-     BENCH_parallel_gc.json";
+    "mark throughput, pause and coordination overhead over {1,2,4} domains \
+     x steal {off,on}; results in BENCH_parallel_gc.json";
   let host_cores = Domain.recommended_domain_count () in
   let cases =
     List.concat_map
-      (fun w ->
-        List.map (run_parallel_gc_case w) parallel_gc_domain_counts)
+      (fun w -> List.map (run_parallel_gc_case w) parallel_gc_schedules)
       parallel_gc_workloads
   in
   let base c =
@@ -656,8 +679,8 @@ let run_parallel_gc_bench () =
       (fun b -> b.pg_workload = c.pg_workload && b.pg_domains = 1)
       cases
   in
-  (* equivalence across the sweep: same collections, same reclaimed
-     bytes, same fields scanned at every domain count *)
+  (* Gate 1 -- equivalence across the whole matrix: same collections,
+     same reclaimed bytes, same fields scanned in every cell. *)
   let deterministic =
     List.for_all
       (fun c ->
@@ -667,23 +690,71 @@ let run_parallel_gc_bench () =
         && c.pg_fields_scanned = b.pg_fields_scanned)
       cases
   in
-  let throughput c =
-    if c.pg_mark_ns = 0 then 0.0
-    else float_of_int c.pg_fields_scanned /. (float_of_int c.pg_mark_ns /. 1e9)
+  (* Gate 2 -- coordination overhead, a deterministic count ratio: at
+     2 domains, steal-on must never dispatch the pool more often per
+     pooled round than steal-off, and on at least one workload it must
+     be strictly cheaper. A workload whose mark closures are all
+     single-round (SwapLeak: one wide frontier, then done) cannot go
+     below one dispatch per round under any design, so only
+     no-regression is demanded there; JbbMod's multi-round closures
+     are where the session amortisation must show up. *)
+  let coord_ratio c =
+    if c.pg_pooled_rounds = 0 then 1.0
+    else float_of_int c.pg_dispatches /. float_of_int c.pg_pooled_rounds
   in
+  let coord_pairs =
+    List.filter_map
+      (fun w ->
+        let name = w.Lp_workloads.Workload.name in
+        let find steal =
+          List.find
+            (fun c ->
+              c.pg_workload = name && c.pg_domains = 2 && c.pg_steal = steal)
+            cases
+        in
+        let off = find false and on = find true in
+        if off.pg_pooled_rounds >= 1 then Some (name, off, on) else None)
+      parallel_gc_workloads
+  in
+  let coord_ok =
+    coord_pairs <> []
+    && List.for_all
+         (fun (_, off, on) -> coord_ratio on <= coord_ratio off)
+         coord_pairs
+    && List.exists
+         (fun (_, off, on) -> coord_ratio on < coord_ratio off)
+         coord_pairs
+  in
+  (* Gate 3 -- speedup, armed only where it is physically possible:
+     with 4 real cores, 4-domain steal-on marking must beat the
+     sequential baseline on both workloads. *)
   let speedup c =
     let b = base c in
     if c.pg_mark_ns = 0 then 0.0
     else float_of_int b.pg_mark_ns /. float_of_int c.pg_mark_ns
   in
+  let speedup_armed = host_cores >= 4 in
+  let speedup_cells =
+    List.filter (fun c -> c.pg_domains = 4 && c.pg_steal) cases
+  in
+  let speedup_ok =
+    (not speedup_armed)
+    || List.for_all (fun c -> speedup c > 1.0) speedup_cells
+  in
+  let throughput c =
+    if c.pg_mark_ns = 0 then 0.0
+    else float_of_int c.pg_fields_scanned /. (float_of_int c.pg_mark_ns /. 1e9)
+  in
   let case_json c =
     Printf.sprintf
-      {|    { "workload": %S, "gc_domains": %d, "collections": %d,
-      "bytes_reclaimed": %d, "fields_scanned": %d, "mark_ns": %d,
-      "total_pause_ns": %d, "pooled_rounds": %d,
+      {|    { "workload": %S, "gc_domains": %d, "steal": %b,
+      "collections": %d, "bytes_reclaimed": %d, "fields_scanned": %d,
+      "mark_ns": %d, "total_pause_ns": %d, "pooled_rounds": %d,
+      "pool_dispatches": %d, "steals": %d, "coordination_ratio": %.3f,
       "mark_fields_per_s": %.0f, "mark_speedup_vs_1": %.3f }|}
-      c.pg_workload c.pg_domains c.pg_gc_count c.pg_bytes_reclaimed
-      c.pg_fields_scanned c.pg_mark_ns c.pg_pause_ns c.pg_pooled_rounds
+      c.pg_workload c.pg_domains c.pg_steal c.pg_gc_count
+      c.pg_bytes_reclaimed c.pg_fields_scanned c.pg_mark_ns c.pg_pause_ns
+      c.pg_pooled_rounds c.pg_dispatches c.pg_steals (coord_ratio c)
       (throughput c) (speedup c)
   in
   let json =
@@ -691,40 +762,80 @@ let run_parallel_gc_bench () =
       {|{
   "benchmark": "parallel_gc",
   "host_cores": %d,
-  "deterministic_across_domain_counts": %b,
+  "deterministic_across_schedules": %b,
+  "coordination_gate": %b,
+  "speedup_gate_armed": %b,
+  "speedup_gate": %b,
   "cases": [
 %s
   ]
 }
 |}
-      host_cores deterministic
+      host_cores deterministic coord_ok speedup_armed speedup_ok
       (String.concat ",\n" (List.map case_json cases))
   in
   let path = out_path "BENCH_parallel_gc.json" in
   write_file path json;
+  write_file "BENCH_parallel_gc.json" json;
   Lp_harness.Render.table
     ~columns:
-      [ "workload"; "domains"; "gcs"; "mark ms"; "pause ms"; "fields/s";
-        "speedup"; "pooled rounds" ]
+      [ "workload"; "domains"; "steal"; "gcs"; "mark ms"; "fields/s";
+        "speedup"; "rounds"; "dispatches"; "steals" ]
     ~rows:
       (List.map
          (fun c ->
            [
              c.pg_workload;
              string_of_int c.pg_domains;
+             (if c.pg_domains = 1 then "-"
+              else if c.pg_steal then "on"
+              else "off");
              string_of_int c.pg_gc_count;
              Printf.sprintf "%.2f" (float_of_int c.pg_mark_ns /. 1e6);
-             Printf.sprintf "%.2f" (float_of_int c.pg_pause_ns /. 1e6);
              Printf.sprintf "%.2e" (throughput c);
              Printf.sprintf "%.2fx" (speedup c);
              string_of_int c.pg_pooled_rounds;
+             string_of_int c.pg_dispatches;
+             string_of_int c.pg_steals;
            ])
          cases);
   Printf.printf
-    "host cores: %d; outputs %s across domain counts\n" host_cores
+    "host cores: %d; outputs %s across the schedule matrix\n" host_cores
     (if deterministic then "IDENTICAL" else "DIVERGED (engine bug!)");
-  Printf.printf "wrote %s\n" path;
-  if not deterministic then exit 1
+  List.iter
+    (fun (name, off, on) ->
+      Printf.printf
+        "%s @ 2 domains: %.3f dispatches/round stealing vs %.3f legacy\n"
+        name (coord_ratio on) (coord_ratio off))
+    coord_pairs;
+  if speedup_armed then
+    List.iter
+      (fun c ->
+        Printf.printf "%s @ 4 domains stealing: %.2fx vs sequential\n"
+          c.pg_workload (speedup c))
+      speedup_cells
+  else
+    Printf.printf
+      "speedup gate disarmed: host has %d core(s), 4-domain marking cannot \
+       win here\n"
+      host_cores;
+  Printf.printf "wrote %s (and root copy BENCH_parallel_gc.json)\n" path;
+  if not deterministic then exit 1;
+  if not coord_ok then begin
+    Printf.eprintf
+      "coordination gate: FAIL -- steal-driven rounds must never dispatch \
+       the pool more often per pooled round than the legacy shared-counter \
+       design at 2 domains, and must be strictly cheaper on at least one \
+       workload\n";
+    exit 1
+  end;
+  if not speedup_ok then begin
+    Printf.eprintf
+      "speedup gate: FAIL -- 4-domain steal-on marking did not beat the \
+       sequential baseline on a %d-core host\n"
+      host_cores;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Pause-time sweep: the same leak workloads collected by all three
@@ -1135,6 +1246,7 @@ let run_fleet_bench () =
           resurrection = true;
           liveness = Lp_core.Config.Liveness_off;
           pause_slo_p99_ns = None;
+    gc_packet_size = None;
         })
   in
   let options =
@@ -1286,6 +1398,7 @@ let run_restart_bench () =
       resurrection = true;
       liveness = Lp_core.Config.Liveness_off;
       pause_slo_p99_ns = None;
+    gc_packet_size = None;
     }
   in
   (* trip bar 1000 permille: the breaker (strict inequality) can never

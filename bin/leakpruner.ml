@@ -100,6 +100,27 @@ let gc_slice_budget_arg =
                  --pause-slo-p99 this is just the initial budget — the \
                  autopilot retunes it between collections.")
 
+(* Shared by run, trace, chaos and serve: the parallel engines' packet
+   granularity. Like the slice budget, a scheduling knob with no effect
+   on reclamation outcomes. *)
+let gc_packet_size_arg =
+  Arg.(value & opt (some int) None
+       & info [ "gc-packet-size" ] ~docv:"N"
+           ~doc:"Frontier objects per work packet in the parallel engines \
+                 (--gc-engine par or bsp; default 32). Output-neutral: \
+                 packets are merged in index order, so boundaries only move \
+                 wall time and steal granularity.")
+
+let gc_steal_arg =
+  Arg.(value
+       & opt (some (enum [ ("on", true); ("off", false) ])) None
+       & info [ "gc-steal" ] ~docv:"on|off"
+           ~doc:"Work-stealing packet scheduling in the parallel engines \
+                 (default $(b,on)): per-worker deques inside one pool \
+                 dispatch per mark closure. $(b,off) selects the legacy \
+                 shared-counter claim with one pool dispatch per round. \
+                 Output-neutral either way.")
+
 (* Pause targets read like durations: 100us, 2ms, 1s, 500ns, or a bare
    nanosecond count. *)
 let duration_conv =
@@ -164,7 +185,8 @@ let liveness_arg =
 (* CLI-level reconciliation of the engine flag with the legacy
    --gc-domains alias: par without an explicit domain count gets a
    sensible default, seq/inc with a domain count is a contradiction. *)
-let resolve_cli_engine ?pause_slo gc_engine gc_domains gc_slice_budget =
+let resolve_cli_engine ?pause_slo ?gc_packet_size ?gc_steal gc_engine
+    gc_domains gc_slice_budget =
   if gc_domains < 1 || gc_domains > 64 then begin
     Printf.eprintf "leakpruner: --gc-domains must be in [1, 64]\n";
     exit 2
@@ -174,6 +196,11 @@ let resolve_cli_engine ?pause_slo gc_engine gc_domains gc_slice_budget =
     Printf.eprintf "leakpruner: --gc-slice-budget must be >= 1\n";
     exit 2
   | _ -> ());
+  (match gc_packet_size with
+  | Some p when p < 1 ->
+    Printf.eprintf "leakpruner: --gc-packet-size must be >= 1\n";
+    exit 2
+  | _ -> ());
   (match (gc_engine, gc_slice_budget) with
   | Some ((`Seq | `Par) as e), Some _ ->
     Printf.eprintf
@@ -181,6 +208,24 @@ let resolve_cli_engine ?pause_slo gc_engine gc_domains gc_slice_budget =
        (--gc-engine inc or bsp): %s pauses for whole collections, so there \
        is no slice to budget. Drop the flag, or pick a sliced engine.\n"
       (match e with `Seq -> "seq" | `Par -> "par");
+    exit 2
+  | _ -> ());
+  (match (gc_engine, gc_packet_size) with
+  | Some ((`Seq | `Inc) as e), Some _ ->
+    Printf.eprintf
+      "leakpruner: --gc-packet-size only applies to the parallel engines \
+       (--gc-engine par or bsp): %s traces on a single domain, so there are \
+       no work packets to size. Drop the flag, or pick a parallel engine.\n"
+      (match e with `Seq -> "seq" | `Inc -> "inc");
+    exit 2
+  | _ -> ());
+  (match (gc_engine, gc_steal) with
+  | Some ((`Seq | `Inc) as e), Some _ ->
+    Printf.eprintf
+      "leakpruner: --gc-steal only applies to the parallel engines \
+       (--gc-engine par or bsp): %s traces on a single domain, so there are \
+       no packets to steal. Drop the flag, or pick a parallel engine.\n"
+      (match e with `Seq -> "seq" | `Inc -> "inc");
     exit 2
   | _ -> ());
   let resolved =
@@ -238,9 +283,10 @@ let run_cmd =
              ~doc:"Use the paper's option (1): wait until the heap is 100% full before the first prune (Figure 11). Default is option (2), pruning right after a SELECT collection.")
   in
   let run name policy heap cap trace exhaustion gc_engine gc_domains
-      gc_slice_budget pause_slo slo_floor liveness =
+      gc_slice_budget gc_packet_size gc_steal pause_slo slo_floor liveness =
     let gc_engine =
-      resolve_cli_engine ?pause_slo gc_engine gc_domains gc_slice_budget
+      resolve_cli_engine ?pause_slo ?gc_packet_size ?gc_steal gc_engine
+        gc_domains gc_slice_budget
     in
     match find_workload name with
     | None ->
@@ -253,8 +299,9 @@ let run_cmd =
           ~prune_trigger:
             (if exhaustion then Lp_core.Config.On_exhaustion
              else Lp_core.Config.On_select_gc)
-          ?report ?gc_engine ?gc_slice_budget ?pause_slo_p99_ns:pause_slo
-          ?slo_budget_floor:slo_floor ~liveness_mode:liveness ()
+          ?report ?gc_engine ?gc_slice_budget ?gc_packet_size ?gc_steal
+          ?pause_slo_p99_ns:pause_slo ?slo_budget_floor:slo_floor
+          ~liveness_mode:liveness ()
       in
       let r = Lp_harness.Driver.run ~config ?heap_bytes:heap ~max_iterations:cap w in
       Printf.printf "workload:     %s\n" r.Lp_harness.Driver.workload;
@@ -282,7 +329,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ workload_arg $ policy_arg $ heap_arg $ cap_arg $ trace_arg
           $ exhaustion_arg $ gc_engine_arg $ gc_domains_arg
-          $ gc_slice_budget_arg $ pause_slo_arg $ slo_floor_arg $ liveness_arg)
+          $ gc_slice_budget_arg $ gc_packet_size_arg $ gc_steal_arg
+          $ pause_slo_arg $ slo_floor_arg $ liveness_arg)
 
 let interp_cmd =
   let doc = "Assemble and interpret a bytecode file on the simulated VM (with leak pruning)." in
@@ -386,9 +434,10 @@ let trace_cmd =
                    which the prune audit cross-check relies on.")
   in
   let run name policy heap cap format out buffer gc_engine gc_domains
-      gc_slice_budget pause_slo slo_floor liveness =
+      gc_slice_budget gc_packet_size gc_steal pause_slo slo_floor liveness =
     let gc_engine =
-      resolve_cli_engine ?pause_slo gc_engine gc_domains gc_slice_budget
+      resolve_cli_engine ?pause_slo ?gc_packet_size ?gc_steal gc_engine
+        gc_domains gc_slice_budget
     in
     match find_workload name with
     | None ->
@@ -397,8 +446,8 @@ let trace_cmd =
     | Some w ->
       let config =
         Lp_core.Config.make ~policy ?gc_engine ?gc_slice_budget
-          ?pause_slo_p99_ns:pause_slo ?slo_budget_floor:slo_floor
-          ~liveness_mode:liveness ()
+          ?gc_packet_size ?gc_steal ?pause_slo_p99_ns:pause_slo
+          ?slo_budget_floor:slo_floor ~liveness_mode:liveness ()
       in
       let captured = ref None in
       let r =
@@ -526,7 +575,8 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ workload_arg $ policy_arg $ heap_arg $ cap_arg
           $ format_arg $ out_arg $ buffer_arg $ gc_engine_arg $ gc_domains_arg
-          $ gc_slice_budget_arg $ pause_slo_arg $ slo_floor_arg $ liveness_arg)
+          $ gc_slice_budget_arg $ gc_packet_size_arg $ gc_steal_arg
+          $ pause_slo_arg $ slo_floor_arg $ liveness_arg)
 
 let chaos_cmd =
   let doc =
@@ -565,13 +615,13 @@ let chaos_cmd =
      re-run traced, exported as a Chrome trace. Reruns are exact (the
      run is a deterministic function of seed and cap, and tracing never
      changes behaviour), so the trace shows the actual failure. *)
-  let write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~pause_slo
-      ~liveness ~steps ~seed dir =
+  let write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~gc_packet_size
+      ~gc_steal ~pause_slo ~liveness ~steps ~seed dir =
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
     let r =
       Lp_harness.Chaos.run_one ~faults ?gc_engine ?gc_slice_budget
-        ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~trace_capacity:65_536
-        ~seed ()
+        ?gc_packet_size ?gc_steal ?pause_slo_p99_ns:pause_slo ~liveness ~steps
+        ~trace_capacity:65_536 ~seed ()
     in
     let file = Filename.concat dir (Printf.sprintf "chaos_seed_%d.trace.json" seed) in
     let oc = open_out file in
@@ -608,20 +658,22 @@ let chaos_cmd =
       | o -> "  (" ^ Lp_harness.Chaos.outcome_to_string o ^ ")")
   in
   let run seeds steps no_faults seed quiet trace_dir gc_engine_flag gc_domains
-      gc_slice_budget pause_slo liveness =
+      gc_slice_budget gc_packet_size gc_steal pause_slo liveness =
     if seeds < 0 || steps < 0 then begin
       Printf.eprintf "leakpruner: chaos: --seeds and --steps must be non-negative\n";
       exit 2
     end;
     let gc_engine =
-      resolve_cli_engine ?pause_slo gc_engine_flag gc_domains gc_slice_budget
+      resolve_cli_engine ?pause_slo ?gc_packet_size ?gc_steal gc_engine_flag
+        gc_domains gc_slice_budget
     in
     let faults = not no_faults in
     match seed with
     | Some seed ->
       let r =
         Lp_harness.Chaos.run_one ~faults ?gc_engine ?gc_slice_budget
-          ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~seed ()
+          ?gc_packet_size ?gc_steal ?pause_slo_p99_ns:pause_slo ~liveness
+          ~steps ~seed ()
       in
       print_report r;
       (* the reproduce oracle compares untimed state only: with the
@@ -630,7 +682,8 @@ let chaos_cmd =
          deterministic by the outcome-neutrality of budgets *)
       (match
          Lp_harness.Chaos.run_one ~faults ?gc_engine ?gc_slice_budget
-           ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~seed ()
+           ?gc_packet_size ?gc_steal ?pause_slo_p99_ns:pause_slo ~liveness
+           ~steps ~seed ()
        with
       | r' when r' = r -> ()
       | _ -> Printf.printf "WARNING: seed %d did not reproduce identically\n" seed);
@@ -640,7 +693,8 @@ let chaos_cmd =
       if Lp_harness.Chaos.failed r then begin
         let shrunk =
           Lp_harness.Chaos.shrink ~faults ?gc_engine ?gc_slice_budget
-            ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~seed ()
+            ?gc_packet_size ?gc_steal ?pause_slo_p99_ns:pause_slo ~liveness
+            ~steps ~seed ()
         in
         (match shrunk with
         | Some n -> Printf.printf "minimal reproduction: %d step(s)\n" n
@@ -649,8 +703,8 @@ let chaos_cmd =
         | Some dir ->
           (* replays run under the failing engine selection, so the trace
              shows that engine's rounds when that is where it failed *)
-          write_failure_trace ~faults ~gc_engine ~gc_slice_budget ~pause_slo
-            ~liveness
+          write_failure_trace ~faults ~gc_engine ~gc_slice_budget
+            ~gc_packet_size ~gc_steal ~pause_slo ~liveness
             ~steps:(match shrunk with Some n -> n | None -> steps)
             ~seed dir
         | None -> ());
@@ -663,7 +717,8 @@ let chaos_cmd =
       let failures = ref 0 in
       let reports =
         Lp_harness.Chaos.run_seeds ~faults ?gc_engine ?gc_slice_budget
-          ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~seeds
+          ?gc_packet_size ?gc_steal ?pause_slo_p99_ns:pause_slo ~liveness
+          ~steps ~seeds
           ~progress:(fun r ->
             let bad =
               Lp_harness.Chaos.failed r
@@ -690,7 +745,8 @@ let chaos_cmd =
             let seed = r.Lp_harness.Chaos.seed in
             let shrunk =
               Lp_harness.Chaos.shrink ~faults ?gc_engine ?gc_slice_budget
-                ?pause_slo_p99_ns:pause_slo ~liveness ~steps ~seed ()
+                ?gc_packet_size ?gc_steal ?pause_slo_p99_ns:pause_slo
+                ~liveness ~steps ~seed ()
             in
             (match shrunk with
             | Some n ->
@@ -699,7 +755,7 @@ let chaos_cmd =
             match trace_dir with
             | Some dir ->
               write_failure_trace ~faults ~gc_engine ~gc_slice_budget
-                ~pause_slo ~liveness
+                ~gc_packet_size ~gc_steal ~pause_slo ~liveness
                 ~steps:(match shrunk with Some n -> n | None -> steps)
                 ~seed dir
             | None -> ()
@@ -710,7 +766,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ seeds_arg $ steps_arg $ no_faults_arg $ seed_arg $ quiet_arg
           $ trace_dir_arg $ gc_engine_arg $ gc_domains_arg $ gc_slice_budget_arg
-          $ pause_slo_arg $ liveness_arg)
+          $ gc_packet_size_arg $ gc_steal_arg $ pause_slo_arg $ liveness_arg)
 
 let serve_cmd =
   let doc =
@@ -910,7 +966,7 @@ let serve_cmd =
       kills chaos sweep trace_dir retry_cap backoff_base backoff_ceiling
       deadline storm quarantine extended_quarantine checkpoint_rounds
       warm_limit cold_limit retire_limit storm_window storm_trip storm_cooldown
-      liveness pause_slo =
+      liveness pause_slo gc_packet_size =
     if tenants < 1 then begin
       Printf.eprintf "leakpruner: serve: --tenants must be >= 1\n";
       exit 2
@@ -926,8 +982,13 @@ let serve_cmd =
         Printf.eprintf "unknown workload %S; see `leakpruner list`\n" workload;
         exit 1
     in
+    (match gc_packet_size with
+    | Some p when p < 1 ->
+      Printf.eprintf "leakpruner: serve: --gc-packet-size must be >= 1\n";
+      exit 2
+    | _ -> ());
     let admission =
-      Lp_core.Config.make ~admission_retry_cap:retry_cap
+      Lp_core.Config.make ?gc_packet_size ~admission_retry_cap:retry_cap
         ~admission_backoff_base:backoff_base
         ~admission_backoff_ceiling:backoff_ceiling ~offload_deadline:deadline
         ~quarantine_rounds:quarantine
@@ -956,6 +1017,7 @@ let serve_cmd =
             resurrection = true;
             liveness;
             pause_slo_p99_ns = pause_slo;
+            gc_packet_size;
           })
     in
     let options seed =
@@ -1027,7 +1089,8 @@ let serve_cmd =
           $ storm_flag_arg $ quarantine_arg $ extended_quarantine_arg
           $ checkpoint_rounds_arg $ warm_limit_arg $ cold_limit_arg
           $ retire_limit_arg $ storm_window_arg $ storm_trip_arg
-          $ storm_cooldown_arg $ liveness_arg $ pause_slo_arg)
+          $ storm_cooldown_arg $ liveness_arg $ pause_slo_arg
+          $ gc_packet_size_arg)
 
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures (see bench/main.exe --list)." in

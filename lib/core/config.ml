@@ -37,6 +37,12 @@ type t = {
   resurrection_alloc_attempts : int;
   gc_engine : gc_engine;
   gc_slice_budget : int;
+  (* Parallel-engine scheduling knobs. Neither can change any
+     reclamation outcome (the engine merges packets in index order, so
+     packet boundaries and steal schedules are output-neutral) — they
+     only move wall time. *)
+  gc_packet_size : int;
+  gc_steal : bool;
   admission_retry_cap : int;
   admission_backoff_base : int;
   admission_backoff_ceiling : int;
@@ -86,6 +92,8 @@ let default =
     resurrection_alloc_attempts = 4;
     gc_engine = Sequential;
     gc_slice_budget = 256;
+    gc_packet_size = 32;
+    gc_steal = true;
     admission_retry_cap = 3;
     admission_backoff_base = 1;
     admission_backoff_ceiling = 16;
@@ -141,6 +149,8 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     ?(safe_mode_collections = default.safe_mode_collections)
     ?(resurrection_alloc_attempts = default.resurrection_alloc_attempts)
     ?gc_engine ?gc_domains ?(gc_slice_budget = default.gc_slice_budget)
+    ?(gc_packet_size = default.gc_packet_size)
+    ?(gc_steal = default.gc_steal)
     ?(admission_retry_cap = default.admission_retry_cap)
     ?(admission_backoff_base = default.admission_backoff_base)
     ?(admission_backoff_ceiling = default.admission_backoff_ceiling)
@@ -199,6 +209,8 @@ let make ?(policy = default.policy) ?(observe_threshold = default.observe_thresh
     resurrection_alloc_attempts;
     gc_engine;
     gc_slice_budget;
+    gc_packet_size;
+    gc_steal;
     admission_retry_cap;
     admission_backoff_base;
     admission_backoff_ceiling;
@@ -255,6 +267,7 @@ let validate t =
     | Sequential | Incremental -> false)
   then Error "gc_engine: parallel domain count must be in [2, 64]"
   else if t.gc_slice_budget < 1 then Error "gc_slice_budget must be >= 1"
+  else if t.gc_packet_size < 1 then Error "gc_packet_size must be >= 1"
   else if t.admission_retry_cap < 0 then Error "admission_retry_cap must be >= 0"
   else if t.admission_backoff_base < 1 then
     Error "admission_backoff_base must be >= 1"

@@ -111,6 +111,20 @@ type t = {
           [Incremental] and [Sliced_bsp] engines' pause bound, and
           their sweep segment size in slots); ignored by the monolithic
           engines. Default 256; must be [>= 1]. *)
+  gc_packet_size : int;
+      (** frontier objects per work packet in the [Parallel] and
+          [Sliced_bsp] engines; ignored by [Sequential] and
+          [Incremental]. Packet boundaries are output-neutral (the
+          engine merges packets in index order), so this knob only
+          trades steal granularity against per-packet overhead.
+          Default 32; must be [>= 1]. *)
+  gc_steal : bool;
+      (** [true] (the default) runs the parallel engines' rounds
+          steal-driven: per-worker Chase–Lev deques inside one pool
+          session per closure. [false] selects the legacy shared
+          fetch-and-add packet claim with one pool dispatch per round —
+          kept as the control for the coordination-overhead bench
+          gate. Output-neutral either way. *)
   admission_retry_cap : int;
       (** fleet admission control: how many times one queued request may
           be re-offered to a tenant under disk backpressure before the
@@ -215,6 +229,8 @@ val make :
   ?gc_engine:gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?gc_packet_size:int ->
+  ?gc_steal:bool ->
   ?admission_retry_cap:int ->
   ?admission_backoff_base:int ->
   ?admission_backoff_ceiling:int ->

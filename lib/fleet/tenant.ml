@@ -12,6 +12,7 @@ type spec = {
   resurrection : bool;
   liveness : Lp_core.Config.liveness_mode;
   pause_slo_p99_ns : int option;
+  gc_packet_size : int option;
 }
 
 exception Verifier_failed of string
@@ -93,7 +94,7 @@ let spec t = t.spec
 let new_vm ?swap_store ?first_object_id (s : spec) backend =
   let config =
     Lp_core.Config.make ~policy:s.policy ~liveness_mode:s.liveness
-      ?pause_slo_p99_ns:s.pause_slo_p99_ns
+      ?pause_slo_p99_ns:s.pause_slo_p99_ns ?gc_packet_size:s.gc_packet_size
       ?force_state:(if s.force_safe then Some Lp_core.State_kind.Safe else None)
       ()
   in

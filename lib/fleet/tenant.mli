@@ -42,6 +42,10 @@ type spec = {
           re-armed fresh on every restart, like the rest of the VM
           configuration. Outcome-neutral, so mixed-SLO fleets keep the
           determinism oracle intact. [None] changes nothing. *)
+  gc_packet_size : int option;
+      (** parallel-engine packet granularity for this tenant's VM
+          ({!Lp_core.Config.gc_packet_size}); output-neutral, so it is
+          safe to vary per tenant. [None] keeps the config default. *)
 }
 
 exception Verifier_failed of string

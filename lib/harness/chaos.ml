@@ -95,8 +95,9 @@ let liveness_field_map =
 let default_steps = 300
 
 let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
-    ?pause_slo_p99_ns ?(liveness = Lp_core.Config.Liveness_off)
-    ?(steps = default_steps) ?trace_capacity ~seed () =
+    ?gc_packet_size ?gc_steal ?pause_slo_p99_ns
+    ?(liveness = Lp_core.Config.Liveness_off) ?(steps = default_steps)
+    ?trace_capacity ~seed () =
   let rng = Random.State.make [| 0xC4A05; seed |] in
   (* The VM shape is drawn from the seed too, so a seed sweep covers
      small and large heaps, generational and whole-heap collection, and
@@ -122,7 +123,8 @@ let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
     Lp_runtime.Vm.create
       ~config:
         (Lp_core.Config.make ?gc_engine ~gc_domains ?gc_slice_budget
-           ?pause_slo_p99_ns ~liveness_mode:liveness ())
+           ?gc_packet_size ?gc_steal ?pause_slo_p99_ns
+           ~liveness_mode:liveness ())
       ?disk ~resurrection ?nursery_bytes ?fault:plan ~heap_bytes ()
   in
   (* [with_vm]: even though the outcome net below catches everything the
@@ -386,12 +388,12 @@ let run_one ?(faults = true) ?gc_engine ?(gc_domains = 1) ?gc_slice_budget
       | None -> 0);
   }
 
-let shrink ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?pause_slo_p99_ns
-    ?liveness ?(steps = default_steps) ~seed () =
+let shrink ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?gc_packet_size
+    ?gc_steal ?pause_slo_p99_ns ?liveness ?(steps = default_steps) ~seed () =
   let failing m =
     failed
-      (run_one ?faults ?gc_engine ?gc_domains ?gc_slice_budget
-         ?pause_slo_p99_ns ?liveness ~steps:m ~seed ())
+      (run_one ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?gc_packet_size
+         ?gc_steal ?pause_slo_p99_ns ?liveness ~steps:m ~seed ())
   in
   if not (failing steps) then None
   else begin
@@ -406,12 +408,12 @@ let shrink ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?pause_slo_p99_ns
     Some !hi
   end
 
-let run_seeds ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?pause_slo_p99_ns
-    ?liveness ?steps ?progress ~seeds () =
+let run_seeds ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?gc_packet_size
+    ?gc_steal ?pause_slo_p99_ns ?liveness ?steps ?progress ~seeds () =
   List.init seeds (fun i ->
       let r =
-        run_one ?faults ?gc_engine ?gc_domains ?gc_slice_budget
-          ?pause_slo_p99_ns ?liveness ?steps ~seed:(i + 1) ()
+        run_one ?faults ?gc_engine ?gc_domains ?gc_slice_budget ?gc_packet_size
+          ?gc_steal ?pause_slo_p99_ns ?liveness ?steps ~seed:(i + 1) ()
       in
       (match progress with Some f -> f r | None -> ());
       r)

@@ -78,6 +78,8 @@ val run_one :
   ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?gc_packet_size:int ->
+  ?gc_steal:bool ->
   ?pause_slo_p99_ns:int ->
   ?liveness:Lp_core.Config.liveness_mode ->
   ?steps:int ->
@@ -90,7 +92,10 @@ val run_one :
     workload fault-free. [gc_engine] selects the tracing engine behind
     the VM's full collections ([gc_domains] survives as the legacy
     alias, reconciled by {!Lp_core.Config.resolve_engine};
-    [gc_slice_budget] bounds the incremental engine's slices). Every
+    [gc_slice_budget] bounds the incremental engine's slices;
+    [gc_packet_size] and [gc_steal] tune the parallel engines'
+    packet granularity and steal-vs-legacy round scheduling, both
+    output-neutral). Every
     engine reproduces the sequential collector's decisions, counters,
     heap state and clock exactly — so every scalar report field must be
     independent of the engine selection, and the trace must match up to
@@ -119,6 +124,8 @@ val shrink :
   ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?gc_packet_size:int ->
+  ?gc_steal:bool ->
   ?pause_slo_p99_ns:int ->
   ?liveness:Lp_core.Config.liveness_mode ->
   ?steps:int ->
@@ -135,6 +142,8 @@ val run_seeds :
   ?gc_engine:Lp_core.Config.gc_engine ->
   ?gc_domains:int ->
   ?gc_slice_budget:int ->
+  ?gc_packet_size:int ->
+  ?gc_steal:bool ->
   ?pause_slo_p99_ns:int ->
   ?liveness:Lp_core.Config.liveness_mode ->
   ?steps:int ->

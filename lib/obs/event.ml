@@ -95,12 +95,20 @@ let type_name = function
   | Engine_switch _ -> "engine_switch"
 
 (* Almost every event is a deterministic function of program, seed and
-   configuration. [Slo_adjust] is the one exception: its budget is
-   derived from wall-clock pause feedback, so two runs of the same
-   program may emit different budgets (reclamation outcomes stay
-   identical — budgets only move slice boundaries). Run-twice trace
-   comparisons filter on this. *)
-let deterministic = function Slo_adjust _ -> false | _ -> true
+   configuration. Two exceptions: [Slo_adjust], whose budget is derived
+   from wall-clock pause feedback, and the ["steal:*"] [Par_phase]
+   spans, which report how many packets each worker REALLY stole — a
+   hardware-schedule fact. Neither affects reclamation (budgets only
+   move slice boundaries; steal order is output-neutral by the
+   packet-index merge). Run-twice trace comparisons filter on this. *)
+let steal_phase phase =
+  String.length phase >= 6 && String.sub phase 0 6 = "steal:"
+
+let deterministic = function
+  | Slo_adjust _ -> false
+  | Par_phase_begin { phase; _ } | Par_phase_end { phase; _ } ->
+    not (steal_phase phase)
+  | _ -> true
 
 (* Span events open (`B`) and close (`E`) a nested duration in the
    Chrome trace; everything else is instantaneous. *)

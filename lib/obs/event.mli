@@ -121,8 +121,8 @@ type t =
       (** the pause-SLO autopilot retuned the slice budget after
           collection [gc]: [budget] is the new object-count budget,
           [p99_ns] the observed p99 pause that drove the adjustment.
-          The only {e non-deterministic} event (see {!deterministic}):
-          budgets derive from wall-clock feedback *)
+          {e Non-deterministic} (see {!deterministic}): budgets derive
+          from wall-clock feedback *)
   | Engine_switch of { gc : int; from_engine : string; to_engine : string }
       (** the autopilot swapped tracing engines before collection [gc]
           (engine names as in {!Lp_core.Config.gc_engine_to_string}).
@@ -147,6 +147,9 @@ val span_label : t -> string
 
 val deterministic : t -> bool
 (** Whether the event is a deterministic function of program, seed and
-    configuration. [false] only for {!Slo_adjust}, whose budget derives
-    from wall-clock pause feedback; run-twice trace comparisons must
-    filter events this predicate rejects. *)
+    configuration. [false] for {!Slo_adjust} (budgets derive from
+    wall-clock pause feedback) and for [Par_phase] spans whose phase
+    starts with ["steal:"] (real per-worker steal counts — a
+    hardware-schedule fact; reclamation is unaffected by steal order).
+    Run-twice trace comparisons must filter events this predicate
+    rejects. *)

@@ -1,0 +1,101 @@
+(* Chase–Lev work-stealing deque, specialised to [int] elements (the
+   tracing engine stores packet indices, never boxed values, so steals
+   allocate nothing).
+
+   One domain owns each deque: only the owner calls [push]/[pop] (LIFO
+   end, [bottom]); any other domain may call [steal] (FIFO end, [top]).
+   [top] only ever advances, via compare-and-set, so each element is
+   handed out exactly once no matter how pops and steals interleave.
+
+   Memory-model notes (OCaml multicore, all Atomics are SC):
+
+   - A thief reads [bottom] before reading the slot it is about to
+     steal.  The owner published that slot's value before its own
+     [Atomic.set bottom], so the reads-from edge on [bottom] makes the
+     plain array read well-defined.
+   - [grow] copies the live window into a fresh array and publishes it
+     through the [buf] atomic.  A thief holding the old array is still
+     safe: the owner never writes the old array again, and the live
+     window it copied out is never overwritten in place, so a stale
+     read returns the correct value (or a value the CAS then refuses).
+   - Overwriting a slot in place requires the ring to wrap, which
+     [push]'s grow-before-full check only permits once [top] has moved
+     past that slot — at which point any thief still looking at it
+     must fail its CAS.  A lost CAS discards the (possibly stale)
+     value it read, so no element is ever observed torn or twice. *)
+
+type t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : int array Atomic.t;
+}
+
+type steal_result = Stolen of int | Empty | Retry
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Deque.create: capacity must be >= 1";
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.make capacity 0);
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Owner only.  Indices grow without bound and are reduced mod the
+   buffer length on access; [top]/[bottom] fitting in an int is not a
+   practical concern. *)
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let a = Atomic.get t.buf in
+  let a =
+    if b - tp >= Array.length a then (
+      (* full: double, copying the live window [tp, b) across.  Keeping
+         one slot of slack (grow at >=, not >) means a slot is never
+         overwritten until [top] has passed it — see header comment. *)
+      let n = Array.make (2 * Array.length a) 0 in
+      let alen = Array.length a and nlen = Array.length n in
+      for i = tp to b - 1 do
+        n.(i mod nlen) <- a.(i mod alen)
+      done;
+      Atomic.set t.buf n;
+      n)
+    else a
+  in
+  a.(b mod Array.length a) <- v;
+  Atomic.set t.bottom (b + 1)
+
+(* Owner only; takes the most recently pushed element.  The only race
+   is over the final element, which a concurrent thief may also be
+   claiming — the CAS on [top] arbitrates. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then (
+    (* already empty; undo the speculative decrement *)
+    Atomic.set t.bottom tp;
+    None)
+  else
+    let a = Atomic.get t.buf in
+    let v = a.(b mod Array.length a) in
+    if b > tp then Some v
+    else (
+      (* last element: race any thief for it *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then Some v else None)
+
+(* Any domain.  Takes the oldest element, so thieves drain the opposite
+   end from the owner.  [Retry] means the CAS lost to another thief (or
+   to the owner's last-element pop): the deque may still hold work, the
+   caller should look again. *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then Empty
+  else
+    let a = Atomic.get t.buf in
+    let v = a.(tp mod Array.length a) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Stolen v else Retry

@@ -1,0 +1,39 @@
+(** Chase–Lev work-stealing deque over [int] elements.
+
+    Each deque has a single owner domain: only the owner may call
+    {!push} and {!pop} (LIFO, the "bottom" end); any other domain may
+    call {!steal} (FIFO, the "top" end) concurrently.  Every pushed
+    element is delivered exactly once, to exactly one caller, across
+    any interleaving of pops and steals.
+
+    The tracing engine pre-fills one deque per worker with packet
+    indices before each BSP round and never pushes mid-round, so
+    emptiness is monotone within a round — a full sweep of all deques
+    returning {!Empty} is a sound termination signal. *)
+
+type t
+
+(** [Stolen v] delivers an element; [Empty] means the deque held
+    nothing at the linearisation point; [Retry] means the CAS lost a
+    race (another thief, or the owner popping the last element) — the
+    deque may still hold work and the caller should sweep again. *)
+type steal_result = Stolen of int | Empty | Retry
+
+(** [create ?capacity ()] makes an empty deque.  The ring buffer starts
+    at [capacity] (default 64) slots and doubles when full; capacity is
+    a hint, not a bound.  Raises [Invalid_argument] if [capacity < 1]. *)
+val create : ?capacity:int -> unit -> t
+
+(** Owner only.  Push [v] on the bottom end. *)
+val push : t -> int -> unit
+
+(** Owner only.  Pop the most recently pushed element, or [None] if the
+    deque is empty (including losing the last element to a thief). *)
+val pop : t -> int option
+
+(** Any domain.  Attempt to take the oldest element. *)
+val steal : t -> steal_result
+
+(** Snapshot of the element count; racy under concurrency, exact when
+    quiescent.  Meant for tests and stats, not control flow. *)
+val size : t -> int

@@ -135,3 +135,170 @@ let shutdown t =
     shutdown_unregistered t;
     unregister t
   end
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: one [run] dispatch hosting many rounds.                   *)
+(*                                                                     *)
+(* [run] costs a full wake/join handshake (mutex, broadcast, condvar   *)
+(* park) per call.  A BSP mark closure is a *sequence* of rounds, so   *)
+(* paying that per round is exactly the coordination overhead the old  *)
+(* engine drowned in.  A session enters the pool once: workers stay    *)
+(* resident inside a single [run] job and synchronise per round on an  *)
+(* epoch counter — spin briefly (the common case between back-to-back  *)
+(* rounds), then park on a condvar so an idle session never burns a    *)
+(* core.                                                               *)
+(*                                                                     *)
+(* Round protocol, coordinator side ([round]):                         *)
+(*   1. install the job, set [pending] = domains - 1                   *)
+(*   2. bump [epoch] (an SC atomic: the bump publishes the job and     *)
+(*      [ended] writes that happened before it)                        *)
+(*   3. broadcast only if someone is parked                            *)
+(*   4. run the job as worker 0, then spin-then-park until [pending]   *)
+(*      drains to zero                                                 *)
+(* Worker side: spin on [epoch], park after the budget; on a bump,     *)
+(* read [ended] (exit) or run the job and decrement [pending],         *)
+(* signalling the coordinator only if it is parked.                    *)
+(* Exceptions on either side are stashed in [s_failure] and re-raised  *)
+(* from [round] / [session] on the calling domain, after the round     *)
+(* (resp. session) has fully joined — no domain is ever abandoned.     *)
+
+type session = {
+  s_domains : int;
+  epoch : int Atomic.t;
+  pending : int Atomic.t;
+  s_job : (int -> unit) option ref;
+  ended : bool ref;
+  s_mutex : Mutex.t;
+  round_ready : Condition.t;
+  round_done : Condition.t;
+  mutable parked : int;
+  mutable coordinator_waiting : bool;
+  mutable s_failure : exn option;
+  mutable rounds : int;
+}
+
+(* How many [Domain.cpu_relax] spins before falling back to the condvar.
+   Small enough that a 1-core host parks almost immediately (letting the
+   coordinator run), large enough that on real cores the inter-round gap
+   — the coordinator's merge — is usually covered without a syscall. *)
+let spin_budget = 256
+
+let stash_failure s exn =
+  Mutex.lock s.s_mutex;
+  if s.s_failure = None then s.s_failure <- Some exn;
+  Mutex.unlock s.s_mutex
+
+let session_worker s w =
+  let rec await last spins =
+    if Atomic.get s.epoch <> last then ()
+    else if spins < spin_budget then begin
+      Domain.cpu_relax ();
+      await last (spins + 1)
+    end
+    else begin
+      Mutex.lock s.s_mutex;
+      s.parked <- s.parked + 1;
+      while Atomic.get s.epoch = last do
+        Condition.wait s.round_ready s.s_mutex
+      done;
+      s.parked <- s.parked - 1;
+      Mutex.unlock s.s_mutex
+    end
+  in
+  let rec loop last =
+    await last 0;
+    let e = Atomic.get s.epoch in
+    if !(s.ended) then ()
+    else begin
+      (try match !(s.s_job) with Some f -> f w | None -> ()
+       with exn -> stash_failure s exn);
+      (* last worker out signals the coordinator, but only if it is
+         actually parked — the common spin case skips the mutex *)
+      if Atomic.fetch_and_add s.pending (-1) = 1 then begin
+        Mutex.lock s.s_mutex;
+        if s.coordinator_waiting then Condition.signal s.round_done;
+        Mutex.unlock s.s_mutex
+      end;
+      loop e
+    end
+  in
+  loop 0
+
+let round s job =
+  if s.s_domains = 1 then begin
+    s.rounds <- s.rounds + 1;
+    job 0
+  end
+  else begin
+    s.rounds <- s.rounds + 1;
+    s.s_job := Some job;
+    Atomic.set s.pending (s.s_domains - 1);
+    Atomic.incr s.epoch;
+    Mutex.lock s.s_mutex;
+    if s.parked > 0 then Condition.broadcast s.round_ready;
+    Mutex.unlock s.s_mutex;
+    (try job 0 with exn -> stash_failure s exn);
+    let rec wait spins =
+      if Atomic.get s.pending <= 0 then ()
+      else if spins < spin_budget then begin
+        Domain.cpu_relax ();
+        wait (spins + 1)
+      end
+      else begin
+        Mutex.lock s.s_mutex;
+        s.coordinator_waiting <- true;
+        while Atomic.get s.pending > 0 do
+          Condition.wait s.round_done s.s_mutex
+        done;
+        s.coordinator_waiting <- false;
+        Mutex.unlock s.s_mutex
+      end
+    in
+    wait 0;
+    s.s_job := None;
+    match
+      Mutex.protect s.s_mutex (fun () ->
+          let f = s.s_failure in
+          s.s_failure <- None;
+          f)
+    with
+    | Some exn -> raise exn
+    | None -> ()
+  end
+
+let session_rounds s = s.rounds
+
+let session t body =
+  if not t.alive then invalid_arg "Domain_pool.session: pool is shut down";
+  let s =
+    {
+      s_domains = t.domains;
+      epoch = Atomic.make 0;
+      pending = Atomic.make 0;
+      s_job = ref None;
+      ended = ref false;
+      s_mutex = Mutex.create ();
+      round_ready = Condition.create ();
+      round_done = Condition.create ();
+      parked = 0;
+      coordinator_waiting = false;
+      s_failure = None;
+      rounds = 0;
+    }
+  in
+  if t.domains = 1 then body s
+  else
+    run t (fun w ->
+        if w > 0 then session_worker s w
+        else begin
+          (* the session coordinator is worker 0 of the enclosing [run];
+             whatever [body] does, the end-of-session epoch bump below
+             always releases the resident workers so [run] can join *)
+          let result = try Ok (body s) with exn -> Error exn in
+          s.ended := true;
+          Atomic.incr s.epoch;
+          Mutex.lock s.s_mutex;
+          if s.parked > 0 then Condition.broadcast s.round_ready;
+          Mutex.unlock s.s_mutex;
+          match result with Ok v -> v | Error exn -> raise exn
+        end)

@@ -29,6 +29,41 @@ val run : t -> (int -> unit) -> unit
 val shutdown : t -> unit
 (** Stops and joins the worker domains. Idempotent. *)
 
+(** {2 Sessions}
+
+    [run] pays a full wake/join handshake per call. A BSP mark closure
+    is a sequence of rounds, so the steal-driven engine enters the pool
+    {e once} per closure: inside a session the workers stay resident
+    and synchronise per round on an atomic epoch — spinning briefly
+    between back-to-back rounds, parking on a condvar when the gap is
+    long — which collapses the per-round coordination cost to a single
+    dispatch per closure. *)
+
+type session
+(** A live multi-round occupancy of the pool. Only valid inside the
+    [body] callback of {!session}; only the coordinator (the domain
+    that called {!session}) may call {!round}. *)
+
+val session : t -> (session -> unit) -> unit
+(** [session t body] enters the pool once — workers become resident —
+    and runs [body] on the calling domain as coordinator. Each
+    {!round} inside [body] executes one job on every worker without a
+    fresh dispatch. When [body] returns (or raises) the workers are
+    released and the session's single underlying {!run} joins; an
+    exception from [body] or any round is re-raised on the calling
+    domain. On a 1-domain pool no dispatch happens at all and rounds
+    degenerate to direct calls. *)
+
+val round : session -> (int -> unit) -> unit
+(** [round s job] runs [job w] on every worker [w] in
+    [0 .. domains - 1] — worker 0 being the coordinator itself — and
+    returns once all workers have finished the round. Coordinator
+    only. An exception raised by any worker (or the coordinator's own
+    [job 0]) is re-raised here after the round has fully joined. *)
+
+val session_rounds : session -> int
+(** Number of rounds driven through this session so far. *)
+
 val active_count : unit -> int
 (** Number of pools created and not yet shut down — the test suite
     asserts this returns to zero, i.e. no leaked domains. *)

@@ -18,10 +18,15 @@ let buf_push b v =
    plus everything a worker produced while scanning it. Packets are
    merged in index order, so the concatenation of their outputs equals a
    sequential scan of the frontier — independent of which worker scanned
-   what, and of the domain count. *)
+   what, and of the domain count.
+
+   Packet records and their buffers are pooled and reset between rounds
+   (see [packets_for]): a deep-chain closure runs thousands of tiny
+   rounds, and the old allocate-per-round scheme made allocation, not
+   tracing, the dominant cost at 2 domains. *)
 type packet = {
-  lo : int;
-  hi : int;
+  mutable lo : int;
+  mutable hi : int;
   disc : buf;  (* ids of unmarked Trace targets, in field order *)
   mutable seal : int;  (* checksum over [disc], computed as it fills *)
   quar : buf;  (* quarantined target ids, in field order *)
@@ -32,10 +37,10 @@ type packet = {
   mutable untouched_set : int;
 }
 
-let packet_make ~lo ~hi =
+let packet_make () =
   {
-    lo;
-    hi;
+    lo = 0;
+    hi = 0;
     disc = buf_make 32;
     seal = 0;
     quar = buf_make 1;
@@ -46,17 +51,37 @@ let packet_make ~lo ~hi =
     untouched_set = 0;
   }
 
+(* [recompute_disc] may have swapped a recovered packet's [disc.a] for a
+   fresh array, so resetting lengths (not contents) is enough. *)
+let packet_reset p ~lo ~hi =
+  p.lo <- lo;
+  p.hi <- hi;
+  p.disc.len <- 0;
+  p.seal <- 0;
+  p.quar.len <- 0;
+  p.deferred <- [];
+  p.poisons <- [];
+  p.notes <- [];
+  p.fields_scanned <- 0;
+  p.untouched_set <- 0
+
 let seal_step seal id = ((seal * 31) + id + 1) land max_int
 
 type t = {
   pool : Domain_pool.t;
   packet_size : int;
   inline_threshold : int;
+  steal : bool;  (* steal-driven rounds (sessions + deques) vs legacy *)
+  deques : Deque.t array;  (* one per worker, refilled every round *)
   work_shards : int array;  (* per-worker mark/sweep work, one phase *)
   stale_shards : int array;  (* per-worker stale-closure work, one GC *)
+  steal_shards : int array;  (* per-worker REAL steals, one phase; racy *)
+  mutable packet_pool : packet array;  (* reused across rounds *)
   mutable corrupt_armed : bool;
   mutable steal_armed : bool;
   mutable pooled_rounds : int;
+  mutable dispatches : int;  (* pool wake/join handshakes paid *)
+  mutable steals : int;  (* total successful steals (schedule-dependent) *)
   mutable packet_recoveries : int;
   mutable steal_races : int;
   (* Sliced-BSP mode: when set, each BSP round's packets are executed
@@ -69,7 +94,8 @@ type t = {
   mutable max_slice : int;  (* most frontier objects scanned per slice *)
 }
 
-let create ?(packet_size = 32) ?(inline_threshold = 16) ?slice_budget pool =
+let create ?(packet_size = 32) ?(inline_threshold = 16) ?(steal = true)
+    ?slice_budget pool =
   if packet_size < 1 then invalid_arg "Par_engine.create: packet_size < 1";
   (match slice_budget with
   | Some b when b < 1 -> invalid_arg "Par_engine.create: slice_budget < 1"
@@ -79,11 +105,17 @@ let create ?(packet_size = 32) ?(inline_threshold = 16) ?slice_budget pool =
     pool;
     packet_size;
     inline_threshold = max inline_threshold 1;
+    steal;
+    deques = Array.init d (fun _ -> Deque.create ());
     work_shards = Array.make d 0;
     stale_shards = Array.make d 0;
+    steal_shards = Array.make d 0;
+    packet_pool = [||];
     corrupt_armed = false;
     steal_armed = false;
     pooled_rounds = 0;
+    dispatches = 0;
+    steals = 0;
     packet_recoveries = 0;
     steal_races = 0;
     slice_budget;
@@ -111,6 +143,12 @@ let domains t = Domain_pool.domains t.pool
 
 let pooled_rounds t = t.pooled_rounds
 
+let dispatches t = t.dispatches
+
+let steals t = t.steals
+
+let stealing t = t.steal
+
 let packet_recoveries t = t.packet_recoveries
 
 let steal_races t = t.steal_races
@@ -119,45 +157,106 @@ let arm_corrupt_packet t = t.corrupt_armed <- true
 
 let arm_steal_race t = t.steal_armed <- true
 
-(* Runs [scan] over every packet, on the pool when the round is big
-   enough, inline on the coordinator otherwise — same scan code either
-   way, so the inline fast path cannot diverge. An armed steal race
-   hands packets out in reverse order (and is output-neutral because
-   merging is by packet index, not claim order). *)
-let execute_round t ~frontier_len ~scan packets =
+(* The steal-driven worker body for one round. Every worker drains its
+   own deque LIFO, then sweeps the other deques FIFO; a full sweep that
+   finds every victim [Empty] terminates the worker — sound because the
+   coordinator pre-filled all deques before the round and nobody pushes
+   mid-round, so emptiness is monotone. A lost CAS ([Retry]) means the
+   victim may still hold work, so the sweep restarts. *)
+let steal_worker t ~scan packets w =
+  let d = Array.length t.deques in
+  let own = t.deques.(w) in
+  let rec drain () =
+    match Deque.pop own with
+    | Some i ->
+      scan packets.(i);
+      drain ()
+    | None -> sweep 1 0
+  and sweep j empties =
+    if j >= d then (if empties = d - 1 then () else sweep 1 0)
+    else
+      match Deque.steal t.deques.((w + j) mod d) with
+      | Deque.Stolen i ->
+        t.steal_shards.(w) <- t.steal_shards.(w) + 1;
+        scan packets.(i);
+        drain ()
+      | Deque.Empty -> sweep (j + 1) (empties + 1)
+      | Deque.Retry ->
+        Domain.cpu_relax ();
+        sweep (j + 1) empties
+  in
+  drain ()
+
+(* Runs [scan] over every packet — steal-driven inside a session, via a
+   legacy per-round dispatch when steal is off, inline on the
+   coordinator when the round is too small to pool. The same scan code
+   runs on every path, so none of them can diverge. An armed steal race
+   hands packets out in reverse order (deque mode deals the deques in
+   reverse, the shared-counter and inline paths reverse the pick) — and
+   is output-neutral because merging is by packet index, not by claim
+   or steal order. *)
+let execute_round t ~sess ~frontier_len ~scan packets =
   let n_packets = Array.length packets in
   let reversed = t.steal_armed && n_packets > 1 in
   let pick i = if reversed then n_packets - 1 - i else i in
-  if
+  let pooled =
     Domain_pool.domains t.pool > 1
     && n_packets > 1
     && frontier_len >= t.inline_threshold
-  then begin
+  in
+  (match sess with
+  | Some sess when pooled ->
     t.pooled_rounds <- t.pooled_rounds + 1;
-    let next = Atomic.make 0 in
-    Domain_pool.run t.pool (fun _w ->
-        let rec claim () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n_packets then begin
-            scan packets.(pick i);
-            claim ()
-          end
-        in
-        claim ())
-  end
-  else
+    (* deal packet indices round-robin into the per-worker deques; the
+       deques are empty here (previous rounds consumed every element) *)
+    let d = Array.length t.deques in
     for i = 0 to n_packets - 1 do
-      scan packets.(pick i)
+      Deque.push t.deques.(i mod d) (pick i)
     done;
+    Domain_pool.round sess (steal_worker t ~scan packets)
+  | Some _ | None ->
+    if pooled then begin
+      (* legacy steal-off path: one full pool dispatch per round, all
+         workers claiming packets off one shared counter *)
+      t.pooled_rounds <- t.pooled_rounds + 1;
+      t.dispatches <- t.dispatches + 1;
+      let next = Atomic.make 0 in
+      Domain_pool.run t.pool (fun _w ->
+          let rec claim () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n_packets then begin
+              scan packets.(pick i);
+              claim ()
+            end
+          in
+          claim ())
+    end
+    else
+      for i = 0 to n_packets - 1 do
+        scan packets.(pick i)
+      done);
   if reversed then begin
     t.steal_armed <- false;
     t.steal_races <- t.steal_races + 1
   end
 
-let make_packets t n =
+(* Slices the current frontier into packets, reusing pooled packet
+   records (and their buffers) instead of allocating per round. *)
+let packets_for t n =
   let n_packets = (n + t.packet_size - 1) / t.packet_size in
+  if Array.length t.packet_pool < n_packets then begin
+    let old = t.packet_pool in
+    let old_n = Array.length old in
+    t.packet_pool <-
+      Array.init
+        (max n_packets ((2 * old_n) + 4))
+        (fun i -> if i < old_n then old.(i) else packet_make ())
+  end;
   Array.init n_packets (fun i ->
-      packet_make ~lo:(i * t.packet_size) ~hi:(min n ((i + 1) * t.packet_size)))
+      let p = t.packet_pool.(i) in
+      packet_reset p ~lo:(i * t.packet_size)
+        ~hi:(min n ((i + 1) * t.packet_size));
+      p)
 
 (* --- the in-use / stale closure scan ------------------------------- *)
 
@@ -392,14 +491,72 @@ let emit_worker_spans ~gc ~phase ~events shards =
           (Lp_obs.Event.Par_phase_end { gc; phase; worker = w; work }))
       shards
 
+(* Real per-worker steal counts for one phase, as worker-id-tagged span
+   pairs. Unlike the logical spans above these are genuinely
+   schedule-dependent — [Event.deterministic] classifies them as such,
+   and every determinism oracle filters them out. Workers with zero
+   steals emit nothing, so an untraced-equivalent phase stays silent. *)
+let emit_steal_spans t ~gc ~phase ~events =
+  match events with
+  | None -> ()
+  | Some sink ->
+    if t.steal then
+      Array.iteri
+        (fun w n ->
+          if n > 0 then begin
+            Lp_obs.Sink.emit sink
+              (Lp_obs.Event.Par_phase_begin { gc; phase; worker = w });
+            Lp_obs.Sink.emit sink
+              (Lp_obs.Event.Par_phase_end { gc; phase; worker = w; work = n })
+          end)
+        t.steal_shards
+
+let reset_steal_shards t =
+  Array.fill t.steal_shards 0 (Array.length t.steal_shards) 0
+
+(* Folds the phase's per-worker steal counts into the engine-lifetime
+   total; called at each phase end, after the spans are emitted. *)
+let harvest_steals t =
+  t.steals <- Array.fold_left ( + ) t.steals t.steal_shards
+
 let attribute_work shards packets =
   let d = Array.length shards in
   Array.iteri
     (fun i (p : packet) -> shards.(i mod d) <- shards.(i mod d) + p.fields_scanned)
     packets
 
-(* Drives rounds until the frontier is empty. [frontier] and [next] are
-   swapped between rounds.
+(* Drives [do_round] until the frontier is empty, swapping [frontier]
+   and [next] between rounds.
+
+   Steal mode enters a pool session lazily: rounds run inline (free)
+   until the first one big enough to pool, and that round opens one
+   session covering every remaining round of the closure — so a
+   closure with n pooled rounds pays ONE dispatch where the legacy
+   engine paid n, and a closure that never pools pays zero. *)
+let drive t ~do_round frontier next =
+  let frontier = ref frontier and next = ref next in
+  let d = Domain_pool.domains t.pool in
+  let wants_session (f : buf) =
+    t.steal && d > 1 && f.len >= t.inline_threshold && f.len > t.packet_size
+  in
+  let rec rounds sess =
+    if !frontier.len > 0 then
+      match sess with
+      | None when wants_session !frontier ->
+        t.dispatches <- t.dispatches + 1;
+        Domain_pool.session t.pool (fun s -> rounds (Some s))
+      | _ ->
+        let f = !frontier in
+        do_round sess f !next;
+        f.len <- 0;
+        let tmp = !frontier in
+        frontier := !next;
+        next := tmp;
+        rounds sess
+  in
+  rounds None
+
+(* One mark/stale round over frontier [f] into [next].
 
    In sliced-BSP mode a round's packets are executed and merged in
    groups of at most [slice_budget / packet_size] packets, one pause
@@ -415,50 +572,50 @@ let attribute_work shards packets =
    stays exact: a group's recovery runs after its own scan and before
    its own merge, so it recomputes against precisely the mark state the
    worker saw. *)
+let mark_round t store ~gc ~config ~edge_note ~apply_note ~stats ~claim
+    ~deferred_acc ~shards sess f next =
+  let packets = packets_for t f.len in
+  match t.slice_budget with
+  | None ->
+    execute_round t ~sess ~frontier_len:f.len
+      ~scan:(scan_packet store ~config ~edge_note f)
+      packets;
+    attribute_work shards packets;
+    merge_round t store ~gc ~config ~apply_note ~stats ~claim ~deferred_acc f
+      next packets
+  | Some budget ->
+    let group_sz = max 1 (budget / t.packet_size) in
+    let n = Array.length packets in
+    let start = ref 0 in
+    let slice_start = ref (now_ns ()) in
+    while !start < n do
+      let len = min group_sz (n - !start) in
+      let group = Array.sub packets !start len in
+      execute_round t ~sess ~frontier_len:f.len
+        ~scan:(scan_packet store ~config ~edge_note f)
+        group;
+      attribute_work shards group;
+      merge_round t store ~gc ~config ~apply_note ~stats ~claim ~deferred_acc
+        f next group;
+      let scanned =
+        Array.fold_left (fun acc p -> acc + (p.hi - p.lo)) 0 group
+      in
+      if scanned > t.max_slice then t.max_slice <- scanned;
+      record_pause t Trace_engine.Mark_slice slice_start;
+      start := !start + len
+    done
+
 let run_closure t store ~gc ~config ~edge_note ~apply_note ~stats ~claim
     ~deferred_acc ~shards frontier =
-  let next = buf_make 64 in
-  let frontier = ref frontier and next = ref next in
-  while !frontier.len > 0 do
-    let f = !frontier in
-    let packets = make_packets t f.len in
-    (match t.slice_budget with
-    | None ->
-      execute_round t ~frontier_len:f.len
-        ~scan:(scan_packet store ~config ~edge_note f)
-        packets;
-      attribute_work shards packets;
-      merge_round t store ~gc ~config ~apply_note ~stats ~claim ~deferred_acc f
-        !next packets
-    | Some budget ->
-      let group_sz = max 1 (budget / t.packet_size) in
-      let n = Array.length packets in
-      let start = ref 0 in
-      let slice_start = ref (now_ns ()) in
-      while !start < n do
-        let len = min group_sz (n - !start) in
-        let group = Array.sub packets !start len in
-        execute_round t ~frontier_len:f.len
-          ~scan:(scan_packet store ~config ~edge_note f)
-          group;
-        attribute_work shards group;
-        merge_round t store ~gc ~config ~apply_note ~stats ~claim ~deferred_acc
-          f !next group;
-        let scanned =
-          Array.fold_left (fun acc p -> acc + (p.hi - p.lo)) 0 group
-        in
-        if scanned > t.max_slice then t.max_slice <- scanned;
-        record_pause t Trace_engine.Mark_slice slice_start;
-        start := !start + len
-      done);
-    f.len <- 0;
-    let tmp = !frontier in
-    frontier := !next;
-    next := tmp
-  done
+  drive t
+    ~do_round:
+      (mark_round t store ~gc ~config ~edge_note ~apply_note ~stats ~claim
+         ~deferred_acc ~shards)
+    frontier (buf_make 64)
 
 let mark t ~gc ?edge_note ?apply_note store roots ~stats ~config =
   Array.fill t.work_shards 0 (Array.length t.work_shards) 0;
+  reset_steal_shards t;
   let frontier = buf_make 256 in
   let batch = Trace_common.tick_batch () in
   Roots.iter roots (fun id ->
@@ -476,9 +633,13 @@ let mark t ~gc ?edge_note ?apply_note store roots ~stats ~config =
   Trace_common.flush_ticks stats config.Collector.stale_tick_gc batch;
   emit_worker_spans ~gc ~phase:"mark" ~events:config.Collector.events
     t.work_shards;
+  emit_steal_spans t ~gc ~phase:"steal:mark" ~events:config.Collector.events;
+  harvest_steals t;
   List.rev !deferred
 
-let begin_stale t = Array.fill t.stale_shards 0 (Array.length t.stale_shards) 0
+let begin_stale t =
+  Array.fill t.stale_shards 0 (Array.length t.stale_shards) 0;
+  reset_steal_shards t
 
 let stale_closure t ~gc ?events store ~stats ~set_untouched_bits ~stale_tick_gc
     (e : Collector.edge) =
@@ -514,7 +675,9 @@ let stale_closure t ~gc ?events store ~stats ~set_untouched_bits ~stale_tick_gc
   end
 
 let end_stale t ~gc ~events =
-  emit_worker_spans ~gc ~phase:"stale_closure" ~events t.stale_shards
+  emit_worker_spans ~gc ~phase:"stale_closure" ~events t.stale_shards;
+  emit_steal_spans t ~gc ~phase:"steal:stale" ~events;
+  harvest_steals t
 
 (* --- parallel sweep ------------------------------------------------ *)
 
@@ -559,6 +722,7 @@ let sweep t ~gc ?events store ~stats =
     in
     let next = Atomic.make 0 in
     t.pooled_rounds <- t.pooled_rounds + 1;
+    t.dispatches <- t.dispatches + 1;
     Domain_pool.run t.pool (fun _w ->
         let rec claim () =
           let i = Atomic.fetch_and_add next 1 in
@@ -593,15 +757,15 @@ let sweep t ~gc ?events store ~stats =
 
 (* Nursery packets buffer every field target (plus a per-packet slot
    count including nulls); the coordinator applies the same
-   mem/in_nursery/marked test the sequential [consider] does. *)
+   mem/in_nursery/marked test the sequential [consider] does. The
+   drain rides [drive] like the mark closure, so a big nursery pays at
+   most one pool dispatch under stealing. *)
 let minor_drain t store ~queue ~slots_scanned =
+  reset_steal_shards t;
   let frontier = buf_make (max (Array.length queue) 1) in
   Array.iter (fun id -> buf_push frontier id) queue;
-  let next = buf_make 64 in
-  let frontier = ref frontier and next = ref next in
-  while !frontier.len > 0 do
-    let f = !frontier in
-    let packets = make_packets t f.len in
+  let do_round sess (f : buf) next =
+    let packets = packets_for t f.len in
     let scan (p : packet) =
       let n = ref 0 in
       for k = p.lo to p.hi - 1 do
@@ -616,7 +780,7 @@ let minor_drain t store ~queue ~slots_scanned =
       done;
       p.fields_scanned <- !n
     in
-    execute_round t ~frontier_len:f.len ~scan packets;
+    execute_round t ~sess ~frontier_len:f.len ~scan packets;
     Array.iter
       (fun (p : packet) ->
         slots_scanned := !slots_scanned + p.fields_scanned;
@@ -627,15 +791,13 @@ let minor_drain t store ~queue ~slots_scanned =
             when Header.in_nursery obj.Heap_obj.header
                  && not (Header.marked obj.Heap_obj.header) ->
             obj.Heap_obj.header <- Header.set_marked obj.Heap_obj.header;
-            buf_push !next obj.Heap_obj.id
+            buf_push next obj.Heap_obj.id
           | Some _ | None -> ()
         done)
-      packets;
-    f.len <- 0;
-    let tmp = !frontier in
-    frontier := !next;
-    next := tmp
-  done
+      packets
+  in
+  drive t ~do_round frontier (buf_make 64);
+  harvest_steals t
 
 (* --- the Trace_engine view ----------------------------------------- *)
 

@@ -10,12 +10,23 @@
 
     - Marking proceeds in BSP rounds over a frontier of already-marked
       objects. The frontier is split into fixed-size packets; workers
-      claim packets by atomic fetch-and-add and scan them into private
-      buffers (discovered targets, deferred edges, poison edges,
-      quarantines, counter shards). Workers write only words they own
-      exclusively (untouched bits and quarantine poisons of their
-      packet's objects) — mark bits, headers and shared state are
-      untouched during a round.
+      obtain packets by work-stealing — the coordinator deals packet
+      indices into one Chase–Lev {!Deque} per worker before the round,
+      each worker drains its own deque LIFO and steals FIFO from the
+      others — and scan them into private buffers (discovered targets,
+      deferred edges, poison edges, quarantines, counter shards).
+      Workers write only words they own exclusively (untouched bits
+      and quarantine poisons of their packet's objects) — mark bits,
+      headers and shared state are untouched during a round, so which
+      worker scans a packet (and in what order) cannot influence what
+      any scan observes.
+    - A whole mark closure occupies the pool as one
+      {!Domain_pool.session}: workers are dispatched once and
+      synchronise per round on an atomic epoch, instead of paying a
+      full condvar wake/join handshake every round as the legacy
+      shared-counter path still does (kept, selectable with
+      [~steal:false], as the control for the coordination-overhead
+      bench gate).
     - Between rounds the coordinator merges packet buffers in packet
       order. Since packet order equals frontier order, the merged
       output is identical for every domain count, packet boundary and
@@ -37,13 +48,17 @@ type t
 val create :
   ?packet_size:int ->
   ?inline_threshold:int ->
+  ?steal:bool ->
   ?slice_budget:int ->
   Domain_pool.t ->
   t
 (** [packet_size] (default 32) objects per work packet;
     [inline_threshold] (default 16): frontiers smaller than this are
-    scanned by the coordinator without waking the pool. Neither affects
-    any collection outcome — only scheduling.
+    scanned by the coordinator without waking the pool. [steal]
+    (default [true]) selects steal-driven rounds (per-worker deques
+    inside one pool session per closure); [false] selects the legacy
+    shared fetch-and-add claim with one pool dispatch per round. None
+    of the three affects any collection outcome — only scheduling.
 
     [slice_budget] switches the engine into sliced-BSP mode (the
     par+inc composition): each BSP round's packets are executed and
@@ -137,12 +152,28 @@ val arm_corrupt_packet : t -> unit
     output-neutral — the differential oracle checks this. *)
 
 val arm_steal_race : t -> unit
-(** Chaos hook: claim the packets of the next multi-packet round in
-    reverse order, simulating a steal-order race. Output-neutral by
+(** Chaos hook: hand the packets of the next multi-packet round out in
+    reverse order (the deques are dealt in reverse in steal mode),
+    simulating a worst-case steal-order inversion. Output-neutral by
     construction. *)
 
 val pooled_rounds : t -> int
-(** Rounds that actually woke the domain pool (vs inline rounds). *)
+(** Rounds that actually ran on the domain pool (vs inline rounds). *)
+
+val dispatches : t -> int
+(** Pool wake/join handshakes paid so far: one per session in steal
+    mode, one per pooled round on the legacy path (plus one per pooled
+    sweep on either). [dispatches / pooled_rounds] is the per-round
+    coordination overhead the bench gates on — a deterministic count,
+    not a timing. *)
+
+val steals : t -> int
+(** Total successful packet steals. Genuinely schedule-dependent (the
+    only such counter here): it reports what the hardware actually did
+    and never feeds any determinism oracle. *)
+
+val stealing : t -> bool
+(** Whether the engine was created with [~steal:true]. *)
 
 val packet_recoveries : t -> int
 

@@ -60,20 +60,23 @@ type t = {
 (* Builds the concrete engine behind a Config-level spec. [budget] is
    the slice budget the sliced engines start with — the config's
    [gc_slice_budget] at VM creation, the autopilot's current budget at
-   a switch (the monolithic engines ignore it). *)
-let build_engine ~budget spec =
+   a switch (the monolithic engines ignore it). [packet_size] and
+   [steal] come from the config on both paths: they are scheduling
+   knobs of the parallel engines only, output-neutral by the engine's
+   packet-index merge. *)
+let build_engine ~budget ~packet_size ~steal spec =
   match spec with
   | Lp_core.Config.Sequential -> (Trace_engine.sequential (), None, None)
   | Lp_core.Config.Parallel domains ->
     let pool = Lp_par.Domain_pool.create ~domains in
-    let pe = Lp_par.Par_engine.create pool in
+    let pe = Lp_par.Par_engine.create ~packet_size ~steal pool in
     (Lp_par.Par_engine.engine pe, Some pe, None)
   | Lp_core.Config.Incremental ->
     let ie = Inc_engine.create ~slice_budget:budget () in
     (Inc_engine.engine ie, None, Some ie)
   | Lp_core.Config.Sliced_bsp domains ->
     let pool = Lp_par.Domain_pool.create ~domains in
-    let pe = Lp_par.Par_engine.create ~slice_budget:budget pool in
+    let pe = Lp_par.Par_engine.create ~packet_size ~steal ~slice_budget:budget pool in
     (Lp_par.Par_engine.engine pe, Some pe, None)
 
 let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
@@ -152,6 +155,8 @@ let create ?(config = Lp_core.Config.default) ?(cost = Cost.default)
              (Lp_fault.Fault_plan.check plan Lp_fault.Fault_plan.Swap)))
   | None -> ());
   let engine, par, inc = build_engine ~budget:config.Lp_core.Config.gc_slice_budget
+      ~packet_size:config.Lp_core.Config.gc_packet_size
+      ~steal:config.Lp_core.Config.gc_steal
       config.Lp_core.Config.gc_engine in
   let autopilot =
     match config.Lp_core.Config.pause_slo_p99_ns with
@@ -221,6 +226,22 @@ let metrics t = t.metrics
    still sees up-to-date gc.* values. *)
 let metrics_snapshot t =
   Gc_stats.publish t.stats t.metrics;
+  (* The parallel engine's scheduling counters live outside Gc_stats
+     (whose record is compared structurally across engines by the
+     conformance tests) but still surface as gc.* metrics. gc.steals is
+     the one schedule-dependent value in the registry — it reports what
+     the hardware really did; everything else here is deterministic. *)
+  (match t.par with
+  | Some pe ->
+    let set name v =
+      Lp_obs.Metrics.set_counter (Lp_obs.Metrics.counter t.metrics name) v
+    in
+    set "gc.steals" (Lp_par.Par_engine.steals pe);
+    set "gc.steal_races" (Lp_par.Par_engine.steal_races pe);
+    set "gc.packet_recoveries" (Lp_par.Par_engine.packet_recoveries pe);
+    set "gc.pooled_rounds" (Lp_par.Par_engine.pooled_rounds pe);
+    set "gc.pool_dispatches" (Lp_par.Par_engine.dispatches pe)
+  | None -> ());
   Lp_obs.Metrics.snapshot t.metrics
 
 (* annotated so the barrier's disabled-sink guard compiles to a field
@@ -306,7 +327,11 @@ let switch_engine t spec =
       | None ->
         (Lp_core.Controller.config t.controller).Lp_core.Config.gc_slice_budget
     in
-    let engine, par, inc = build_engine ~budget spec in
+    let cfg = Lp_core.Controller.config t.controller in
+    let engine, par, inc =
+      build_engine ~budget ~packet_size:cfg.Lp_core.Config.gc_packet_size
+        ~steal:cfg.Lp_core.Config.gc_steal spec
+    in
     t.engine <- engine;
     t.par <- par;
     t.inc <- inc;

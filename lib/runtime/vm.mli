@@ -213,7 +213,12 @@ val metrics_snapshot : t -> Lp_obs.Metrics.snapshot
 (** Publishes the collector's {!Gc_stats} counters into the registry,
     then snapshots it. Includes the retained [gc.staleness_histogram]
     series: one per-staleness-level live-object count array per
-    full-heap collection, last 16 collections. *)
+    full-heap collection, last 16 collections. When the VM runs a
+    parallel engine, the engine's scheduling counters are published
+    too: [gc.steals] (real successful packet steals — the registry's
+    only schedule-dependent value), [gc.steal_races],
+    [gc.packet_recoveries], [gc.pooled_rounds] and
+    [gc.pool_dispatches]. *)
 
 val enable_trace : ?capacity:int -> t -> Lp_obs.Sink.t
 (** Attaches a fresh event sink (drop-oldest ring, default capacity

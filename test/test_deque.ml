@@ -1,0 +1,159 @@
+(* The Chase–Lev work-stealing deque (lib/par/deque.ml) in isolation:
+   ownership discipline (owner pops LIFO, thieves steal FIFO), the
+   empty and single-element race windows, growth past the initial
+   capacity, and a hammer test with one owner domain and several
+   thieves checking exactly-once delivery of every pushed value. *)
+
+let pop_all d =
+  let rec go acc =
+    match Lp_par.Deque.pop d with
+    | Some v -> go (v :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let steal_all d =
+  let rec go acc =
+    match Lp_par.Deque.steal d with
+    | Lp_par.Deque.Stolen v -> go (v :: acc)
+    | Lp_par.Deque.Empty -> List.rev acc
+    | Lp_par.Deque.Retry -> go acc
+  in
+  go []
+
+let test_lifo_vs_fifo () =
+  let d = Lp_par.Deque.create () in
+  List.iter (Lp_par.Deque.push d) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "size counts pushes" 5 (Lp_par.Deque.size d);
+  Alcotest.(check (list int)) "owner pops newest-first (LIFO)" [ 5; 4; 3; 2; 1 ]
+    (pop_all d);
+  List.iter (Lp_par.Deque.push d) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "thief steals oldest-first (FIFO)"
+    [ 1; 2; 3; 4; 5 ] (steal_all d);
+  (* both ends interleaved: steals eat the old end, pops the new end *)
+  List.iter (Lp_par.Deque.push d) [ 10; 20; 30; 40 ];
+  Alcotest.(check bool) "steal takes 10" true
+    (Lp_par.Deque.steal d = Lp_par.Deque.Stolen 10);
+  Alcotest.(check (option int)) "pop takes 40" (Some 40) (Lp_par.Deque.pop d);
+  Alcotest.(check bool) "steal takes 20" true
+    (Lp_par.Deque.steal d = Lp_par.Deque.Stolen 20);
+  Alcotest.(check (option int)) "pop takes 30" (Some 30) (Lp_par.Deque.pop d);
+  Alcotest.(check int) "drained" 0 (Lp_par.Deque.size d)
+
+let test_empty_and_single () =
+  let d = Lp_par.Deque.create ~capacity:1 () in
+  Alcotest.(check (option int)) "pop on empty" None (Lp_par.Deque.pop d);
+  Alcotest.(check bool) "steal on empty" true
+    (Lp_par.Deque.steal d = Lp_par.Deque.Empty);
+  (* the single-element window: whichever side wins, the loser sees
+     nothing and the element is delivered exactly once *)
+  Lp_par.Deque.push d 7;
+  Alcotest.(check (option int)) "owner wins the last element" (Some 7)
+    (Lp_par.Deque.pop d);
+  Alcotest.(check bool) "thief then finds it empty" true
+    (Lp_par.Deque.steal d = Lp_par.Deque.Empty);
+  Lp_par.Deque.push d 8;
+  Alcotest.(check bool) "thief wins the last element" true
+    (Lp_par.Deque.steal d = Lp_par.Deque.Stolen 8);
+  Alcotest.(check (option int)) "owner then finds it empty" None
+    (Lp_par.Deque.pop d);
+  (* emptied-and-refilled deques keep working (top/bottom never reset) *)
+  Lp_par.Deque.push d 9;
+  Lp_par.Deque.push d 10;
+  Alcotest.(check (list int)) "refill after drain" [ 10; 9 ] (pop_all d)
+
+let test_growth () =
+  let d = Lp_par.Deque.create ~capacity:2 () in
+  let n = 1000 in
+  for i = 1 to n do
+    Lp_par.Deque.push d i
+  done;
+  Alcotest.(check int) "all pushes retained across growth" n
+    (Lp_par.Deque.size d);
+  Alcotest.(check (list int)) "stolen in push order after growth"
+    (List.init n (fun i -> i + 1))
+    (steal_all d);
+  (* grow with a consumed prefix: the live window is copied, not the
+     dead slots *)
+  let d = Lp_par.Deque.create ~capacity:4 () in
+  for i = 1 to 3 do
+    Lp_par.Deque.push d i
+  done;
+  Alcotest.(check bool) "prefix consumed" true
+    (Lp_par.Deque.steal d = Lp_par.Deque.Stolen 1);
+  for i = 4 to 64 do
+    Lp_par.Deque.push d i
+  done;
+  Alcotest.(check (list int)) "window survives growth"
+    (List.init 63 (fun i -> 64 - i))
+    (pop_all d);
+  Alcotest.(check bool) "invalid capacity rejected" true
+    (try
+       ignore (Lp_par.Deque.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* One owner pushing and popping, several thieves stealing: every value
+   pushed must be delivered exactly once, across both ends. The owner
+   interleaves pushes with pops (the engine's drain-own-deque pattern)
+   so the thieves race real ownership transitions, including the
+   last-element CAS. *)
+let test_concurrent_exactly_once () =
+  let n = 20_000 and thieves = 3 in
+  let d = Lp_par.Deque.create ~capacity:8 () in
+  let stop = Atomic.make false in
+  let stolen = Array.init thieves (fun _ -> ref []) in
+  let domains =
+    Array.init thieves (fun w ->
+        Domain.spawn (fun () ->
+            let mine = stolen.(w) in
+            let rec loop () =
+              match Lp_par.Deque.steal d with
+              | Lp_par.Deque.Stolen v ->
+                mine := v :: !mine;
+                loop ()
+              | Lp_par.Deque.Retry -> loop ()
+              | Lp_par.Deque.Empty ->
+                if Atomic.get stop then () else loop ()
+            in
+            loop ()))
+  in
+  let popped = ref [] in
+  for i = 1 to n do
+    Lp_par.Deque.push d i;
+    (* pop roughly every third push so bottom keeps crossing top *)
+    if i mod 3 = 0 then
+      match Lp_par.Deque.pop d with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+  done;
+  let rec drain () =
+    match Lp_par.Deque.pop d with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join domains;
+  let all =
+    !popped @ Array.fold_left (fun acc r -> !r @ acc) [] stolen
+  in
+  Alcotest.(check int) "every push delivered" n (List.length all);
+  Alcotest.(check (list int)) "exactly once, no loss, no duplication"
+    (List.init n (fun i -> i + 1))
+    (List.sort compare all)
+
+let suite =
+  ( "deque",
+    [
+      Alcotest.test_case "owner LIFO, thief FIFO, interleaved ends" `Quick
+        test_lifo_vs_fifo;
+      Alcotest.test_case "empty and single-element windows" `Quick
+        test_empty_and_single;
+      Alcotest.test_case "growth past capacity, consumed prefix, bad capacity"
+        `Quick test_growth;
+      Alcotest.test_case "1 owner vs 3 thieves: exactly-once delivery" `Quick
+        test_concurrent_exactly_once;
+    ] )

@@ -18,6 +18,21 @@ let factories =
         Lp_par.Par_engine.engine
           (Lp_par.Par_engine.create (Lp_par.Domain_pool.create ~domains:2)) );
     ("inc8", fun () -> Inc_engine.engine (Inc_engine.create ~slice_budget:8 ()));
+    (* steal-heavy: one object per packet and no inline threshold, so
+       every round is dealt to the deques and cross-worker stealing is
+       as dense as the engine can make it *)
+    ( "par2s",
+      fun () ->
+        Lp_par.Par_engine.engine
+          (Lp_par.Par_engine.create ~packet_size:1 ~inline_threshold:1
+             (Lp_par.Domain_pool.create ~domains:2)) );
+    (* same schedule pressure with the legacy shared-counter claim *)
+    ( "par2ns",
+      fun () ->
+        Lp_par.Par_engine.engine
+          (Lp_par.Par_engine.create ~packet_size:1 ~inline_threshold:1
+             ~steal:false
+             (Lp_par.Domain_pool.create ~domains:2)) );
   ]
 
 let build_store () = Store.create ~limit_bytes:1_000_000
@@ -251,6 +266,19 @@ let test_engine_switch_conformance () =
       (Lp_par.Par_engine.create ~slice_budget:8
          (Lp_par.Domain_pool.create ~domains:2))
   in
+  (* steal-saturated variants: single-object packets, no inline
+     threshold, so the swap seam is crossed with deques in full use *)
+  let par_s () =
+    Lp_par.Par_engine.engine
+      (Lp_par.Par_engine.create ~packet_size:1 ~inline_threshold:1
+         (Lp_par.Domain_pool.create ~domains:2))
+  in
+  let bsp_s () =
+    Lp_par.Par_engine.engine
+      (Lp_par.Par_engine.create ~packet_size:1 ~inline_threshold:1
+         ~slice_budget:8
+         (Lp_par.Domain_pool.create ~domains:2))
+  in
   for seed = 1 to 25 do
     let mixed = run_switch_scenario ~seed [ seq; inc; par ] in
     List.iter
@@ -259,7 +287,16 @@ let test_engine_switch_conformance () =
           (Printf.sprintf "seed %d: seq->inc->par matches all-%s" seed name)
           true
           (run_switch_scenario ~seed [ fixed; fixed; fixed ] = mixed))
-      [ ("seq", seq); ("inc", inc); ("par", par); ("bsp", bsp) ]
+      [
+        ("seq", seq); ("inc", inc); ("par", par); ("bsp", bsp);
+        ("par-steal", par_s); ("bsp-steal", bsp_s);
+      ];
+    (* a schedule that hops between stealing and non-stealing parallel
+       engines mid-run must also land on the same state *)
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: par-steal->seq->bsp-steal matches" seed)
+      true
+      (run_switch_scenario ~seed [ par_s; seq; bsp_s ] = mixed)
   done;
   Alcotest.(check int) "no leaked domains" 0 (Lp_par.Domain_pool.active_count ())
 
@@ -329,7 +366,8 @@ let suite =
   ( "engines",
     [
       Alcotest.test_case
-        "conformance: seq, par2 and inc8 agree on closure, sweep, poison and \
+        "conformance: seq, par2, par2-steal and inc8 agree on closure, sweep, \
+         poison and \
          id recycling"
         `Quick test_conformance;
       Alcotest.test_case

@@ -16,6 +16,7 @@ let spec ?(force_safe = false) ~id () =
     resurrection = true;
     liveness = Lp_core.Config.Liveness_off;
     pause_slo_p99_ns = None;
+    gc_packet_size = None;
   }
 
 let find_tenant report id =

@@ -19,6 +19,7 @@ let () =
       Test_diskswap.suite;
       Test_resurrection.suite;
       Test_fault.suite;
+      Test_deque.suite;
       Test_parallel.suite;
       Test_engines.suite;
       Test_degradation.suite;

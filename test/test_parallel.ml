@@ -68,10 +68,10 @@ let test_merge_identity () =
    fans the mark frontier out past the packet size, so multi-packet
    pooled rounds actually run at 4 domains. *)
 
-let build_wide_vm ~gc_domains =
+let build_wide_vm ?(gc_steal = true) ~gc_domains () =
   let vm =
     Lp_runtime.Vm.create
-      ~config:(Lp_core.Config.make ~gc_domains ())
+      ~config:(Lp_core.Config.make ~gc_domains ~gc_steal ())
       ~heap_bytes:600_000 ()
   in
   let statics = Lp_runtime.Vm.statics vm ~class_name:"Wide" ~n_fields:300 in
@@ -89,8 +89,8 @@ let build_wide_vm ~gc_domains =
   done;
   (vm, statics)
 
-let run_wide ~gc_domains =
-  let vm, statics = build_wide_vm ~gc_domains in
+let run_wide ?(gc_steal = true) ~gc_domains () =
+  let vm, statics = build_wide_vm ~gc_steal ~gc_domains () in
   for _ = 1 to 3 do
     Lp_runtime.Vm.run_gc vm
   done;
@@ -102,29 +102,42 @@ let run_wide ~gc_domains =
   let live = ref [] in
   Store.iter_live (Lp_runtime.Vm.store vm) (fun o ->
       live := o.Heap_obj.id :: !live);
-  let pooled =
+  let pooled, dispatches =
     match Lp_runtime.Vm.par_engine vm with
-    | Some e -> Lp_par.Par_engine.pooled_rounds e
-    | None -> 0
+    | Some e ->
+      (Lp_par.Par_engine.pooled_rounds e, Lp_par.Par_engine.dispatches e)
+    | None -> (0, 0)
   in
   let stats = Gc_stats.copy (Lp_runtime.Vm.stats vm) in
   Lp_runtime.Vm.shutdown vm;
-  (stats, List.rev !live, pooled)
+  (stats, List.rev !live, pooled, dispatches)
 
 let test_wide_heap_equivalence () =
-  let seq_stats, seq_live, _ = run_wide ~gc_domains:1 in
-  let par_stats, par_live, pooled = run_wide ~gc_domains:4 in
+  let seq_stats, seq_live, _, _ = run_wide ~gc_domains:1 () in
+  let par_stats, par_live, pooled, dispatches = run_wide ~gc_domains:4 () in
+  let off_stats, off_live, off_pooled, off_dispatches =
+    run_wide ~gc_steal:false ~gc_domains:4 ()
+  in
   Alcotest.(check bool) "identical collector counters" true
     (seq_stats = par_stats);
   Alcotest.(check (list int)) "identical live set (same slots, same order)"
     seq_live par_live;
+  Alcotest.(check bool) "steal off: identical counters too" true
+    (seq_stats = off_stats);
+  Alcotest.(check (list int)) "steal off: identical live set" seq_live off_live;
   Alcotest.(check bool) "pooled multi-packet rounds actually ran" true
-    (pooled > 0);
+    (pooled > 0 && off_pooled > 0);
+  (* session amortisation: stealing rounds share pool dispatches, the
+     legacy claim pays one per round *)
+  Alcotest.(check bool) "stealing dispatches are bounded by rounds" true
+    (dispatches > 0 && dispatches <= pooled);
+  Alcotest.(check int) "legacy path pays one dispatch per round" off_pooled
+    off_dispatches;
   Alcotest.(check int) "all collector domains joined" 0
     (Lp_par.Domain_pool.active_count ())
 
 let test_pool_shutdown_idempotent () =
-  let vm, _ = build_wide_vm ~gc_domains:2 in
+  let vm, _ = build_wide_vm ~gc_domains:2 () in
   Lp_runtime.Vm.run_gc vm;
   Alcotest.(check bool) "pool live while the VM runs" true
     (Lp_par.Domain_pool.active_count () > 0);
@@ -218,23 +231,39 @@ let reclaimed_total (r : Lp_harness.Chaos.report) =
 let test_differential_oracle () =
   let mismatches = ref [] in
   for seed = 1 to differential_seeds do
-    let run gc_domains =
-      Lp_harness.Chaos.run_one ~gc_domains ~trace_capacity:65_536 ~seed ()
+    let run ?gc_packet_size ~gc_steal gc_domains =
+      Lp_harness.Chaos.run_one ~gc_domains ?gc_packet_size ~gc_steal
+        ~trace_capacity:65_536 ~seed ()
     in
     let run_inc budget =
       Lp_harness.Chaos.run_one ~gc_engine:Lp_core.Config.Incremental
         ~gc_slice_budget:budget ~trace_capacity:65_536 ~seed ()
     in
-    let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+    let r1 = run ~gc_steal:true 1 in
+    (* every pooled width, stealing and legacy claim both; the stealing
+       runs use an 8-object packet so rounds are multi-packet and the
+       deques actually get contended *)
+    let engines =
+      List.concat_map
+        (fun d ->
+          [
+            (Printf.sprintf "par%d" d, run ~gc_steal:false d);
+            ( Printf.sprintf "par%ds" d,
+              run ~gc_packet_size:8 ~gc_steal:true d );
+          ])
+        [ 2; 4; 8 ]
+    in
     (* the incremental engine at two budgets — one small enough that
        every collection slices many times, one near the default *)
-    let i8 = run_inc 8 and i128 = run_inc 128 in
+    let engines =
+      engines @ [ ("inc8", run_inc 8); ("inc128", run_inc 128) ]
+    in
     Alcotest.(check int)
       (Printf.sprintf "seed %d: ring complete under every engine" seed)
       0
-      (r1.Lp_harness.Chaos.trace_dropped + r2.Lp_harness.Chaos.trace_dropped
-      + r4.Lp_harness.Chaos.trace_dropped + i8.Lp_harness.Chaos.trace_dropped
-      + i128.Lp_harness.Chaos.trace_dropped);
+      (List.fold_left
+         (fun acc (_, r) -> acc + r.Lp_harness.Chaos.trace_dropped)
+         r1.Lp_harness.Chaos.trace_dropped engines);
     List.iter
       (fun (engine, r) ->
         if signature r <> signature r1 then
@@ -243,12 +272,12 @@ let test_differential_oracle () =
           mismatches := (seed, engine) :: !mismatches;
         if reclaimed_total r <> reclaimed_total r1 then
           mismatches := (seed, engine) :: !mismatches)
-      [ ("par2", r2); ("par4", r4); ("inc8", i8); ("inc128", i128) ]
+      engines
   done;
   Alcotest.(check (list (pair int string)))
     (Printf.sprintf
-       "%d seeds x {seq, par2, par4, inc8, inc128}: identical reports, prune \
-        logs and reclaimed totals"
+       "%d seeds x {seq, par{2,4,8} x steal{off,on}, inc8, inc128}: \
+        identical reports, prune logs and reclaimed totals"
        differential_seeds)
     [] (List.rev !mismatches);
   Alcotest.(check int) "sweep leaked no domains" 0
@@ -265,6 +294,7 @@ let suite =
       Alcotest.test_case "pool shutdown joins domains, idempotent" `Quick
         test_pool_shutdown_idempotent;
       Alcotest.test_case
-        "differential chaos oracle: seq vs par{2,4} vs inc{8,128}" `Slow
+        "differential chaos oracle: seq vs par{2,4,8}x{off,on} vs inc{8,128}"
+        `Slow
         test_differential_oracle;
     ] )

@@ -259,6 +259,7 @@ let spec ~id () =
     resurrection = true;
     liveness = Lp_core.Config.Liveness_off;
     pause_slo_p99_ns = None;
+    gc_packet_size = None;
   }
 
 (* single-tenant runs: trip bar 1000 permille keeps the (strict) breaker
